@@ -1,0 +1,75 @@
+// Ablation — demographic filtering (Section 5.2.1). The paper's claims:
+// (a) blending demographic hot videos broadens recommendations without
+// the latency cost of transitive-closure candidate expansion, and
+// (b) it "partly solves the new user problem" — cold users, for whom the
+// MF path has nothing, still get a useful page.
+//
+// Protocol: a cold-heavy world (many unregistered, low-activity users)
+// in the A/B harness. Arms:
+//   rMF       — the plain engine (empty pages for cold users);
+//   rMF+DB    — the full RecommendationService (per-group training +
+//               demographic filtering).
+// The metric that exposes the difference is clicks-per-request, which
+// charges empty pages; CTR-per-impression alone hides the coverage gap.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/engine.h"
+#include "eval/ab_test.h"
+#include "eval/experiment_runner.h"
+#include "service/recommendation_service.h"
+
+using namespace rtrec;
+
+int main() {
+  std::printf("=== Ablation: demographic filtering on cold-heavy traffic "
+              "===\n\n");
+  WorldConfig config = BenchWorldConfig(909);
+  config.population.num_users = 800;
+  config.population.registered_fraction = 0.5;
+  config.population.mean_activity = 1.0;     // Light engagement.
+  config.population.activity_sigma = 1.2;    // Many near-inactive users.
+  const SyntheticWorld world(config);
+
+  RecEngine rmf(world.TypeResolver(),
+                DefaultEngineOptions(UpdatePolicy::kCombine));
+
+  RecommendationService::Options service_options;
+  service_options.engine = DefaultEngineOptions(UpdatePolicy::kCombine);
+  RecommendationService service(world.TypeResolver(), service_options);
+  for (const SimUser& user : world.population().users()) {
+    if (user.profile.registered) {
+      service.RegisterProfile(user.id, user.profile);
+    }
+  }
+
+  AbTestHarness::Options ab_options;
+  ab_options.num_days = 6;
+  ab_options.warmup_days = 2;
+  ab_options.requests_per_user = 2;
+  ab_options.top_n = 10;
+  AbTestHarness harness(&world, ab_options);
+  const auto results = harness.Run({&rmf, &service});
+
+  TablePrinter table({"arm", "requests", "empty pages", "impressions",
+                      "CTR/impression", "clicks/request"});
+  for (const ArmResult& arm : results) {
+    table.AddRow({arm.name, std::to_string(arm.requests),
+                  std::to_string(arm.empty_pages) + " (" +
+                      Cell(100.0 * static_cast<double>(arm.empty_pages) /
+                               static_cast<double>(
+                                   arm.requests == 0 ? 1 : arm.requests),
+                           1) +
+                      "%)",
+                  std::to_string(arm.impressions), Cell(arm.OverallCtr()),
+                  Cell(arm.ClicksPerRequest())});
+  }
+  table.Print(std::cout);
+  std::printf("\nexpected shape (paper Section 5.2.1): the plain engine "
+              "returns empty pages for cold users; demographic filtering "
+              "answers every request (hot-video fallback), so its "
+              "clicks-per-request is higher even when per-impression CTR "
+              "is diluted by popularity content.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Ablation — online training strategies (DESIGN.md item: the paper's
+// single-pass strategy vs the reservoir-replay alternative of the
+// related work [12, 13], plus the neighbourhood-CF reference [17]).
+// Reports offline recall@10, average rank, and wall-clock training time;
+// the paper's argument is that the reservoir's extra replay work buys
+// little on large streams while pure online updates keep the model
+// current at a fraction of the cost.
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "baselines/item_cf.h"
+#include "baselines/reservoir_mf.h"
+#include "core/engine.h"
+#include "data/event_generator.h"
+#include "eval/evaluator.h"
+#include "eval/experiment_runner.h"
+
+using namespace rtrec;
+
+namespace {
+
+struct Row {
+  std::string name;
+  OfflineResult result;
+  double train_seconds = 0.0;
+};
+
+Row Run(Recommender& model, const Dataset& train, const Dataset& test) {
+  const OfflineEvaluator evaluator{};
+  const auto start = std::chrono::steady_clock::now();
+  evaluator.Train(model, train);
+  const auto end = std::chrono::steady_clock::now();
+  Row row;
+  row.name = model.name();
+  const auto data = evaluator.CollectEvalData(model, test);
+  row.result.recall_at = RecallCurve(data, 10);
+  row.result.avg_rank = AverageRank(data);
+  row.train_seconds =
+      std::chrono::duration<double>(end - start).count();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: training strategies (single-pass rMF vs "
+              "reservoir replay vs item CF) ===\n\n");
+  const SyntheticWorld world(BenchWorldConfig(11));
+  const Dataset cleaned =
+      Dataset(world.GenerateDays(0, 7)).FilterMinActivity(15, 10);
+  const auto [train, test] = cleaned.SplitAtTime(6 * kMillisPerDay);
+  std::printf("workload: %zu train / %zu test actions\n\n", train.size(),
+              test.size());
+
+  std::vector<Row> rows;
+
+  RecEngine rmf(world.TypeResolver(),
+                DefaultEngineOptions(UpdatePolicy::kCombine));
+  rows.push_back(Run(rmf, train, test));
+
+  for (std::size_t replay : {2u, 8u}) {
+    ReservoirMfRecommender::Options options;
+    options.engine = DefaultEngineOptions(UpdatePolicy::kCombine);
+    options.reservoir_size = 8192;
+    options.replay_per_action = replay;
+    ReservoirMfRecommender reservoir(world.TypeResolver(), options);
+    Row row = Run(reservoir, train, test);
+    row.name += "(x" + std::to_string(replay) + ")";
+    rows.push_back(std::move(row));
+  }
+
+  ItemCfRecommender item_cf;
+  rows.push_back(Run(item_cf, train, test));
+
+  TablePrinter table({"strategy", "recall@10", "avgrank", "train time (s)",
+                      "rel. cost"});
+  const double base_seconds = rows.front().train_seconds;
+  for (const Row& row : rows) {
+    table.AddRow({row.name, Cell(row.result.recall(10)),
+                  Cell(row.result.avg_rank),
+                  Cell(row.train_seconds, 2),
+                  Cell(base_seconds <= 0 ? 0.0
+                                         : row.train_seconds / base_seconds,
+                       1) + "x"});
+  }
+  table.Print(std::cout);
+  std::printf("\nexpected shape (paper's Section 1 argument): reservoir "
+              "replay multiplies training cost for little or no recall "
+              "gain on a large stream; the single-pass strategy is the "
+              "efficient point.\n"
+              "note: item-based CF is competitive at this small dense "
+              "scale (its co-count tables cover the whole catalog); the "
+              "paper's model-based advantage appears at production "
+              "sparsity, where pure co-counts starve.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 7 + Table 5 — online A/B test: daily CTR of Hot, AR, SimHash,
+// and rMF over ten days of simulated live traffic, plus the pairwise CTR
+// improvement matrix. Expected shape: rMF on top most days, AR and
+// SimHash similar in the middle, Hot last.
+
+#include <cstdio>
+#include <iostream>
+
+#include "baselines/assoc_rules.h"
+#include "baselines/hot_recommender.h"
+#include "baselines/simhash_cf.h"
+#include "core/engine.h"
+#include "eval/ab_test.h"
+#include "eval/experiment_runner.h"
+
+using namespace rtrec;
+
+int main() {
+  std::printf("=== Figure 7: A/B test CTR over ten days ===\n\n");
+  WorldConfig config = BenchWorldConfig(404);
+  config.population.num_users = 800;
+  // The A/B world is tuned so personalization has headroom, matching the
+  // production setting where pure popularity underperforms: a flatter
+  // popularity head and sharper tastes.
+  config.catalog.zipf_exponent = 0.4;
+  config.behavior.affinity_sharpness = 5.0;
+  const SyntheticWorld world(config);
+
+  HotRecommender hot;
+  AssociationRuleRecommender ar;
+  SimHashCfRecommender simhash;
+  RecEngine rmf(world.TypeResolver(),
+                DefaultEngineOptions(UpdatePolicy::kCombine));
+
+  AbTestHarness::Options options;
+  options.num_days = 10;
+  options.warmup_days = 2;
+  options.requests_per_user = 2;
+  options.top_n = 10;
+  AbTestHarness harness(&world, options);
+
+  const std::vector<Recommender*> arms = {&hot, &ar, &simhash, &rmf};
+  const auto results = harness.Run(arms);
+
+  TablePrinter table({"day", results[0].name, results[1].name,
+                      results[2].name, results[3].name});
+  for (int day = 0; day < options.num_days; ++day) {
+    std::vector<std::string> row = {std::to_string(day + 1)};
+    for (const ArmResult& arm : results) {
+      row.push_back(Cell(arm.daily_ctr[static_cast<std::size_t>(day)]));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+
+  std::printf("\noverall CTR: ");
+  for (const ArmResult& arm : results) {
+    std::printf("%s=%.4f (%llu/%llu)  ", arm.name.c_str(), arm.OverallCtr(),
+                static_cast<unsigned long long>(arm.clicks),
+                static_cast<unsigned long long>(arm.impressions));
+  }
+  std::printf("\n\n=== Table 5: pairwise CTR improvement "
+              "(row over column, %%) ===\n\n");
+  const auto matrix = CtrImprovementMatrix(results);
+  TablePrinter improvements({"", results[0].name, results[1].name,
+                             results[2].name, results[3].name});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::vector<std::string> row = {results[i].name};
+    for (std::size_t j = 0; j < results.size(); ++j) {
+      row.push_back(Cell(100.0 * matrix[i][j], 1));
+    }
+    improvements.AddRow(std::move(row));
+  }
+  improvements.Print(std::cout);
+  std::printf("\nexpected shape (paper): rMF beats the others in most "
+              "days; Hot worst; AR ~ SimHash in between\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Table 4 — per-demographic-group dataset statistics. Selects the three
+// largest demographic groups of the (cleaned) training data and prints
+// their user/video/action counts and sparsity next to the global matrix.
+// The paper's headline: group matrices are ~3x denser (avg 1.45% vs
+// 0.48%), which is what makes demographic training effective.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/string_util.h"
+#include "data/dataset.h"
+#include "data/event_generator.h"
+#include "eval/experiment_runner.h"
+
+using namespace rtrec;
+
+int main() {
+  std::printf("=== Table 4: dataset statistics of demographic groups ===\n\n");
+  const SyntheticWorld world(SparseWorldConfig());
+  DemographicGrouper grouper;
+  world.RegisterProfiles(grouper);
+  const FeedbackConfig feedback;
+
+  const Dataset raw(world.GenerateDays(0, 7));
+  const Dataset cleaned = raw.FilterMinActivity(50, 50);
+  const auto [train, test] = cleaned.SplitAtTime(6 * kMillisPerDay);
+
+  const DatasetStats global_stats = train.Stats(feedback);
+
+  TablePrinter table({"", "#Users", "#Videos", "#Actions", "Sparsity(%)"});
+  table.AddRow({"Global", FormatCount(global_stats.num_users),
+                FormatCount(global_stats.num_videos),
+                FormatCount(global_stats.num_actions),
+                Cell(global_stats.sparsity_percent, 3)});
+
+  double group_sparsity_sum = 0.0;
+  int group_count = 0;
+  for (GroupId group : LargestGroups(train, grouper, 3, feedback)) {
+    const Dataset slice = train.FilterGroup(grouper, group);
+    const DatasetStats stats = slice.Stats(feedback);
+    ++group_count;
+    group_sparsity_sum += stats.sparsity_percent;
+    table.AddRow({"Group" + std::to_string(group_count) + " (" +
+                      DemographicGrouper::GroupName(group) + ")",
+                  FormatCount(stats.num_users), FormatCount(stats.num_videos),
+                  FormatCount(stats.num_actions),
+                  Cell(stats.sparsity_percent, 3)});
+  }
+  table.Print(std::cout);
+
+  if (group_count > 0) {
+    std::printf("\naverage group sparsity %.3f%% vs global %.3f%% "
+                "(paper: 1.45%% vs 0.48%%) -> groups are %.1fx denser\n",
+                group_sparsity_sum / group_count,
+                global_stats.sparsity_percent,
+                global_stats.sparsity_percent <= 0
+                    ? 0.0
+                    : (group_sparsity_sum / group_count) /
+                          global_stats.sparsity_percent);
+  }
+  return 0;
+}

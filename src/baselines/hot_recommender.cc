@@ -1,0 +1,32 @@
+#include "baselines/hot_recommender.h"
+
+namespace rtrec {
+
+namespace {
+
+HotVideoTracker::Options TrackerOptions(const HotRecommender::Options& o) {
+  HotVideoTracker::Options out;
+  out.top_k = o.top_k;
+  out.half_life_millis = o.half_life_millis;
+  return out;
+}
+
+}  // namespace
+
+HotRecommender::HotRecommender() : HotRecommender(Options{}) {}
+
+HotRecommender::HotRecommender(Options options)
+    : options_(options), tracker_(TrackerOptions(options)) {}
+
+StatusOr<std::vector<ScoredVideo>> HotRecommender::Recommend(
+    const RecRequest& request) {
+  const std::size_t n = request.top_n > 0 ? request.top_n : options_.top_n;
+  return tracker_.Hottest(kGlobalGroup, n, request.now);
+}
+
+void HotRecommender::Observe(const UserAction& action) {
+  if (action.type == ActionType::kImpress) return;
+  tracker_.Record(kGlobalGroup, action.video, 1.0, action.time);
+}
+
+}  // namespace rtrec

@@ -1,0 +1,44 @@
+#ifndef RTREC_BASELINES_HOT_RECOMMENDER_H_
+#define RTREC_BASELINES_HOT_RECOMMENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/recommender.h"
+#include "demographic/hot_videos.h"
+
+namespace rtrec {
+
+/// The "Hot method" of Section 6.2: recommends the currently most popular
+/// videos to everyone, computed in real time. A simple but strong
+/// baseline — it wins on brand-new users and loses personalization.
+class HotRecommender : public Recommender {
+ public:
+  struct Options {
+    std::size_t top_n = 10;
+    /// Popularity half-life; short half-lives follow trends faster.
+    double half_life_millis = 1.0 * kMillisPerDay;
+    /// Tracked list length (>= top_n).
+    std::size_t top_k = 200;
+  };
+
+  /// Constructs with default options.
+  HotRecommender();
+  explicit HotRecommender(Options options);
+
+  StatusOr<std::vector<ScoredVideo>> Recommend(
+      const RecRequest& request) override;
+
+  /// Real-time popularity update; impressions are ignored.
+  void Observe(const UserAction& action) override;
+
+  std::string name() const override { return "Hot"; }
+
+ private:
+  Options options_;
+  HotVideoTracker tracker_;
+};
+
+}  // namespace rtrec
+
+#endif  // RTREC_BASELINES_HOT_RECOMMENDER_H_

@@ -1,0 +1,67 @@
+#include "baselines/reservoir_mf.h"
+
+#include <cassert>
+
+namespace rtrec {
+
+ReservoirMfRecommender::ReservoirMfRecommender(VideoTypeResolver type_resolver,
+                                               Options options)
+    : options_(std::move(options)), rng_(options_.seed) {
+  assert(options_.reservoir_size > 0);
+  engine_ = std::make_unique<RecEngine>(std::move(type_resolver),
+                                        options_.engine);
+  reservoir_.reserve(options_.reservoir_size);
+}
+
+void ReservoirMfRecommender::Observe(const UserAction& action) {
+  // The current action takes the normal real-time path (model + tables +
+  // history), exactly like rMF.
+  engine_->Observe(action);
+
+  std::vector<UserAction> replays;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Vitter's algorithm R: element n replaces a uniform slot with
+    // probability R/n, yielding a uniform sample of the whole stream.
+    ++seen_;
+    if (reservoir_.size() < options_.reservoir_size) {
+      reservoir_.push_back(action);
+    } else {
+      const std::uint64_t slot = rng_.NextUint64(seen_);
+      if (slot < options_.reservoir_size) {
+        reservoir_[static_cast<std::size_t>(slot)] = action;
+      }
+    }
+    // Draw the replay mini-batch (with replacement, as in the cited
+    // stream-ranking work).
+    replays.reserve(options_.replay_per_action);
+    for (std::size_t i = 0;
+         i < options_.replay_per_action && !reservoir_.empty(); ++i) {
+      replays.push_back(
+          reservoir_[static_cast<std::size_t>(rng_.NextUint64(
+              reservoir_.size()))]);
+    }
+  }
+  // Replay outside the lock: only the MF model is retrained on replays
+  // (histories and similarity tables reflect the true stream order).
+  for (const UserAction& replay : replays) {
+    engine_->model().Update(replay);
+  }
+}
+
+StatusOr<std::vector<ScoredVideo>> ReservoirMfRecommender::Recommend(
+    const RecRequest& request) {
+  return engine_->Recommend(request);
+}
+
+std::size_t ReservoirMfRecommender::ReservoirSize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reservoir_.size();
+}
+
+std::uint64_t ReservoirMfRecommender::ActionsSeen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seen_;
+}
+
+}  // namespace rtrec

@@ -1,0 +1,71 @@
+#ifndef RTREC_BASELINES_RESERVOIR_MF_H_
+#define RTREC_BASELINES_RESERVOIR_MF_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/engine.h"
+
+namespace rtrec {
+
+/// Reservoir-based online matrix factorization — the related-work
+/// alternative (Diaz-Aviles et al. [12, 13]) the paper contrasts with
+/// its single-pass strategy: a fixed-size uniform sample of the action
+/// history is kept in a reservoir, and every incoming action triggers a
+/// mini-batch of additional SGD steps replayed from the reservoir, which
+/// fights the short-term-memory problem of pure online updates at the
+/// cost of extra computation and memory per action ("not appropriate for
+/// large streaming data set", Section 1).
+///
+/// Serving reuses the standard rMF path (histories, similar-video
+/// tables, Eq. 2 ranking), so the comparison isolates the training
+/// strategy. Thread-safe.
+class ReservoirMfRecommender : public Recommender {
+ public:
+  struct Options {
+    /// Reservoir capacity R (uniform sample over the whole stream via
+    /// standard reservoir sampling).
+    std::size_t reservoir_size = 4096;
+    /// Replayed SGD steps per incoming action (0 = degenerates to the
+    /// paper's single-pass strategy).
+    std::size_t replay_per_action = 4;
+    /// The underlying engine configuration (model, similarity, serving).
+    RecEngine::Options engine;
+    /// Seed of the sampling stream.
+    std::uint64_t seed = 31;
+  };
+
+  ReservoirMfRecommender(VideoTypeResolver type_resolver, Options options);
+
+  /// Single-pass update plus `replay_per_action` reservoir replays.
+  void Observe(const UserAction& action) override;
+
+  StatusOr<std::vector<ScoredVideo>> Recommend(
+      const RecRequest& request) override;
+
+  std::string name() const override { return "ReservoirMF"; }
+
+  /// Current reservoir occupancy (min(actions seen, capacity)).
+  std::size_t ReservoirSize() const;
+
+  /// Total actions offered to the reservoir.
+  std::uint64_t ActionsSeen() const;
+
+  RecEngine& engine() { return *engine_; }
+
+ private:
+  Options options_;
+  std::unique_ptr<RecEngine> engine_;
+
+  mutable std::mutex mu_;  // Guards the reservoir and rng.
+  std::vector<UserAction> reservoir_;
+  std::uint64_t seen_ = 0;
+  Rng rng_;
+};
+
+}  // namespace rtrec
+
+#endif  // RTREC_BASELINES_RESERVOIR_MF_H_

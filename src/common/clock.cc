@@ -1,0 +1,19 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace rtrec {
+
+Timestamp SystemClock::NowMillis() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+const std::shared_ptr<SystemClock>& SystemClock::Instance() {
+  static const std::shared_ptr<SystemClock>& instance =
+      *new std::shared_ptr<SystemClock>(std::make_shared<SystemClock>());
+  return instance;
+}
+
+}  // namespace rtrec

@@ -1,0 +1,54 @@
+#ifndef RTREC_COMMON_CLOCK_H_
+#define RTREC_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <memory>
+
+#include "common/types.h"
+
+namespace rtrec {
+
+/// Time source abstraction. Production code uses `SystemClock`; experiments
+/// and tests drive a `ManualClock` so the time-decay factor (Eq. 11) and the
+/// day-by-day A/B simulation are deterministic.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in milliseconds since the epoch.
+  virtual Timestamp NowMillis() const = 0;
+};
+
+/// Wall-clock time.
+class SystemClock : public Clock {
+ public:
+  Timestamp NowMillis() const override;
+
+  /// Process-wide shared instance.
+  static const std::shared_ptr<SystemClock>& Instance();
+};
+
+/// A clock that only moves when told to. Thread-safe.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(Timestamp start_millis = 0) : now_(start_millis) {}
+
+  Timestamp NowMillis() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+
+  /// Jumps to an absolute time.
+  void SetMillis(Timestamp t) { now_.store(t, std::memory_order_relaxed); }
+
+  /// Moves forward by `delta_millis` (may be negative in tests).
+  void AdvanceMillis(Timestamp delta_millis) {
+    now_.fetch_add(delta_millis, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<Timestamp> now_;
+};
+
+}  // namespace rtrec
+
+#endif  // RTREC_COMMON_CLOCK_H_

@@ -1,0 +1,55 @@
+#ifndef RTREC_COMMON_LOGGING_H_
+#define RTREC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace rtrec {
+
+/// Log severity, lowest to highest.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the process-wide minimum severity that will be emitted.
+/// Defaults to kInfo. Thread-safe.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Collects one log line and emits it (with timestamp, level, and source
+/// location) to stderr on destruction. Not for direct use; see RTREC_LOG.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Streams a log line at the given level:
+///   RTREC_LOG(kInfo) << "processed " << n << " tuples";
+/// Lines below the configured level are skipped without evaluating the
+/// streamed expressions.
+#define RTREC_LOG(level)                                               \
+  if (::rtrec::LogLevel::level < ::rtrec::GetLogLevel()) {             \
+  } else                                                               \
+    ::rtrec::internal::LogMessage(::rtrec::LogLevel::level, __FILE__,  \
+                                  __LINE__)                            \
+        .stream()
+
+}  // namespace rtrec
+
+#endif  // RTREC_COMMON_LOGGING_H_

@@ -1,0 +1,85 @@
+#ifndef RTREC_COMMON_LRU_CACHE_H_
+#define RTREC_COMMON_LRU_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+
+namespace rtrec {
+
+/// A fixed-capacity least-recently-used cache. NOT thread-safe: intended
+/// for per-task state (each stream-engine task runs on one thread), the
+/// "cache technique" of the paper's Section 5.1 — fields grouping sends
+/// all occurrences of a key to one task, so a task-local cache sees every
+/// hit for its keys without any cross-task coordination.
+template <typename Key, typename Value, typename KeyHash = std::hash<Key>>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Returns the cached value and refreshes its recency, or nullptr.
+  Value* Get(const Key& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return &it->second->value;
+  }
+
+  /// Inserts or overwrites; evicts the least-recently-used entry when
+  /// full.
+  void Put(const Key& key, Value value) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->value = std::move(value);
+      entries_.splice(entries_.begin(), entries_, it->second);
+      return;
+    }
+    if (entries_.size() >= capacity_) {
+      index_.erase(entries_.back().key);
+      entries_.pop_back();
+    }
+    entries_.push_front(Entry{key, std::move(value)});
+    index_[key] = entries_.begin();
+  }
+
+  /// Removes `key` if present; returns true if removed.
+  bool Erase(const Key& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    entries_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  void Clear() {
+    entries_.clear();
+    index_.clear();
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    Key key;
+    Value value;
+  };
+
+  std::size_t capacity_;
+  std::list<Entry> entries_;  // Front = most recent.
+  std::unordered_map<Key, typename std::list<Entry>::iterator, KeyHash>
+      index_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace rtrec
+
+#endif  // RTREC_COMMON_LRU_CACHE_H_

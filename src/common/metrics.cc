@@ -1,0 +1,48 @@
+#include "common/metrics.h"
+
+#include <sstream>
+
+namespace rtrec {
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::Report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, counter] : counters_) {
+    out << name << " = " << counter->value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out << name << " = " << gauge->value() << "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    out << name << " : " << hist->ToString() << "\n";
+  }
+  return out.str();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry& registry = *new MetricsRegistry();
+  return registry;
+}
+
+}  // namespace rtrec

@@ -1,0 +1,40 @@
+#ifndef RTREC_COMMON_STRING_UTIL_H_
+#define RTREC_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rtrec {
+
+/// Splits `input` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string_view> Split(std::string_view input, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Parses a base-10 unsigned 64-bit integer; the whole input must parse.
+StatusOr<std::uint64_t> ParseUint64(std::string_view s);
+
+/// Parses a base-10 signed 64-bit integer; the whole input must parse.
+StatusOr<std::int64_t> ParseInt64(std::string_view s);
+
+/// Parses a floating point value; the whole input must parse.
+StatusOr<double> ParseDouble(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Renders a count with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string FormatCount(std::uint64_t n);
+
+}  // namespace rtrec
+
+#endif  // RTREC_COMMON_STRING_UTIL_H_

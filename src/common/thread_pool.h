@@ -1,0 +1,59 @@
+#ifndef RTREC_COMMON_THREAD_POOL_H_
+#define RTREC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rtrec {
+
+/// A fixed-size pool of worker threads draining a FIFO task queue. Used by
+/// batch baselines (AR mining, SimHash signature builds) and by the
+/// evaluation harness to parallelize per-user scoring.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution. Never blocks. Must not be called after
+  /// Shutdown().
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  /// Stops accepting tasks, drains the queue, joins workers. Idempotent.
+  void Shutdown();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Runs `fn(i)` for i in [0, n) across `pool`, blocking until all complete.
+/// Work is chunked to limit task overhead.
+void ParallelFor(ThreadPool& pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace rtrec
+
+#endif  // RTREC_COMMON_THREAD_POOL_H_

@@ -1,0 +1,112 @@
+#ifndef RTREC_COMMON_TOP_K_H_
+#define RTREC_COMMON_TOP_K_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+namespace rtrec {
+
+/// Maintains the K largest-scoring items by key, with upsert semantics:
+/// inserting an existing key replaces its score. Backing storage is a small
+/// sorted vector (descending score) plus an index map — similar-video lists
+/// and hot-video lists are short (K <= a few hundred), where linear shifts
+/// beat heap bookkeeping.
+template <typename Key, typename KeyHash = std::hash<Key>>
+class TopK {
+ public:
+  struct Entry {
+    Key key;
+    double score;
+  };
+
+  explicit TopK(std::size_t k) : k_(k == 0 ? 1 : k) {}
+
+  /// Inserts or updates `key` with `score`. Returns true if the key is in
+  /// the top-K after the call.
+  bool Upsert(const Key& key, double score) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      entries_[it->second].score = score;
+      Reposition(it->second);
+      return true;
+    }
+    if (entries_.size() < k_) {
+      entries_.push_back(Entry{key, score});
+      index_[key] = entries_.size() - 1;
+      Reposition(entries_.size() - 1);
+      return true;
+    }
+    if (score <= entries_.back().score) return false;
+    index_.erase(entries_.back().key);
+    entries_.back() = Entry{key, score};
+    index_[key] = entries_.size() - 1;
+    Reposition(entries_.size() - 1);
+    return true;
+  }
+
+  /// Returns the score of `key` if present.
+  const double* Find(const Key& key) const {
+    auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &entries_[it->second].score;
+  }
+
+  /// Removes `key` if present. Returns true if removed.
+  bool Erase(const Key& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    const std::size_t pos = it->second;
+    index_.erase(it);
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(pos));
+    for (std::size_t i = pos; i < entries_.size(); ++i) {
+      index_[entries_[i].key] = i;
+    }
+    return true;
+  }
+
+  /// Applies `fn(score)->score` to every entry (e.g. time decay), then
+  /// restores ordering.
+  template <typename Fn>
+  void TransformScores(Fn fn) {
+    for (auto& e : entries_) e.score = fn(e.score);
+    std::stable_sort(
+        entries_.begin(), entries_.end(),
+        [](const Entry& a, const Entry& b) { return a.score > b.score; });
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      index_[entries_[i].key] = i;
+    }
+  }
+
+  /// Entries in descending score order.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  std::size_t k() const { return k_; }
+
+ private:
+  // Bubbles the entry at `pos` into sorted (descending) position.
+  void Reposition(std::size_t pos) {
+    while (pos > 0 && entries_[pos - 1].score < entries_[pos].score) {
+      std::swap(entries_[pos - 1], entries_[pos]);
+      index_[entries_[pos].key] = pos;
+      --pos;
+    }
+    while (pos + 1 < entries_.size() &&
+           entries_[pos].score < entries_[pos + 1].score) {
+      std::swap(entries_[pos], entries_[pos + 1]);
+      index_[entries_[pos].key] = pos;
+      ++pos;
+    }
+    index_[entries_[pos].key] = pos;
+  }
+
+  std::size_t k_;
+  std::vector<Entry> entries_;
+  std::unordered_map<Key, std::size_t, KeyHash> index_;
+};
+
+}  // namespace rtrec
+
+#endif  // RTREC_COMMON_TOP_K_H_

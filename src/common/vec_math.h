@@ -1,0 +1,44 @@
+#ifndef RTREC_COMMON_VEC_MATH_H_
+#define RTREC_COMMON_VEC_MATH_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace rtrec {
+
+/// Inner product of two equal-length float vectors, accumulated in double.
+inline double Dot(const std::vector<float>& a, const std::vector<float>& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return sum;
+}
+
+/// Squared Euclidean norm.
+inline double NormSquared(const std::vector<float>& a) {
+  double sum = 0.0;
+  for (float v : a) sum += static_cast<double>(v) * static_cast<double>(v);
+  return sum;
+}
+
+/// Euclidean norm.
+inline double Norm(const std::vector<float>& a) {
+  return std::sqrt(NormSquared(a));
+}
+
+/// Cosine similarity; 0 when either vector is (numerically) zero.
+inline double CosineSimilarity(const std::vector<float>& a,
+                               const std::vector<float>& b) {
+  const double na = Norm(a);
+  const double nb = Norm(b);
+  if (na < 1e-12 || nb < 1e-12) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+}  // namespace rtrec
+
+#endif  // RTREC_COMMON_VEC_MATH_H_

@@ -1,0 +1,66 @@
+#include "core/implicit_feedback.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rtrec {
+
+Status FeedbackConfig::Validate() const {
+  if (playtime_a < playtime_b) {
+    return Status::InvalidArgument("Eq. 6 requires a >= b");
+  }
+  if (min_view_rate <= 0.0 || min_view_rate >= 1.0) {
+    return Status::InvalidArgument("min_view_rate must lie in (0, 1)");
+  }
+  for (double w : {impress_weight, click_weight, play_weight, comment_weight,
+                   like_weight, share_weight}) {
+    if (w < 0.0) return Status::InvalidArgument("weights must be >= 0");
+  }
+  return Status::OK();
+}
+
+double ActionConfidence(const UserAction& action,
+                        const FeedbackConfig& config) {
+  switch (action.type) {
+    case ActionType::kImpress:
+      return config.impress_weight;
+    case ActionType::kClick:
+      return config.click_weight;
+    case ActionType::kPlay:
+      return config.play_weight;
+    case ActionType::kPlayTime: {
+      if (!std::isfinite(action.view_fraction)) {
+        // Malformed tuples (NaN/Inf view rates from corrupt logs) are
+        // treated as inefficient plays rather than poisoning the model.
+        return config.play_weight;
+      }
+      const double vrate = std::clamp(action.view_fraction, 0.0, 1.0);
+      if (vrate < config.min_view_rate) {
+        // Inefficient play: too little watched to read a preference; fall
+        // back to the Play weight rather than emit a negative signal
+        // (Section 3.2 keeps recommendation diversity by never inferring
+        // negatives from stop-watching).
+        return config.play_weight;
+      }
+      switch (config.playtime_law) {
+        case PlayTimeLaw::kLog10:
+          return config.playtime_a + config.playtime_b * std::log10(vrate);
+        case PlayTimeLaw::kLinear:
+          return (config.playtime_a - config.playtime_b) +
+                 config.playtime_b * vrate;
+      }
+      return config.play_weight;
+    }
+    case ActionType::kComment:
+      return config.comment_weight;
+    case ActionType::kLike:
+      return config.like_weight;
+    case ActionType::kShare:
+      return config.share_weight;
+  }
+  return 0.0;
+}
+
+int BinaryRating(double confidence) { return confidence > 0.0 ? 1 : 0; }
+
+}  // namespace rtrec

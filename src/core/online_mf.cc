@@ -1,0 +1,118 @@
+#include "core/online_mf.h"
+
+#include <cassert>
+#include <cstddef>
+
+#include "common/vec_math.h"
+
+namespace rtrec {
+
+OnlineMf::OnlineMf(FactorStore* store, MfModelConfig config)
+    : store_(store), config_(std::move(config)) {
+  assert(store_ != nullptr);
+  assert(config_.Validate().ok());
+  assert(store_->num_factors() == config_.num_factors &&
+         "FactorStore dimensionality must match the model config");
+}
+
+void ResolveUpdateStep(const MfModelConfig& config, double confidence,
+                       double* rating, double* learning_rate) {
+  switch (config.policy) {
+    case UpdatePolicy::kBinary:
+      *rating = BinaryRating(confidence);
+      *learning_rate = config.eta0;
+      return;
+    case UpdatePolicy::kConfidenceAsRating:
+      // The weight itself is the rating; zero-weight actions (impressions)
+      // still do not train.
+      *rating = confidence;
+      *learning_rate = config.eta0;
+      return;
+    case UpdatePolicy::kCombine:
+      *rating = BinaryRating(confidence);
+      // Eq. 8: η_ui = η0 + α·w_ui — high-confidence actions move the
+      // model more; low-confidence (likely noisy) ones barely do.
+      *learning_rate = config.eta0 + config.alpha * confidence;
+      return;
+  }
+}
+
+void OnlineMf::ResolveStep(double confidence, double* rating,
+                           double* learning_rate) const {
+  ResolveUpdateStep(config_, confidence, rating, learning_rate);
+}
+
+double OnlineMf::ApplySgdStep(FactorEntry& user, FactorEntry& video,
+                              double rating, double learning_rate,
+                              double lambda, double global_mean) {
+  assert(user.vec.size() == video.vec.size());
+  // Eq. 4: e_ui = r_ui − μ − b_u − b_i − x_uᵀ y_i.
+  const double error = rating - global_mean - user.bias - video.bias -
+                       Dot(user.vec, video.vec);
+  const double eta = learning_rate;
+
+  // Eq. 5 (with the corrected interaction gradient; see header).
+  user.bias += static_cast<float>(eta * (error - lambda * user.bias));
+  video.bias += static_cast<float>(eta * (error - lambda * video.bias));
+  for (std::size_t k = 0; k < user.vec.size(); ++k) {
+    const double xu = user.vec[k];
+    const double yi = video.vec[k];
+    user.vec[k] = static_cast<float>(xu + eta * (error * yi - lambda * xu));
+    video.vec[k] = static_cast<float>(yi + eta * (error * xu - lambda * yi));
+  }
+  return error;
+}
+
+OnlineMf::UpdateResult OnlineMf::Update(const UserAction& action) {
+  UpdateResult result;
+  result.confidence = ActionConfidence(action, config_.feedback);
+
+  double rating = 0.0;
+  double eta = 0.0;
+  ResolveStep(result.confidence, &rating, &eta);
+  result.rating = rating;
+  result.learning_rate = eta;
+  if (rating <= 0.0) {
+    // Impression records (r_ui = 0) do not influence the model
+    // (Section 3.3).
+    return result;
+  }
+
+  // Read-compute-write, as the ComputeMF → MFStorage bolts do. New ids are
+  // initialized on first touch (Algorithm 1 lines 3–8).
+  FactorEntry user = store_->GetOrInitUser(action.user);
+  FactorEntry video = store_->GetOrInitVideo(action.video);
+
+  const double mean =
+      config_.use_global_mean ? store_->GlobalMean() : 0.0;
+  result.error =
+      ApplySgdStep(user, video, rating, eta, config_.lambda, mean);
+  result.updated = true;
+
+  store_->PutUser(action.user, std::move(user));
+  store_->PutVideo(action.video, std::move(video));
+  store_->ObserveRating(rating);
+  return result;
+}
+
+double OnlineMf::Predict(UserId u, VideoId i) const {
+  StatusOr<FactorEntry> user = store_->GetUser(u);
+  StatusOr<FactorEntry> video = store_->GetVideo(i);
+  const FactorEntry user_entry =
+      user.ok() ? std::move(user).value()
+                : store_->MakeInitialEntry(u, /*is_user=*/true);
+  const FactorEntry video_entry =
+      video.ok() ? std::move(video).value()
+                 : store_->MakeInitialEntry(i, /*is_user=*/false);
+  return PredictWithEntries(user_entry, video_entry);
+}
+
+double OnlineMf::PredictWithEntries(const FactorEntry& user,
+                                    const FactorEntry& video) const {
+  // Eq. 2: r̂_ui = μ + b_u + b_i + x_uᵀ y_i.
+  const double mean =
+      config_.use_global_mean ? store_->GlobalMean() : 0.0;
+  return mean + user.bias + video.bias + Dot(user.vec, video.vec);
+}
+
+}  // namespace rtrec

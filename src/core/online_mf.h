@@ -1,0 +1,97 @@
+#ifndef RTREC_CORE_ONLINE_MF_H_
+#define RTREC_CORE_ONLINE_MF_H_
+
+#include "common/status.h"
+#include "core/action.h"
+#include "core/model_config.h"
+#include "kvstore/factor_store.h"
+
+namespace rtrec {
+
+/// Resolves (rating, learning rate) for an action of confidence `w`
+/// under `config`'s policy — the pure part of Algorithm 1's step, shared
+/// by OnlineMf and the ComputeMF bolts. Rating 0 means "do not update".
+void ResolveUpdateStep(const MfModelConfig& config, double confidence,
+                       double* rating, double* learning_rate);
+
+/// The online adjustable matrix-factorization model of Section 3 —
+/// Algorithm 1. Each user action is processed exactly once, in a single
+/// SGD step, with a learning rate scaled by the action's confidence level
+/// (Eq. 8) under the CombineModel policy.
+///
+/// The model state (x_u, y_i, b_u, b_i, μ) lives in a FactorStore shared
+/// with the serving path, so every update is visible to recommendation
+/// requests immediately. Update follows the production read-compute-write
+/// protocol of the ComputeMF → MFStorage bolts: entries are read, the step
+/// is computed, and new entries are written back whole. Under concurrency
+/// a racing write may overwrite a step (last-writer-wins), matching the
+/// deployed system's semantics; the topology avoids even that by fields
+/// grouping.
+class OnlineMf {
+ public:
+  /// Outcome of one Update call, exposed for tests and diagnostics.
+  struct UpdateResult {
+    /// False when the action carried no positive preference (e.g. an
+    /// impression) and the model was left untouched.
+    bool updated = false;
+    /// Confidence weight w_ui of the action (Table 1 / Eq. 6).
+    double confidence = 0.0;
+    /// Rating r_ui used in the step (binary, or w_ui for ConfModel).
+    double rating = 0.0;
+    /// Prediction error e_ui before the step (Eq. 4).
+    double error = 0.0;
+    /// Learning rate η_ui applied (Eq. 8).
+    double learning_rate = 0.0;
+  };
+
+  /// `store` must outlive the model and is shared, not owned.
+  /// `config` must be valid (see MfModelConfig::Validate).
+  OnlineMf(FactorStore* store, MfModelConfig config);
+
+  OnlineMf(const OnlineMf&) = delete;
+  OnlineMf& operator=(const OnlineMf&) = delete;
+
+  /// Algorithm 1: folds one user action into the model.
+  UpdateResult Update(const UserAction& action);
+
+  /// Predicted preference r̂_ui = μ + b_u + b_i + x_uᵀy_i (Eq. 2).
+  /// Unknown users/videos are scored with their deterministic initial
+  /// entries, so cold ids produce near-μ scores rather than errors.
+  double Predict(UserId u, VideoId i) const;
+
+  /// Eq. 2 on explicit entries; used by the serving path, which batches
+  /// entry fetches (Fig. 1's VectorsGet step).
+  double PredictWithEntries(const FactorEntry& user,
+                            const FactorEntry& video) const;
+
+  /// Resolves (rating, learning rate) for an action of confidence `w`
+  /// under the configured policy. Rating 0 means "do not update".
+  /// Exposed for the ComputeMF bolt and tests.
+  void ResolveStep(double confidence, double* rating,
+                   double* learning_rate) const;
+
+  /// One in-place SGD step (the update block of Algorithm 1) on caller-
+  /// provided entries: computes e_ui against `global_mean` and applies
+  /// Eq. 5 with the regularized gradient. Returns e_ui.
+  ///
+  /// Note: the paper's Eq. 5 prints the interaction gradients as
+  /// x_u ← x_u + η(e·x_u − λx_u); the correct SGD gradient of Eq. 3 (and
+  /// what we implement) is x_u ← x_u + η(e·y_i − λx_u) and symmetrically
+  /// for y_i — the printed form is a known typo (it would make the step
+  /// independent of the other side's vector).
+  static double ApplySgdStep(FactorEntry& user, FactorEntry& video,
+                             double rating, double learning_rate,
+                             double lambda, double global_mean);
+
+  const MfModelConfig& config() const { return config_; }
+  FactorStore& store() { return *store_; }
+  const FactorStore& store() const { return *store_; }
+
+ private:
+  FactorStore* store_;
+  MfModelConfig config_;
+};
+
+}  // namespace rtrec
+
+#endif  // RTREC_CORE_ONLINE_MF_H_

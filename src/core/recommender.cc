@@ -1,0 +1,152 @@
+#include "core/recommender.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rtrec {
+
+MfRecommender::MfRecommender(OnlineMf* model, HistoryStore* history,
+                             SimTableStore* table, SimTableUpdater* updater,
+                             RecommendConfig config)
+    : model_(model),
+      history_(history),
+      table_(table),
+      updater_(updater),
+      config_(std::move(config)) {
+  assert(model_ != nullptr);
+  assert(history_ != nullptr);
+  assert(table_ != nullptr);
+  assert(config_.Validate().ok());
+}
+
+StatusOr<std::vector<ScoredVideo>> MfRecommender::Recommend(
+    const RecRequest& request) {
+  ScopedLatencyTimer timer(&latency_);
+  const std::size_t top_n = request.top_n > 0 ? request.top_n : config_.top_n;
+
+  // 1. Seed videos: the one being watched, or the user's recent history
+  //    ("guess you like", Section 6.2).
+  std::vector<VideoId> seeds = request.seed_videos;
+  if (seeds.empty()) {
+    for (const HistoryEntry& e :
+         history_->GetRecent(request.user, config_.max_seed_videos)) {
+      seeds.push_back(e.video);
+    }
+  }
+  if (seeds.empty()) {
+    // Cold user with no seeds: nothing the CF path can do — the caller
+    // falls back to demographic filtering (Section 5.2.1).
+    return std::vector<ScoredVideo>{};
+  }
+
+  // 2. Candidate expansion through the similar-video tables; keeping the
+  //    best decayed similarity per candidate dedupes across seeds.
+  //    Explicitly-requested seeds (the video on screen) are never
+  //    recommended back; history-derived seeds are excluded only under
+  //    exclude_watched, so "guess you like" can resurface favourites.
+  std::unordered_set<VideoId> excluded(request.seed_videos.begin(),
+                                       request.seed_videos.end());
+  if (config_.exclude_watched) {
+    excluded.insert(seeds.begin(), seeds.end());
+    for (const HistoryEntry& e : history_->Get(request.user)) {
+      excluded.insert(e.video);
+    }
+  }
+  std::unordered_map<VideoId, double> candidate_sim;
+  std::vector<VideoId> frontier = seeds;
+  for (int hop = 0; hop < config_.candidate_hops; ++hop) {
+    // Hop 0 expands every seed fully; deeper hops (the YouTube-style
+    // limited transitive closure) expand a bounded fan-out of the best
+    // candidates found so far, with similarity damped multiplicatively
+    // along the path.
+    const std::size_t per_node =
+        hop == 0 ? config_.candidates_per_seed : config_.hop_fanout;
+    std::vector<std::pair<VideoId, double>> next_frontier;
+    for (VideoId node : frontier) {
+      const double base =
+          hop == 0 ? 1.0 : candidate_sim[node];
+      for (const SimilarVideo& similar :
+           table_->Query(node, request.now, per_node)) {
+        if (excluded.contains(similar.video)) continue;
+        const double path_sim = base * similar.similarity;
+        double& best = candidate_sim[similar.video];
+        if (path_sim > best) {
+          best = path_sim;
+          next_frontier.emplace_back(similar.video, path_sim);
+        }
+      }
+    }
+    if (hop + 1 >= config_.candidate_hops) break;
+    // Next frontier: strongest newly-improved candidates.
+    std::sort(next_frontier.begin(), next_frontier.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    frontier.clear();
+    for (std::size_t i = 0;
+         i < next_frontier.size() && i < config_.hop_fanout * seeds.size();
+         ++i) {
+      frontier.push_back(next_frontier[i].first);
+    }
+    if (frontier.empty()) break;
+  }
+  if (candidate_sim.empty()) return std::vector<ScoredVideo>{};
+
+  // Cap the candidate set by similarity to bound ranking cost
+  // (Section 4.1's latency argument).
+  std::vector<std::pair<VideoId, double>> candidates(candidate_sim.begin(),
+                                                     candidate_sim.end());
+  if (candidates.size() > config_.max_candidates) {
+    std::nth_element(
+        candidates.begin(),
+        candidates.begin() +
+            static_cast<std::ptrdiff_t>(config_.max_candidates),
+        candidates.end(),
+        [](const auto& a, const auto& b) { return a.second > b.second; });
+    candidates.resize(config_.max_candidates);
+  }
+
+  // 3. Preference prediction (Eq. 2) and ranking. The user entry is
+  //    fetched once (Fig. 1's VectorsGet).
+  StatusOr<FactorEntry> user_entry = model_->store().GetUser(request.user);
+  const FactorEntry user =
+      user_entry.ok()
+          ? std::move(user_entry).value()
+          : model_->store().MakeInitialEntry(request.user, /*is_user=*/true);
+
+  std::vector<ScoredVideo> scored;
+  scored.reserve(candidates.size());
+  for (const auto& [video, sim] : candidates) {
+    StatusOr<FactorEntry> video_entry = model_->store().GetVideo(video);
+    const FactorEntry entry =
+        video_entry.ok()
+            ? std::move(video_entry).value()
+            : model_->store().MakeInitialEntry(video, /*is_user=*/false);
+    scored.push_back(
+        ScoredVideo{video, model_->PredictWithEntries(user, entry)});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredVideo& a, const ScoredVideo& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.video < b.video;  // Deterministic tie-break.
+            });
+  if (scored.size() > top_n) scored.resize(top_n);
+  return scored;
+}
+
+void MfRecommender::Observe(const UserAction& action) {
+  model_->Update(action);
+  if (updater_ != nullptr) {
+    // The updater also appends to the history store.
+    updater_->OnAction(action);
+  } else {
+    const double confidence =
+        ActionConfidence(action, model_->config().feedback);
+    if (confidence > 0.0) {
+      history_->Append(action.user,
+                       HistoryEntry{action.video, confidence, action.time});
+    }
+  }
+}
+
+}  // namespace rtrec

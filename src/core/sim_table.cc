@@ -1,0 +1,60 @@
+#include "core/sim_table.h"
+
+#include <cassert>
+
+#include "core/implicit_feedback.h"
+
+namespace rtrec {
+
+SimTableUpdater::SimTableUpdater(FactorStore* factors, HistoryStore* history,
+                                 SimTableStore* table,
+                                 VideoTypeResolver type_resolver,
+                                 SimilarityConfig config,
+                                 FeedbackConfig feedback)
+    : factors_(factors),
+      history_(history),
+      table_(table),
+      type_resolver_(std::move(type_resolver)),
+      config_(std::move(config)),
+      feedback_(feedback) {
+  assert(factors_ != nullptr);
+  assert(history_ != nullptr);
+  assert(table_ != nullptr);
+  assert(type_resolver_ != nullptr);
+  assert(config_.Validate().ok());
+}
+
+std::size_t SimTableUpdater::OnAction(const UserAction& action) {
+  const double confidence = ActionConfidence(action, feedback_);
+  if (confidence < config_.min_confidence) {
+    return 0;  // Impressions / weak signals do not imply co-interest.
+  }
+
+  // Partners first, then append — the action's own video must not pair
+  // with itself via the just-written history entry.
+  const std::vector<HistoryEntry> partners =
+      history_->GetRecent(action.user, config_.max_pairs_per_action);
+  history_->Append(action.user,
+                   HistoryEntry{action.video, confidence, action.time});
+
+  std::size_t refreshed = 0;
+  for (const HistoryEntry& partner : partners) {
+    if (partner.video == action.video) continue;
+    RefreshPair(action.video, partner.video, action.time);
+    ++refreshed;
+  }
+  return refreshed;
+}
+
+double SimTableUpdater::RefreshPair(VideoId a, VideoId b, Timestamp now) {
+  // Eq. 9 on the *current* latent vectors: the tables track the model.
+  const FactorEntry ya = factors_->GetOrInitVideo(a);
+  const FactorEntry yb = factors_->GetOrInitVideo(b);
+  const double s1 = CfSimilarity(ya.vec, yb.vec);
+  const double s2 = TypeSimilarity(type_resolver_(a), type_resolver_(b));
+  const double fused = FuseSimilarity(s1, s2, config_.beta);
+  table_->Update(a, b, fused, now);
+  return fused;
+}
+
+}  // namespace rtrec

@@ -1,0 +1,59 @@
+#ifndef RTREC_CORE_SIM_TABLE_H_
+#define RTREC_CORE_SIM_TABLE_H_
+
+#include <cstddef>
+
+#include "core/action.h"
+#include "core/model_config.h"
+#include "core/similarity.h"
+#include "kvstore/factor_store.h"
+#include "kvstore/history_store.h"
+#include "kvstore/sim_table_store.h"
+
+namespace rtrec {
+
+/// Incremental maintenance of the similar-video tables (Section 4.2) —
+/// the logic of the GetItemPairs → ItemPairSim → ResultStorage bolts
+/// (Fig. 2), callable directly for single-process training.
+///
+/// On each sufficiently-confident user action on video i:
+///  1. Fetch the user's recent history (the videos the user interacted
+///     with before) — these are the co-watch partners j of i.
+///  2. For every pair (i, j): compute s1 = y_iᵀy_j from the current MF
+///     vectors (Eq. 9) and s2 from the fine-grained types (Eq. 10), fuse
+///     with β (Eq. 12), and write the pair into the SimTableStore stamped
+///     with the action time (restarting its decay clock, Eq. 11).
+class SimTableUpdater {
+ public:
+  /// All dependencies are shared, not owned, and must outlive the updater.
+  SimTableUpdater(FactorStore* factors, HistoryStore* history,
+                  SimTableStore* table, VideoTypeResolver type_resolver,
+                  SimilarityConfig config, FeedbackConfig feedback = {});
+
+  SimTableUpdater(const SimTableUpdater&) = delete;
+  SimTableUpdater& operator=(const SimTableUpdater&) = delete;
+
+  /// Processes one action: updates the user's history and, when the
+  /// action's confidence clears the threshold, refreshes the similarity
+  /// of (action.video × recent history) pairs. Returns the number of
+  /// pairs refreshed.
+  std::size_t OnAction(const UserAction& action);
+
+  /// Recomputes and stores the similarity of one explicit pair at `now`.
+  /// Used by tests and by backfill jobs.
+  double RefreshPair(VideoId a, VideoId b, Timestamp now);
+
+  const SimilarityConfig& config() const { return config_; }
+
+ private:
+  FactorStore* factors_;
+  HistoryStore* history_;
+  SimTableStore* table_;
+  VideoTypeResolver type_resolver_;
+  SimilarityConfig config_;
+  FeedbackConfig feedback_;
+};
+
+}  // namespace rtrec
+
+#endif  // RTREC_CORE_SIM_TABLE_H_

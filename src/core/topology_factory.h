@@ -1,0 +1,117 @@
+#ifndef RTREC_CORE_TOPOLOGY_FACTORY_H_
+#define RTREC_CORE_TOPOLOGY_FACTORY_H_
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "core/action.h"
+#include "core/model_config.h"
+#include "core/similarity.h"
+#include "kvstore/factor_store.h"
+#include "kvstore/history_store.h"
+#include "kvstore/sim_table_store.h"
+#include "stream/topology_builder.h"
+#include "stream/tuple.h"
+
+namespace rtrec {
+
+/// Thread-safe source of user actions for the topology's spout tasks.
+/// Multiple spout tasks pull from one source concurrently.
+class ActionSource {
+ public:
+  virtual ~ActionSource() = default;
+
+  /// Next action, or nullopt when the stream is exhausted (finite replay).
+  virtual std::optional<UserAction> Next() = 0;
+};
+
+/// Replays a fixed action log; spout tasks claim actions with an atomic
+/// cursor, so each action is emitted exactly once.
+class VectorActionSource : public ActionSource {
+ public:
+  explicit VectorActionSource(std::vector<UserAction> actions)
+      : actions_(std::move(actions)) {}
+
+  std::optional<UserAction> Next() override {
+    const std::size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= actions_.size()) return std::nullopt;
+    return actions_[i];
+  }
+
+  std::size_t size() const { return actions_.size(); }
+
+ private:
+  std::vector<UserAction> actions_;
+  std::atomic<std::size_t> cursor_{0};
+};
+
+/// Shared state the recommendation topology operates on: exactly the
+/// KVStore boxes of Fig. 2. All pointers are shared, not owned, and must
+/// outlive the running topology.
+struct PipelineDeps {
+  FactorStore* factors = nullptr;
+  /// Use a ReliableReplaySpout so every action is delivered at least
+  /// once (requires running the topology with
+  /// TopologyOptions::enable_acking). Default is the paper's
+  /// at-most-once spout.
+  bool reliable_spout = false;
+  HistoryStore* history = nullptr;
+  SimTableStore* sim_table = nullptr;
+  VideoTypeResolver type_resolver;
+  MfModelConfig model_config;
+  SimilarityConfig sim_config;
+};
+
+/// Per-component task counts. Defaults give a small multi-threaded
+/// pipeline; benches sweep these.
+struct PipelineParallelism {
+  std::size_t spout = 1;
+  std::size_t compute_mf = 2;
+  std::size_t mf_storage = 2;
+  std::size_t user_history = 2;
+  std::size_t get_item_pairs = 2;
+  std::size_t item_pair_sim = 2;
+  std::size_t result_storage = 2;
+};
+
+/// Field schemas shared by the pipeline's streams.
+namespace pipeline_schema {
+
+/// <user, video, action, value, time> — the spout's output (Fig. 2).
+const std::shared_ptr<const stream::Schema>& Action();
+/// <user, vec, bias> on stream "user_vec".
+const std::shared_ptr<const stream::Schema>& UserVec();
+/// <video, vec, bias> on stream "video_vec".
+const std::shared_ptr<const stream::Schema>& VideoVec();
+/// <pair_key, video1, video2, time> on stream "pairs".
+const std::shared_ptr<const stream::Schema>& Pair();
+/// <video1, video2, sim, time> on stream "pair_sim".
+const std::shared_ptr<const stream::Schema>& PairSim();
+
+}  // namespace pipeline_schema
+
+/// Converts an action to the spout's tuple layout and back.
+stream::Tuple ActionToTuple(const UserAction& action);
+StatusOr<UserAction> TupleToAction(const stream::Tuple& tuple);
+
+/// Builds the Fig. 2 topology:
+///
+///   spout ──shuffle──> compute_mf ──fields(user)──> mf_storage
+///                            └─────fields(video)────────┘
+///   spout ──fields(user)──> user_history
+///   spout ──fields(user)──> get_item_pairs ──fields(pair_key)──>
+///       item_pair_sim ──fields(video1)──> result_storage
+///
+/// The fields groupings reproduce the paper's single-writer-per-key
+/// guarantee for vector writes and the locality optimization for pair
+/// similarity computation.
+StatusOr<stream::TopologySpec> BuildRecommendationTopology(
+    std::shared_ptr<ActionSource> source, const PipelineDeps& deps,
+    const PipelineParallelism& parallelism = {});
+
+}  // namespace rtrec
+
+#endif  // RTREC_CORE_TOPOLOGY_FACTORY_H_

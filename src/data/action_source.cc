@@ -1,0 +1,36 @@
+#include "data/action_source.h"
+
+#include "common/string_util.h"
+
+namespace rtrec {
+
+TsvFileActionSource::TsvFileActionSource(const std::string& path)
+    : in_(path) {}
+
+std::optional<UserAction> TsvFileActionSource::Next() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string line;
+  while (std::getline(in_, line)) {
+    if (Trim(line).empty()) continue;
+    StatusOr<UserAction> action = ActionFromTsv(line);
+    if (!action.ok()) {
+      ++malformed_;  // Unqualified tuple: filter and move on.
+      continue;
+    }
+    ++produced_;
+    return *action;
+  }
+  return std::nullopt;
+}
+
+std::size_t TsvFileActionSource::malformed_lines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return malformed_;
+}
+
+std::size_t TsvFileActionSource::produced() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return produced_;
+}
+
+}  // namespace rtrec

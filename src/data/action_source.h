@@ -1,0 +1,45 @@
+#ifndef RTREC_DATA_ACTION_SOURCE_H_
+#define RTREC_DATA_ACTION_SOURCE_H_
+
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/topology_factory.h"
+#include "data/log_format.h"
+
+namespace rtrec {
+
+/// Streams a TSV action log from disk into a topology — the file-backed
+/// equivalent of the production spout's raw-message feed. Malformed
+/// lines are counted and skipped (the spout "filters the unqualified
+/// data tuples"). Thread-safe: multiple spout tasks may pull from one
+/// source; lines are handed out under a lock.
+class TsvFileActionSource : public ActionSource {
+ public:
+  /// Opens `path`. Check `ok()` before use; a failed open yields an
+  /// immediately-exhausted source.
+  explicit TsvFileActionSource(const std::string& path);
+
+  /// True iff the file opened successfully.
+  bool ok() const { return in_.is_open(); }
+
+  std::optional<UserAction> Next() override;
+
+  /// Lines skipped because they failed to parse.
+  std::size_t malformed_lines() const;
+
+  /// Actions successfully produced so far.
+  std::size_t produced() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::ifstream in_;
+  std::size_t malformed_ = 0;
+  std::size_t produced_ = 0;
+};
+
+}  // namespace rtrec
+
+#endif  // RTREC_DATA_ACTION_SOURCE_H_

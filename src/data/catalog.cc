@@ -1,0 +1,112 @@
+#include "data/catalog.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace rtrec {
+
+namespace {
+
+/// Normalizes to unit length (no-op on zero vectors).
+void Normalize(std::vector<float>& v) {
+  double norm = 0.0;
+  for (float x : v) norm += static_cast<double>(x) * x;
+  norm = std::sqrt(norm);
+  if (norm < 1e-12) return;
+  for (float& x : v) x = static_cast<float>(x / norm);
+}
+
+}  // namespace
+
+VideoCatalog::VideoCatalog(Options options, std::vector<VideoInfo> videos)
+    : options_(options),
+      videos_(std::move(videos)),
+      popularity_(std::make_shared<ZipfDistribution>(
+          videos_.size(), options.zipf_exponent)) {
+  for (const VideoInfo& video : videos_) {
+    if (video.release_day > 0) {
+      releases_by_day_[video.release_day].push_back(video.id);
+    }
+  }
+}
+
+const std::vector<VideoId>& VideoCatalog::ReleasedOn(int day) const {
+  static const std::vector<VideoId>& empty = *new std::vector<VideoId>();
+  auto it = releases_by_day_.find(day);
+  return it == releases_by_day_.end() ? empty : it->second;
+}
+
+VideoCatalog VideoCatalog::Generate(const Options& options) {
+  assert(options.num_videos > 0);
+  assert(options.num_types > 0);
+  assert(options.num_genres > 0);
+  Rng rng(options.seed);
+
+  // Type prototypes in genre space: random unit vectors.
+  std::vector<std::vector<float>> prototypes(options.num_types);
+  for (auto& prototype : prototypes) {
+    prototype.resize(options.num_genres);
+    for (float& x : prototype) x = static_cast<float>(rng.NextGaussian());
+    Normalize(prototype);
+  }
+
+  std::vector<VideoInfo> videos;
+  videos.reserve(options.num_videos);
+  for (std::size_t i = 0; i < options.num_videos; ++i) {
+    VideoInfo video;
+    video.id = static_cast<VideoId>(i + 1);
+    video.type = static_cast<VideoType>(rng.NextUint64(options.num_types));
+    // Durations: short clips to long features, type-agnostic.
+    video.duration_sec = static_cast<int>(rng.NextInt64(60, 5400));
+    if (options.staggered_release_fraction > 0.0 &&
+        options.release_window_days > 0 &&
+        rng.NextBool(options.staggered_release_fraction)) {
+      video.release_day = static_cast<int>(
+          1 + rng.NextUint64(static_cast<std::uint64_t>(
+                  options.release_window_days)));
+    }
+    video.genre = prototypes[video.type];
+    for (float& x : video.genre) {
+      x += static_cast<float>(rng.NextGaussian(0.0, options.genre_noise));
+    }
+    Normalize(video.genre);
+    videos.push_back(std::move(video));
+  }
+  return VideoCatalog(options, std::move(videos));
+}
+
+const VideoInfo& VideoCatalog::Get(VideoId id) const {
+  assert(id >= 1 && id <= videos_.size());
+  return videos_[static_cast<std::size_t>(id - 1)];
+}
+
+VideoId VideoCatalog::SamplePopular(Rng& rng) const {
+  return static_cast<VideoId>(popularity_->Sample(rng) + 1);
+}
+
+VideoId VideoCatalog::SamplePopularReleased(Rng& rng, int day) const {
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    const VideoId candidate = SamplePopular(rng);
+    if (Get(candidate).release_day <= day) return candidate;
+  }
+  // Give up on sampling: scan from the popularity head.
+  for (const VideoInfo& video : videos_) {
+    if (video.release_day <= day) return video.id;
+  }
+  return videos_.front().id;  // Degenerate catalog; callers avoid this.
+}
+
+VideoTypeResolver VideoCatalog::TypeResolver() const {
+  // Snapshot by value: the catalog is immutable after Generate, and the
+  // resolver must stay valid independent of this object's storage.
+  std::shared_ptr<std::vector<VideoType>> types =
+      std::make_shared<std::vector<VideoType>>();
+  types->reserve(videos_.size());
+  for (const VideoInfo& v : videos_) types->push_back(v.type);
+  return [types](VideoId id) -> VideoType {
+    if (id == 0 || id > types->size()) return 0;
+    return (*types)[static_cast<std::size_t>(id - 1)];
+  };
+}
+
+}  // namespace rtrec

@@ -1,0 +1,94 @@
+#ifndef RTREC_DATA_CATALOG_H_
+#define RTREC_DATA_CATALOG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include <unordered_map>
+
+#include "core/similarity.h"
+
+namespace rtrec {
+
+/// One video in the synthetic catalog. `genre` is the *hidden* ground-truth
+/// topic vector that drives user affinity in the simulator — the planted
+/// low-rank structure the MF model is supposed to recover. Models never
+/// see it; only the generator and the A/B click simulator do.
+struct VideoInfo {
+  VideoId id = 0;
+  /// Fine-grained category (Eq. 10's type system). Correlated with genre.
+  VideoType type = 0;
+  /// Full length t_i in seconds; PlayTime view rates are fractions of it.
+  int duration_sec = 0;
+  /// Day (0-based) the video becomes available on the site. 0 for the
+  /// back catalog; staggered releases model the constant inflow of new
+  /// content whose cold-start behaviour motivates the paper's real-time
+  /// design.
+  int release_day = 0;
+  /// Hidden topic vector, unit norm.
+  std::vector<float> genre;
+};
+
+/// The synthetic video catalog: Zipf-popular videos (id == popularity
+/// rank) spread over a fine-grained type system whose types cluster in
+/// genre space, mirroring a real category tree where same-type videos are
+/// more alike (the premise of Eq. 10).
+class VideoCatalog {
+ public:
+  struct Options {
+    std::size_t num_videos = 2000;
+    std::size_t num_types = 20;
+    /// Dimensionality of the hidden genre space.
+    std::size_t num_genres = 8;
+    /// Zipf popularity exponent (s = 0 → uniform).
+    double zipf_exponent = 0.8;
+    /// Genre noise around the type prototype; small values make type a
+    /// strong similarity signal.
+    double genre_noise = 0.35;
+    /// Fraction of the catalog released after day 0, spread uniformly
+    /// over [1, release_window_days]. 0 disables staggered releases.
+    double staggered_release_fraction = 0.0;
+    int release_window_days = 0;
+    std::uint64_t seed = 42;
+  };
+
+  /// Deterministically generates a catalog.
+  static VideoCatalog Generate(const Options& options);
+
+  /// Video ids are 1..size(); id 0 is invalid.
+  const VideoInfo& Get(VideoId id) const;
+  std::size_t size() const { return videos_.size(); }
+  const std::vector<VideoInfo>& videos() const { return videos_; }
+
+  /// Popularity distribution over ranks (rank r maps to id r+1).
+  const ZipfDistribution& popularity() const { return *popularity_; }
+
+  /// Samples a video id by popularity.
+  VideoId SamplePopular(Rng& rng) const;
+
+  /// Samples a video already released by `day` (rejection sampling with
+  /// a bounded retry budget; falls back to the head of the catalog).
+  VideoId SamplePopularReleased(Rng& rng, int day) const;
+
+  /// Videos whose release_day == day (empty for days without releases).
+  const std::vector<VideoId>& ReleasedOn(int day) const;
+
+  /// Type lookup callable for the similarity machinery.
+  VideoTypeResolver TypeResolver() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  VideoCatalog(Options options, std::vector<VideoInfo> videos);
+
+  Options options_;
+  std::vector<VideoInfo> videos_;
+  std::shared_ptr<ZipfDistribution> popularity_;
+  // release day -> video ids released that day (day 0 omitted).
+  std::unordered_map<int, std::vector<VideoId>> releases_by_day_;
+};
+
+}  // namespace rtrec
+
+#endif  // RTREC_DATA_CATALOG_H_

@@ -1,0 +1,177 @@
+#include "data/event_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/vec_math.h"
+
+namespace rtrec {
+
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+SyntheticWorld::SyntheticWorld(WorldConfig config)
+    : config_(std::move(config)),
+      catalog_(VideoCatalog::Generate([this] {
+        VideoCatalog::Options o = config_.catalog;
+        o.seed = MixHash64(config_.seed ^ 0xCA7A106ull) ^ o.seed;
+        return o;
+      }())),
+      population_(UserPopulation::Generate([this] {
+        UserPopulation::Options o = config_.population;
+        o.num_genres = config_.catalog.num_genres;
+        o.seed = MixHash64(config_.seed ^ 0x9090ull) ^ o.seed;
+        return o;
+      }())) {}
+
+double SyntheticWorld::TrueAffinity(UserId user, VideoId video) const {
+  if (user == 0 || user > population_.size() || video == 0 ||
+      video > catalog_.size()) {
+    return 0.0;
+  }
+  const SimUser& u = population_.Get(user);
+  const VideoInfo& v = catalog_.Get(video);
+  return Sigmoid(config_.behavior.affinity_sharpness *
+                 Dot(u.taste, v.genre));
+}
+
+void SyntheticWorld::SimulateUserDay(int day, const SimUser& user,
+                                     std::vector<UserAction>& out) const {
+  // Independent stream per (seed, day, user) -> regenerable in any order.
+  Rng rng(MixHash64(config_.seed) ^ MixHash64(static_cast<std::uint64_t>(day)) ^
+          MixHash64(user.id * 0x5DEECE66Dull));
+
+  // Poisson(activity) session count via thinning (activity is small).
+  int sessions = 0;
+  {
+    const double l = std::exp(-user.activity);
+    double p = rng.NextDouble();
+    while (p > l && sessions < 50) {
+      ++sessions;
+      p *= rng.NextDouble();
+    }
+  }
+  const BehaviorConfig& b = config_.behavior;
+  const Timestamp day_start =
+      config_.start_millis + static_cast<Timestamp>(day) * kMillisPerDay;
+
+  const Timestamp day_end = day_start + kMillisPerDay;
+  for (int s = 0; s < sessions; ++s) {
+    Timestamp t = day_start + rng.NextInt64(0, kMillisPerDay - 1);
+
+    // The user browses a popularity-sampled pool and gravitates to the
+    // highest-affinity items: impressions for everything shown, clicks
+    // and plays driven by true affinity. Sessions truncate at midnight
+    // so the day-based train/test splits stay clean.
+    for (std::size_t imp = 0;
+         imp < b.impressions_per_session && t < day_end; ++imp) {
+      // Taste-biased choice: best of a small popular pool of videos
+      // already released by this day. Promoted slots show a same-day
+      // release instead.
+      const std::vector<VideoId>& todays_releases = catalog_.ReleasedOn(day);
+      VideoId video;
+      if (!todays_releases.empty() &&
+          rng.NextBool(b.new_release_browse_rate)) {
+        video = todays_releases[static_cast<std::size_t>(
+            rng.NextUint64(todays_releases.size()))];
+      } else {
+        video = catalog_.SamplePopularReleased(rng, day);
+        double affinity = TrueAffinity(user.id, video);
+        for (std::size_t c = 1; c < b.choice_pool; ++c) {
+          const VideoId other = catalog_.SamplePopularReleased(rng, day);
+          const double other_affinity = TrueAffinity(user.id, other);
+          // Keep the better item with high probability (imperfect choice).
+          if (other_affinity > affinity && rng.NextBool(0.7)) {
+            video = other;
+            affinity = other_affinity;
+          }
+        }
+      }
+      const double affinity = TrueAffinity(user.id, video);
+      t += rng.NextInt64(1000, 60 * 1000);  // Browse pacing.
+
+      out.push_back(UserAction{user.id, video, ActionType::kImpress, 0.0, t});
+
+      // Accidental clicks: engagement with no preference behind it —
+      // abandoned within the first few percent of the video.
+      const bool accidental = rng.NextBool(b.accidental_click_rate);
+      const double p_click = b.click_floor + b.click_gain * affinity;
+      if (!accidental && !rng.NextBool(p_click)) continue;
+      t += rng.NextInt64(500, 5000);
+      out.push_back(UserAction{user.id, video, ActionType::kClick, 0.0, t});
+      out.push_back(UserAction{user.id, video, ActionType::kPlay, 0.0,
+                               t + 100});
+
+      double fraction = accidental
+                            ? rng.NextDouble(0.01, 0.08)
+                            : affinity + rng.NextGaussian(0.0, b.watch_noise);
+      if (!accidental && rng.NextBool(b.background_watch_rate)) {
+        // Left running: completion says nothing about preference.
+        fraction = rng.NextDouble(0.85, 1.0);
+      }
+      fraction = std::clamp(fraction, 0.01, 1.0);
+      if (!accidental) {
+        // Time-limitation cap: the viewed fraction a session budget
+        // allows on this video, independent of preference.
+        const double budget_secs = rng.NextDouble(b.watch_budget_min_secs,
+                                                  b.watch_budget_max_secs);
+        const double cap =
+            budget_secs / static_cast<double>(catalog_.Get(video).duration_sec);
+        fraction = std::clamp(std::min(fraction, cap), 0.01, 1.0);
+      }
+      if (accidental) {
+        const VideoInfo& info = catalog_.Get(video);
+        t += std::max<Timestamp>(
+            static_cast<Timestamp>(fraction * info.duration_sec * 1000.0),
+            1000);
+        out.push_back(
+            UserAction{user.id, video, ActionType::kPlayTime, fraction, t});
+        continue;  // No comments/likes on abandoned plays.
+      }
+      const VideoInfo& info = catalog_.Get(video);
+      const Timestamp watched_ms = static_cast<Timestamp>(
+          fraction * info.duration_sec * 1000.0);
+      t += std::max<Timestamp>(watched_ms, 1000);
+      out.push_back(
+          UserAction{user.id, video, ActionType::kPlayTime, fraction, t});
+
+      if (fraction > 0.5 && rng.NextBool(b.comment_rate * affinity * 2.0)) {
+        out.push_back(UserAction{user.id, video, ActionType::kComment, 0.0,
+                                 t + rng.NextInt64(1000, 30000)});
+      }
+      if (rng.NextBool(b.like_rate * affinity)) {
+        out.push_back(UserAction{user.id, video, ActionType::kLike, 0.0,
+                                 t + rng.NextInt64(500, 10000)});
+      }
+    }
+  }
+}
+
+std::vector<UserAction> SyntheticWorld::GenerateDay(int day) const {
+  std::vector<UserAction> out;
+  // Rough reservation: activity * (impressions + ~2 engaged actions).
+  out.reserve(population_.size() * 8);
+  for (const SimUser& user : population_.users()) {
+    SimulateUserDay(day, user, out);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const UserAction& a, const UserAction& b) {
+                     return a.time < b.time;
+                   });
+  return out;
+}
+
+std::vector<UserAction> SyntheticWorld::GenerateDays(int first_day,
+                                                     int num_days) const {
+  std::vector<UserAction> out;
+  for (int d = 0; d < num_days; ++d) {
+    std::vector<UserAction> day = GenerateDay(first_day + d);
+    out.insert(out.end(), day.begin(), day.end());
+  }
+  return out;
+}
+
+}  // namespace rtrec

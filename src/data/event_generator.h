@@ -1,0 +1,111 @@
+#ifndef RTREC_DATA_EVENT_GENERATOR_H_
+#define RTREC_DATA_EVENT_GENERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/action.h"
+#include "data/catalog.h"
+#include "data/user_population.h"
+#include "demographic/grouper.h"
+
+namespace rtrec {
+
+/// Behaviour knobs of the session simulator.
+struct BehaviorConfig {
+  /// Videos browsed (impressed) per session.
+  std::size_t impressions_per_session = 6;
+  /// Candidate pool sampled by popularity from which the user picks the
+  /// best-affinity video to actually engage with (taste-biased choice).
+  std::size_t choice_pool = 8;
+  /// Click probability = click_floor + click_gain · affinity.
+  double click_floor = 0.05;
+  double click_gain = 0.65;
+  /// Viewed fraction = clamp(affinity + Gaussian(0, watch_noise), 0, 1),
+  /// further capped by the session's time budget (below).
+  double watch_noise = 0.25;
+  /// Per-watch time budget drawn uniformly from [min, max] seconds: a
+  /// viewer may abandon a favourite long video purely for lack of time
+  /// (Section 3.2's "time limitation" / video-length noise), which is
+  /// what makes raw PlayTime weights unreliable as ratings. Short clips
+  /// are unaffected; feature-length videos rarely reach high view rates.
+  double watch_budget_min_secs = 300.0;
+  double watch_budget_max_secs = 3600.0;
+  /// P(comment | watched most of it) and P(like | clicked) scales.
+  double comment_rate = 0.08;
+  double like_rate = 0.12;
+  /// Probability of an *accidental* click on an impressed video,
+  /// independent of taste (misclicks, clickbait) — the implicit-feedback
+  /// noise Section 3.2 warns about. Accidental plays are abandoned
+  /// almost immediately (tiny view fraction).
+  double accidental_click_rate = 0.08;
+  /// Probability that a clicked video is left running to (near)
+  /// completion regardless of taste — "the fact that a user watched a
+  /// video in its entirety is not enough to conclude that he actually
+  /// liked it" (Section 3.2). Produces maximal PlayTime weights on
+  /// videos of arbitrary affinity, the noise that breaks weight-as-
+  /// rating training.
+  double background_watch_rate = 0.18;
+  /// Probability that a browse slot shows a same-day release instead of
+  /// a popularity-sampled video — front-page promotion of new content,
+  /// the mechanism that gives fresh videos their first co-watches.
+  double new_release_browse_rate = 0.0;
+  /// Sharpness of the affinity sigmoid; larger → more deterministic taste.
+  double affinity_sharpness = 3.0;
+};
+
+/// Configuration of a full synthetic world: the stand-in for the one-week
+/// Tencent Video log of Section 6.1 (proprietary; see DESIGN.md).
+struct WorldConfig {
+  VideoCatalog::Options catalog;
+  UserPopulation::Options population;
+  BehaviorConfig behavior;
+  /// Epoch of day 0, milliseconds.
+  Timestamp start_millis = 0;
+  std::uint64_t seed = 2016;
+};
+
+/// A deterministic simulated video site: catalog + population + session
+/// simulator producing the implicit-feedback action stream (Impress /
+/// Click / Play / PlayTime / Comment / Like). Each (day, user) draws from
+/// its own seeded RNG stream, so any day can be regenerated independently
+/// and the whole world is reproducible from `WorldConfig`.
+class SyntheticWorld {
+ public:
+  /// Builds the catalog and population deterministically.
+  explicit SyntheticWorld(WorldConfig config);
+
+  /// Hidden ground-truth probability-like affinity of user u for video v
+  /// in [0, 1]: sigmoid(sharpness · 〈taste_u, genre_v〉). Drives both
+  /// generation and the A/B click simulator; models never see it.
+  double TrueAffinity(UserId user, VideoId video) const;
+
+  /// All actions of `day` (0-based), time-ordered.
+  std::vector<UserAction> GenerateDay(int day) const;
+
+  /// Actions of days [first_day, first_day + num_days), time-ordered.
+  std::vector<UserAction> GenerateDays(int first_day, int num_days) const;
+
+  const VideoCatalog& catalog() const { return catalog_; }
+  const UserPopulation& population() const { return population_; }
+  const WorldConfig& config() const { return config_; }
+
+  VideoTypeResolver TypeResolver() const { return catalog_.TypeResolver(); }
+
+  /// Registers all user profiles into `grouper`.
+  void RegisterProfiles(DemographicGrouper& grouper) const {
+    population_.RegisterProfiles(grouper);
+  }
+
+ private:
+  void SimulateUserDay(int day, const SimUser& user,
+                       std::vector<UserAction>& out) const;
+
+  WorldConfig config_;
+  VideoCatalog catalog_;
+  UserPopulation population_;
+};
+
+}  // namespace rtrec
+
+#endif  // RTREC_DATA_EVENT_GENERATOR_H_

@@ -1,0 +1,83 @@
+#include "data/log_format.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace rtrec {
+
+std::string ActionToTsv(const UserAction& action) {
+  return StringPrintf("%llu\t%llu\t%s\t%.6f\t%lld",
+                      static_cast<unsigned long long>(action.user),
+                      static_cast<unsigned long long>(action.video),
+                      ActionTypeToString(action.type), action.view_fraction,
+                      static_cast<long long>(action.time));
+}
+
+StatusOr<UserAction> ActionFromTsv(const std::string& line) {
+  const std::vector<std::string_view> fields = Split(line, '\t');
+  if (fields.size() != 5) {
+    return Status::InvalidArgument("expected 5 tab-separated fields, got " +
+                                   std::to_string(fields.size()));
+  }
+  StatusOr<std::uint64_t> user = ParseUint64(Trim(fields[0]));
+  if (!user.ok()) return user.status();
+  StatusOr<std::uint64_t> video = ParseUint64(Trim(fields[1]));
+  if (!video.ok()) return video.status();
+  StatusOr<ActionType> type =
+      ActionTypeFromString(std::string(Trim(fields[2])));
+  if (!type.ok()) return type.status();
+  StatusOr<double> fraction = ParseDouble(Trim(fields[3]));
+  if (!fraction.ok()) return fraction.status();
+  StatusOr<std::int64_t> time = ParseInt64(Trim(fields[4]));
+  if (!time.ok()) return time.status();
+
+  UserAction action;
+  action.user = *user;
+  action.video = *video;
+  action.type = *type;
+  action.view_fraction = *fraction;
+  action.time = *time;
+  return action;
+}
+
+Status WriteActionLog(const std::string& path,
+                      const std::vector<UserAction>& actions) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Unavailable("cannot open '" + path + "' for writing");
+  }
+  for (const UserAction& action : actions) {
+    out << ActionToTsv(action) << '\n';
+  }
+  out.flush();
+  if (!out.good()) return Status::Internal("write failed on '" + path + "'");
+  return Status::OK();
+}
+
+StatusOr<std::vector<UserAction>> ReadActionLog(const std::string& path,
+                                                bool skip_malformed) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::vector<UserAction> actions;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (Trim(line).empty()) continue;
+    StatusOr<UserAction> action = ActionFromTsv(line);
+    if (!action.ok()) {
+      if (skip_malformed) continue;
+      return Status::Corruption("line " + std::to_string(line_number) +
+                                ": " + action.status().message());
+    }
+    actions.push_back(*action);
+  }
+  return actions;
+}
+
+}  // namespace rtrec

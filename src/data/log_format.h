@@ -1,0 +1,32 @@
+#ifndef RTREC_DATA_LOG_FORMAT_H_
+#define RTREC_DATA_LOG_FORMAT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/action.h"
+
+namespace rtrec {
+
+/// TSV wire format for action logs, one action per line:
+///   user \t video \t action_name \t view_fraction \t time_millis
+/// Matching the raw-message parse/filter step the spout performs.
+std::string ActionToTsv(const UserAction& action);
+
+/// Parses one TSV line; rejects malformed input (the "unqualified data
+/// tuples" the spout filters).
+StatusOr<UserAction> ActionFromTsv(const std::string& line);
+
+/// Writes all actions to `path`, one per line. Overwrites.
+Status WriteActionLog(const std::string& path,
+                      const std::vector<UserAction>& actions);
+
+/// Reads an action log; skips blank lines, fails on malformed lines
+/// unless `skip_malformed`.
+StatusOr<std::vector<UserAction>> ReadActionLog(const std::string& path,
+                                                bool skip_malformed = false);
+
+}  // namespace rtrec
+
+#endif  // RTREC_DATA_LOG_FORMAT_H_

@@ -1,0 +1,400 @@
+#include "demographic/demographic_topology.h"
+
+#include <string>
+#include <utility>
+
+#include "common/lru_cache.h"
+#include "core/implicit_feedback.h"
+#include "core/online_mf.h"
+
+namespace rtrec {
+
+namespace demographic_schema {
+
+namespace {
+std::shared_ptr<const stream::Schema> MakeSchema(
+    std::initializer_list<const char*> names) {
+  return std::make_shared<const stream::Schema>(names);
+}
+}  // namespace
+
+const std::shared_ptr<const stream::Schema>& GroupedAction() {
+  static const auto& schema = *new std::shared_ptr<const stream::Schema>(
+      MakeSchema({"group", "user", "video", "action", "value", "time"}));
+  return schema;
+}
+
+const std::shared_ptr<const stream::Schema>& GroupedUserVec() {
+  static const auto& schema = *new std::shared_ptr<const stream::Schema>(
+      MakeSchema({"group", "user", "vec", "bias"}));
+  return schema;
+}
+
+const std::shared_ptr<const stream::Schema>& GroupedVideoVec() {
+  static const auto& schema = *new std::shared_ptr<const stream::Schema>(
+      MakeSchema({"group", "video", "vec", "bias"}));
+  return schema;
+}
+
+const std::shared_ptr<const stream::Schema>& GroupedPair() {
+  static const auto& schema = *new std::shared_ptr<const stream::Schema>(
+      MakeSchema({"group", "pair_key", "video1", "video2", "time"}));
+  return schema;
+}
+
+const std::shared_ptr<const stream::Schema>& GroupedPairSim() {
+  static const auto& schema = *new std::shared_ptr<const stream::Schema>(
+      MakeSchema({"group", "video1", "video2", "sim", "time"}));
+  return schema;
+}
+
+}  // namespace demographic_schema
+
+namespace {
+
+std::int64_t GroupField(GroupId group) {
+  return static_cast<std::int64_t>(group);
+}
+
+StatusOr<GroupId> GetGroup(const stream::Tuple& tuple) {
+  StatusOr<std::int64_t> group = tuple.GetInt("group");
+  if (!group.ok()) return group.status();
+  return static_cast<GroupId>(*group);
+}
+
+StatusOr<UserAction> GroupedTupleToAction(const stream::Tuple& tuple) {
+  StatusOr<std::int64_t> user = tuple.GetInt("user");
+  if (!user.ok()) return user.status();
+  StatusOr<std::int64_t> video = tuple.GetInt("video");
+  if (!video.ok()) return video.status();
+  StatusOr<std::int64_t> action = tuple.GetInt("action");
+  if (!action.ok()) return action.status();
+  StatusOr<double> value = tuple.GetDouble("value");
+  if (!value.ok()) return value.status();
+  StatusOr<std::int64_t> time = tuple.GetInt("time");
+  if (!time.ok()) return time.status();
+  if (*action < 0 || *action >= kNumActionTypes) {
+    return Status::InvalidArgument("action code out of range");
+  }
+  UserAction out;
+  out.user = static_cast<UserId>(*user);
+  out.video = static_cast<VideoId>(*video);
+  out.type = static_cast<ActionType>(*action);
+  out.view_fraction = *value;
+  out.time = *time;
+  return out;
+}
+
+/// Spout: pulls actions and stamps the user's demographic group.
+class GroupingActionSpout : public stream::Spout {
+ public:
+  GroupingActionSpout(std::shared_ptr<ActionSource> source,
+                      const DemographicGrouper* grouper)
+      : source_(std::move(source)), grouper_(grouper) {}
+
+  bool Next(stream::OutputCollector& collector) override {
+    std::optional<UserAction> action = source_->Next();
+    if (!action.has_value()) return false;
+    const GroupId group = grouper_->GroupOf(action->user);
+    collector.Emit(stream::Tuple(
+        demographic_schema::GroupedAction(),
+        {GroupField(group), static_cast<std::int64_t>(action->user),
+         static_cast<std::int64_t>(action->video),
+         static_cast<std::int64_t>(action->type), action->view_fraction,
+         action->time}));
+    return true;
+  }
+
+ private:
+  std::shared_ptr<ActionSource> source_;
+  const DemographicGrouper* grouper_;
+};
+
+/// ComputeMF within the action's group: reads/initializes vectors in the
+/// group's FactorStore and ships the new vectors keyed by (group, id).
+class GroupComputeMfBolt : public stream::Bolt {
+ public:
+  GroupComputeMfBolt(GroupStoreRegistry* stores, MfModelConfig config)
+      : stores_(stores), config_(std::move(config)) {}
+
+  void Process(const stream::Tuple& tuple,
+               stream::OutputCollector& collector) override {
+    StatusOr<GroupId> group = GetGroup(tuple);
+    StatusOr<UserAction> action = GroupedTupleToAction(tuple);
+    if (!group.ok() || !action.ok()) return;
+    const double confidence = ActionConfidence(*action, config_.feedback);
+
+    GroupStores& stores = stores_->GetOrCreate(*group);
+    double rating = 0.0, eta = 0.0;
+    ResolveUpdateStep(config_, confidence, &rating, &eta);
+    if (rating <= 0.0) return;
+
+    FactorEntry user = stores.factors->GetOrInitUser(action->user);
+    FactorEntry video = stores.factors->GetOrInitVideo(action->video);
+    const double mean =
+        config_.use_global_mean ? stores.factors->GlobalMean() : 0.0;
+    OnlineMf::ApplySgdStep(user, video, rating, eta, config_.lambda, mean);
+    stores.factors->ObserveRating(rating);
+
+    collector.EmitTo(
+        "user_vec",
+        stream::Tuple(demographic_schema::GroupedUserVec(),
+                      {GroupField(*group),
+                       static_cast<std::int64_t>(action->user),
+                       std::move(user.vec), static_cast<double>(user.bias)}));
+    collector.EmitTo(
+        "video_vec",
+        stream::Tuple(demographic_schema::GroupedVideoVec(),
+                      {GroupField(*group),
+                       static_cast<std::int64_t>(action->video),
+                       std::move(video.vec),
+                       static_cast<double>(video.bias)}));
+  }
+
+ private:
+  GroupStoreRegistry* stores_;
+  MfModelConfig config_;
+};
+
+class GroupMfStorageBolt : public stream::Bolt {
+ public:
+  explicit GroupMfStorageBolt(GroupStoreRegistry* stores) : stores_(stores) {}
+
+  void Process(const stream::Tuple& tuple,
+               stream::OutputCollector& collector) override {
+    (void)collector;
+    StatusOr<GroupId> group = GetGroup(tuple);
+    StatusOr<std::vector<float>> vec = tuple.GetFloats("vec");
+    StatusOr<double> bias = tuple.GetDouble("bias");
+    if (!group.ok() || !vec.ok() || !bias.ok()) return;
+    FactorEntry entry;
+    entry.vec = std::move(vec).value();
+    entry.bias = static_cast<float>(*bias);
+    GroupStores& stores = stores_->GetOrCreate(*group);
+    if (StatusOr<std::int64_t> user = tuple.GetInt("user"); user.ok()) {
+      stores.factors->PutUser(static_cast<UserId>(*user), std::move(entry));
+    } else if (StatusOr<std::int64_t> video = tuple.GetInt("video");
+               video.ok()) {
+      stores.factors->PutVideo(static_cast<VideoId>(*video),
+                               std::move(entry));
+    }
+  }
+
+ private:
+  GroupStoreRegistry* stores_;
+};
+
+class GroupUserHistoryBolt : public stream::Bolt {
+ public:
+  GroupUserHistoryBolt(GroupStoreRegistry* stores, FeedbackConfig feedback)
+      : stores_(stores), feedback_(feedback) {}
+
+  void Process(const stream::Tuple& tuple,
+               stream::OutputCollector& collector) override {
+    (void)collector;
+    StatusOr<GroupId> group = GetGroup(tuple);
+    StatusOr<UserAction> action = GroupedTupleToAction(tuple);
+    if (!group.ok() || !action.ok()) return;
+    const double confidence = ActionConfidence(*action, feedback_);
+    if (confidence <= 0.0) return;
+    stores_->GetOrCreate(*group).history->Append(
+        action->user, HistoryEntry{action->video, confidence, action->time});
+  }
+
+ private:
+  GroupStoreRegistry* stores_;
+  FeedbackConfig feedback_;
+};
+
+class GroupGetItemPairsBolt : public stream::Bolt {
+ public:
+  GroupGetItemPairsBolt(GroupStoreRegistry* stores, SimilarityConfig config,
+                        FeedbackConfig feedback)
+      : stores_(stores), config_(std::move(config)), feedback_(feedback) {}
+
+  void Process(const stream::Tuple& tuple,
+               stream::OutputCollector& collector) override {
+    StatusOr<GroupId> group = GetGroup(tuple);
+    StatusOr<UserAction> action = GroupedTupleToAction(tuple);
+    if (!group.ok() || !action.ok()) return;
+    const double confidence = ActionConfidence(*action, feedback_);
+    if (confidence < config_.min_confidence) return;
+    GroupStores& stores = stores_->GetOrCreate(*group);
+    for (const HistoryEntry& partner : stores.history->GetRecent(
+             action->user, config_.max_pairs_per_action)) {
+      if (partner.video == action->video) continue;
+      const VideoPair pair(action->video, partner.video);
+      const std::string key = std::to_string(pair.first) + "#" +
+                              std::to_string(pair.second);
+      collector.EmitTo(
+          "pairs",
+          stream::Tuple(demographic_schema::GroupedPair(),
+                        {GroupField(*group), key,
+                         static_cast<std::int64_t>(action->video),
+                         static_cast<std::int64_t>(partner.video),
+                         action->time}));
+    }
+  }
+
+ private:
+  GroupStoreRegistry* stores_;
+  SimilarityConfig config_;
+  FeedbackConfig feedback_;
+};
+
+class GroupItemPairSimBolt : public stream::Bolt {
+ public:
+  GroupItemPairSimBolt(GroupStoreRegistry* stores,
+                       VideoTypeResolver type_resolver,
+                       SimilarityConfig config)
+      : stores_(stores),
+        type_resolver_(std::move(type_resolver)),
+        config_(std::move(config)) {}
+
+  void Process(const stream::Tuple& tuple,
+               stream::OutputCollector& collector) override {
+    StatusOr<GroupId> group = GetGroup(tuple);
+    StatusOr<std::int64_t> v1 = tuple.GetInt("video1");
+    StatusOr<std::int64_t> v2 = tuple.GetInt("video2");
+    StatusOr<std::int64_t> time = tuple.GetInt("time");
+    if (!group.ok() || !v1.ok() || !v2.ok() || !time.ok()) return;
+    const VideoId a = static_cast<VideoId>(*v1);
+    const VideoId b = static_cast<VideoId>(*v2);
+    GroupStores& stores = stores_->GetOrCreate(*group);
+    // Within-group similarity: the group's own y_i vectors (Eq. 9).
+    const FactorEntry ya = stores.factors->GetOrInitVideo(a);
+    const FactorEntry yb = stores.factors->GetOrInitVideo(b);
+    const double s1 = CfSimilarity(ya.vec, yb.vec);
+    const double s2 = TypeSimilarity(type_resolver_(a), type_resolver_(b));
+    const double fused = FuseSimilarity(s1, s2, config_.beta);
+    collector.EmitTo(
+        "pair_sim",
+        stream::Tuple(demographic_schema::GroupedPairSim(),
+                      {GroupField(*group), static_cast<std::int64_t>(a),
+                       static_cast<std::int64_t>(b), fused, *time}));
+  }
+
+ private:
+  GroupStoreRegistry* stores_;
+  VideoTypeResolver type_resolver_;
+  SimilarityConfig config_;
+};
+
+class GroupResultStorageBolt : public stream::Bolt {
+ public:
+  explicit GroupResultStorageBolt(GroupStoreRegistry* stores)
+      : stores_(stores) {}
+
+  void Process(const stream::Tuple& tuple,
+               stream::OutputCollector& collector) override {
+    (void)collector;
+    StatusOr<GroupId> group = GetGroup(tuple);
+    StatusOr<std::int64_t> v1 = tuple.GetInt("video1");
+    StatusOr<std::int64_t> v2 = tuple.GetInt("video2");
+    StatusOr<double> sim = tuple.GetDouble("sim");
+    StatusOr<std::int64_t> time = tuple.GetInt("time");
+    if (!group.ok() || !v1.ok() || !v2.ok() || !sim.ok() || !time.ok()) {
+      return;
+    }
+    stores_->GetOrCreate(*group).sim_table->Update(
+        static_cast<VideoId>(*v1), static_cast<VideoId>(*v2), *sim, *time);
+  }
+
+ private:
+  GroupStoreRegistry* stores_;
+};
+
+}  // namespace
+
+StatusOr<stream::TopologySpec> BuildDemographicTopology(
+    std::shared_ptr<ActionSource> source,
+    const DemographicPipelineDeps& deps,
+    const PipelineParallelism& parallelism) {
+  if (source == nullptr) return Status::InvalidArgument("null action source");
+  if (deps.stores == nullptr || deps.grouper == nullptr ||
+      deps.type_resolver == nullptr) {
+    return Status::InvalidArgument("incomplete demographic pipeline deps");
+  }
+  RTREC_RETURN_IF_ERROR(deps.model_config.Validate());
+  RTREC_RETURN_IF_ERROR(deps.sim_config.Validate());
+  if (deps.stores->options().num_factors != deps.model_config.num_factors) {
+    return Status::InvalidArgument(
+        "registry dimensionality does not match the model config");
+  }
+
+  GroupStoreRegistry* stores = deps.stores;
+  const DemographicGrouper* grouper = deps.grouper;
+  VideoTypeResolver type_resolver = deps.type_resolver;
+  MfModelConfig model_config = deps.model_config;
+  SimilarityConfig sim_config = deps.sim_config;
+  FeedbackConfig feedback = model_config.feedback;
+
+  stream::TopologyBuilder builder;
+  builder.AddSpout(
+      "spout",
+      [source, grouper] {
+        return std::make_unique<GroupingActionSpout>(source, grouper);
+      },
+      parallelism.spout);
+
+  builder
+      .AddBolt(
+          "compute_mf",
+          [stores, model_config] {
+            return std::make_unique<GroupComputeMfBolt>(stores, model_config);
+          },
+          parallelism.compute_mf)
+      // Keyed by (group, user): a user belongs to one group, so the
+      // read-compute step for a user is serialized per group model.
+      .FieldsGrouping("spout", {"group", "user"});
+
+  builder
+      .AddBolt(
+          "mf_storage",
+          [stores] { return std::make_unique<GroupMfStorageBolt>(stores); },
+          parallelism.mf_storage)
+      .FieldsGrouping("compute_mf", "user_vec", {"group", "user"})
+      .FieldsGrouping("compute_mf", "video_vec", {"group", "video"});
+
+  builder
+      .AddBolt(
+          "user_history",
+          [stores, feedback] {
+            return std::make_unique<GroupUserHistoryBolt>(stores, feedback);
+          },
+          parallelism.user_history)
+      .FieldsGrouping("spout", {"group", "user"});
+
+  builder
+      .AddBolt(
+          "get_item_pairs",
+          [stores, sim_config, feedback] {
+            return std::make_unique<GroupGetItemPairsBolt>(stores, sim_config,
+                                                           feedback);
+          },
+          parallelism.get_item_pairs)
+      .FieldsGrouping("spout", {"group", "user"});
+
+  builder
+      .AddBolt(
+          "item_pair_sim",
+          [stores, type_resolver, sim_config] {
+            return std::make_unique<GroupItemPairSimBolt>(
+                stores, type_resolver, sim_config);
+          },
+          parallelism.item_pair_sim)
+      .FieldsGrouping("get_item_pairs", "pairs", {"group", "pair_key"});
+
+  builder
+      .AddBolt(
+          "result_storage",
+          [stores] {
+            return std::make_unique<GroupResultStorageBolt>(stores);
+          },
+          parallelism.result_storage)
+      .FieldsGrouping("item_pair_sim", "pair_sim", {"group", "video1"});
+
+  return builder.Build();
+}
+
+}  // namespace rtrec

@@ -1,0 +1,145 @@
+#include "demographic/demographic_trainer.h"
+
+#include <cassert>
+#include <filesystem>
+#include <fstream>
+
+#include "common/string_util.h"
+#include "kvstore/checkpoint.h"
+
+namespace rtrec {
+
+DemographicTrainer::DemographicTrainer(const DemographicGrouper* grouper,
+                                       VideoTypeResolver type_resolver,
+                                       Options options)
+    : grouper_(grouper),
+      type_resolver_(std::move(type_resolver)),
+      options_(std::move(options)) {
+  assert(grouper_ != nullptr);
+  assert(type_resolver_ != nullptr);
+  if (options_.train_global) {
+    global_ = std::make_unique<RecEngine>(type_resolver_, options_.engine);
+  }
+}
+
+RecEngine& DemographicTrainer::EngineFor(GroupId group) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = engines_[group];
+  if (!slot) {
+    slot = std::make_unique<RecEngine>(type_resolver_, options_.engine);
+  }
+  return *slot;
+}
+
+void DemographicTrainer::Observe(const UserAction& action) {
+  const GroupId group = grouper_->GroupOf(action.user);
+  if (group != kGlobalGroup) {
+    EngineFor(group).Observe(action);
+  }
+  if (global_ != nullptr) {
+    global_->Observe(action);
+  }
+}
+
+StatusOr<std::vector<ScoredVideo>> DemographicTrainer::Recommend(
+    const RecRequest& request) {
+  const GroupId group = grouper_->GroupOf(request.user);
+  RecEngine* engine = group == kGlobalGroup ? nullptr : GetEngine(group);
+  if (engine != nullptr) {
+    StatusOr<std::vector<ScoredVideo>> result = engine->Recommend(request);
+    if (!result.ok()) return result;
+    if (!result->empty()) return result;
+  }
+  if (global_ != nullptr) return global_->Recommend(request);
+  return std::vector<ScoredVideo>{};
+}
+
+RecEngine* DemographicTrainer::GetEngine(GroupId group) {
+  if (group == kGlobalGroup) return global_.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = engines_.find(group);
+  return it == engines_.end() ? nullptr : it->second.get();
+}
+
+namespace {
+
+std::string SnapshotFileName(GroupId group) {
+  if (group == kGlobalGroup) return "group_global.ckpt";
+  return "group_" + std::to_string(group) + ".ckpt";
+}
+
+}  // namespace
+
+Status DemographicTrainer::SaveSnapshot(const std::string& directory) const {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::Unavailable("cannot create '" + directory +
+                               "': " + ec.message());
+  }
+  std::ofstream manifest(directory + "/manifest.txt", std::ios::trunc);
+  if (!manifest.is_open()) {
+    return Status::Unavailable("cannot write manifest in '" + directory +
+                               "'");
+  }
+  std::vector<std::pair<GroupId, RecEngine*>> engines;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [group, engine] : engines_) {
+      engines.emplace_back(group, engine.get());
+    }
+  }
+  if (global_ != nullptr) engines.emplace_back(kGlobalGroup, global_.get());
+  for (const auto& [group, engine] : engines) {
+    const std::string path = directory + "/" + SnapshotFileName(group);
+    RTREC_RETURN_IF_ERROR(SaveCheckpoint(path, &engine->factors(),
+                                         &engine->sim_table(),
+                                         &engine->history()));
+    manifest << group << "\n";
+  }
+  manifest.flush();
+  if (!manifest.good()) return Status::Internal("manifest write failed");
+  return Status::OK();
+}
+
+Status DemographicTrainer::LoadSnapshot(const std::string& directory) {
+  std::ifstream manifest(directory + "/manifest.txt");
+  if (!manifest.is_open()) {
+    return Status::NotFound("no manifest in '" + directory + "'");
+  }
+  std::string line;
+  while (std::getline(manifest, line)) {
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    StatusOr<std::uint64_t> group_id = ParseUint64(trimmed);
+    if (!group_id.ok()) {
+      return Status::Corruption("bad manifest line '" + line + "'");
+    }
+    const GroupId group = static_cast<GroupId>(*group_id);
+    RecEngine* engine = nullptr;
+    if (group == kGlobalGroup) {
+      if (global_ == nullptr) {
+        return Status::FailedPrecondition(
+            "snapshot has a global engine but train_global is off");
+      }
+      engine = global_.get();
+    } else {
+      engine = &EngineFor(group);
+    }
+    const std::string path = directory + "/" + SnapshotFileName(group);
+    RTREC_RETURN_IF_ERROR(LoadCheckpoint(path, &engine->factors(),
+                                         &engine->sim_table(),
+                                         &engine->history()));
+  }
+  return Status::OK();
+}
+
+std::vector<GroupId> DemographicTrainer::ActiveGroups() const {
+  std::vector<GroupId> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(engines_.size());
+  for (const auto& [group, engine] : engines_) out.push_back(group);
+  return out;
+}
+
+}  // namespace rtrec

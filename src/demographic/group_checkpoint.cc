@@ -1,0 +1,72 @@
+#include "demographic/group_checkpoint.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/string_util.h"
+#include "kvstore/checkpoint.h"
+
+namespace rtrec {
+
+namespace {
+
+std::string GroupFileName(GroupId group) {
+  if (group == kGlobalGroup) return "group_global.ckpt";
+  return "group_" + std::to_string(group) + ".ckpt";
+}
+
+}  // namespace
+
+Status SaveGroupCheckpoint(const std::string& directory,
+                           const GroupStoreRegistry& registry) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::Unavailable("cannot create '" + directory +
+                               "': " + ec.message());
+  }
+  const std::vector<GroupId> groups = registry.ActiveGroups();
+  std::ofstream manifest(directory + "/manifest.txt", std::ios::trunc);
+  if (!manifest.is_open()) {
+    return Status::Unavailable("cannot write manifest in '" + directory +
+                               "'");
+  }
+  for (GroupId group : groups) {
+    const GroupStores* stores = registry.Find(group);
+    if (stores == nullptr) continue;  // Raced away; skip.
+    const std::string path = directory + "/" + GroupFileName(group);
+    RTREC_RETURN_IF_ERROR(SaveCheckpoint(path, stores->factors.get(),
+                                         stores->sim_table.get(),
+                                         stores->history.get()));
+    manifest << group << "\n";
+  }
+  manifest.flush();
+  if (!manifest.good()) return Status::Internal("manifest write failed");
+  return Status::OK();
+}
+
+Status LoadGroupCheckpoint(const std::string& directory,
+                           GroupStoreRegistry& registry) {
+  std::ifstream manifest(directory + "/manifest.txt");
+  if (!manifest.is_open()) {
+    return Status::NotFound("no manifest in '" + directory + "'");
+  }
+  std::string line;
+  while (std::getline(manifest, line)) {
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    StatusOr<std::uint64_t> group_id = ParseUint64(trimmed);
+    if (!group_id.ok()) {
+      return Status::Corruption("bad manifest line '" + line + "'");
+    }
+    const GroupId group = static_cast<GroupId>(*group_id);
+    GroupStores& stores = registry.GetOrCreate(group);
+    const std::string path = directory + "/" + GroupFileName(group);
+    RTREC_RETURN_IF_ERROR(LoadCheckpoint(path, stores.factors.get(),
+                                         stores.sim_table.get(),
+                                         stores.history.get()));
+  }
+  return Status::OK();
+}
+
+}  // namespace rtrec

@@ -1,0 +1,33 @@
+#ifndef RTREC_DEMOGRAPHIC_GROUP_CHECKPOINT_H_
+#define RTREC_DEMOGRAPHIC_GROUP_CHECKPOINT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "demographic/group_stores.h"
+
+namespace rtrec {
+
+/// Checkpointing for the demographically-partitioned deployment: one
+/// snapshot file per group plus a manifest, so a restarted process can
+/// rebuild every group model from disk.
+///
+/// Layout under `directory`:
+///   manifest.txt       — one group id per line
+///   group_<id>.ckpt    — the group's stores (kvstore/checkpoint format)
+/// The global group's file is "group_global.ckpt".
+
+/// Snapshots every active group of `registry` into `directory`
+/// (created if missing; existing snapshot files are overwritten).
+Status SaveGroupCheckpoint(const std::string& directory,
+                           const GroupStoreRegistry& registry);
+
+/// Restores every group listed in the manifest into `registry`
+/// (materializing groups as needed). The registry's dimensionality must
+/// match the snapshots'.
+Status LoadGroupCheckpoint(const std::string& directory,
+                           GroupStoreRegistry& registry);
+
+}  // namespace rtrec
+
+#endif  // RTREC_DEMOGRAPHIC_GROUP_CHECKPOINT_H_

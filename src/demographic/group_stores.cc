@@ -1,0 +1,66 @@
+#include "demographic/group_stores.h"
+
+namespace rtrec {
+
+GroupStoreRegistry::GroupStoreRegistry()
+    : GroupStoreRegistry(Options{}) {}
+
+GroupStoreRegistry::GroupStoreRegistry(Options options) : options_(options) {}
+
+GroupStores& GroupStoreRegistry::GetOrCreate(GroupId group) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = groups_[group];
+  if (!slot) {
+    slot = std::make_unique<GroupStores>();
+    FactorStore::Options factor_options;
+    factor_options.num_factors = options_.num_factors;
+    factor_options.init_scale = options_.init_scale;
+    // Distinct per-group init streams: the same video id gets different
+    // initial vectors in different groups, like independent models.
+    factor_options.seed = MixHash64(options_.seed ^ (group + 0x6772ull));
+    slot->factors = std::make_unique<FactorStore>(factor_options);
+
+    HistoryStore::Options history_options;
+    history_options.max_entries_per_user = options_.history_per_user;
+    slot->history = std::make_unique<HistoryStore>(history_options);
+
+    SimTableStore::Options table_options;
+    table_options.top_k = options_.sim_top_k;
+    table_options.xi_millis = options_.sim_xi_millis;
+    slot->sim_table = std::make_unique<SimTableStore>(table_options);
+  }
+  return *slot;
+}
+
+GroupStores* GroupStoreRegistry::Find(GroupId group) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = groups_.find(group);
+  return it == groups_.end() ? nullptr : it->second.get();
+}
+
+const GroupStores* GroupStoreRegistry::Find(GroupId group) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = groups_.find(group);
+  return it == groups_.end() ? nullptr : it->second.get();
+}
+
+std::vector<GroupId> GroupStoreRegistry::ActiveGroups() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<GroupId> out;
+  out.reserve(groups_.size());
+  for (const auto& [group, stores] : groups_) out.push_back(group);
+  return out;
+}
+
+GroupServer::GroupServer(GroupStores* stores, MfModelConfig model_config,
+                         RecommendConfig rec_config)
+    : model_(stores->factors.get(), std::move(model_config)),
+      recommender_(&model_, stores->history.get(), stores->sim_table.get(),
+                   nullptr, std::move(rec_config)) {}
+
+StatusOr<std::vector<ScoredVideo>> GroupServer::Recommend(
+    const RecRequest& request) {
+  return recommender_.Recommend(request);
+}
+
+}  // namespace rtrec

@@ -1,0 +1,94 @@
+#ifndef RTREC_DEMOGRAPHIC_GROUP_STORES_H_
+#define RTREC_DEMOGRAPHIC_GROUP_STORES_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/model_config.h"
+#include "core/online_mf.h"
+#include "core/recommender.h"
+#include "kvstore/factor_store.h"
+#include "kvstore/history_store.h"
+#include "kvstore/sim_table_store.h"
+
+namespace rtrec {
+
+/// The KV-store state of one demographic group's model: per Section
+/// 5.2.2 there is "a video vector y_i for each demographic group, and
+/// the similarity between video pairs is computed within the demographic
+/// group".
+struct GroupStores {
+  std::unique_ptr<FactorStore> factors;
+  std::unique_ptr<HistoryStore> history;
+  std::unique_ptr<SimTableStore> sim_table;
+};
+
+/// Lazily creates and owns one GroupStores per demographic group
+/// (kGlobalGroup included). Thread-safe; the returned pointers stay
+/// valid for the registry's lifetime, so bolt tasks may cache them.
+class GroupStoreRegistry {
+ public:
+  struct Options {
+    /// Factor dimensionality/init shared by all groups.
+    int num_factors = 32;
+    double init_scale = 0.05;
+    std::uint64_t seed = 1;
+    /// Per-user history retention.
+    std::size_t history_per_user = 64;
+    /// Similar-table shape.
+    std::size_t sim_top_k = 50;
+    double sim_xi_millis = 3.0 * kMillisPerDay;
+  };
+
+  /// Constructs with default options.
+  GroupStoreRegistry();
+  explicit GroupStoreRegistry(Options options);
+
+  GroupStoreRegistry(const GroupStoreRegistry&) = delete;
+  GroupStoreRegistry& operator=(const GroupStoreRegistry&) = delete;
+
+  /// The stores of `group`, created on first use.
+  GroupStores& GetOrCreate(GroupId group);
+
+  /// The stores of `group`, or null if that group has never been used.
+  GroupStores* Find(GroupId group);
+  const GroupStores* Find(GroupId group) const;
+
+  /// Groups with materialized stores, unordered.
+  std::vector<GroupId> ActiveGroups() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  mutable std::mutex mu_;
+  std::unordered_map<GroupId, std::unique_ptr<GroupStores>> groups_;
+};
+
+/// Serving view over one group's stores: the Fig. 1 request path bound
+/// to the per-group state the demographic topology maintains. Construct
+/// one per group (cheap; holds only pointers into the registry's
+/// stores).
+class GroupServer {
+ public:
+  /// `stores` is shared, not owned, and must outlive the server.
+  /// `model_config.num_factors` must match the registry's.
+  GroupServer(GroupStores* stores, MfModelConfig model_config,
+              RecommendConfig rec_config = {});
+
+  /// Serves a request from the group's model and tables.
+  StatusOr<std::vector<ScoredVideo>> Recommend(const RecRequest& request);
+
+  OnlineMf& model() { return model_; }
+  MfRecommender& recommender() { return recommender_; }
+
+ private:
+  OnlineMf model_;
+  MfRecommender recommender_;
+};
+
+}  // namespace rtrec
+
+#endif  // RTREC_DEMOGRAPHIC_GROUP_STORES_H_

@@ -1,0 +1,53 @@
+#include "demographic/grouper.h"
+
+#include <mutex>
+
+namespace rtrec {
+
+void DemographicGrouper::RegisterProfile(UserId user,
+                                         const UserProfile& profile) {
+  Stripe& stripe = StripeFor(user);
+  std::unique_lock lock(stripe.mu);
+  stripe.map[user] = profile;
+}
+
+UserProfile DemographicGrouper::GetProfile(UserId user) const {
+  const Stripe& stripe = StripeFor(user);
+  std::shared_lock lock(stripe.mu);
+  auto it = stripe.map.find(user);
+  if (it == stripe.map.end()) return UserProfile{};
+  return it->second;
+}
+
+GroupId DemographicGrouper::GroupOf(UserId user) const {
+  return GroupFor(GetProfile(user));
+}
+
+GroupId DemographicGrouper::GroupFor(const UserProfile& profile) {
+  if (!profile.registered) return kGlobalGroup;
+  return static_cast<GroupId>(profile.gender) *
+             static_cast<GroupId>(kNumAgeBuckets) +
+         static_cast<GroupId>(profile.age);
+}
+
+std::string DemographicGrouper::GroupName(GroupId group) {
+  if (group == kGlobalGroup) return "global";
+  static const char* kGenderNames[] = {"unknown", "female", "male"};
+  static const char* kAgeNames[] = {"age?", "<18", "18-24",
+                                    "25-34", "35-49", "50+"};
+  const std::size_t gender = group / kNumAgeBuckets;
+  const std::size_t age = group % kNumAgeBuckets;
+  if (gender >= static_cast<std::size_t>(kNumGenders)) return "invalid";
+  return std::string(kGenderNames[gender]) + "/" + kAgeNames[age];
+}
+
+std::size_t DemographicGrouper::NumProfiles() const {
+  std::size_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::shared_lock lock(stripe.mu);
+    total += stripe.map.size();
+  }
+  return total;
+}
+
+}  // namespace rtrec

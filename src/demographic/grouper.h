@@ -1,0 +1,74 @@
+#ifndef RTREC_DEMOGRAPHIC_GROUPER_H_
+#define RTREC_DEMOGRAPHIC_GROUPER_H_
+
+#include <cstddef>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "demographic/profile.h"
+
+namespace rtrec {
+
+/// Clusters users into demographic groups by (gender × age bucket), the
+/// scheme of Section 5.2: "users in Tencent Video are clustered into
+/// dozens of groups" by properties such as gender, age and education.
+/// Unregistered users (no profile) map to `kGlobalGroup`.
+///
+/// The grouper also acts as the profile registry: the event stream only
+/// carries user ids, and profiles are registered out of band (sign-up).
+/// Thread-safe.
+class DemographicGrouper {
+ public:
+  DemographicGrouper() = default;
+
+  DemographicGrouper(const DemographicGrouper&) = delete;
+  DemographicGrouper& operator=(const DemographicGrouper&) = delete;
+
+  /// Registers (or updates) a user's profile.
+  void RegisterProfile(UserId user, const UserProfile& profile);
+
+  /// The user's profile; unregistered default if never registered.
+  UserProfile GetProfile(UserId user) const;
+
+  /// Group of `user`: GroupFor(profile), or kGlobalGroup when unknown.
+  GroupId GroupOf(UserId user) const;
+
+  /// Pure mapping profile → group id. Unregistered profiles map to
+  /// kGlobalGroup.
+  static GroupId GroupFor(const UserProfile& profile);
+
+  /// Total number of distinct group ids the static mapping can produce
+  /// (excluding kGlobalGroup).
+  static constexpr std::size_t kNumGroups =
+      static_cast<std::size_t>(kNumGenders) *
+      static_cast<std::size_t>(kNumAgeBuckets);
+
+  /// Human-readable group label, e.g. "male/25-34".
+  static std::string GroupName(GroupId group);
+
+  /// Number of registered profiles.
+  std::size_t NumProfiles() const;
+
+ private:
+  struct Stripe {
+    mutable std::shared_mutex mu;
+    std::unordered_map<UserId, UserProfile> map;
+  };
+
+  static constexpr std::size_t kStripes = 16;  // Power of two.
+
+  Stripe& StripeFor(UserId u) { return stripes_[MixHash64(u) % kStripes]; }
+  const Stripe& StripeFor(UserId u) const {
+    return stripes_[MixHash64(u) % kStripes];
+  }
+
+  mutable Stripe stripes_[kStripes];
+};
+
+}  // namespace rtrec
+
+#endif  // RTREC_DEMOGRAPHIC_GROUPER_H_

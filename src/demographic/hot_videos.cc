@@ -1,0 +1,78 @@
+#include "demographic/hot_videos.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace rtrec {
+
+HotVideoTracker::HotVideoTracker() : HotVideoTracker(Options{}) {}
+
+HotVideoTracker::HotVideoTracker(Options options) : options_(options) {
+  assert(options_.top_k > 0);
+  assert(options_.half_life_millis > 0);
+}
+
+HotVideoTracker::GroupState& HotVideoTracker::StateFor(GroupId group) {
+  std::lock_guard<std::mutex> lock(groups_mu_);
+  auto& slot = groups_[group];
+  if (!slot) slot = std::make_unique<GroupState>(options_.top_k);
+  return *slot;
+}
+
+const HotVideoTracker::GroupState* HotVideoTracker::FindState(
+    GroupId group) const {
+  std::lock_guard<std::mutex> lock(groups_mu_);
+  auto it = groups_.find(group);
+  return it == groups_.end() ? nullptr : it->second.get();
+}
+
+double HotVideoTracker::NormalizedIncrement(double weight,
+                                            Timestamp now) const {
+  const double dt =
+      static_cast<double>(now - options_.epoch_millis);
+  return weight * std::exp2(dt / options_.half_life_millis);
+}
+
+void HotVideoTracker::Record(GroupId group, VideoId video, double weight,
+                             Timestamp now) {
+  if (weight <= 0.0) return;
+  GroupState& state = StateFor(group);
+  std::lock_guard<std::mutex> lock(state.mu);
+  const double increment = NormalizedIncrement(weight, now);
+  const double* existing = state.top.Find(video);
+  state.top.Upsert(video, (existing ? *existing : 0.0) + increment);
+}
+
+std::vector<ScoredVideo> HotVideoTracker::Hottest(GroupId group,
+                                                  std::size_t n,
+                                                  Timestamp now) const {
+  const GroupState* state = FindState(group);
+  if (state == nullptr) return {};
+  // Convert normalized scores back to decayed-at-now scores.
+  const double denom = std::exp2(
+      static_cast<double>(now - options_.epoch_millis) /
+      options_.half_life_millis);
+  std::vector<ScoredVideo> out;
+  std::lock_guard<std::mutex> lock(state->mu);
+  const auto& entries = state->top.entries();
+  out.reserve(std::min(n, entries.size()));
+  for (std::size_t i = 0; i < entries.size() && i < n; ++i) {
+    out.push_back(ScoredVideo{entries[i].key, entries[i].score / denom});
+  }
+  return out;
+}
+
+HotRecommenderView::HotRecommenderView(HotVideoTracker* tracker,
+                                       GroupId group, std::size_t top_n)
+    : tracker_(tracker), group_(group), top_n_(top_n) {
+  assert(tracker_ != nullptr);
+  assert(top_n_ > 0);
+}
+
+StatusOr<std::vector<ScoredVideo>> HotRecommenderView::Recommend(
+    const RecRequest& request) {
+  const std::size_t n = request.top_n > 0 ? request.top_n : top_n_;
+  return tracker_->Hottest(group_, n, request.now);
+}
+
+}  // namespace rtrec

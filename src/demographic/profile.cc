@@ -1,0 +1,65 @@
+#include "demographic/profile.h"
+
+namespace rtrec {
+
+namespace {
+
+const char* GenderName(Gender g) {
+  switch (g) {
+    case Gender::kUnknown:
+      return "unknown";
+    case Gender::kFemale:
+      return "female";
+    case Gender::kMale:
+      return "male";
+  }
+  return "?";
+}
+
+const char* AgeName(AgeBucket a) {
+  switch (a) {
+    case AgeBucket::kUnknown:
+      return "age?";
+    case AgeBucket::kUnder18:
+      return "<18";
+    case AgeBucket::k18To24:
+      return "18-24";
+    case AgeBucket::k25To34:
+      return "25-34";
+    case AgeBucket::k35To49:
+      return "35-49";
+    case AgeBucket::k50Plus:
+      return "50+";
+  }
+  return "?";
+}
+
+const char* EducationName(Education e) {
+  switch (e) {
+    case Education::kUnknown:
+      return "edu?";
+    case Education::kPrimary:
+      return "primary";
+    case Education::kSecondary:
+      return "secondary";
+    case Education::kBachelor:
+      return "bachelor";
+    case Education::kPostgraduate:
+      return "postgrad";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ProfileToString(const UserProfile& profile) {
+  std::string out = profile.registered ? "reg/" : "unreg/";
+  out += GenderName(profile.gender);
+  out += "/";
+  out += AgeName(profile.age);
+  out += "/";
+  out += EducationName(profile.education);
+  return out;
+}
+
+}  // namespace rtrec

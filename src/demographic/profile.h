@@ -1,0 +1,54 @@
+#ifndef RTREC_DEMOGRAPHIC_PROFILE_H_
+#define RTREC_DEMOGRAPHIC_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace rtrec {
+
+/// User gender as recorded at registration.
+enum class Gender : std::uint8_t { kUnknown = 0, kFemale = 1, kMale = 2 };
+
+/// Coarse age bucket.
+enum class AgeBucket : std::uint8_t {
+  kUnknown = 0,
+  kUnder18 = 1,
+  k18To24 = 2,
+  k25To34 = 3,
+  k35To49 = 4,
+  k50Plus = 5,
+};
+
+inline constexpr int kNumGenders = 3;
+inline constexpr int kNumAgeBuckets = 6;
+
+/// Education level.
+enum class Education : std::uint8_t {
+  kUnknown = 0,
+  kPrimary = 1,
+  kSecondary = 2,
+  kBachelor = 3,
+  kPostgraduate = 4,
+};
+
+inline constexpr int kNumEducationLevels = 5;
+
+/// The demographic properties used to cluster users (Section 5.2):
+/// "gender, age and education". Unregistered users have no profile.
+struct UserProfile {
+  bool registered = false;
+  Gender gender = Gender::kUnknown;
+  AgeBucket age = AgeBucket::kUnknown;
+  Education education = Education::kUnknown;
+
+  friend bool operator==(const UserProfile&, const UserProfile&) = default;
+};
+
+/// Renders a profile for logs, e.g. "reg/male/25-34/bachelor".
+std::string ProfileToString(const UserProfile& profile);
+
+}  // namespace rtrec
+
+#endif  // RTREC_DEMOGRAPHIC_PROFILE_H_

@@ -1,0 +1,65 @@
+#ifndef RTREC_EVAL_EXPERIMENT_RUNNER_H_
+#define RTREC_EVAL_EXPERIMENT_RUNNER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/dataset.h"
+#include "data/event_generator.h"
+#include "demographic/grouper.h"
+#include "eval/evaluator.h"
+
+namespace rtrec {
+
+/// Standard synthetic-world presets so benches, tests and examples agree
+/// on the workload. `SmallWorldConfig` runs in well under a second;
+/// `BenchWorldConfig` is the figure-reproduction scale.
+WorldConfig SmallWorldConfig(std::uint64_t seed = 2016);
+WorldConfig BenchWorldConfig(std::uint64_t seed = 2016);
+
+/// A large, sparsely-interacted world for the dataset-statistics tables
+/// (3 and 4): many videos, light per-user activity, so the user-video
+/// matrix lands in the paper's sub-percent sparsity regime and the
+/// >=N-action cleaning actually filters.
+WorldConfig SparseWorldConfig(std::uint64_t seed = 2016);
+
+/// Engine options mirroring Table 2, with the given update policy.
+RecEngine::Options DefaultEngineOptions(UpdatePolicy policy);
+
+/// The `k` demographic groups with the most engaged actions in `data`
+/// (how Table 4 picks "the three largest demographic groups").
+std::vector<GroupId> LargestGroups(const Dataset& data,
+                                   const DemographicGrouper& grouper,
+                                   std::size_t k,
+                                   const FeedbackConfig& feedback);
+
+/// Trains a fresh engine per update policy on `train` and evaluates on
+/// `test`; result order is {Binary, Conf, Combine}. The engines share the
+/// given type resolver (the catalog's).
+std::vector<OfflineResult> ComparePolicies(
+    const VideoTypeResolver& type_resolver, const Dataset& train,
+    const Dataset& test, const OfflineEvaluator::Options& eval_options);
+
+/// Fixed-width text table for bench output, mirroring the paper's tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with aligned columns and a separator under the header.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "%.4f"-formatted helper for table cells.
+std::string Cell(double value, int precision = 4);
+
+}  // namespace rtrec
+
+#endif  // RTREC_EVAL_EXPERIMENT_RUNNER_H_

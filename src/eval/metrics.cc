@@ -1,0 +1,125 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace rtrec {
+
+double PercentileRank(std::size_t pos, std::size_t size) {
+  if (size <= 1) return 0.0;
+  return static_cast<double>(pos) / static_cast<double>(size - 1);
+}
+
+double RecallAtN(const std::vector<UserEvalData>& users, std::size_t n) {
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  std::size_t evaluated = 0;
+  for (const UserEvalData& u : users) {
+    if (u.liked.empty()) continue;
+    ++evaluated;
+    const std::size_t cutoff = std::min(n, u.recommended.size());
+    std::size_t hits = 0;
+    for (VideoId liked : u.liked) {
+      for (std::size_t k = 0; k < cutoff; ++k) {
+        if (u.recommended[k] == liked) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    total += static_cast<double>(hits) / static_cast<double>(n);
+  }
+  return evaluated == 0 ? 0.0 : total / static_cast<double>(evaluated);
+}
+
+std::vector<double> RecallCurve(const std::vector<UserEvalData>& users,
+                                std::size_t max_n) {
+  std::vector<double> curve;
+  curve.reserve(max_n);
+  for (std::size_t n = 1; n <= max_n; ++n) {
+    curve.push_back(RecallAtN(users, n));
+  }
+  return curve;
+}
+
+double HitRateAtN(const std::vector<UserEvalData>& users, std::size_t n) {
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  std::size_t evaluated = 0;
+  for (const UserEvalData& u : users) {
+    if (u.liked.empty()) continue;
+    ++evaluated;
+    const std::size_t cutoff = std::min(n, u.recommended.size());
+    std::size_t hits = 0;
+    for (VideoId liked : u.liked) {
+      for (std::size_t k = 0; k < cutoff; ++k) {
+        if (u.recommended[k] == liked) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    const std::size_t achievable = std::min(n, u.liked.size());
+    total += static_cast<double>(hits) / static_cast<double>(achievable);
+  }
+  return evaluated == 0 ? 0.0 : total / static_cast<double>(evaluated);
+}
+
+double NdcgAtN(const std::vector<UserEvalData>& users, std::size_t n) {
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  std::size_t evaluated = 0;
+  for (const UserEvalData& u : users) {
+    if (u.liked.empty()) continue;
+    ++evaluated;
+    const std::unordered_map<VideoId, std::size_t> liked_set = [&u] {
+      std::unordered_map<VideoId, std::size_t> out;
+      for (std::size_t i = 0; i < u.liked.size(); ++i) {
+        out.emplace(u.liked[i], i);
+      }
+      return out;
+    }();
+    double dcg = 0.0;
+    const std::size_t cutoff = std::min(n, u.recommended.size());
+    for (std::size_t k = 0; k < cutoff; ++k) {
+      if (liked_set.contains(u.recommended[k])) {
+        dcg += 1.0 / std::log2(static_cast<double>(k) + 2.0);
+      }
+    }
+    double ideal = 0.0;
+    const std::size_t ideal_hits = std::min(n, u.liked.size());
+    for (std::size_t k = 0; k < ideal_hits; ++k) {
+      ideal += 1.0 / std::log2(static_cast<double>(k) + 2.0);
+    }
+    total += ideal <= 0.0 ? 0.0 : dcg / ideal;
+  }
+  return evaluated == 0 ? 0.0 : total / static_cast<double>(evaluated);
+}
+
+double AverageRank(const std::vector<UserEvalData>& users) {
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (const UserEvalData& u : users) {
+    if (u.liked.empty() || u.recommended.empty()) continue;
+    // Position of each recommended video (for 1 - rank_ui weights).
+    std::unordered_map<VideoId, std::size_t> rec_pos;
+    rec_pos.reserve(u.recommended.size());
+    for (std::size_t k = 0; k < u.recommended.size(); ++k) {
+      rec_pos.emplace(u.recommended[k], k);
+    }
+    for (std::size_t t = 0; t < u.liked.size(); ++t) {
+      auto it = rec_pos.find(u.liked[t]);
+      // Videos not recommended have rank_ui = 1 -> weight 0.
+      if (it == rec_pos.end()) continue;
+      const double rank_ui =
+          PercentileRank(it->second, u.recommended.size());
+      const double rank_t_ui = PercentileRank(t, u.liked.size());
+      numerator += rank_t_ui * (1.0 - rank_ui);
+      denominator += 1.0 - rank_ui;
+    }
+  }
+  return denominator <= 0.0 ? 0.5 : numerator / denominator;
+}
+
+}  // namespace rtrec

@@ -1,0 +1,67 @@
+#ifndef RTREC_EVAL_METRICS_H_
+#define RTREC_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rtrec {
+
+/// Per-user evaluation material: the model's ranked recommendation list
+/// and the user's ranked "interested" list from the test day (ordered by
+/// descending action confidence — the paper's ordered interested video
+/// list).
+struct UserEvalData {
+  UserId user = 0;
+  /// Recommended videos, best first (full serving list, not truncated to
+  /// the recall cutoff).
+  std::vector<VideoId> recommended;
+  /// Videos the user engaged with in the test data, most-confident first.
+  std::vector<VideoId> liked;
+};
+
+/// recall@N exactly as Eq. 13:
+///
+///   recall = (1/|U_test|) · Σ_u Σ_{i_u} 1{i_u ∈ top-N_u} / N
+///
+/// i.e. per-user hits are normalized by N (not by |liked_u| — the paper's
+/// formula divides by the list length, making this a precision-flavoured
+/// "hit rate"; we reproduce the formula as printed). Users with empty
+/// liked lists are excluded from U_test.
+double RecallAtN(const std::vector<UserEvalData>& users, std::size_t n);
+
+/// recall@N for every N in [1, max_n]; index k holds recall@(k+1).
+std::vector<double> RecallCurve(const std::vector<UserEvalData>& users,
+                                std::size_t max_n);
+
+/// Average percentile rank exactly as Eq. 14:
+///
+///   rank = Σ_{u,i} rank^t_ui · (1 − rank_ui) / Σ_{u,i} (1 − rank_ui)
+///
+/// where rank_ui is video i's percentile position (0 = top, 1 = bottom)
+/// in u's recommended list — 1 when not recommended, so non-recommended
+/// videos contribute nothing — and rank^t_ui is i's percentile position
+/// in u's test interested list. Lower is better. Returns 0.5 when no
+/// recommended video appears in any test list (the neutral value).
+double AverageRank(const std::vector<UserEvalData>& users);
+
+/// Percentile position of index `pos` in a list of `size` items:
+/// 0 for the first, 1 for the last; 0 for singleton lists.
+double PercentileRank(std::size_t pos, std::size_t size);
+
+/// Conventional recall ("hit rate"): per-user hits within the top N
+/// divided by min(|liked|, N), averaged over users with likes. Unlike
+/// Eq. 13 (which divides by N — see RecallAtN), this is bounded by what
+/// a perfect model could achieve. Provided for comparison with other
+/// systems; the paper benches use Eq. 13.
+double HitRateAtN(const std::vector<UserEvalData>& users, std::size_t n);
+
+/// Binary-relevance nDCG@N: DCG over the top N (gain 1 for liked videos,
+/// log2 position discount) normalized by the ideal DCG, averaged over
+/// users with likes. A standard extension metric, not in the paper.
+double NdcgAtN(const std::vector<UserEvalData>& users, std::size_t n);
+
+}  // namespace rtrec
+
+#endif  // RTREC_EVAL_METRICS_H_

@@ -1,0 +1,231 @@
+#include "kvstore/checkpoint.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace rtrec {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'T', 'R', 'E', 'C', 'C', 'P', '1'};
+
+// Little-endian raw writes; the library targets little-endian hosts (all
+// supported platforms), so plain memcpy-based IO is portable enough and
+// is validated by the round-trip tests.
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good() || (in.eof() && in.gcount() == sizeof(T));
+}
+
+void WriteEntry(std::ofstream& out, std::uint64_t id,
+                const FactorEntry& entry) {
+  WritePod(out, id);
+  WritePod(out, entry.bias);
+  const std::uint32_t n = static_cast<std::uint32_t>(entry.vec.size());
+  WritePod(out, n);
+  out.write(reinterpret_cast<const char*>(entry.vec.data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+}
+
+bool ReadEntry(std::ifstream& in, std::uint64_t* id, FactorEntry* entry,
+               std::uint32_t expected_factors) {
+  if (!ReadPod(in, id)) return false;
+  if (!ReadPod(in, &entry->bias)) return false;
+  std::uint32_t n = 0;
+  if (!ReadPod(in, &n)) return false;
+  if (n != expected_factors) return false;
+  entry->vec.resize(n);
+  in.read(reinterpret_cast<char*>(entry->vec.data()),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  return in.good();
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const std::string& path, const FactorStore* factors,
+                      const SimTableStore* sim_table,
+                      const HistoryStore* history) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Unavailable("cannot open '" + path + "' for writing");
+  }
+  out.write(kMagic, sizeof(kMagic));
+
+  // --- Factor section.
+  const std::uint32_t num_factors =
+      factors == nullptr ? 0
+                         : static_cast<std::uint32_t>(factors->num_factors());
+  WritePod(out, num_factors);
+  double rating_sum = 0.0;
+  std::uint64_t rating_count = 0;
+  if (factors != nullptr) factors->GetRatingStats(&rating_sum, &rating_count);
+  WritePod(out, rating_sum);
+  WritePod(out, rating_count);
+
+  std::uint64_t num_users = factors == nullptr ? 0 : factors->NumUsers();
+  std::uint64_t num_videos = factors == nullptr ? 0 : factors->NumVideos();
+  WritePod(out, num_users);
+  WritePod(out, num_videos);
+  if (factors != nullptr) {
+    factors->ForEachUser([&out](UserId id, const FactorEntry& entry) {
+      WriteEntry(out, id, entry);
+    });
+    factors->ForEachVideo([&out](VideoId id, const FactorEntry& entry) {
+      WriteEntry(out, id, entry);
+    });
+  }
+
+  // --- Similar-video section: count, then per directed list.
+  std::uint64_t num_lists = 0;
+  if (sim_table != nullptr) {
+    sim_table->ForEachList(
+        [&num_lists](VideoId, const std::vector<SimilarVideo>&) {
+          ++num_lists;
+        });
+  }
+  WritePod(out, num_lists);
+  if (sim_table != nullptr) {
+    sim_table->ForEachList(
+        [&out](VideoId id, const std::vector<SimilarVideo>& entries) {
+          WritePod(out, static_cast<std::uint64_t>(id));
+          WritePod(out, static_cast<std::uint32_t>(entries.size()));
+          for (const SimilarVideo& e : entries) {
+            WritePod(out, static_cast<std::uint64_t>(e.video));
+            WritePod(out, e.similarity);
+            WritePod(out, static_cast<std::int64_t>(e.update_time));
+          }
+        });
+  }
+
+  // --- History section.
+  std::uint64_t num_histories =
+      history == nullptr ? 0 : history->NumUsers();
+  WritePod(out, num_histories);
+  if (history != nullptr) {
+    history->ForEach(
+        [&out](UserId user, const std::vector<HistoryEntry>& entries) {
+          WritePod(out, static_cast<std::uint64_t>(user));
+          WritePod(out, static_cast<std::uint32_t>(entries.size()));
+          for (const HistoryEntry& e : entries) {
+            WritePod(out, static_cast<std::uint64_t>(e.video));
+            WritePod(out, e.weight);
+            WritePod(out, static_cast<std::int64_t>(e.time));
+          }
+        });
+  }
+
+  out.flush();
+  if (!out.good()) return Status::Internal("write failed on '" + path + "'");
+  return Status::OK();
+}
+
+Status LoadCheckpoint(const std::string& path, FactorStore* factors,
+                      SimTableStore* sim_table, HistoryStore* history) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::NotFound("cannot open '" + path + "'");
+
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad checkpoint magic in '" + path + "'");
+  }
+
+  // --- Factor section.
+  std::uint32_t num_factors = 0;
+  double rating_sum = 0.0;
+  std::uint64_t rating_count = 0;
+  std::uint64_t num_users = 0, num_videos = 0;
+  if (!ReadPod(in, &num_factors) || !ReadPod(in, &rating_sum) ||
+      !ReadPod(in, &rating_count) || !ReadPod(in, &num_users) ||
+      !ReadPod(in, &num_videos)) {
+    return Status::Corruption("truncated factor header");
+  }
+  if (factors != nullptr && num_factors != 0 &&
+      static_cast<int>(num_factors) != factors->num_factors()) {
+    return Status::InvalidArgument(
+        "checkpoint dimensionality " + std::to_string(num_factors) +
+        " != store dimensionality " +
+        std::to_string(factors->num_factors()));
+  }
+  for (std::uint64_t i = 0; i < num_users; ++i) {
+    std::uint64_t id = 0;
+    FactorEntry entry;
+    if (!ReadEntry(in, &id, &entry, num_factors)) {
+      return Status::Corruption("truncated user entry");
+    }
+    if (factors != nullptr) factors->PutUser(id, std::move(entry));
+  }
+  for (std::uint64_t i = 0; i < num_videos; ++i) {
+    std::uint64_t id = 0;
+    FactorEntry entry;
+    if (!ReadEntry(in, &id, &entry, num_factors)) {
+      return Status::Corruption("truncated video entry");
+    }
+    if (factors != nullptr) factors->PutVideo(id, std::move(entry));
+  }
+  if (factors != nullptr) {
+    factors->RestoreRatingStats(rating_sum, rating_count);
+  }
+
+  // --- Similar-video section.
+  std::uint64_t num_lists = 0;
+  if (!ReadPod(in, &num_lists)) {
+    return Status::Corruption("truncated sim-table header");
+  }
+  for (std::uint64_t i = 0; i < num_lists; ++i) {
+    std::uint64_t id = 0;
+    std::uint32_t count = 0;
+    if (!ReadPod(in, &id) || !ReadPod(in, &count)) {
+      return Status::Corruption("truncated sim-table list");
+    }
+    std::vector<SimilarVideo> entries;
+    entries.reserve(count);
+    for (std::uint32_t e = 0; e < count; ++e) {
+      std::uint64_t video = 0;
+      double sim = 0.0;
+      std::int64_t time = 0;
+      if (!ReadPod(in, &video) || !ReadPod(in, &sim) || !ReadPod(in, &time)) {
+        return Status::Corruption("truncated sim-table entry");
+      }
+      entries.push_back(SimilarVideo{video, sim, time});
+    }
+    if (sim_table != nullptr) sim_table->LoadList(id, std::move(entries));
+  }
+
+  // --- History section.
+  std::uint64_t num_histories = 0;
+  if (!ReadPod(in, &num_histories)) {
+    return Status::Corruption("truncated history header");
+  }
+  for (std::uint64_t i = 0; i < num_histories; ++i) {
+    std::uint64_t user = 0;
+    std::uint32_t count = 0;
+    if (!ReadPod(in, &user) || !ReadPod(in, &count)) {
+      return Status::Corruption("truncated history record");
+    }
+    std::vector<HistoryEntry> entries;
+    entries.reserve(count);
+    for (std::uint32_t e = 0; e < count; ++e) {
+      std::uint64_t video = 0;
+      double weight = 0.0;
+      std::int64_t time = 0;
+      if (!ReadPod(in, &video) || !ReadPod(in, &weight) ||
+          !ReadPod(in, &time)) {
+        return Status::Corruption("truncated history entry");
+      }
+      entries.push_back(HistoryEntry{video, weight, time});
+    }
+    if (history != nullptr) history->LoadUser(user, std::move(entries));
+  }
+  return Status::OK();
+}
+
+}  // namespace rtrec

@@ -1,0 +1,40 @@
+#ifndef RTREC_KVSTORE_CHECKPOINT_H_
+#define RTREC_KVSTORE_CHECKPOINT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "kvstore/factor_store.h"
+#include "kvstore/history_store.h"
+#include "kvstore/sim_table_store.h"
+
+namespace rtrec {
+
+/// Binary checkpointing of the engine's serving state — the operational
+/// complement to the always-on stream: on restart, the model resumes
+/// from the last snapshot instead of an empty (cold) state, exactly what
+/// a production deployment of the paper's system needs since its model
+/// exists only as KV-store contents.
+///
+/// Format: little-endian, magic "RTRECCP1", then the factor section
+/// (dimensionality, μ accumulator, user entries, video entries), the
+/// similar-video section (directed lists), and the history section.
+/// Load validates the magic and the factor dimensionality against the
+/// target store and fails with Corruption / InvalidArgument on mismatch,
+/// leaving partially-loaded stores in an unspecified but safe state.
+
+/// Serializes the three stores to `path` (overwrites). Any may be null
+/// to skip its section (an empty section is written).
+Status SaveCheckpoint(const std::string& path, const FactorStore* factors,
+                      const SimTableStore* sim_table,
+                      const HistoryStore* history);
+
+/// Restores into the given stores; null targets skip their section.
+/// `factors` must be configured with the same num_factors as the saved
+/// state.
+Status LoadCheckpoint(const std::string& path, FactorStore* factors,
+                      SimTableStore* sim_table, HistoryStore* history);
+
+}  // namespace rtrec
+
+#endif  // RTREC_KVSTORE_CHECKPOINT_H_

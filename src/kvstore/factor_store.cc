@@ -1,0 +1,180 @@
+#include "kvstore/factor_store.h"
+
+#include <algorithm>
+#include <bit>
+#include <mutex>
+
+namespace rtrec {
+
+template <typename Id>
+void FactorStore::InitTable(Table<Id>& table, std::size_t num_shards) {
+  const std::size_t n = std::bit_ceil(std::max<std::size_t>(1, num_shards));
+  table.stripes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    table.stripes.push_back(
+        std::make_unique<typename Table<Id>::Stripe>());
+  }
+  table.mask = n - 1;
+}
+
+FactorStore::FactorStore() : FactorStore(Options{}) {}
+
+FactorStore::FactorStore(Options options) : options_(options) {
+  InitTable(users_, options_.num_shards);
+  InitTable(videos_, options_.num_shards);
+}
+
+FactorEntry FactorStore::MakeInitialEntry(std::uint64_t id,
+                                          bool is_user) const {
+  // Seed the per-id stream so initialization is independent of arrival
+  // order; user and video streams are decorrelated by a salt.
+  const std::uint64_t salt = is_user ? 0x75736572u : 0x766964u;
+  Rng rng(MixHash64(options_.seed ^ MixHash64(id + salt)));
+  FactorEntry entry;
+  entry.vec.resize(static_cast<std::size_t>(options_.num_factors));
+  for (float& v : entry.vec) {
+    v = static_cast<float>(
+        rng.NextDouble(-options_.init_scale, options_.init_scale));
+  }
+  entry.bias = 0.0f;
+  return entry;
+}
+
+FactorEntry FactorStore::GetOrInitUser(UserId u) {
+  auto& stripe = users_.StripeFor(u);
+  {
+    std::shared_lock lock(stripe.mu);
+    auto it = stripe.map.find(u);
+    if (it != stripe.map.end()) return it->second;
+  }
+  std::unique_lock lock(stripe.mu);
+  auto [it, inserted] = stripe.map.try_emplace(u);
+  if (inserted) it->second = MakeInitialEntry(u, /*is_user=*/true);
+  return it->second;
+}
+
+FactorEntry FactorStore::GetOrInitVideo(VideoId i) {
+  auto& stripe = videos_.StripeFor(i);
+  {
+    std::shared_lock lock(stripe.mu);
+    auto it = stripe.map.find(i);
+    if (it != stripe.map.end()) return it->second;
+  }
+  std::unique_lock lock(stripe.mu);
+  auto [it, inserted] = stripe.map.try_emplace(i);
+  if (inserted) it->second = MakeInitialEntry(i, /*is_user=*/false);
+  return it->second;
+}
+
+StatusOr<FactorEntry> FactorStore::GetUser(UserId u) const {
+  const auto& stripe = users_.StripeFor(u);
+  std::shared_lock lock(stripe.mu);
+  auto it = stripe.map.find(u);
+  if (it == stripe.map.end()) return Status::NotFound("user");
+  return it->second;
+}
+
+StatusOr<FactorEntry> FactorStore::GetVideo(VideoId i) const {
+  const auto& stripe = videos_.StripeFor(i);
+  std::shared_lock lock(stripe.mu);
+  auto it = stripe.map.find(i);
+  if (it == stripe.map.end()) return Status::NotFound("video");
+  return it->second;
+}
+
+void FactorStore::PutUser(UserId u, FactorEntry entry) {
+  auto& stripe = users_.StripeFor(u);
+  std::unique_lock lock(stripe.mu);
+  stripe.map[u] = std::move(entry);
+}
+
+void FactorStore::PutVideo(VideoId i, FactorEntry entry) {
+  auto& stripe = videos_.StripeFor(i);
+  std::unique_lock lock(stripe.mu);
+  stripe.map[i] = std::move(entry);
+}
+
+void FactorStore::UpdateUser(UserId u,
+                             const std::function<void(FactorEntry&)>& fn) {
+  auto& stripe = users_.StripeFor(u);
+  std::unique_lock lock(stripe.mu);
+  auto [it, inserted] = stripe.map.try_emplace(u);
+  if (inserted) it->second = MakeInitialEntry(u, /*is_user=*/true);
+  fn(it->second);
+}
+
+void FactorStore::UpdateVideo(VideoId i,
+                              const std::function<void(FactorEntry&)>& fn) {
+  auto& stripe = videos_.StripeFor(i);
+  std::unique_lock lock(stripe.mu);
+  auto [it, inserted] = stripe.map.try_emplace(i);
+  if (inserted) it->second = MakeInitialEntry(i, /*is_user=*/false);
+  fn(it->second);
+}
+
+void FactorStore::ObserveRating(double rating) {
+  // Relaxed accumulation: μ tolerates benign races (it is a slowly-moving
+  // global average), but use CAS to avoid losing increments entirely.
+  double expected = rating_sum_.load(std::memory_order_relaxed);
+  while (!rating_sum_.compare_exchange_weak(expected, expected + rating,
+                                            std::memory_order_relaxed)) {
+  }
+  rating_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double FactorStore::GlobalMean() const {
+  const std::uint64_t n = rating_count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0.0;
+  return rating_sum_.load(std::memory_order_relaxed) /
+         static_cast<double>(n);
+}
+
+std::uint64_t FactorStore::RatingCount() const {
+  return rating_count_.load(std::memory_order_relaxed);
+}
+
+std::size_t FactorStore::NumUsers() const {
+  std::size_t total = 0;
+  for (const auto& stripe : users_.stripes) {
+    std::shared_lock lock(stripe->mu);
+    total += stripe->map.size();
+  }
+  return total;
+}
+
+std::size_t FactorStore::NumVideos() const {
+  std::size_t total = 0;
+  for (const auto& stripe : videos_.stripes) {
+    std::shared_lock lock(stripe->mu);
+    total += stripe->map.size();
+  }
+  return total;
+}
+
+void FactorStore::ForEachVideo(
+    const std::function<void(VideoId, const FactorEntry&)>& fn) const {
+  for (const auto& stripe : videos_.stripes) {
+    std::shared_lock lock(stripe->mu);
+    for (const auto& [id, entry] : stripe->map) fn(id, entry);
+  }
+}
+
+void FactorStore::ForEachUser(
+    const std::function<void(UserId, const FactorEntry&)>& fn) const {
+  for (const auto& stripe : users_.stripes) {
+    std::shared_lock lock(stripe->mu);
+    for (const auto& [id, entry] : stripe->map) fn(id, entry);
+  }
+}
+
+void FactorStore::RestoreRatingStats(double sum, std::uint64_t count) {
+  rating_sum_.store(sum, std::memory_order_relaxed);
+  rating_count_.store(count, std::memory_order_relaxed);
+}
+
+void FactorStore::GetRatingStats(double* sum, std::uint64_t* count) const {
+  *sum = rating_sum_.load(std::memory_order_relaxed);
+  *count = rating_count_.load(std::memory_order_relaxed);
+}
+
+}  // namespace rtrec

@@ -1,0 +1,145 @@
+#ifndef RTREC_KVSTORE_FACTOR_STORE_H_
+#define RTREC_KVSTORE_FACTOR_STORE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace rtrec {
+
+/// A latent-factor entry: the vector (x_u or y_i) plus the bias term
+/// (b_u or b_i) of Eq. 2.
+struct FactorEntry {
+  std::vector<float> vec;
+  float bias = 0.0f;
+};
+
+/// Stores the matrix-factorization state: one FactorEntry per user and per
+/// video, plus the running global average rating μ. This is the typed view
+/// over the paper's distributed KV store that the ComputeMF / MFStorage
+/// bolts read and write. Hash-sharded with striped reader-writer locks;
+/// operations on distinct keys proceed in parallel.
+///
+/// New ids are lazily initialized with small random values drawn from a
+/// deterministic per-id stream, so "new users and items can be easily
+/// added" (Section 3.3) and initialization is reproducible regardless of
+/// arrival order.
+class FactorStore {
+ public:
+  struct Options {
+    /// Latent dimensionality f.
+    int num_factors = 32;
+    /// Scale of the random initialization (uniform in ±init_scale).
+    double init_scale = 0.1;
+    /// Seed mixed with each id to derive its initial vector.
+    std::uint64_t seed = 1;
+    /// Lock-stripe count (rounded up to a power of two).
+    std::size_t num_shards = 16;
+  };
+
+  /// Constructs with default options.
+  FactorStore();
+  explicit FactorStore(Options options);
+
+  FactorStore(const FactorStore&) = delete;
+  FactorStore& operator=(const FactorStore&) = delete;
+
+  int num_factors() const { return options_.num_factors; }
+
+  /// Returns the user entry, creating and initializing it if absent.
+  FactorEntry GetOrInitUser(UserId u);
+
+  /// Returns the video entry, creating and initializing it if absent.
+  FactorEntry GetOrInitVideo(VideoId i);
+
+  /// Returns the user entry, or NotFound without creating it.
+  StatusOr<FactorEntry> GetUser(UserId u) const;
+
+  /// Returns the video entry, or NotFound without creating it.
+  StatusOr<FactorEntry> GetVideo(VideoId i) const;
+
+  /// Overwrites the user entry (MFStorage bolt write path).
+  void PutUser(UserId u, FactorEntry entry);
+
+  /// Overwrites the video entry (MFStorage bolt write path).
+  void PutVideo(VideoId i, FactorEntry entry);
+
+  /// Atomically read-modify-writes the user entry under its stripe lock,
+  /// initializing it first if absent. Used by the single-process training
+  /// path where per-key atomicity substitutes for fields grouping.
+  void UpdateUser(UserId u, const std::function<void(FactorEntry&)>& fn);
+
+  /// Atomically read-modify-writes the video entry (see UpdateUser).
+  void UpdateVideo(VideoId i, const std::function<void(FactorEntry&)>& fn);
+
+  /// Folds one observed rating into the running global mean μ.
+  void ObserveRating(double rating);
+
+  /// Running global average rating μ of Eq. 2 (0 until first observation).
+  double GlobalMean() const;
+
+  /// Number of ratings folded into μ.
+  std::uint64_t RatingCount() const;
+
+  std::size_t NumUsers() const;
+  std::size_t NumVideos() const;
+
+  /// Visits every video entry (id, entry). Iteration locks one stripe at a
+  /// time. Used by batch jobs (e.g. full similarity rebuilds in tests).
+  void ForEachVideo(
+      const std::function<void(VideoId, const FactorEntry&)>& fn) const;
+
+  /// Visits every user entry (id, entry); same locking discipline.
+  void ForEachUser(
+      const std::function<void(UserId, const FactorEntry&)>& fn) const;
+
+  /// Restores the running-mean accumulator (checkpoint load path).
+  void RestoreRatingStats(double sum, std::uint64_t count);
+
+  /// Current running-mean accumulator (checkpoint save path).
+  void GetRatingStats(double* sum, std::uint64_t* count) const;
+
+  /// Deterministically initializes an entry for `id` without storing it.
+  FactorEntry MakeInitialEntry(std::uint64_t id, bool is_user) const;
+
+ private:
+  template <typename Id>
+  struct Table {
+    struct Stripe {
+      mutable std::shared_mutex mu;
+      std::unordered_map<Id, FactorEntry> map;
+    };
+    std::vector<std::unique_ptr<Stripe>> stripes;
+    std::size_t mask = 0;
+
+    Stripe& StripeFor(Id id) {
+      return *stripes[MixHash64(id) & mask];
+    }
+    const Stripe& StripeFor(Id id) const {
+      return *stripes[MixHash64(id) & mask];
+    }
+  };
+
+  template <typename Id>
+  void InitTable(Table<Id>& table, std::size_t num_shards);
+
+  Options options_;
+  Table<UserId> users_;
+  Table<VideoId> videos_;
+
+  // Running mean μ: sum and count, updated lock-free.
+  std::atomic<double> rating_sum_{0.0};
+  std::atomic<std::uint64_t> rating_count_{0};
+};
+
+}  // namespace rtrec
+
+#endif  // RTREC_KVSTORE_FACTOR_STORE_H_

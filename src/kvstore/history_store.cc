@@ -1,0 +1,93 @@
+#include "kvstore/history_store.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace rtrec {
+
+HistoryStore::HistoryStore() : HistoryStore(Options{}) {}
+
+HistoryStore::HistoryStore(Options options) : options_(options) {
+  const std::size_t n =
+      std::bit_ceil(std::max<std::size_t>(1, options_.num_shards));
+  stripes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+  mask_ = n - 1;
+}
+
+void HistoryStore::Append(UserId user, HistoryEntry entry) {
+  Stripe& stripe = StripeFor(user);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  std::deque<HistoryEntry>& history = stripe.map[user];
+  // Keep videos distinct: refresh an existing entry by moving it to the
+  // back (most recent position).
+  auto it = std::find_if(
+      history.begin(), history.end(),
+      [&entry](const HistoryEntry& e) { return e.video == entry.video; });
+  if (it != history.end()) history.erase(it);
+  history.push_back(entry);
+  while (history.size() > options_.max_entries_per_user) {
+    history.pop_front();
+  }
+}
+
+std::vector<HistoryEntry> HistoryStore::Get(UserId user) const {
+  return GetRecent(user, options_.max_entries_per_user);
+}
+
+std::vector<HistoryEntry> HistoryStore::GetRecent(UserId user,
+                                                  std::size_t limit) const {
+  const Stripe& stripe = StripeFor(user);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.map.find(user);
+  if (it == stripe.map.end()) return {};
+  const std::deque<HistoryEntry>& history = it->second;
+  std::vector<HistoryEntry> out;
+  const std::size_t n = std::min(limit, history.size());
+  out.reserve(n);
+  // Newest first.
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(history[history.size() - 1 - i]);
+  }
+  return out;
+}
+
+std::size_t HistoryStore::NumUsers() const {
+  std::size_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    total += stripe->map.size();
+  }
+  return total;
+}
+
+void HistoryStore::ForEach(
+    const std::function<void(UserId, const std::vector<HistoryEntry>&)>& fn)
+    const {
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    for (const auto& [user, history] : stripe->map) {
+      fn(user, std::vector<HistoryEntry>(history.begin(), history.end()));
+    }
+  }
+}
+
+void HistoryStore::LoadUser(UserId user, std::vector<HistoryEntry> entries) {
+  Stripe& stripe = StripeFor(user);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  std::deque<HistoryEntry>& history = stripe.map[user];
+  history.assign(entries.begin(), entries.end());
+  while (history.size() > options_.max_entries_per_user) {
+    history.pop_front();
+  }
+}
+
+void HistoryStore::Erase(UserId user) {
+  Stripe& stripe = StripeFor(user);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  stripe.map.erase(user);
+}
+
+}  // namespace rtrec

@@ -1,0 +1,110 @@
+#include "kvstore/kv_store.h"
+
+#include <bit>
+
+namespace rtrec {
+
+namespace {
+
+std::size_t RoundUpPowerOfTwo(std::size_t n) {
+  if (n <= 1) return 1;
+  return std::bit_ceil(n);
+}
+
+}  // namespace
+
+ShardedKvStore::ShardedKvStore(ShardedKvStoreOptions options) {
+  const std::size_t n = RoundUpPowerOfTwo(options.num_shards);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_mask_ = n - 1;
+  if (options.metrics != nullptr) {
+    gets_ = options.metrics->GetCounter(options.metrics_prefix + "gets");
+    hits_ = options.metrics->GetCounter(options.metrics_prefix + "hits");
+    puts_ = options.metrics->GetCounter(options.metrics_prefix + "puts");
+    deletes_ = options.metrics->GetCounter(options.metrics_prefix + "deletes");
+  }
+}
+
+ShardedKvStore::Shard& ShardedKvStore::ShardFor(const std::string& key) {
+  const std::size_t h = std::hash<std::string>{}(key);
+  return *shards_[h & shard_mask_];
+}
+
+const ShardedKvStore::Shard& ShardedKvStore::ShardFor(
+    const std::string& key) const {
+  const std::size_t h = std::hash<std::string>{}(key);
+  return *shards_[h & shard_mask_];
+}
+
+StatusOr<std::string> ShardedKvStore::Get(const std::string& key) const {
+  if (gets_ != nullptr) gets_->Increment();
+  const Shard& shard = ShardFor(key);
+  std::shared_lock lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    return Status::NotFound("key '" + key + "'");
+  }
+  if (hits_ != nullptr) hits_->Increment();
+  return it->second;
+}
+
+Status ShardedKvStore::Put(const std::string& key, std::string value) {
+  if (puts_ != nullptr) puts_->Increment();
+  Shard& shard = ShardFor(key);
+  std::unique_lock lock(shard.mu);
+  shard.map[key] = std::move(value);
+  return Status::OK();
+}
+
+Status ShardedKvStore::Delete(const std::string& key) {
+  if (deletes_ != nullptr) deletes_->Increment();
+  Shard& shard = ShardFor(key);
+  std::unique_lock lock(shard.mu);
+  if (shard.map.erase(key) == 0) {
+    return Status::NotFound("key '" + key + "'");
+  }
+  return Status::OK();
+}
+
+bool ShardedKvStore::Contains(const std::string& key) const {
+  const Shard& shard = ShardFor(key);
+  std::shared_lock lock(shard.mu);
+  return shard.map.contains(key);
+}
+
+Status ShardedKvStore::Update(const std::string& key,
+                              const std::function<void(std::string&)>& fn,
+                              bool create_if_missing) {
+  Shard& shard = ShardFor(key);
+  std::unique_lock lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    if (!create_if_missing) return Status::NotFound("key '" + key + "'");
+    it = shard.map.emplace(key, std::string()).first;
+  }
+  fn(it->second);
+  return Status::OK();
+}
+
+std::size_t ShardedKvStore::Size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+void ShardedKvStore::ForEach(
+    const std::function<void(const std::string&, const std::string&)>& fn)
+    const {
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    for (const auto& [key, value] : shard->map) fn(key, value);
+  }
+}
+
+}  // namespace rtrec

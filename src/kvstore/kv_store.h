@@ -1,0 +1,107 @@
+#ifndef RTREC_KVSTORE_KV_STORE_H_
+#define RTREC_KVSTORE_KV_STORE_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace rtrec {
+
+/// Interface of the distributed memory-based key-value storage the paper's
+/// topology relies on (Section 5.1): vectors, user histories and similar
+/// video lists are all addressed by key, and operations on distinct keys
+/// are independent, which is what lets the Storm bolts scale.
+class KvStore {
+ public:
+  virtual ~KvStore() = default;
+
+  /// Returns the value stored under `key`, or NotFound.
+  virtual StatusOr<std::string> Get(const std::string& key) const = 0;
+
+  /// Stores `value` under `key`, overwriting any previous value.
+  virtual Status Put(const std::string& key, std::string value) = 0;
+
+  /// Removes `key`. Returns NotFound if absent.
+  virtual Status Delete(const std::string& key) = 0;
+
+  /// True iff `key` is present.
+  virtual bool Contains(const std::string& key) const = 0;
+
+  /// Atomically applies `fn` to the value under `key` (creating it from an
+  /// empty string if absent when `create_if_missing`). The mutation is
+  /// performed under the key's shard lock, giving per-key read-modify-write
+  /// atomicity — the property the paper obtains via fields grouping.
+  virtual Status Update(const std::string& key,
+                        const std::function<void(std::string&)>& fn,
+                        bool create_if_missing) = 0;
+
+  /// Number of stored keys.
+  virtual std::size_t Size() const = 0;
+};
+
+/// Options for ShardedKvStore.
+struct ShardedKvStoreOptions {
+  /// Number of lock-striped shards; rounded up to a power of two. Models
+  /// the data partitions of the distributed store.
+  std::size_t num_shards = 16;
+
+  /// Optional registry for get/put/hit counters (nullptr disables).
+  MetricsRegistry* metrics = nullptr;
+
+  /// Prefix for metric names, e.g. "kvstore.".
+  std::string metrics_prefix = "kvstore.";
+};
+
+/// In-memory hash-sharded implementation of KvStore with reader-writer
+/// striped locking. Thread-safe. Simulates the production distributed KV
+/// store on a single node; shard count models partition count.
+class ShardedKvStore : public KvStore {
+ public:
+  explicit ShardedKvStore(ShardedKvStoreOptions options = {});
+
+  StatusOr<std::string> Get(const std::string& key) const override;
+  Status Put(const std::string& key, std::string value) override;
+  Status Delete(const std::string& key) override;
+  bool Contains(const std::string& key) const override;
+  Status Update(const std::string& key,
+                const std::function<void(std::string&)>& fn,
+                bool create_if_missing) override;
+  std::size_t Size() const override;
+
+  /// Visits every (key, value) pair. The callback must not reenter the
+  /// store. Iteration locks one shard at a time, so it observes a
+  /// per-shard-consistent snapshot.
+  void ForEach(
+      const std::function<void(const std::string&, const std::string&)>& fn)
+      const;
+
+  std::size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<std::string, std::string> map;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  const Shard& ShardFor(const std::string& key) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t shard_mask_;
+  Counter* gets_ = nullptr;
+  Counter* hits_ = nullptr;
+  Counter* puts_ = nullptr;
+  Counter* deletes_ = nullptr;
+};
+
+}  // namespace rtrec
+
+#endif  // RTREC_KVSTORE_KV_STORE_H_

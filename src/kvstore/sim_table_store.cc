@@ -1,0 +1,146 @@
+#include "kvstore/sim_table_store.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace rtrec {
+
+SimTableStore::SimTableStore() : SimTableStore(Options{}) {}
+
+SimTableStore::SimTableStore(Options options) : options_(options) {
+  const std::size_t n =
+      std::bit_ceil(std::max<std::size_t>(1, options_.num_shards));
+  stripes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+  mask_ = n - 1;
+}
+
+double SimTableStore::Decay(double sim, Timestamp update_time,
+                            Timestamp now) const {
+  const double dt = static_cast<double>(now - update_time);
+  if (dt <= 0) return sim;  // Future-stamped entries do not grow.
+  return sim * std::exp2(-dt / options_.xi_millis);
+}
+
+void SimTableStore::Update(VideoId a, VideoId b, double sim, Timestamp now) {
+  if (a == b) return;
+  UpdateOneDirection(a, b, sim, now);
+  UpdateOneDirection(b, a, sim, now);
+}
+
+void SimTableStore::UpdateOneDirection(VideoId from, VideoId to, double sim,
+                                       Timestamp now) {
+  Stripe& stripe = StripeFor(from);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  List& list = stripe.map[from];
+
+  // Replace an existing entry for `to`, pruning dead entries on the way.
+  bool replaced = false;
+  auto& entries = list.entries;
+  for (std::size_t i = 0; i < entries.size();) {
+    if (entries[i].video == to) {
+      entries[i].similarity = sim;
+      entries[i].update_time = now;
+      replaced = true;
+      ++i;
+    } else if (Decay(entries[i].similarity, entries[i].update_time, now) <
+               options_.prune_threshold) {
+      entries[i] = entries.back();
+      entries.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  if (replaced) return;
+
+  if (entries.size() < options_.top_k) {
+    entries.push_back(SimilarVideo{to, sim, now});
+    return;
+  }
+  // Evict the weakest (by decayed similarity) if the newcomer beats it.
+  std::size_t weakest = 0;
+  double weakest_sim =
+      Decay(entries[0].similarity, entries[0].update_time, now);
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    const double s = Decay(entries[i].similarity, entries[i].update_time, now);
+    if (s < weakest_sim) {
+      weakest_sim = s;
+      weakest = i;
+    }
+  }
+  if (sim > weakest_sim) {
+    entries[weakest] = SimilarVideo{to, sim, now};
+  }
+}
+
+std::vector<SimilarVideo> SimTableStore::Query(VideoId video, Timestamp now,
+                                               std::size_t limit) const {
+  const Stripe& stripe = StripeFor(video);
+  std::vector<SimilarVideo> decayed;
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.map.find(video);
+    if (it == stripe.map.end()) return {};
+    decayed.reserve(it->second.entries.size());
+    for (const SimilarVideo& e : it->second.entries) {
+      const double s = Decay(e.similarity, e.update_time, now);
+      if (s >= options_.prune_threshold) {
+        decayed.push_back(SimilarVideo{e.video, s, e.update_time});
+      }
+    }
+  }
+  std::sort(decayed.begin(), decayed.end(),
+            [](const SimilarVideo& x, const SimilarVideo& y) {
+              return x.similarity > y.similarity;
+            });
+  if (decayed.size() > limit) decayed.resize(limit);
+  return decayed;
+}
+
+double SimTableStore::GetDecayedSimilarity(VideoId a, VideoId b,
+                                           Timestamp now) const {
+  const Stripe& stripe = StripeFor(a);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.map.find(a);
+  if (it == stripe.map.end()) return 0.0;
+  for (const SimilarVideo& e : it->second.entries) {
+    if (e.video == b) {
+      const double s = Decay(e.similarity, e.update_time, now);
+      return s < options_.prune_threshold ? 0.0 : s;
+    }
+  }
+  return 0.0;
+}
+
+void SimTableStore::ForEachList(
+    const std::function<void(VideoId, const std::vector<SimilarVideo>&)>& fn)
+    const {
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    for (const auto& [id, list] : stripe->map) fn(id, list.entries);
+  }
+}
+
+void SimTableStore::LoadList(VideoId video,
+                             std::vector<SimilarVideo> entries) {
+  if (entries.size() > options_.top_k) entries.resize(options_.top_k);
+  Stripe& stripe = StripeFor(video);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  stripe.map[video].entries = std::move(entries);
+}
+
+std::size_t SimTableStore::NumVideos() const {
+  std::size_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    for (const auto& [id, list] : stripe->map) {
+      if (!list.entries.empty()) ++total;
+    }
+  }
+  return total;
+}
+
+}  // namespace rtrec

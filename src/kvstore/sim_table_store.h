@@ -1,0 +1,106 @@
+#ifndef RTREC_KVSTORE_SIM_TABLE_STORE_H_
+#define RTREC_KVSTORE_SIM_TABLE_STORE_H_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rtrec {
+
+/// One neighbour in a video's similar-video list: the fused similarity
+/// sim_ij = (1-β)·s1 + β·s2 *as of `update_time`* (Eq. 12). The time-decay
+/// factor d_ij = 2^(-Δt/ξ) (Eq. 11) is applied at read time from
+/// `update_time`, so similarity fades continuously without background
+/// sweeps.
+struct SimilarVideo {
+  VideoId video = 0;
+  double similarity = 0.0;
+  Timestamp update_time = 0;
+};
+
+/// The similar-video tables of Section 4: for each video, the top-K most
+/// relevant videos. Maintained incrementally by the ItemPairSim /
+/// ResultStorage bolts and queried on every recommendation request to
+/// select candidates. Hash-sharded; each per-video list is bounded.
+class SimTableStore {
+ public:
+  struct Options {
+    /// Per-video list length K (candidate pool per seed).
+    std::size_t top_k = 50;
+    /// Half-life ξ of the time decay, in milliseconds (Eq. 11).
+    double xi_millis = 3.0 * kMillisPerDay;
+    /// Entries whose decayed similarity drops below this are pruned on
+    /// touch.
+    double prune_threshold = 1e-4;
+    /// Lock-stripe count (rounded up to a power of two).
+    std::size_t num_shards = 16;
+  };
+
+  /// Constructs with default options.
+  SimTableStore();
+  explicit SimTableStore(Options options);
+
+  SimTableStore(const SimTableStore&) = delete;
+  SimTableStore& operator=(const SimTableStore&) = delete;
+
+  /// Records that the pair (a, b) has fused similarity `sim` as of `now`.
+  /// Updates both directions (b appears in a's list and vice versa).
+  /// An existing entry for the pair is replaced — per the paper, the
+  /// similarity of a pair is recomputed from scratch whenever a new action
+  /// touches it, and its decay clock restarts.
+  void Update(VideoId a, VideoId b, double sim, Timestamp now);
+
+  /// Returns up to `limit` neighbours of `video`, ranked by decayed
+  /// similarity at `now`, i.e. sim · 2^(-(now - update_time)/ξ).
+  /// Prunes entries that decayed below the threshold.
+  std::vector<SimilarVideo> Query(VideoId video, Timestamp now,
+                                  std::size_t limit) const;
+
+  /// Decayed similarity of the (a, b) pair at `now`, or 0 if unknown.
+  double GetDecayedSimilarity(VideoId a, VideoId b, Timestamp now) const;
+
+  /// Number of videos having a non-empty list.
+  std::size_t NumVideos() const;
+
+  /// Visits every per-video directed list (checkpoint save path). Locks
+  /// one stripe at a time.
+  void ForEachList(const std::function<void(
+                       VideoId, const std::vector<SimilarVideo>&)>& fn) const;
+
+  /// Replaces the directed list of `video` wholesale (checkpoint load
+  /// path). Entries beyond top_k are dropped.
+  void LoadList(VideoId video, std::vector<SimilarVideo> entries);
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct List {
+    std::vector<SimilarVideo> entries;  // Unordered; ranked at query time.
+  };
+
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<VideoId, List> map;
+  };
+
+  void UpdateOneDirection(VideoId from, VideoId to, double sim,
+                          Timestamp now);
+  double Decay(double sim, Timestamp update_time, Timestamp now) const;
+
+  Stripe& StripeFor(VideoId v) { return *stripes_[MixHash64(v) & mask_]; }
+  const Stripe& StripeFor(VideoId v) const {
+    return *stripes_[MixHash64(v) & mask_];
+  }
+
+  Options options_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace rtrec
+
+#endif  // RTREC_KVSTORE_SIM_TABLE_STORE_H_

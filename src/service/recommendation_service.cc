@@ -1,0 +1,84 @@
+#include "service/recommendation_service.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "kvstore/checkpoint.h"
+
+namespace rtrec {
+
+RecommendationService::RecommendationService(VideoTypeResolver type_resolver)
+    : RecommendationService(std::move(type_resolver), Options{}) {}
+
+RecommendationService::RecommendationService(VideoTypeResolver type_resolver,
+                                             Options options)
+    : options_(std::move(options)), hot_(options_.hot) {
+  Recommender* primary = nullptr;
+  if (options_.demographic_training) {
+    DemographicTrainer::Options trainer_options;
+    trainer_options.engine = options_.engine;
+    trainer_ = std::make_unique<DemographicTrainer>(
+        &grouper_, type_resolver, trainer_options);
+    primary = trainer_.get();
+  } else {
+    global_engine_ =
+        std::make_unique<RecEngine>(std::move(type_resolver),
+                                    options_.engine);
+    primary = global_engine_.get();
+  }
+  filter_ = std::make_unique<DemographicFilter>(primary, &hot_, &grouper_,
+                                                options_.filter);
+  if (options_.metrics != nullptr) {
+    requests_ = options_.metrics->GetCounter("service.requests");
+    actions_ = options_.metrics->GetCounter("service.actions");
+  }
+}
+
+Status RecommendationService::Checkpoint(const std::string& directory) const {
+  if (trainer_ != nullptr) return trainer_->SaveSnapshot(directory);
+  // Global-only mode: the single engine goes into the same layout.
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::Unavailable("cannot create '" + directory +
+                               "': " + ec.message());
+  }
+  std::ofstream manifest(directory + "/manifest.txt", std::ios::trunc);
+  if (!manifest.is_open()) {
+    return Status::Unavailable("cannot write manifest");
+  }
+  manifest << kGlobalGroup << std::endl;
+  manifest.flush();
+  return SaveCheckpoint(directory + "/group_global.ckpt",
+                        &global_engine_->factors(),
+                        &global_engine_->sim_table(),
+                        &global_engine_->history());
+}
+
+Status RecommendationService::Restore(const std::string& directory) {
+  if (trainer_ != nullptr) return trainer_->LoadSnapshot(directory);
+  return LoadCheckpoint(directory + "/group_global.ckpt",
+                        &global_engine_->factors(),
+                        &global_engine_->sim_table(),
+                        &global_engine_->history());
+}
+
+void RecommendationService::RegisterProfile(UserId user,
+                                            const UserProfile& profile) {
+  grouper_.RegisterProfile(user, profile);
+}
+
+void RecommendationService::Observe(const UserAction& action) {
+  if (actions_ != nullptr) actions_->Increment();
+  // The filter fans out to the primary model and the hot trackers.
+  filter_->Observe(action);
+}
+
+StatusOr<std::vector<ScoredVideo>> RecommendationService::Recommend(
+    const RecRequest& request) {
+  ScopedLatencyTimer timer(&request_latency_);
+  if (requests_ != nullptr) requests_->Increment();
+  return filter_->Recommend(request);
+}
+
+}  // namespace rtrec

@@ -1,0 +1,124 @@
+#include "stream/acker.h"
+
+#include <vector>
+
+namespace rtrec::stream {
+
+AckTracker::AckTracker(Options options) : options_(options) {
+  sweeper_ = std::thread([this] { SweeperLoop(); });
+}
+
+AckTracker::~AckTracker() {
+  {
+    std::lock_guard<std::mutex> lock(sweeper_mu_);
+    stop_ = true;
+  }
+  sweeper_cv_.notify_all();
+  if (sweeper_.joinable()) sweeper_.join();
+}
+
+std::uint64_t AckTracker::RegisterOwner(Callback callback) {
+  std::lock_guard<std::mutex> lock(owners_mu_);
+  const std::uint64_t owner = next_owner_++;
+  owners_.emplace(owner, std::move(callback));
+  return owner;
+}
+
+void AckTracker::UnregisterOwner(std::uint64_t owner) {
+  // Abandon the owner's pending roots first so no completion can race
+  // into the callback after it is erased.
+  {
+    std::lock_guard<std::mutex> lock(roots_mu_);
+    for (auto it = roots_.begin(); it != roots_.end();) {
+      if (it->second.owner == owner) {
+        it = roots_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // owners_mu_ serializes against in-flight callback invocations.
+  std::lock_guard<std::mutex> lock(owners_mu_);
+  owners_.erase(owner);
+}
+
+std::uint64_t AckTracker::CreateRoot(std::uint64_t owner,
+                                     std::int64_t initial_count) {
+  std::uint64_t root_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(roots_mu_);
+    root_id = next_root_++;
+    if (initial_count > 0) {
+      Root root;
+      root.owner = owner;
+      root.outstanding = initial_count;
+      root.deadline = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(options_.timeout_millis);
+      roots_.emplace(root_id, root);
+      return root_id;
+    }
+  }
+  // Nothing downstream: the tree is trivially complete.
+  Complete(root_id, owner, /*acked=*/true);
+  return root_id;
+}
+
+void AckTracker::Add(std::uint64_t root_id, std::int64_t delta) {
+  std::uint64_t owner = 0;
+  bool completed = false;
+  {
+    std::lock_guard<std::mutex> lock(roots_mu_);
+    auto it = roots_.find(root_id);
+    if (it == roots_.end()) return;  // Already resolved or abandoned.
+    it->second.outstanding += delta;
+    if (it->second.outstanding <= 0) {
+      owner = it->second.owner;
+      roots_.erase(it);
+      completed = true;
+    }
+  }
+  if (completed) Complete(root_id, owner, /*acked=*/true);
+}
+
+void AckTracker::Complete(std::uint64_t root_id, std::uint64_t owner,
+                          bool acked) {
+  std::lock_guard<std::mutex> lock(owners_mu_);
+  auto it = owners_.find(owner);
+  if (it == owners_.end()) return;  // Owner already gone.
+  it->second(root_id, acked);
+}
+
+std::size_t AckTracker::PendingRoots() const {
+  std::lock_guard<std::mutex> lock(roots_mu_);
+  return roots_.size();
+}
+
+void AckTracker::SweeperLoop() {
+  std::unique_lock<std::mutex> sweeper_lock(sweeper_mu_);
+  while (!stop_) {
+    sweeper_cv_.wait_for(
+        sweeper_lock,
+        std::chrono::milliseconds(options_.sweep_interval_millis),
+        [this] { return stop_; });
+    if (stop_) return;
+
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> expired;
+    {
+      const auto now = std::chrono::steady_clock::now();
+      std::lock_guard<std::mutex> lock(roots_mu_);
+      for (auto it = roots_.begin(); it != roots_.end();) {
+        if (it->second.deadline <= now) {
+          expired.emplace_back(it->first, it->second.owner);
+          it = roots_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (const auto& [root_id, owner] : expired) {
+      Complete(root_id, owner, /*acked=*/false);
+    }
+  }
+}
+
+}  // namespace rtrec::stream

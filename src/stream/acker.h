@@ -1,0 +1,94 @@
+#ifndef RTREC_STREAM_ACKER_H_
+#define RTREC_STREAM_ACKER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace rtrec::stream {
+
+/// Tracks tuple trees for at-least-once processing — the role of Storm's
+/// acker executors. Every spout emission opens a *root*; every anchored
+/// downstream emission grows the root's outstanding count and every
+/// completed Process() shrinks it; at zero the root's owner (the spout)
+/// gets an Ack, and a root that stays outstanding past the timeout gets
+/// a Fail.
+///
+/// Storm tracks completion with XORed random tuple ids so each acker
+/// needs O(1) state per root across a cluster; inside one process a
+/// signed counter is observably equivalent and simpler, so that is what
+/// this implementation uses.
+///
+/// Thread-safe. Callbacks fire on the tracker's sweeper thread or on the
+/// completing task's thread; they must not reenter the tracker.
+class AckTracker {
+ public:
+  struct Options {
+    /// A root older than this without completing is failed.
+    std::int64_t timeout_millis = 30'000;
+    /// Sweep cadence of the timeout thread.
+    std::int64_t sweep_interval_millis = 20;
+  };
+
+  /// Called with (root id, true) on ack and (root id, false) on fail.
+  using Callback = std::function<void(std::uint64_t, bool)>;
+
+  explicit AckTracker(Options options);
+  ~AckTracker();
+
+  AckTracker(const AckTracker&) = delete;
+  AckTracker& operator=(const AckTracker&) = delete;
+
+  /// Registers a root owner (one per spout task). The callback must stay
+  /// valid until UnregisterOwner returns.
+  std::uint64_t RegisterOwner(Callback callback);
+
+  /// Drops the owner; its pending roots are abandoned without callbacks.
+  /// After return, no further callback for this owner is running or will
+  /// run.
+  void UnregisterOwner(std::uint64_t owner);
+
+  /// Opens a root with `initial_count` outstanding tuples. A zero count
+  /// completes (acks) immediately. Returns the root id (never 0).
+  std::uint64_t CreateRoot(std::uint64_t owner, std::int64_t initial_count);
+
+  /// Adjusts a root's outstanding count; reaching zero acks it. Unknown
+  /// roots (already acked/failed/abandoned) are ignored.
+  void Add(std::uint64_t root, std::int64_t delta);
+
+  /// Roots currently outstanding.
+  std::size_t PendingRoots() const;
+
+ private:
+  struct Root {
+    std::uint64_t owner = 0;
+    std::int64_t outstanding = 0;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  void Complete(std::uint64_t root_id, std::uint64_t owner, bool acked);
+  void SweeperLoop();
+
+  Options options_;
+
+  mutable std::mutex roots_mu_;
+  std::unordered_map<std::uint64_t, Root> roots_;
+  std::uint64_t next_root_ = 1;
+
+  std::mutex owners_mu_;
+  std::unordered_map<std::uint64_t, Callback> owners_;
+  std::uint64_t next_owner_ = 1;
+
+  std::mutex sweeper_mu_;
+  std::condition_variable sweeper_cv_;
+  bool stop_ = false;
+  std::thread sweeper_;
+};
+
+}  // namespace rtrec::stream
+
+#endif  // RTREC_STREAM_ACKER_H_

@@ -1,0 +1,100 @@
+#ifndef RTREC_STREAM_BOLT_H_
+#define RTREC_STREAM_BOLT_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/metrics.h"
+#include "stream/tuple.h"
+
+namespace rtrec::stream {
+
+/// Name of the stream used when a component emits without naming one.
+inline const char kDefaultStream[] = "default";
+
+/// Per-task runtime information handed to spouts and bolts at startup.
+struct TaskContext {
+  /// Component name as declared in the topology.
+  std::string component;
+  /// This task's index within the component, in [0, parallelism).
+  std::size_t task_index = 0;
+  /// The component's parallelism (number of tasks).
+  std::size_t parallelism = 1;
+  /// Topology-wide metrics registry (never null while running).
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// Sink for tuples produced by a spout or bolt. Bound to the emitting task;
+/// not thread-safe (each task runs on one thread, as in Storm executors).
+class OutputCollector {
+ public:
+  virtual ~OutputCollector() = default;
+
+  /// Emits `tuple` on the component's default stream. With acking
+  /// enabled, a spout emission returns the new tuple-tree id (see
+  /// Spout::Ack) and a bolt emission returns the anchored root id;
+  /// without acking, returns 0.
+  std::uint64_t Emit(Tuple tuple) {
+    return EmitTo(kDefaultStream, std::move(tuple));
+  }
+
+  /// Emits `tuple` on the named stream. Tuples on streams nobody
+  /// subscribes to are dropped (counted in metrics).
+  virtual std::uint64_t EmitTo(const std::string& stream, Tuple tuple) = 0;
+};
+
+/// A stream transformer: consumes input tuples, optionally emits output
+/// tuples (Storm bolt). One instance is created per task via the factory,
+/// so instances may keep per-task state without synchronization.
+class Bolt {
+ public:
+  virtual ~Bolt() = default;
+
+  /// Called once on the task's thread before any Process call.
+  virtual void Prepare(const TaskContext& context) { (void)context; }
+
+  /// Called for every input tuple, on the task's thread.
+  virtual void Process(const Tuple& tuple, OutputCollector& collector) = 0;
+
+  /// Called once after the last Process call, before shutdown.
+  virtual void Cleanup() {}
+};
+
+/// A stream source (Storm spout). `Next` is called in a loop on the task's
+/// thread; returning false signals exhaustion, after which the topology
+/// drains and shuts the downstream bolts cleanly.
+class Spout {
+ public:
+  virtual ~Spout() = default;
+
+  /// Called once on the task's thread before any Next call.
+  virtual void Open(const TaskContext& context) { (void)context; }
+
+  /// Emits zero or more tuples. Returns false when the source is
+  /// exhausted (finite replay) — a production spout simply never returns
+  /// false.
+  virtual bool Next(OutputCollector& collector) = 0;
+
+  /// Reliability callbacks (Storm's at-least-once API; active only when
+  /// TopologyOptions::enable_acking is set). `tuple_id` is the value
+  /// Emit returned for the root tuple. Ack fires when every downstream
+  /// tuple anchored to the root has been fully processed; Fail fires
+  /// when the tree does not complete within the ack timeout (replay is
+  /// the spout's decision). Called from an internal tracker thread —
+  /// implementations must be thread-safe with respect to Next().
+  virtual void Ack(std::uint64_t tuple_id) { (void)tuple_id; }
+  virtual void Fail(std::uint64_t tuple_id) { (void)tuple_id; }
+
+  /// Called once after the final Next call.
+  virtual void Close() {}
+};
+
+/// Factories create one instance per task.
+using BoltFactory = std::function<std::unique_ptr<Bolt>()>;
+using SpoutFactory = std::function<std::unique_ptr<Spout>()>;
+
+}  // namespace rtrec::stream
+
+#endif  // RTREC_STREAM_BOLT_H_

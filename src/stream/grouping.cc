@@ -1,0 +1,49 @@
+#include "stream/grouping.h"
+
+#include <cassert>
+
+#include "common/types.h"
+
+namespace rtrec::stream {
+
+GroupingRouter::GroupingRouter(Grouping grouping,
+                               std::size_t num_consumer_tasks)
+    : grouping_(std::move(grouping)), num_consumer_tasks_(num_consumer_tasks) {
+  assert(num_consumer_tasks_ > 0);
+  if (grouping_.type == GroupingType::kFields) {
+    assert(!grouping_.fields.empty() && "fields grouping requires keys");
+  }
+}
+
+void GroupingRouter::Route(const Tuple& tuple, std::vector<std::size_t>& out) {
+  out.clear();
+  switch (grouping_.type) {
+    case GroupingType::kShuffle: {
+      out.push_back(round_robin_);
+      round_robin_ = (round_robin_ + 1) % num_consumer_tasks_;
+      return;
+    }
+    case GroupingType::kFields: {
+      std::uint64_t h = 0x9E3779B97F4A7C15ull;
+      for (const std::string& field : grouping_.fields) {
+        const Value* v = tuple.GetByName(field);
+        const std::uint64_t fh =
+            v == nullptr ? HashValue(Value{}) : HashValue(*v);
+        h = MixHash64(h ^ fh);
+      }
+      out.push_back(static_cast<std::size_t>(h % num_consumer_tasks_));
+      return;
+    }
+    case GroupingType::kGlobal: {
+      out.push_back(0);
+      return;
+    }
+    case GroupingType::kAll: {
+      out.reserve(num_consumer_tasks_);
+      for (std::size_t i = 0; i < num_consumer_tasks_; ++i) out.push_back(i);
+      return;
+    }
+  }
+}
+
+}  // namespace rtrec::stream

@@ -1,0 +1,97 @@
+#include "stream/reliable_spout.h"
+
+#include <cassert>
+#include <utility>
+
+namespace rtrec::stream {
+
+ReliableReplaySpout::ReliableReplaySpout(Generator generator)
+    : ReliableReplaySpout(std::move(generator), Options{}) {}
+
+ReliableReplaySpout::ReliableReplaySpout(Generator generator, Options options)
+    : generator_(std::move(generator)), options_(options) {
+  assert(generator_ != nullptr);
+}
+
+bool ReliableReplaySpout::Next(OutputCollector& collector) {
+  // 1. Replays first: failed trees take priority over fresh input.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!retry_queue_.empty()) {
+      InFlight item = std::move(retry_queue_.front());
+      retry_queue_.pop_front();
+      ++item.attempts;
+      Tuple to_send = item.tuple;
+      lock.unlock();
+      const std::uint64_t id = collector.Emit(std::move(to_send));
+      lock.lock();
+      in_flight_.emplace(id, std::move(item));
+      return true;
+    }
+  }
+
+  // 2. Fresh input.
+  if (!generator_done_) {
+    std::optional<Tuple> tuple = generator_();
+    if (tuple.has_value()) {
+      InFlight item;
+      item.tuple = *tuple;
+      const std::uint64_t id = collector.Emit(std::move(*tuple));
+      std::lock_guard<std::mutex> lock(mu_);
+      in_flight_.emplace(id, std::move(item));
+      return true;
+    }
+    generator_done_ = true;
+  }
+
+  // 3. End-of-stream drain: stay alive until every tree resolves (acks
+  //    arrive, or failures land back in the retry queue and loop to 1).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (in_flight_.empty() && retry_queue_.empty()) return false;
+  }
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(options_.drain_poll_millis));
+  return true;
+}
+
+void ReliableReplaySpout::Ack(std::uint64_t tuple_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_flight_.erase(tuple_id) > 0) ++acked_;
+}
+
+void ReliableReplaySpout::Fail(std::uint64_t tuple_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = in_flight_.find(tuple_id);
+  if (it == in_flight_.end()) return;
+  ++failed_;
+  InFlight item = std::move(it->second);
+  in_flight_.erase(it);
+  if (options_.max_retries > 0 && item.attempts > options_.max_retries) {
+    ++gave_up_;
+    return;
+  }
+  retry_queue_.push_back(std::move(item));
+}
+
+std::size_t ReliableReplaySpout::acked() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return acked_;
+}
+
+std::size_t ReliableReplaySpout::failed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_;
+}
+
+std::size_t ReliableReplaySpout::gave_up() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gave_up_;
+}
+
+std::size_t ReliableReplaySpout::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_.size() + retry_queue_.size();
+}
+
+}  // namespace rtrec::stream

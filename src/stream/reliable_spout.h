@@ -1,0 +1,72 @@
+#ifndef RTREC_STREAM_RELIABLE_SPOUT_H_
+#define RTREC_STREAM_RELIABLE_SPOUT_H_
+
+#include <chrono>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+
+#include "stream/bolt.h"
+
+namespace rtrec::stream {
+
+/// A spout with at-least-once delivery over a finite tuple generator:
+/// every emission is remembered until acked; failed (timed-out) trees
+/// are replayed; Next() only declares exhaustion once the generator is
+/// drained *and* every emission has been acknowledged. Requires
+/// TopologyOptions::enable_acking.
+///
+/// This is the standard Storm reliable-spout pattern: the source must be
+/// replayable (here: we retain in-flight tuples in memory; a production
+/// source would retain offsets into a durable log).
+class ReliableReplaySpout : public Spout {
+ public:
+  /// Pulls the next fresh tuple; nullopt once the source is exhausted.
+  /// Called only from the spout task's thread.
+  using Generator = std::function<std::optional<Tuple>()>;
+
+  struct Options {
+    /// Cap on replays of a single tuple before it is dropped (counted in
+    /// `gave_up()`); 0 means retry forever.
+    std::size_t max_retries = 0;
+    /// Idle backoff while waiting for outstanding acks at end of stream.
+    std::int64_t drain_poll_millis = 1;
+  };
+
+  explicit ReliableReplaySpout(Generator generator);
+  ReliableReplaySpout(Generator generator, Options options);
+
+  bool Next(OutputCollector& collector) override;
+  void Ack(std::uint64_t tuple_id) override;
+  void Fail(std::uint64_t tuple_id) override;
+
+  /// Observability for tests and ops.
+  std::size_t acked() const;
+  std::size_t failed() const;
+  std::size_t gave_up() const;
+  std::size_t in_flight() const;
+
+ private:
+  struct InFlight {
+    Tuple tuple;
+    std::size_t attempts = 1;
+  };
+
+  Generator generator_;
+  Options options_;
+  bool generator_done_ = false;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, InFlight> in_flight_;
+  std::deque<InFlight> retry_queue_;
+  std::size_t acked_ = 0;
+  std::size_t failed_ = 0;
+  std::size_t gave_up_ = 0;
+};
+
+}  // namespace rtrec::stream
+
+#endif  // RTREC_STREAM_RELIABLE_SPOUT_H_

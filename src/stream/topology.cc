@@ -1,0 +1,333 @@
+#include "stream/topology.h"
+
+#include <cassert>
+#include <set>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace rtrec::stream {
+
+/// Routes one producer task's emissions to consumer queues. Owns the
+/// per-edge routers, so round-robin cursors are task-local (deterministic
+/// per task) and no synchronization is needed on the emit path.
+class Topology::TaskCollector : public OutputCollector {
+ public:
+  /// For spout tasks, `acker_owner` identifies the spout in the tracker;
+  /// for bolt tasks, `current_root` points at the root of the tuple
+  /// being processed (set by the task loop before each Process call).
+  TaskCollector(ComponentRuntime* component,
+                std::unordered_map<std::string, std::vector<EdgeRuntime>>
+                    edges_by_stream,
+                AckTracker* acker, std::uint64_t acker_owner,
+                const std::uint64_t* current_root)
+      : component_(component),
+        edges_by_stream_(std::move(edges_by_stream)),
+        acker_(acker),
+        acker_owner_(acker_owner),
+        current_root_(current_root) {}
+
+  std::uint64_t EmitTo(const std::string& stream, Tuple tuple) override {
+    auto it = edges_by_stream_.find(stream);
+    const bool subscribed =
+        it != edges_by_stream_.end() && !it->second.empty();
+
+    // Gather destinations first: the tracked count must be registered
+    // before any copy is pushed (a consumer could otherwise complete the
+    // tree before the remaining copies are accounted for).
+    destinations_.clear();
+    if (subscribed) {
+      for (EdgeRuntime& edge : it->second) {
+        edge.router.Route(tuple, scratch_);
+        for (std::size_t consumer_task : scratch_) {
+          destinations_.emplace_back(edge.consumer_queues[consumer_task],
+                                     edge.consumer_depth);
+        }
+      }
+    }
+
+    std::uint64_t root = 0;
+    if (acker_ != nullptr) {
+      if (current_root_ == nullptr) {
+        // Spout emission: open a tree (an unsubscribed emission is
+        // trivially complete and acks immediately).
+        root = acker_->CreateRoot(
+            acker_owner_, static_cast<std::int64_t>(destinations_.size()));
+      } else if (*current_root_ != 0) {
+        // Bolt emission: anchor to the tuple being processed.
+        root = *current_root_;
+        if (!destinations_.empty()) {
+          acker_->Add(root, static_cast<std::int64_t>(destinations_.size()));
+        }
+      }
+    }
+
+    if (!subscribed) {
+      component_->dropped->Increment();
+      return root;
+    }
+    component_->emitted->Increment();
+    for (auto& [queue, depth] : destinations_) {
+      // Push blocks when the consumer is saturated: backpressure.
+      if (queue->Push(Envelope(tuple, root)) && depth != nullptr) {
+        depth->Add(1);
+      }
+    }
+    return root;
+  }
+
+ private:
+  ComponentRuntime* component_;
+  std::unordered_map<std::string, std::vector<EdgeRuntime>> edges_by_stream_;
+  AckTracker* acker_;
+  std::uint64_t acker_owner_;
+  const std::uint64_t* current_root_;
+  std::vector<std::size_t> scratch_;
+  std::vector<std::pair<TaskQueue*, Gauge*>> destinations_;
+};
+
+Topology::Topology(TopologySpec spec, TopologyOptions options)
+    : spec_(std::move(spec)), options_(options) {
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  if (options_.enable_acking) {
+    AckTracker::Options acker_options;
+    acker_options.timeout_millis = options_.ack_timeout_millis;
+    acker_ = std::make_unique<AckTracker>(acker_options);
+  }
+}
+
+StatusOr<std::unique_ptr<Topology>> Topology::Create(TopologySpec spec,
+                                                     TopologyOptions options) {
+  if (spec.components.empty()) {
+    return Status::InvalidArgument("empty topology spec");
+  }
+  std::unique_ptr<Topology> topo(new Topology(std::move(spec), options));
+  RTREC_RETURN_IF_ERROR(topo->Wire());
+  return topo;
+}
+
+Status Topology::Wire() {
+  components_.resize(spec_.components.size());
+  // First pass: queues and metrics.
+  for (std::size_t i = 0; i < spec_.components.size(); ++i) {
+    ComponentRuntime& rt = components_[i];
+    rt.spec = spec_.components[i];
+    const std::string& name = rt.spec.name;
+    rt.emitted = metrics_->GetCounter(name + ".emitted");
+    rt.processed = metrics_->GetCounter(name + ".processed");
+    rt.dropped = metrics_->GetCounter(name + ".dropped");
+    rt.process_us = metrics_->GetHistogram(name + ".process_us");
+    rt.queue_depth = metrics_->GetGauge(name + ".queue_depth");
+    if (!rt.spec.is_spout()) {
+      rt.queues.reserve(rt.spec.parallelism);
+      for (std::size_t t = 0; t < rt.spec.parallelism; ++t) {
+        rt.queues.push_back(
+            std::make_unique<TaskQueue>(options_.queue_capacity));
+      }
+    }
+  }
+  // Second pass: EOS bookkeeping from the consumer side.
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    ComponentRuntime& consumer = components_[i];
+    std::unordered_set<std::string> distinct_producers;
+    for (const EdgeSpec& edge : consumer.spec.inputs) {
+      distinct_producers.insert(edge.from_component);
+    }
+    for (const std::string& producer_name : distinct_producers) {
+      const int p = spec_.IndexOf(producer_name);
+      if (p < 0) {
+        return Status::InvalidArgument("unknown producer '" + producer_name +
+                                       "'");
+      }
+      ComponentRuntime& producer = components_[static_cast<std::size_t>(p)];
+      consumer.expected_eos += producer.spec.parallelism;
+      for (auto& queue : consumer.queues) {
+        producer.eos_targets.push_back(queue.get());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Topology::Start() {
+  bool expected = false;
+  if (!started_.compare_exchange_strong(expected, true)) {
+    return Status::FailedPrecondition("topology already started");
+  }
+  // Launch consumers before producers so queues exist (they do — Wire laid
+  // them out), and simply spawn everything; queues buffer until ready.
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    for (std::size_t t = 0; t < components_[i].spec.parallelism; ++t) {
+      if (components_[i].spec.is_spout()) {
+        threads_.emplace_back([this, i, t] { RunSpoutTask(i, t); });
+      } else {
+        threads_.emplace_back([this, i, t] { RunBoltTask(i, t); });
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Topology::Join() {
+  if (!started_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("topology not started");
+  }
+  for (std::thread& th : threads_) {
+    if (th.joinable()) th.join();
+  }
+  // Every tuple has been processed (or timed out via the sweeper), so
+  // all reliability callbacks have fired; retire the parked spouts.
+  if (acker_ != nullptr) {
+    std::lock_guard<std::mutex> lock(parked_spouts_mu_);
+    for (auto& [spout, owner] : parked_spouts_) {
+      acker_->UnregisterOwner(owner);
+    }
+    parked_spouts_.clear();
+  }
+  finished_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void Topology::RequestStop() {
+  stop_requested_.store(true, std::memory_order_release);
+}
+
+Topology::~Topology() {
+  RequestStop();
+  for (std::thread& th : threads_) {
+    if (th.joinable()) th.join();
+  }
+  if (acker_ != nullptr) {
+    std::lock_guard<std::mutex> lock(parked_spouts_mu_);
+    for (auto& [spout, owner] : parked_spouts_) {
+      acker_->UnregisterOwner(owner);
+    }
+    parked_spouts_.clear();
+  }
+}
+
+void Topology::BroadcastEos(ComponentRuntime& component) {
+  for (TaskQueue* queue : component.eos_targets) {
+    Envelope eos;
+    eos.eos = true;
+    queue->Push(std::move(eos));
+  }
+}
+
+void Topology::RunSpoutTask(std::size_t component_index,
+                            std::size_t task_index) {
+  ComponentRuntime& rt = components_[component_index];
+
+  // Assemble this task's collector: edges from this component to all
+  // subscribers, keyed by stream.
+  std::unordered_map<std::string, std::vector<EdgeRuntime>> edges;
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    for (const EdgeSpec& edge : components_[c].spec.inputs) {
+      if (edge.from_component != rt.spec.name) continue;
+      std::vector<TaskQueue*> queues;
+      queues.reserve(components_[c].queues.size());
+      for (auto& q : components_[c].queues) queues.push_back(q.get());
+      edges[edge.stream].emplace_back(edge.grouping, std::move(queues),
+                                      components_[c].queue_depth);
+    }
+  }
+  std::unique_ptr<Spout> spout = rt.spec.spout_factory();
+  std::uint64_t acker_owner = 0;
+  if (acker_ != nullptr) {
+    Spout* raw = spout.get();
+    acker_owner =
+        acker_->RegisterOwner([raw](std::uint64_t root, bool acked) {
+          if (acked) {
+            raw->Ack(root);
+          } else {
+            raw->Fail(root);
+          }
+        });
+  }
+  TaskCollector collector(&rt, std::move(edges), acker_.get(), acker_owner,
+                          /*current_root=*/nullptr);
+
+  TaskContext context;
+  context.component = rt.spec.name;
+  context.task_index = task_index;
+  context.parallelism = rt.spec.parallelism;
+  context.metrics = metrics_;
+
+  spout->Open(context);
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    ScopedLatencyTimer timer(rt.process_us);
+    if (!spout->Next(collector)) break;
+  }
+  spout->Close();
+  if (acker_ != nullptr) {
+    // Keep the spout registered: its tuple trees may still be in flight
+    // downstream. Join() unregisters once the whole DAG has drained.
+    std::lock_guard<std::mutex> lock(parked_spouts_mu_);
+    parked_spouts_.emplace_back(std::move(spout), acker_owner);
+  }
+  BroadcastEos(rt);
+}
+
+void Topology::RunBoltTask(std::size_t component_index,
+                           std::size_t task_index) {
+  ComponentRuntime& rt = components_[component_index];
+
+  std::unordered_map<std::string, std::vector<EdgeRuntime>> edges;
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    for (const EdgeSpec& edge : components_[c].spec.inputs) {
+      if (edge.from_component != rt.spec.name) continue;
+      std::vector<TaskQueue*> queues;
+      queues.reserve(components_[c].queues.size());
+      for (auto& q : components_[c].queues) queues.push_back(q.get());
+      edges[edge.stream].emplace_back(edge.grouping, std::move(queues),
+                                      components_[c].queue_depth);
+    }
+  }
+  std::uint64_t current_root = 0;
+  TaskCollector collector(&rt, std::move(edges), acker_.get(),
+                          /*acker_owner=*/0, &current_root);
+
+  TaskContext context;
+  context.component = rt.spec.name;
+  context.task_index = task_index;
+  context.parallelism = rt.spec.parallelism;
+  context.metrics = metrics_;
+
+  std::unique_ptr<Bolt> bolt = rt.spec.bolt_factory();
+  bolt->Prepare(context);
+
+  TaskQueue& queue = *rt.queues[task_index];
+  std::size_t eos_seen = 0;
+  while (eos_seen < rt.expected_eos) {
+    std::optional<Envelope> envelope = queue.Pop();
+    if (!envelope.has_value()) break;  // Queue force-closed.
+    if (envelope->eos) {
+      ++eos_seen;
+      continue;
+    }
+    rt.queue_depth->Add(-1);
+    current_root = envelope->root;
+    {
+      ScopedLatencyTimer timer(rt.process_us);
+      bolt->Process(envelope->tuple, collector);
+    }
+    rt.processed->Increment();
+    if (acker_ != nullptr && current_root != 0) {
+      // This tuple's own contribution to the tree is done (any anchored
+      // emissions were added during Process).
+      acker_->Add(current_root, -1);
+    }
+    current_root = 0;
+  }
+  bolt->Cleanup();
+  // Every task broadcasts its own marker; consumers expect one marker per
+  // upstream task, so the drain completes exactly once per edge.
+  BroadcastEos(rt);
+}
+
+}  // namespace rtrec::stream

@@ -1,0 +1,157 @@
+#ifndef RTREC_STREAM_TOPOLOGY_H_
+#define RTREC_STREAM_TOPOLOGY_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "stream/acker.h"
+#include "stream/bolt.h"
+#include "stream/topology_builder.h"
+
+namespace rtrec::stream {
+
+/// Execution options for a topology.
+struct TopologyOptions {
+  /// Capacity of each bolt task's input queue. Full queues block
+  /// producers, giving end-to-end backpressure (Storm's max pending).
+  std::size_t queue_capacity = 1024;
+
+  /// Metrics sink; if null the topology owns a private registry.
+  MetricsRegistry* metrics = nullptr;
+
+  /// Enables at-least-once tuple-tree tracking (Storm's reliability
+  /// layer): spout emissions open tracked trees, and Spout::Ack /
+  /// Spout::Fail fire on completion or timeout. Off by default — the
+  /// recommendation pipeline tolerates at-most-once, as the paper's
+  /// deployment does.
+  bool enable_acking = false;
+  std::int64_t ack_timeout_millis = 30000;
+};
+
+/// A running instance of a TopologySpec: one thread per task (Storm
+/// executor), bounded queues between components, grouping-based routing.
+///
+/// Lifecycle:
+///   auto topo = Topology::Create(spec, options);
+///   topo->Start();
+///   ... (optionally topo->RequestStop() for infinite spouts)
+///   topo->Join();   // returns when every task has cleanly finished
+///
+/// Completion protocol: when a spout's Next() returns false the spout task
+/// broadcasts end-of-stream markers to its consumers; each bolt task
+/// finishes after receiving one marker from every upstream producer task,
+/// runs Cleanup(), and forwards markers downstream. The cascade drains the
+/// DAG deterministically, so tests can assert on totals after Join().
+class Topology {
+ public:
+  /// Validates per-task construction and wires queues/routers.
+  static StatusOr<std::unique_ptr<Topology>> Create(
+      TopologySpec spec, TopologyOptions options = {});
+
+  ~Topology();
+
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  /// Spawns all task threads. Call at most once.
+  Status Start();
+
+  /// Blocks until every task finished (requires Start()).
+  Status Join();
+
+  /// Asks spouts to stop at their next Next() boundary; the normal
+  /// end-of-stream drain then completes the topology. Non-blocking.
+  void RequestStop();
+
+  /// True once Join() has completed.
+  bool finished() const { return finished_.load(std::memory_order_acquire); }
+
+  /// The registry holding "<component>.emitted|processed|dropped" counters
+  /// and "<component>.process_us" latency histograms.
+  MetricsRegistry& metrics() { return *metrics_; }
+
+ private:
+  struct Envelope {
+    Tuple tuple;
+    bool eos = false;
+    // Tuple-tree root this tuple is anchored to (0 = untracked).
+    std::uint64_t root = 0;
+    Envelope() = default;
+    explicit Envelope(Tuple t) : tuple(std::move(t)) {}
+    Envelope(Tuple t, std::uint64_t r) : tuple(std::move(t)), root(r) {}
+  };
+
+  using TaskQueue = BoundedQueue<Envelope>;
+
+  // One (consumer, stream) subscription as seen from a producer task.
+  struct EdgeRuntime {
+    GroupingRouter router;
+    std::vector<TaskQueue*> consumer_queues;
+    // The consumer component's queue-depth gauge (incremented on push;
+    // the consumer decrements on pop).
+    Gauge* consumer_depth = nullptr;
+
+    EdgeRuntime(Grouping grouping, std::vector<TaskQueue*> queues,
+                Gauge* depth)
+        : router(std::move(grouping), queues.size()),
+          consumer_queues(std::move(queues)),
+          consumer_depth(depth) {}
+  };
+
+  class TaskCollector;
+
+  struct ComponentRuntime {
+    ComponentSpec spec;
+    // Input queues, one per task (bolts only).
+    std::vector<std::unique_ptr<TaskQueue>> queues;
+    // Number of EOS markers each task must see before finishing:
+    // sum of parallelism over distinct upstream producer components.
+    std::size_t expected_eos = 0;
+    // Queues of every task of every distinct downstream consumer
+    // component — targets of this component's EOS broadcast.
+    std::vector<TaskQueue*> eos_targets;
+    Counter* emitted = nullptr;
+    Counter* processed = nullptr;
+    Counter* dropped = nullptr;
+    Histogram* process_us = nullptr;
+    // Data tuples currently buffered across this component's input
+    // queues ("<component>.queue_depth"); 0 after a clean drain.
+    Gauge* queue_depth = nullptr;
+  };
+
+  Topology(TopologySpec spec, TopologyOptions options);
+
+  Status Wire();
+  void RunSpoutTask(std::size_t component_index, std::size_t task_index);
+  void RunBoltTask(std::size_t component_index, std::size_t task_index);
+  void BroadcastEos(ComponentRuntime& component);
+
+  TopologySpec spec_;
+  TopologyOptions options_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+
+  std::vector<ComponentRuntime> components_;
+  std::unique_ptr<AckTracker> acker_;  // Non-null iff acking enabled.
+  // With acking, finished spouts are parked here (still registered with
+  // the tracker) so trees completing after the spout's last Next() still
+  // reach Ack/Fail; Join()/~Topology unregister and destroy them.
+  std::mutex parked_spouts_mu_;
+  std::vector<std::pair<std::unique_ptr<Spout>, std::uint64_t>>
+      parked_spouts_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> finished_{false};
+};
+
+}  // namespace rtrec::stream
+
+#endif  // RTREC_STREAM_TOPOLOGY_H_

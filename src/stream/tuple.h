@@ -1,0 +1,84 @@
+#ifndef RTREC_STREAM_TUPLE_H_
+#define RTREC_STREAM_TUPLE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rtrec::stream {
+
+/// A single field value flowing through the topology. The variant covers
+/// everything the recommendation pipeline carries: ids and action codes
+/// (int64), weights and similarities (double), opaque keys (string), and
+/// latent vectors shipped from ComputeMF to MFStorage (vector<float>).
+using Value = std::variant<std::monostate, std::int64_t, double, std::string,
+                           std::vector<float>>;
+
+/// Stable hash of a Value, used by fields grouping to route tuples with
+/// equal keys to the same task.
+std::uint64_t HashValue(const Value& v);
+
+/// Render a Value for logs and tests.
+std::string ValueToString(const Value& v);
+
+/// The field layout of a stream, shared by every tuple on it (Storm's
+/// declareOutputFields). Immutable after construction.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> field_names);
+  Schema(std::initializer_list<const char*> field_names);
+
+  /// Index of `name`, or -1 if the schema has no such field.
+  int IndexOf(const std::string& name) const;
+
+  std::size_t size() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// One data tuple: a shared schema plus positional values. Copyable;
+/// values are value-semantic so a tuple can be fanned out to several
+/// consumers safely.
+class Tuple {
+ public:
+  Tuple() = default;
+
+  /// Builds a tuple over `schema` with `values`; sizes must match.
+  Tuple(std::shared_ptr<const Schema> schema, std::vector<Value> values);
+
+  /// Value by position. Requires index < size().
+  const Value& Get(std::size_t index) const { return values_[index]; }
+
+  /// Value by field name; returns nullptr if the field is absent.
+  const Value* GetByName(const std::string& name) const;
+
+  /// Typed accessors; return an error Status if the field is absent or
+  /// holds a different type.
+  StatusOr<std::int64_t> GetInt(const std::string& name) const;
+  StatusOr<double> GetDouble(const std::string& name) const;
+  StatusOr<std::string> GetString(const std::string& name) const;
+  StatusOr<std::vector<float>> GetFloats(const std::string& name) const;
+
+  std::size_t size() const { return values_.size(); }
+  const std::shared_ptr<const Schema>& schema() const { return schema_; }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// "(a=1, b=2.5)" rendering for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::shared_ptr<const Schema> schema_;
+  std::vector<Value> values_;
+};
+
+}  // namespace rtrec::stream
+
+#endif  // RTREC_STREAM_TUPLE_H_

@@ -1,0 +1,119 @@
+#include "eval/ab_test.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/hot_recommender.h"
+#include "core/engine.h"
+#include "eval/experiment_runner.h"
+
+namespace rtrec {
+namespace {
+
+WorldConfig TinyWorld() {
+  WorldConfig config = SmallWorldConfig(17);
+  config.population.num_users = 120;
+  config.catalog.num_videos = 150;
+  return config;
+}
+
+AbTestHarness::Options FastOptions() {
+  AbTestHarness::Options options;
+  options.num_days = 3;
+  options.warmup_days = 1;
+  options.requests_per_user = 1;
+  options.top_n = 5;
+  return options;
+}
+
+TEST(AbTestHarnessTest, ProducesDailyCtrSeries) {
+  const SyntheticWorld world(TinyWorld());
+  AbTestHarness harness(&world, FastOptions());
+  HotRecommender hot_a;
+  HotRecommender hot_b;
+  const auto results = harness.Run({&hot_a, &hot_b});
+  ASSERT_EQ(results.size(), 2u);
+  for (const ArmResult& arm : results) {
+    EXPECT_EQ(arm.name, "Hot");
+    EXPECT_EQ(arm.daily_ctr.size(), 3u);
+    EXPECT_GT(arm.impressions, 0u);
+    for (double ctr : arm.daily_ctr) {
+      EXPECT_GE(ctr, 0.0);
+      EXPECT_LE(ctr, 1.0);
+    }
+    EXPECT_GE(arm.OverallCtr(), 0.0);
+    EXPECT_LE(arm.OverallCtr(), 1.0);
+  }
+}
+
+TEST(AbTestHarnessTest, DeterministicForSeed) {
+  const SyntheticWorld world(TinyWorld());
+  AbTestHarness harness(&world, FastOptions());
+  HotRecommender a1, a2;
+  const auto run1 = harness.Run({&a1});
+  HotRecommender b1;
+  const auto run2 = harness.Run({&b1});
+  ASSERT_EQ(run1[0].daily_ctr.size(), run2[0].daily_ctr.size());
+  for (std::size_t d = 0; d < run1[0].daily_ctr.size(); ++d) {
+    EXPECT_DOUBLE_EQ(run1[0].daily_ctr[d], run2[0].daily_ctr[d]);
+  }
+}
+
+TEST(AbTestHarnessTest, IdenticalArmsGetSimilarCtr) {
+  // Two Hot arms over disjoint user slices: CTRs should land in the same
+  // ballpark (no systematic bias from the splitter).
+  const SyntheticWorld world(TinyWorld());
+  AbTestHarness harness(&world, FastOptions());
+  HotRecommender a, b;
+  const auto results = harness.Run({&a, &b});
+  ASSERT_EQ(results.size(), 2u);
+  if (results[0].OverallCtr() > 0 && results[1].OverallCtr() > 0) {
+    const double ratio = results[0].OverallCtr() / results[1].OverallCtr();
+    EXPECT_GT(ratio, 0.4);
+    EXPECT_LT(ratio, 2.5);
+  }
+}
+
+TEST(AbTestHarnessTest, PersonalizedBeatsNothingArm) {
+  /// An arm that recommends nothing never earns impressions or clicks.
+  class NullArm : public Recommender {
+   public:
+    StatusOr<std::vector<ScoredVideo>> Recommend(const RecRequest&) override {
+      return std::vector<ScoredVideo>{};
+    }
+    std::string name() const override { return "Null"; }
+  };
+  const SyntheticWorld world(TinyWorld());
+  AbTestHarness harness(&world, FastOptions());
+  HotRecommender hot;
+  NullArm null_arm;
+  const auto results = harness.Run({&hot, &null_arm});
+  EXPECT_GT(results[0].impressions, 0u);
+  EXPECT_EQ(results[1].impressions, 0u);
+  EXPECT_DOUBLE_EQ(results[1].OverallCtr(), 0.0);
+}
+
+TEST(CtrImprovementMatrixTest, PairwiseRelativeDeltas) {
+  ArmResult a;
+  a.impressions = 100;
+  a.clicks = 20;  // CTR 0.2.
+  ArmResult b;
+  b.impressions = 100;
+  b.clicks = 10;  // CTR 0.1.
+  const auto matrix = CtrImprovementMatrix({a, b});
+  ASSERT_EQ(matrix.size(), 2u);
+  EXPECT_NEAR(matrix[0][1], 1.0, 1e-9);    // A beats B by 100%.
+  EXPECT_NEAR(matrix[1][0], -0.5, 1e-9);   // B trails A by 50%.
+  EXPECT_DOUBLE_EQ(matrix[0][0], 0.0);
+}
+
+TEST(CtrImprovementMatrixTest, ZeroCtrDenominatorGuard) {
+  ArmResult a;
+  a.impressions = 100;
+  a.clicks = 10;
+  ArmResult zero;
+  const auto matrix = CtrImprovementMatrix({a, zero});
+  EXPECT_DOUBLE_EQ(matrix[0][1], 0.0);  // Guarded, not inf.
+}
+
+}  // namespace
+}  // namespace rtrec

@@ -1,0 +1,168 @@
+#include "baselines/assoc_rules.h"
+
+#include <gtest/gtest.h>
+
+namespace rtrec {
+namespace {
+
+UserAction Play(UserId u, VideoId v, Timestamp t) {
+  UserAction a;
+  a.user = u;
+  a.video = v;
+  a.type = ActionType::kPlayTime;
+  a.view_fraction = 1.0;
+  a.time = t;
+  return a;
+}
+
+AssociationRuleRecommender::Options LooseOptions() {
+  AssociationRuleRecommender::Options o;
+  o.min_support_count = 2;
+  o.min_confidence = 0.01;
+  return o;
+}
+
+TEST(AssocRulesTest, UntrainedModelRecommendsNothing) {
+  AssociationRuleRecommender ar(LooseOptions());
+  ar.Observe(Play(1, 10, 100));
+  ar.Observe(Play(1, 11, 200));
+  RecRequest request;
+  request.user = 1;
+  request.now = 300;
+  auto recs = ar.Recommend(request);
+  ASSERT_TRUE(recs.ok());
+  EXPECT_TRUE(recs->empty());  // Rules only exist after RetrainBatch.
+  EXPECT_EQ(ar.NumAntecedents(), 0u);
+}
+
+TEST(AssocRulesTest, MinesPairRulesFromBaskets) {
+  AssociationRuleRecommender ar(LooseOptions());
+  // Three users co-watch 10 and 11 on the same day.
+  for (UserId u = 1; u <= 3; ++u) {
+    ar.Observe(Play(u, 10, 100));
+    ar.Observe(Play(u, 11, 200));
+  }
+  ar.RetrainBatch(kMillisPerDay);
+  EXPECT_EQ(ar.NumAntecedents(), 2u);  // 10 -> 11 and 11 -> 10.
+
+  RecRequest request;
+  request.user = 99;
+  request.seed_videos = {10};
+  request.now = kMillisPerDay;
+  auto recs = ar.Recommend(request);
+  ASSERT_TRUE(recs.ok());
+  ASSERT_EQ(recs->size(), 1u);
+  EXPECT_EQ((*recs)[0].video, 11u);
+  EXPECT_NEAR((*recs)[0].score, 1.0, 1e-9);  // Confidence 3/3.
+}
+
+TEST(AssocRulesTest, SupportThresholdPrunesRarePairs) {
+  AssociationRuleRecommender::Options options = LooseOptions();
+  options.min_support_count = 3;
+  AssociationRuleRecommender ar(options);
+  // Pair (10, 11) in only two baskets.
+  for (UserId u = 1; u <= 2; ++u) {
+    ar.Observe(Play(u, 10, 100));
+    ar.Observe(Play(u, 11, 200));
+  }
+  ar.RetrainBatch(kMillisPerDay);
+  EXPECT_EQ(ar.NumAntecedents(), 0u);
+}
+
+TEST(AssocRulesTest, ConfidenceIsDirectional) {
+  AssociationRuleRecommender::Options options = LooseOptions();
+  options.use_lift = false;  // Inspect raw confidences directly.
+  AssociationRuleRecommender ar(options);
+  // Video 20 appears in 4 baskets, 21 in 2 of them.
+  for (UserId u = 1; u <= 4; ++u) ar.Observe(Play(u, 20, 100));
+  for (UserId u = 1; u <= 2; ++u) ar.Observe(Play(u, 21, 200));
+  ar.RetrainBatch(kMillisPerDay);
+
+  // conf(21 -> 20) = 2/2 = 1; conf(20 -> 21) = 2/4 = 0.5.
+  RecRequest from_21;
+  from_21.user = 99;
+  from_21.seed_videos = {21};
+  from_21.now = kMillisPerDay;
+  RecRequest from_20;
+  from_20.user = 98;
+  from_20.seed_videos = {20};
+  from_20.now = kMillisPerDay;
+  auto recs_21 = ar.Recommend(from_21);
+  auto recs_20 = ar.Recommend(from_20);
+  ASSERT_TRUE(recs_21.ok());
+  ASSERT_TRUE(recs_20.ok());
+  ASSERT_EQ(recs_21->size(), 1u);
+  ASSERT_EQ(recs_20->size(), 1u);
+  EXPECT_NEAR((*recs_21)[0].score, 1.0, 1e-9);
+  EXPECT_NEAR((*recs_20)[0].score, 0.5, 1e-9);
+}
+
+TEST(AssocRulesTest, BasketsSplitByDay) {
+  AssociationRuleRecommender ar(LooseOptions());
+  // Same user watches 10 on day 0 and 11 on day 1: different baskets, no
+  // co-occurrence.
+  for (UserId u = 1; u <= 3; ++u) {
+    ar.Observe(Play(u, 10, 100));
+    ar.Observe(Play(u, 11, kMillisPerDay + 100));
+  }
+  ar.RetrainBatch(2 * kMillisPerDay);
+  EXPECT_EQ(ar.NumAntecedents(), 0u);
+}
+
+TEST(AssocRulesTest, SeedsFromRecentHistoryWhenNoneGiven) {
+  AssociationRuleRecommender ar(LooseOptions());
+  for (UserId u = 1; u <= 3; ++u) {
+    ar.Observe(Play(u, 10, 100));
+    ar.Observe(Play(u, 11, 200));
+    ar.Observe(Play(u, 12, 300));
+  }
+  ar.RetrainBatch(kMillisPerDay);
+  RecRequest request;
+  request.user = 1;  // History {10, 11, 12} becomes the seed set.
+  request.now = kMillisPerDay;
+  auto recs = ar.Recommend(request);
+  ASSERT_TRUE(recs.ok());
+  // Everything is already watched by user 1 -> excluded.
+  EXPECT_TRUE(recs->empty());
+}
+
+TEST(AssocRulesTest, ScoresAggregateAcrossSeeds) {
+  AssociationRuleRecommender ar(LooseOptions());
+  for (UserId u = 1; u <= 3; ++u) {
+    ar.Observe(Play(u, 10, 100));
+    ar.Observe(Play(u, 11, 200));
+    ar.Observe(Play(u, 12, 300));
+  }
+  ar.RetrainBatch(kMillisPerDay);
+  RecRequest request;
+  request.user = 99;
+  request.seed_videos = {10, 11};
+  request.now = kMillisPerDay;
+  auto recs = ar.Recommend(request);
+  ASSERT_TRUE(recs.ok());
+  ASSERT_FALSE(recs->empty());
+  // Video 12 is implied by both seeds: score = 1.0 + 1.0.
+  EXPECT_EQ((*recs)[0].video, 12u);
+  EXPECT_NEAR((*recs)[0].score, 2.0, 1e-9);
+}
+
+TEST(AssocRulesTest, RetrainReplacesOldRules) {
+  AssociationRuleRecommender ar(LooseOptions());
+  for (UserId u = 1; u <= 3; ++u) {
+    ar.Observe(Play(u, 10, 100));
+    ar.Observe(Play(u, 11, 200));
+  }
+  ar.RetrainBatch(kMillisPerDay);
+  EXPECT_EQ(ar.NumAntecedents(), 2u);
+  // New day adds new co-watches; rules recomputed over all baskets.
+  for (UserId u = 1; u <= 3; ++u) {
+    ar.Observe(Play(u, 30, kMillisPerDay + 100));
+    ar.Observe(Play(u, 31, kMillisPerDay + 200));
+  }
+  ar.RetrainBatch(2 * kMillisPerDay);
+  EXPECT_EQ(ar.NumAntecedents(), 4u);
+  EXPECT_EQ(ar.name(), "AR");
+}
+
+}  // namespace
+}  // namespace rtrec

@@ -1,0 +1,130 @@
+#include "common/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace rtrec {
+namespace {
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> q(10);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.Push(i));
+  for (int i = 0; i < 5; ++i) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BoundedQueueTest, TryPushFailsWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueueTest, TryPopOnEmptyReturnsNullopt) {
+  BoundedQueue<int> q(2);
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(BoundedQueueTest, ZeroCapacityClampsToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_FALSE(q.TryPush(2));
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> q(4);
+  std::atomic<bool> got_nullopt{false};
+  std::thread consumer([&] {
+    auto v = q.Pop();
+    got_nullopt = !v.has_value();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  consumer.join();
+  EXPECT_TRUE(got_nullopt.load());
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedProducer) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<bool> push_failed{false};
+  std::thread producer([&] { push_failed = !q.Push(2); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  producer.join();
+  EXPECT_TRUE(push_failed.load());
+}
+
+TEST(BoundedQueueTest, PopDrainsRemainingItemsAfterClose) {
+  BoundedQueue<int> q(4);
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  EXPECT_EQ(*q.Pop(), 1);
+  EXPECT_EQ(*q.Pop(), 2);
+  EXPECT_FALSE(q.Pop().has_value());
+  EXPECT_FALSE(q.Push(3));
+}
+
+TEST(BoundedQueueTest, ProducerBlocksUntilConsumed) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.Push(2);
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());  // Still blocked on the full queue.
+  EXPECT_EQ(*q.Pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(*q.Pop(), 2);
+}
+
+TEST(BoundedQueueTest, MpmcStressAllItemsDeliveredOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 5000;
+  BoundedQueue<int> q(64);
+  std::atomic<long long> sum{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      for (;;) {
+        auto v = q.Pop();
+        if (!v.has_value()) return;
+        sum.fetch_add(*v);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+
+  const long long n = static_cast<long long>(kProducers) * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace rtrec

@@ -1,0 +1,165 @@
+#include "data/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/vec_math.h"
+
+namespace rtrec {
+namespace {
+
+VideoCatalog::Options SmallOptions() {
+  VideoCatalog::Options o;
+  o.num_videos = 200;
+  o.num_types = 8;
+  o.num_genres = 4;
+  o.seed = 11;
+  return o;
+}
+
+TEST(CatalogTest, GeneratesRequestedSize) {
+  const VideoCatalog catalog = VideoCatalog::Generate(SmallOptions());
+  EXPECT_EQ(catalog.size(), 200u);
+  EXPECT_EQ(catalog.Get(1).id, 1u);
+  EXPECT_EQ(catalog.Get(200).id, 200u);
+}
+
+TEST(CatalogTest, DeterministicForSeed) {
+  const VideoCatalog a = VideoCatalog::Generate(SmallOptions());
+  const VideoCatalog b = VideoCatalog::Generate(SmallOptions());
+  for (VideoId v = 1; v <= 200; ++v) {
+    EXPECT_EQ(a.Get(v).type, b.Get(v).type);
+    EXPECT_EQ(a.Get(v).genre, b.Get(v).genre);
+    EXPECT_EQ(a.Get(v).duration_sec, b.Get(v).duration_sec);
+  }
+  VideoCatalog::Options other = SmallOptions();
+  other.seed = 12;
+  const VideoCatalog c = VideoCatalog::Generate(other);
+  bool any_differs = false;
+  for (VideoId v = 1; v <= 200 && !any_differs; ++v) {
+    if (a.Get(v).genre != c.Get(v).genre) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(CatalogTest, TypesWithinRangeAndAllUsed) {
+  const VideoCatalog catalog = VideoCatalog::Generate(SmallOptions());
+  std::set<VideoType> used;
+  for (const VideoInfo& v : catalog.videos()) {
+    EXPECT_LT(v.type, 8u);
+    used.insert(v.type);
+  }
+  EXPECT_EQ(used.size(), 8u);  // 200 videos over 8 types: all appear.
+}
+
+TEST(CatalogTest, GenresAreUnitNorm) {
+  const VideoCatalog catalog = VideoCatalog::Generate(SmallOptions());
+  for (const VideoInfo& v : catalog.videos()) {
+    EXPECT_NEAR(Norm(v.genre), 1.0, 1e-5);
+  }
+}
+
+TEST(CatalogTest, SameTypeVideosClusterInGenreSpace) {
+  // Planted structure behind Eq. 10: same-type videos should be closer on
+  // average than cross-type videos.
+  const VideoCatalog catalog = VideoCatalog::Generate(SmallOptions());
+  double same_sum = 0, cross_sum = 0;
+  int same_n = 0, cross_n = 0;
+  for (VideoId a = 1; a <= 100; ++a) {
+    for (VideoId b = a + 1; b <= 100; ++b) {
+      const double sim =
+          Dot(catalog.Get(a).genre, catalog.Get(b).genre);
+      if (catalog.Get(a).type == catalog.Get(b).type) {
+        same_sum += sim;
+        ++same_n;
+      } else {
+        cross_sum += sim;
+        ++cross_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0);
+  ASSERT_GT(cross_n, 0);
+  EXPECT_GT(same_sum / same_n, cross_sum / cross_n + 0.2);
+}
+
+TEST(CatalogTest, DurationsInPlausibleRange) {
+  const VideoCatalog catalog = VideoCatalog::Generate(SmallOptions());
+  for (const VideoInfo& v : catalog.videos()) {
+    EXPECT_GE(v.duration_sec, 60);
+    EXPECT_LE(v.duration_sec, 5400);
+  }
+}
+
+TEST(CatalogTest, PopularitySamplingFavoursHead) {
+  const VideoCatalog catalog = VideoCatalog::Generate(SmallOptions());
+  Rng rng(5);
+  std::size_t head_hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (catalog.SamplePopular(rng) <= 20) ++head_hits;  // Top 10% of ids.
+  }
+  // With zipf 0.8 over 200 items, the top-20 mass far exceeds 10%.
+  EXPECT_GT(static_cast<double>(head_hits) / n, 0.2);
+}
+
+TEST(CatalogTest, DefaultCatalogReleasesEverythingOnDayZero) {
+  const VideoCatalog catalog = VideoCatalog::Generate(SmallOptions());
+  for (const VideoInfo& v : catalog.videos()) {
+    EXPECT_EQ(v.release_day, 0);
+  }
+  EXPECT_TRUE(catalog.ReleasedOn(1).empty());
+}
+
+TEST(CatalogTest, StaggeredReleasesSpreadOverWindow) {
+  VideoCatalog::Options options = SmallOptions();
+  options.staggered_release_fraction = 0.4;
+  options.release_window_days = 5;
+  const VideoCatalog catalog = VideoCatalog::Generate(options);
+  std::size_t staggered = 0;
+  for (const VideoInfo& v : catalog.videos()) {
+    EXPECT_GE(v.release_day, 0);
+    EXPECT_LE(v.release_day, 5);
+    if (v.release_day > 0) ++staggered;
+  }
+  EXPECT_NEAR(static_cast<double>(staggered) / 200.0, 0.4, 0.12);
+  // The per-day index partitions the staggered set.
+  std::size_t indexed = 0;
+  for (int day = 1; day <= 5; ++day) {
+    for (VideoId v : catalog.ReleasedOn(day)) {
+      EXPECT_EQ(catalog.Get(v).release_day, day);
+      ++indexed;
+    }
+  }
+  EXPECT_EQ(indexed, staggered);
+}
+
+TEST(CatalogTest, SampleReleasedRespectsAvailability) {
+  VideoCatalog::Options options = SmallOptions();
+  options.staggered_release_fraction = 0.5;
+  options.release_window_days = 4;
+  const VideoCatalog catalog = VideoCatalog::Generate(options);
+  Rng rng(3);
+  for (int day = 0; day <= 4; ++day) {
+    for (int i = 0; i < 500; ++i) {
+      const VideoId v = catalog.SamplePopularReleased(rng, day);
+      EXPECT_LE(catalog.Get(v).release_day, day)
+          << "unreleased video sampled on day " << day;
+    }
+  }
+}
+
+TEST(CatalogTest, TypeResolverMatchesCatalog) {
+  const VideoCatalog catalog = VideoCatalog::Generate(SmallOptions());
+  const VideoTypeResolver resolver = catalog.TypeResolver();
+  for (VideoId v = 1; v <= 200; ++v) {
+    EXPECT_EQ(resolver(v), catalog.Get(v).type);
+  }
+  EXPECT_EQ(resolver(0), 0u);     // Out of range guards.
+  EXPECT_EQ(resolver(9999), 0u);
+}
+
+}  // namespace
+}  // namespace rtrec

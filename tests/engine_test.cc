@@ -1,0 +1,118 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace rtrec {
+namespace {
+
+UserAction Play(UserId u, VideoId v, Timestamp t) {
+  UserAction a;
+  a.user = u;
+  a.video = v;
+  a.type = ActionType::kPlayTime;
+  a.view_fraction = 1.0;
+  a.time = t;
+  return a;
+}
+
+RecEngine::Options SmallOptions() {
+  RecEngine::Options options;
+  options.model.num_factors = 8;
+  return options;
+}
+
+VideoTypeResolver OneType() {
+  return [](VideoId) -> VideoType { return 0; };
+}
+
+TEST(RecEngineTest, ObserveUpdatesAllStores) {
+  RecEngine engine(OneType(), SmallOptions());
+  engine.Observe(Play(1, 10, 100));
+  engine.Observe(Play(1, 11, 200));
+  EXPECT_EQ(engine.factors().NumUsers(), 1u);
+  EXPECT_EQ(engine.factors().NumVideos(), 2u);
+  EXPECT_EQ(engine.history().Get(1).size(), 2u);
+  EXPECT_GT(engine.sim_table().GetDecayedSimilarity(10, 11, 200), 0.0);
+}
+
+TEST(RecEngineTest, ImpressionsLeaveNoTrace) {
+  RecEngine engine(OneType(), SmallOptions());
+  UserAction a;
+  a.user = 1;
+  a.video = 10;
+  a.type = ActionType::kImpress;
+  a.time = 100;
+  engine.Observe(a);
+  EXPECT_EQ(engine.factors().NumUsers(), 0u);
+  EXPECT_TRUE(engine.history().Get(1).empty());
+}
+
+TEST(RecEngineTest, NameIsRmf) {
+  RecEngine engine(OneType(), SmallOptions());
+  EXPECT_EQ(engine.name(), "rMF");
+}
+
+TEST(RecEngineTest, UpdateVisibleToNextRequestImmediately) {
+  // The core real-time property: an action at time t influences a request
+  // at time t+1 with no retraining step in between.
+  RecEngine engine(OneType(), SmallOptions());
+  for (UserId u = 1; u <= 6; ++u) {
+    engine.Observe(Play(u, 100, 1000));
+    engine.Observe(Play(u, 101, 2000));
+  }
+  RecRequest request;
+  request.user = 50;
+  request.seed_videos = {100};
+  request.now = 2000;
+  auto recs = engine.Recommend(request);
+  ASSERT_TRUE(recs.ok());
+  ASSERT_FALSE(recs->empty());
+  EXPECT_EQ((*recs)[0].video, 101u);
+}
+
+TEST(RecEngineTest, ConcurrentObserveAndRecommendIsSafe) {
+  RecEngine engine(OneType(), SmallOptions());
+  std::vector<std::thread> threads;
+  std::atomic<bool> stop{false};
+  // Writers.
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&engine, t] {
+      for (int i = 0; i < 2000; ++i) {
+        engine.Observe(Play(static_cast<UserId>(t * 100 + i % 50),
+                            static_cast<VideoId>(i % 40 + 1), i));
+      }
+    });
+  }
+  // Readers.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&engine, &stop] {
+      RecRequest request;
+      request.seed_videos = {1};
+      while (!stop.load()) {
+        request.user = 1;
+        request.now = 100000;
+        auto recs = engine.Recommend(request);
+        ASSERT_TRUE(recs.ok());
+      }
+    });
+  }
+  for (int t = 0; t < 3; ++t) threads[static_cast<std::size_t>(t)].join();
+  stop.store(true);
+  threads[3].join();
+  threads[4].join();
+  EXPECT_GT(engine.factors().NumVideos(), 0u);
+}
+
+TEST(RecEngineTest, AccessorsExposeSharedState) {
+  RecEngine engine(OneType(), SmallOptions());
+  engine.Observe(Play(1, 10, 100));
+  // Mutating through an accessor is visible through another.
+  EXPECT_EQ(&engine.model().store(), &engine.factors());
+  EXPECT_EQ(engine.options().model.num_factors, 8);
+}
+
+}  // namespace
+}  // namespace rtrec

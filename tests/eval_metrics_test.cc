@@ -1,0 +1,161 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rtrec {
+namespace {
+
+TEST(PercentileRankTest, EndpointsAndSingleton) {
+  EXPECT_DOUBLE_EQ(PercentileRank(0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(PercentileRank(9, 10), 1.0);
+  EXPECT_DOUBLE_EQ(PercentileRank(0, 1), 0.0);
+  EXPECT_NEAR(PercentileRank(5, 11), 0.5, 1e-12);
+}
+
+TEST(RecallAtNTest, PerfectHitInTop1) {
+  std::vector<UserEvalData> users = {{1, {10, 11, 12}, {10}}};
+  EXPECT_DOUBLE_EQ(RecallAtN(users, 1), 1.0);
+}
+
+TEST(RecallAtNTest, Eq13DividesByN) {
+  // One liked video, found within top-5: recall@5 = 1/5 per Eq. 13.
+  std::vector<UserEvalData> users = {{1, {1, 2, 3, 4, 10}, {10}}};
+  EXPECT_DOUBLE_EQ(RecallAtN(users, 5), 0.2);
+  // Two liked, both in top-5: 2/5.
+  users = {{1, {1, 10, 3, 11, 5}, {10, 11}}};
+  EXPECT_DOUBLE_EQ(RecallAtN(users, 5), 0.4);
+}
+
+TEST(RecallAtNTest, MissesScoreZero) {
+  std::vector<UserEvalData> users = {{1, {1, 2, 3}, {99}}};
+  EXPECT_DOUBLE_EQ(RecallAtN(users, 3), 0.0);
+}
+
+TEST(RecallAtNTest, CutoffExcludesDeepHits) {
+  std::vector<UserEvalData> users = {{1, {1, 2, 3, 10}, {10}}};
+  EXPECT_DOUBLE_EQ(RecallAtN(users, 3), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtN(users, 4), 0.25);
+}
+
+TEST(RecallAtNTest, AveragesOverUsersWithLikes) {
+  std::vector<UserEvalData> users = {
+      {1, {10}, {10}},  // Hit: 1/1.
+      {2, {20}, {99}},  // Miss: 0.
+      {3, {}, {}},      // No likes: excluded from U_test.
+  };
+  EXPECT_DOUBLE_EQ(RecallAtN(users, 1), 0.5);
+}
+
+TEST(RecallAtNTest, EmptyInputsAreZero) {
+  EXPECT_DOUBLE_EQ(RecallAtN({}, 5), 0.0);
+  std::vector<UserEvalData> users = {{1, {}, {}}};
+  EXPECT_DOUBLE_EQ(RecallAtN(users, 5), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtN({{1, {1}, {1}}}, 0), 0.0);
+}
+
+TEST(RecallCurveTest, MatchesPointwiseRecall) {
+  std::vector<UserEvalData> users = {{1, {1, 10, 3}, {10}}};
+  const auto curve = RecallCurve(users, 3);
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve[0], RecallAtN(users, 1));
+  EXPECT_DOUBLE_EQ(curve[1], RecallAtN(users, 2));
+  EXPECT_DOUBLE_EQ(curve[2], RecallAtN(users, 3));
+}
+
+TEST(HitRateAtNTest, NormalizesByAchievable) {
+  // One liked video found in top-5: conventional recall = 1/1, not 1/5.
+  std::vector<UserEvalData> users = {{1, {1, 2, 3, 4, 10}, {10}}};
+  EXPECT_DOUBLE_EQ(HitRateAtN(users, 5), 1.0);
+  EXPECT_DOUBLE_EQ(RecallAtN(users, 5), 0.2);  // Eq. 13 divides by N.
+}
+
+TEST(HitRateAtNTest, ManyLikesCappedByN) {
+  // 4 liked, top-2 contains 2 of them: 2 / min(4, 2) = 1.0.
+  std::vector<UserEvalData> users = {{1, {10, 11}, {10, 11, 12, 13}}};
+  EXPECT_DOUBLE_EQ(HitRateAtN(users, 2), 1.0);
+  // At N=4, 2 / min(4,4) = 0.5.
+  EXPECT_DOUBLE_EQ(HitRateAtN(users, 4), 0.5);
+}
+
+TEST(HitRateAtNTest, EmptyInputsZero) {
+  EXPECT_DOUBLE_EQ(HitRateAtN({}, 5), 0.0);
+  EXPECT_DOUBLE_EQ(HitRateAtN({{1, {1}, {1}}}, 0), 0.0);
+}
+
+TEST(NdcgAtNTest, PerfectRankingIsOne) {
+  std::vector<UserEvalData> users = {{1, {10, 11, 12}, {10, 11, 12}}};
+  EXPECT_NEAR(NdcgAtN(users, 3), 1.0, 1e-12);
+}
+
+TEST(NdcgAtNTest, PositionDiscountPenalizesLateHits) {
+  // Single liked video at position 0 vs position 2 of the rec list.
+  std::vector<UserEvalData> early = {{1, {10, 1, 2}, {10}}};
+  std::vector<UserEvalData> late = {{1, {1, 2, 10}, {10}}};
+  EXPECT_NEAR(NdcgAtN(early, 3), 1.0, 1e-12);
+  EXPECT_NEAR(NdcgAtN(late, 3), 1.0 / std::log2(4.0), 1e-12);
+  EXPECT_GT(NdcgAtN(early, 3), NdcgAtN(late, 3));
+}
+
+TEST(NdcgAtNTest, MissesScoreZero) {
+  std::vector<UserEvalData> users = {{1, {1, 2, 3}, {99}}};
+  EXPECT_DOUBLE_EQ(NdcgAtN(users, 3), 0.0);
+}
+
+TEST(NdcgAtNTest, AveragesOverUsersWithLikes) {
+  std::vector<UserEvalData> users = {
+      {1, {10}, {10}},  // nDCG 1.
+      {2, {1}, {99}},   // nDCG 0.
+      {3, {}, {}},      // Excluded.
+  };
+  EXPECT_DOUBLE_EQ(NdcgAtN(users, 1), 0.5);
+}
+
+TEST(AverageRankTest, TopRecommendationMatchingTopInterest) {
+  // Video 10 is top of both lists: rank^t = 0, weight 1 - 0 = 1 -> 0.
+  std::vector<UserEvalData> users = {{1, {10, 11, 12}, {10, 13, 14}}};
+  EXPECT_DOUBLE_EQ(AverageRank(users), 0.0);
+}
+
+TEST(AverageRankTest, BottomInterestMatchingTopRecommendation) {
+  // Video 14 is last in the liked list (rank^t = 1) and first in recs
+  // (weight 1): rank = 1. Bad model.
+  std::vector<UserEvalData> users = {{1, {14, 1, 2}, {10, 13, 14}}};
+  EXPECT_DOUBLE_EQ(AverageRank(users), 1.0);
+}
+
+TEST(AverageRankTest, NonRecommendedVideosHaveNoWeight) {
+  // Only video 10 is both liked and recommended; 99 is liked but absent
+  // (weight 0) — the metric is decided by 10 alone.
+  std::vector<UserEvalData> users = {{1, {10}, {10, 99}}};
+  EXPECT_DOUBLE_EQ(AverageRank(users), 0.0);
+}
+
+TEST(AverageRankTest, NoOverlapIsNeutral) {
+  std::vector<UserEvalData> users = {{1, {1, 2}, {98, 99}}};
+  EXPECT_DOUBLE_EQ(AverageRank(users), 0.5);
+  EXPECT_DOUBLE_EQ(AverageRank({}), 0.5);
+}
+
+TEST(AverageRankTest, WeightsByRecommendationPosition) {
+  // Two liked videos: 10 at rec position 0 (weight 1, rank^t 0) and 11 at
+  // rec position 2 of 3 (weight 1-1=0... position 2 -> rank_ui=1, weight
+  // 0). So only 10 counts.
+  std::vector<UserEvalData> users = {{1, {10, 5, 11}, {10, 11}}};
+  EXPECT_DOUBLE_EQ(AverageRank(users), 0.0);
+
+  // Flip: liked order {11, 10}: 10 has rank^t = 1 now.
+  users = {{1, {10, 5, 11}, {11, 10}}};
+  EXPECT_DOUBLE_EQ(AverageRank(users), 1.0);
+}
+
+TEST(AverageRankTest, BetterModelScoresLower) {
+  // Model A ranks the liked list's top first; model B inverts it.
+  std::vector<UserEvalData> good = {{1, {10, 11, 12}, {10, 11, 12}}};
+  std::vector<UserEvalData> bad = {{1, {12, 11, 10}, {10, 11, 12}}};
+  EXPECT_LT(AverageRank(good), AverageRank(bad));
+}
+
+}  // namespace
+}  // namespace rtrec

@@ -1,0 +1,183 @@
+#include "data/event_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace rtrec {
+namespace {
+
+WorldConfig TinyWorld() {
+  WorldConfig config;
+  config.seed = 21;
+  config.catalog.num_videos = 100;
+  config.catalog.num_types = 5;
+  config.catalog.num_genres = 4;
+  config.population.num_users = 100;
+  config.population.mean_activity = 2.0;
+  return config;
+}
+
+TEST(SyntheticWorldTest, DeterministicDayGeneration) {
+  const SyntheticWorld world(TinyWorld());
+  const auto day_a = world.GenerateDay(0);
+  const auto day_b = world.GenerateDay(0);
+  ASSERT_EQ(day_a.size(), day_b.size());
+  for (std::size_t i = 0; i < day_a.size(); ++i) {
+    EXPECT_EQ(day_a[i], day_b[i]);
+  }
+}
+
+TEST(SyntheticWorldTest, DifferentDaysDiffer) {
+  const SyntheticWorld world(TinyWorld());
+  const auto day0 = world.GenerateDay(0);
+  const auto day1 = world.GenerateDay(1);
+  ASSERT_FALSE(day0.empty());
+  ASSERT_FALSE(day1.empty());
+  EXPECT_NE(day0.size(), day1.size());  // Extremely unlikely to match.
+}
+
+TEST(SyntheticWorldTest, ActionsAreTimeOrderedAndInDay) {
+  const SyntheticWorld world(TinyWorld());
+  const auto day2 = world.GenerateDay(2);
+  ASSERT_FALSE(day2.empty());
+  Timestamp prev = 0;
+  for (const UserAction& a : day2) {
+    EXPECT_GE(a.time, prev);
+    prev = a.time;
+    EXPECT_GE(a.time, 2 * kMillisPerDay);
+    // Sessions truncate at midnight; impressions overshoot by at most
+    // one browse step, engaged actions by at most one watch duration.
+    if (a.type == ActionType::kImpress) {
+      EXPECT_LT(a.time, 3 * kMillisPerDay + 2 * kMillisPerMinute);
+    } else {
+      EXPECT_LT(a.time, 3 * kMillisPerDay + 2 * kMillisPerHour);
+    }
+  }
+}
+
+TEST(SyntheticWorldTest, IdsAreWithinWorldBounds) {
+  const SyntheticWorld world(TinyWorld());
+  for (const UserAction& a : world.GenerateDay(0)) {
+    EXPECT_GE(a.user, 1u);
+    EXPECT_LE(a.user, 100u);
+    EXPECT_GE(a.video, 1u);
+    EXPECT_LE(a.video, 100u);
+  }
+}
+
+TEST(SyntheticWorldTest, FunnelShape) {
+  // Impress >= Click >= PlayTime; every click has a play.
+  const SyntheticWorld world(TinyWorld());
+  std::map<ActionType, std::size_t> counts;
+  for (const UserAction& a : world.GenerateDays(0, 3)) ++counts[a.type];
+  EXPECT_GT(counts[ActionType::kImpress], counts[ActionType::kClick]);
+  EXPECT_EQ(counts[ActionType::kClick], counts[ActionType::kPlay]);
+  EXPECT_EQ(counts[ActionType::kPlay], counts[ActionType::kPlayTime]);
+  EXPECT_GT(counts[ActionType::kClick], 0u);
+  EXPECT_GE(counts[ActionType::kClick], counts[ActionType::kComment]);
+}
+
+TEST(SyntheticWorldTest, AffinityInUnitInterval) {
+  const SyntheticWorld world(TinyWorld());
+  for (UserId u = 1; u <= 20; ++u) {
+    for (VideoId v = 1; v <= 20; ++v) {
+      const double a = world.TrueAffinity(u, v);
+      EXPECT_GE(a, 0.0);
+      EXPECT_LE(a, 1.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(world.TrueAffinity(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(world.TrueAffinity(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(world.TrueAffinity(1, 99999), 0.0);
+}
+
+TEST(SyntheticWorldTest, EngagementTracksAffinity) {
+  // Property: videos a user engages with should have higher true affinity
+  // on average than videos merely impressed — the generator is taste-
+  // driven, which is what lets the models learn.
+  const SyntheticWorld world(TinyWorld());
+  double engaged_sum = 0, impressed_sum = 0;
+  int engaged_n = 0, impressed_n = 0;
+  for (const UserAction& a : world.GenerateDays(0, 3)) {
+    if (a.type == ActionType::kPlayTime) {
+      engaged_sum += world.TrueAffinity(a.user, a.video);
+      ++engaged_n;
+    } else if (a.type == ActionType::kImpress) {
+      impressed_sum += world.TrueAffinity(a.user, a.video);
+      ++impressed_n;
+    }
+  }
+  ASSERT_GT(engaged_n, 50);
+  ASSERT_GT(impressed_n, 50);
+  EXPECT_GT(engaged_sum / engaged_n, impressed_sum / impressed_n + 0.02);
+}
+
+TEST(SyntheticWorldTest, ViewFractionsTrackAffinity) {
+  const SyntheticWorld world(TinyWorld());
+  double high_sum = 0, low_sum = 0;
+  int high_n = 0, low_n = 0;
+  for (const UserAction& a : world.GenerateDays(0, 3)) {
+    if (a.type != ActionType::kPlayTime) continue;
+    EXPECT_GT(a.view_fraction, 0.0);
+    EXPECT_LE(a.view_fraction, 1.0);
+    if (world.TrueAffinity(a.user, a.video) > 0.6) {
+      high_sum += a.view_fraction;
+      ++high_n;
+    } else if (world.TrueAffinity(a.user, a.video) < 0.4) {
+      low_sum += a.view_fraction;
+      ++low_n;
+    }
+  }
+  if (high_n > 20 && low_n > 20) {
+    EXPECT_GT(high_sum / high_n, low_sum / low_n);
+  }
+}
+
+TEST(SyntheticWorldTest, UnreleasedVideosNeverAppearInTraffic) {
+  WorldConfig config = TinyWorld();
+  config.catalog.staggered_release_fraction = 0.5;
+  config.catalog.release_window_days = 4;
+  const SyntheticWorld world(config);
+  for (int day = 0; day <= 4; ++day) {
+    for (const UserAction& a : world.GenerateDay(day)) {
+      EXPECT_LE(world.catalog().Get(a.video).release_day, day)
+          << "day " << day << " traffic touched an unreleased video";
+    }
+  }
+}
+
+TEST(SyntheticWorldTest, PromotionGivesReleasesSameDayTraffic) {
+  WorldConfig config = TinyWorld();
+  config.catalog.staggered_release_fraction = 0.4;
+  config.catalog.release_window_days = 3;
+  config.behavior.new_release_browse_rate = 0.2;
+  const SyntheticWorld world(config);
+  for (int day = 1; day <= 3; ++day) {
+    const auto& releases = world.catalog().ReleasedOn(day);
+    if (releases.empty()) continue;
+    std::set<VideoId> released(releases.begin(), releases.end());
+    std::size_t impressions_on_fresh = 0;
+    for (const UserAction& a : world.GenerateDay(day)) {
+      if (a.type == ActionType::kImpress && released.contains(a.video)) {
+        ++impressions_on_fresh;
+      }
+    }
+    EXPECT_GT(impressions_on_fresh, 0u) << "day " << day;
+  }
+}
+
+TEST(SyntheticWorldTest, GenerateDaysConcatenatesInOrder) {
+  const SyntheticWorld world(TinyWorld());
+  const auto days = world.GenerateDays(0, 2);
+  const auto day0 = world.GenerateDay(0);
+  const auto day1 = world.GenerateDay(1);
+  EXPECT_EQ(days.size(), day0.size() + day1.size());
+  EXPECT_EQ(days.front(), day0.front());
+  EXPECT_EQ(days.back(), day1.back());
+}
+
+}  // namespace
+}  // namespace rtrec

@@ -1,0 +1,163 @@
+#include "kvstore/factor_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace rtrec {
+namespace {
+
+FactorStore::Options SmallOptions() {
+  FactorStore::Options o;
+  o.num_factors = 8;
+  o.init_scale = 0.1;
+  o.seed = 5;
+  return o;
+}
+
+TEST(FactorStoreTest, GetOrInitCreatesDeterministicEntry) {
+  FactorStore store(SmallOptions());
+  FactorEntry a = store.GetOrInitUser(42);
+  EXPECT_EQ(a.vec.size(), 8u);
+  EXPECT_EQ(a.bias, 0.0f);
+  // Re-fetch returns identical values.
+  FactorEntry b = store.GetOrInitUser(42);
+  EXPECT_EQ(a.vec, b.vec);
+}
+
+TEST(FactorStoreTest, InitializationIsSeedAndIdDependent) {
+  FactorStore store(SmallOptions());
+  EXPECT_NE(store.GetOrInitUser(1).vec, store.GetOrInitUser(2).vec);
+  // User and video streams decorrelated for the same id.
+  EXPECT_NE(store.GetOrInitUser(7).vec, store.GetOrInitVideo(7).vec);
+
+  FactorStore::Options other = SmallOptions();
+  other.seed = 6;
+  FactorStore store2(other);
+  EXPECT_NE(store.GetOrInitUser(1).vec, store2.GetOrInitUser(1).vec);
+}
+
+TEST(FactorStoreTest, InitializationOrderIndependent) {
+  FactorStore a(SmallOptions());
+  FactorStore b(SmallOptions());
+  a.GetOrInitUser(1);
+  a.GetOrInitUser(2);
+  b.GetOrInitUser(2);
+  b.GetOrInitUser(1);
+  EXPECT_EQ(a.GetOrInitUser(1).vec, b.GetOrInitUser(1).vec);
+  EXPECT_EQ(a.GetOrInitUser(2).vec, b.GetOrInitUser(2).vec);
+}
+
+TEST(FactorStoreTest, InitValuesWithinScale) {
+  FactorStore store(SmallOptions());
+  for (UserId u = 1; u <= 50; ++u) {
+    for (float v : store.GetOrInitUser(u).vec) {
+      EXPECT_LE(std::abs(v), 0.1f);
+    }
+  }
+}
+
+TEST(FactorStoreTest, GetWithoutInitIsNotFound) {
+  FactorStore store(SmallOptions());
+  EXPECT_TRUE(store.GetUser(1).status().IsNotFound());
+  EXPECT_TRUE(store.GetVideo(1).status().IsNotFound());
+  store.GetOrInitUser(1);
+  EXPECT_TRUE(store.GetUser(1).ok());
+  EXPECT_TRUE(store.GetVideo(1).status().IsNotFound());
+}
+
+TEST(FactorStoreTest, PutOverwritesEntry) {
+  FactorStore store(SmallOptions());
+  FactorEntry entry;
+  entry.vec.assign(8, 1.5f);
+  entry.bias = 2.0f;
+  store.PutUser(9, entry);
+  auto got = store.GetUser(9);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->vec, entry.vec);
+  EXPECT_EQ(got->bias, 2.0f);
+}
+
+TEST(FactorStoreTest, UpdateAppliesInPlace) {
+  FactorStore store(SmallOptions());
+  store.UpdateVideo(3, [](FactorEntry& e) { e.bias = 7.0f; });
+  EXPECT_EQ(store.GetVideo(3)->bias, 7.0f);
+  // Update initializes when absent: the vector exists.
+  EXPECT_EQ(store.GetVideo(3)->vec.size(), 8u);
+}
+
+TEST(FactorStoreTest, CountsUsersAndVideos) {
+  FactorStore store(SmallOptions());
+  EXPECT_EQ(store.NumUsers(), 0u);
+  for (UserId u = 1; u <= 10; ++u) store.GetOrInitUser(u);
+  for (VideoId v = 1; v <= 5; ++v) store.GetOrInitVideo(v);
+  EXPECT_EQ(store.NumUsers(), 10u);
+  EXPECT_EQ(store.NumVideos(), 5u);
+}
+
+TEST(FactorStoreTest, GlobalMeanTracksObservations) {
+  FactorStore store(SmallOptions());
+  EXPECT_DOUBLE_EQ(store.GlobalMean(), 0.0);
+  store.ObserveRating(1.0);
+  store.ObserveRating(0.0);
+  EXPECT_DOUBLE_EQ(store.GlobalMean(), 0.5);
+  EXPECT_EQ(store.RatingCount(), 2u);
+}
+
+TEST(FactorStoreTest, ConcurrentObserveRatingLosesNothing) {
+  FactorStore store(SmallOptions());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&store] {
+      for (int i = 0; i < 5000; ++i) store.ObserveRating(1.0);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(store.RatingCount(), 40000u);
+  EXPECT_DOUBLE_EQ(store.GlobalMean(), 1.0);
+}
+
+TEST(FactorStoreTest, ConcurrentUpdatesOnDistinctKeys) {
+  FactorStore store(SmallOptions());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < 1000; ++i) {
+        store.UpdateUser(static_cast<UserId>(t * 10000 + i),
+                         [](FactorEntry& e) { e.bias += 1.0f; });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(store.NumUsers(), 8000u);
+}
+
+TEST(FactorStoreTest, ConcurrentUpdatesOnSameKeyAreSerialized) {
+  FactorStore store(SmallOptions());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&store] {
+      for (int i = 0; i < 2500; ++i) {
+        store.UpdateUser(1, [](FactorEntry& e) { e.bias += 1.0f; });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FLOAT_EQ(store.GetUser(1)->bias, 10000.0f);
+}
+
+TEST(FactorStoreTest, ForEachVideoVisitsAll) {
+  FactorStore store(SmallOptions());
+  for (VideoId v = 1; v <= 20; ++v) store.GetOrInitVideo(v);
+  std::size_t visited = 0;
+  store.ForEachVideo([&visited](VideoId, const FactorEntry& e) {
+    EXPECT_EQ(e.vec.size(), 8u);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 20u);
+}
+
+}  // namespace
+}  // namespace rtrec

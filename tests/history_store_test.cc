@@ -1,0 +1,102 @@
+#include "kvstore/history_store.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace rtrec {
+namespace {
+
+HistoryStore::Options SmallOptions(std::size_t cap = 4) {
+  HistoryStore::Options o;
+  o.max_entries_per_user = cap;
+  return o;
+}
+
+TEST(HistoryStoreTest, AppendAndGetNewestFirst) {
+  HistoryStore store(SmallOptions());
+  store.Append(1, {10, 1.0, 100});
+  store.Append(1, {20, 2.0, 200});
+  const auto history = store.Get(1);
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0].video, 20u);  // Newest first.
+  EXPECT_EQ(history[1].video, 10u);
+}
+
+TEST(HistoryStoreTest, UnknownUserHasEmptyHistory) {
+  HistoryStore store(SmallOptions());
+  EXPECT_TRUE(store.Get(99).empty());
+}
+
+TEST(HistoryStoreTest, EvictsOldestBeyondCapacity) {
+  HistoryStore store(SmallOptions(3));
+  for (VideoId v = 1; v <= 5; ++v) {
+    store.Append(1, {v, 1.0, static_cast<Timestamp>(v)});
+  }
+  const auto history = store.Get(1);
+  ASSERT_EQ(history.size(), 3u);
+  EXPECT_EQ(history[0].video, 5u);
+  EXPECT_EQ(history[2].video, 3u);  // 1 and 2 evicted.
+}
+
+TEST(HistoryStoreTest, DuplicateVideoRefreshesInPlace) {
+  HistoryStore store(SmallOptions());
+  store.Append(1, {10, 1.0, 100});
+  store.Append(1, {20, 1.0, 200});
+  store.Append(1, {10, 3.0, 300});  // Re-watch.
+  const auto history = store.Get(1);
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0].video, 10u);  // Moved to most recent.
+  EXPECT_DOUBLE_EQ(history[0].weight, 3.0);
+  EXPECT_EQ(history[0].time, 300);
+}
+
+TEST(HistoryStoreTest, GetRecentLimitsResults) {
+  HistoryStore store(SmallOptions(10));
+  for (VideoId v = 1; v <= 8; ++v) {
+    store.Append(1, {v, 1.0, static_cast<Timestamp>(v)});
+  }
+  const auto recent = store.GetRecent(1, 3);
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0].video, 8u);
+  EXPECT_EQ(recent[2].video, 6u);
+}
+
+TEST(HistoryStoreTest, UsersAreIndependent) {
+  HistoryStore store(SmallOptions());
+  store.Append(1, {10, 1.0, 100});
+  store.Append(2, {20, 1.0, 100});
+  EXPECT_EQ(store.Get(1).size(), 1u);
+  EXPECT_EQ(store.Get(2).size(), 1u);
+  EXPECT_EQ(store.Get(1)[0].video, 10u);
+  EXPECT_EQ(store.NumUsers(), 2u);
+}
+
+TEST(HistoryStoreTest, EraseDropsUser) {
+  HistoryStore store(SmallOptions());
+  store.Append(1, {10, 1.0, 100});
+  store.Erase(1);
+  EXPECT_TRUE(store.Get(1).empty());
+  EXPECT_EQ(store.NumUsers(), 0u);
+}
+
+TEST(HistoryStoreTest, ConcurrentAppendsRespectBound) {
+  HistoryStore store(SmallOptions(16));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < 1000; ++i) {
+        store.Append(static_cast<UserId>(t % 4),
+                     {static_cast<VideoId>(t * 10000 + i), 1.0, i});
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (UserId u = 0; u < 4; ++u) {
+    EXPECT_LE(store.Get(u).size(), 16u);
+  }
+}
+
+}  // namespace
+}  // namespace rtrec

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "baselines/hot_recommender.h"
+#include "baselines/item_cf.h"
+
+namespace rtrec {
+namespace {
+
+UserAction Play(UserId u, VideoId v, Timestamp t) {
+  UserAction a;
+  a.user = u;
+  a.video = v;
+  a.type = ActionType::kPlayTime;
+  a.view_fraction = 1.0;
+  a.time = t;
+  return a;
+}
+
+UserAction Click(UserId u, VideoId v, Timestamp t) {
+  UserAction a;
+  a.user = u;
+  a.video = v;
+  a.type = ActionType::kClick;
+  a.time = t;
+  return a;
+}
+
+TEST(HotRecommenderTest, RanksByRecentEngagement) {
+  HotRecommender hot;
+  for (int i = 0; i < 5; ++i) hot.Observe(Click(1, 10, 0));
+  for (int i = 0; i < 3; ++i) hot.Observe(Click(2, 20, 0));
+  RecRequest request;
+  request.user = 99;
+  request.now = 0;
+  auto recs = hot.Recommend(request);
+  ASSERT_TRUE(recs.ok());
+  ASSERT_GE(recs->size(), 2u);
+  EXPECT_EQ((*recs)[0].video, 10u);
+  EXPECT_EQ((*recs)[1].video, 20u);
+}
+
+TEST(HotRecommenderTest, ImpressionsIgnored) {
+  HotRecommender hot;
+  UserAction impress;
+  impress.user = 1;
+  impress.video = 10;
+  impress.type = ActionType::kImpress;
+  hot.Observe(impress);
+  RecRequest request;
+  request.now = 0;
+  auto recs = hot.Recommend(request);
+  ASSERT_TRUE(recs.ok());
+  EXPECT_TRUE(recs->empty());
+}
+
+TEST(HotRecommenderTest, TrendsShiftOverTime) {
+  HotRecommender::Options options;
+  options.half_life_millis = 1000.0;
+  HotRecommender hot(options);
+  for (int i = 0; i < 10; ++i) hot.Observe(Click(1, 10, 0));
+  for (int i = 0; i < 3; ++i) hot.Observe(Click(2, 20, 5000));
+  RecRequest request;
+  request.user = 9;
+  request.now = 5000;
+  auto recs = hot.Recommend(request);
+  ASSERT_TRUE(recs.ok());
+  EXPECT_EQ((*recs)[0].video, 20u);  // Fresh beats stale.
+}
+
+TEST(HotRecommenderTest, SameListForAllUsers) {
+  HotRecommender hot;
+  hot.Observe(Click(1, 10, 0));
+  RecRequest a;
+  a.user = 1;
+  a.now = 0;
+  RecRequest b;
+  b.user = 2;
+  b.now = 0;
+  EXPECT_EQ(*hot.Recommend(a), *hot.Recommend(b));
+  EXPECT_EQ(hot.name(), "Hot");
+}
+
+TEST(ItemCfTest, CoWatchedVideosBecomeSimilar) {
+  ItemCfRecommender cf;
+  Timestamp t = 0;
+  for (UserId u = 1; u <= 5; ++u) {
+    cf.Observe(Play(u, 10, t += 100));
+    cf.Observe(Play(u, 11, t += 100));
+  }
+  EXPECT_GT(cf.Similarity(10, 11), 0.0);
+  EXPECT_DOUBLE_EQ(cf.Similarity(10, 99), 0.0);
+}
+
+TEST(ItemCfTest, CosineNormalizationPenalizesBlockbusters) {
+  ItemCfRecommender cf;
+  Timestamp t = 0;
+  // Pair (1,2): 3 co-watchers, each video watched 3 times.
+  for (UserId u = 1; u <= 3; ++u) {
+    cf.Observe(Play(u, 1, t += 100));
+    cf.Observe(Play(u, 2, t += 100));
+  }
+  // Pair (3,4): 3 co-watches, but video 4 is watched by 20 more users.
+  for (UserId u = 1; u <= 3; ++u) {
+    cf.Observe(Play(u, 3, t += 100));
+    cf.Observe(Play(u, 4, t += 100));
+  }
+  for (UserId u = 50; u <= 70; ++u) {
+    cf.Observe(Play(u, 4, t += 100));
+  }
+  EXPECT_GT(cf.Similarity(1, 2), cf.Similarity(3, 4));
+}
+
+TEST(ItemCfTest, RecommendsNeighborsOfSeed) {
+  ItemCfRecommender cf;
+  Timestamp t = 0;
+  for (UserId u = 1; u <= 6; ++u) {
+    cf.Observe(Play(u, 10, t += 100));
+    cf.Observe(Play(u, 11, t += 100));
+    cf.Observe(Play(u, 12, t += 100));
+  }
+  RecRequest request;
+  request.user = 99;
+  request.seed_videos = {10};
+  request.now = t;
+  auto recs = cf.Recommend(request);
+  ASSERT_TRUE(recs.ok());
+  ASSERT_EQ(recs->size(), 2u);
+  EXPECT_TRUE((*recs)[0].video == 11 || (*recs)[0].video == 12);
+}
+
+TEST(ItemCfTest, ExcludesOwnHistory) {
+  ItemCfRecommender cf;
+  Timestamp t = 0;
+  for (UserId u = 1; u <= 6; ++u) {
+    cf.Observe(Play(u, 10, t += 100));
+    cf.Observe(Play(u, 11, t += 100));
+  }
+  RecRequest request;
+  request.user = 1;  // Watched both.
+  request.now = t;
+  auto recs = cf.Recommend(request);
+  ASSERT_TRUE(recs.ok());
+  EXPECT_TRUE(recs->empty());
+}
+
+TEST(ItemCfTest, ColdUserEmpty) {
+  ItemCfRecommender cf;
+  RecRequest request;
+  request.user = 1;
+  request.now = 0;
+  auto recs = cf.Recommend(request);
+  ASSERT_TRUE(recs.ok());
+  EXPECT_TRUE(recs->empty());
+  EXPECT_EQ(cf.name(), "ItemCF");
+}
+
+TEST(ItemCfTest, WeakActionsIgnored) {
+  ItemCfRecommender cf;
+  UserAction impress;
+  impress.user = 1;
+  impress.video = 10;
+  impress.type = ActionType::kImpress;
+  cf.Observe(impress);
+  cf.Observe(Play(1, 11, 100));
+  EXPECT_DOUBLE_EQ(cf.Similarity(10, 11), 0.0);
+}
+
+}  // namespace
+}  // namespace rtrec

@@ -1,0 +1,99 @@
+#include "demographic/hot_videos.h"
+
+#include <gtest/gtest.h>
+
+namespace rtrec {
+namespace {
+
+HotVideoTracker::Options SmallOptions(double half_life = 1000.0) {
+  HotVideoTracker::Options o;
+  o.top_k = 5;
+  o.half_life_millis = half_life;
+  return o;
+}
+
+TEST(HotVideoTrackerTest, RanksByAccumulatedWeight) {
+  HotVideoTracker tracker(SmallOptions());
+  tracker.Record(0, 1, 1.0, 0);
+  tracker.Record(0, 2, 1.0, 0);
+  tracker.Record(0, 2, 1.0, 0);
+  tracker.Record(0, 3, 1.0, 0);
+  tracker.Record(0, 2, 1.0, 0);
+  const auto hot = tracker.Hottest(0, 10, 0);
+  ASSERT_GE(hot.size(), 3u);
+  EXPECT_EQ(hot[0].video, 2u);
+  EXPECT_NEAR(hot[0].score, 3.0, 1e-9);
+}
+
+TEST(HotVideoTrackerTest, GroupsAreIsolated) {
+  HotVideoTracker tracker(SmallOptions());
+  tracker.Record(0, 1, 5.0, 0);
+  tracker.Record(1, 2, 1.0, 0);
+  const auto group0 = tracker.Hottest(0, 10, 0);
+  const auto group1 = tracker.Hottest(1, 10, 0);
+  ASSERT_EQ(group0.size(), 1u);
+  ASSERT_EQ(group1.size(), 1u);
+  EXPECT_EQ(group0[0].video, 1u);
+  EXPECT_EQ(group1[0].video, 2u);
+}
+
+TEST(HotVideoTrackerTest, UnknownGroupIsEmpty) {
+  HotVideoTracker tracker(SmallOptions());
+  EXPECT_TRUE(tracker.Hottest(9, 10, 0).empty());
+}
+
+TEST(HotVideoTrackerTest, RecentHitsOutweighOldOnes) {
+  HotVideoTracker tracker(SmallOptions(1000.0));
+  // Video 1: three hits at t=0. Video 2: two hits at t=3000 (3 half-
+  // lives later): decayed weight of video 1 = 3/8 < 2.
+  tracker.Record(0, 1, 1.0, 0);
+  tracker.Record(0, 1, 1.0, 0);
+  tracker.Record(0, 1, 1.0, 0);
+  tracker.Record(0, 2, 1.0, 3000);
+  tracker.Record(0, 2, 1.0, 3000);
+  const auto hot = tracker.Hottest(0, 10, 3000);
+  ASSERT_EQ(hot.size(), 2u);
+  EXPECT_EQ(hot[0].video, 2u);
+  EXPECT_NEAR(hot[0].score, 2.0, 1e-6);
+  EXPECT_NEAR(hot[1].score, 3.0 / 8.0, 1e-6);
+}
+
+TEST(HotVideoTrackerTest, TopKBoundsListLength) {
+  HotVideoTracker tracker(SmallOptions());
+  for (VideoId v = 1; v <= 20; ++v) {
+    tracker.Record(0, v, static_cast<double>(v), 0);
+  }
+  const auto hot = tracker.Hottest(0, 100, 0);
+  EXPECT_EQ(hot.size(), 5u);  // top_k = 5.
+  EXPECT_EQ(hot[0].video, 20u);
+}
+
+TEST(HotVideoTrackerTest, ZeroWeightIgnored) {
+  HotVideoTracker tracker(SmallOptions());
+  tracker.Record(0, 1, 0.0, 0);
+  EXPECT_TRUE(tracker.Hottest(0, 10, 0).empty());
+}
+
+TEST(HotVideoTrackerTest, NRequestTruncates) {
+  HotVideoTracker tracker(SmallOptions());
+  for (VideoId v = 1; v <= 5; ++v) tracker.Record(0, v, 1.0, 0);
+  EXPECT_EQ(tracker.Hottest(0, 2, 0).size(), 2u);
+}
+
+TEST(HotRecommenderViewTest, ServesTrackerContent) {
+  HotVideoTracker tracker(SmallOptions());
+  tracker.Record(kGlobalGroup, 7, 3.0, 0);
+  tracker.Record(kGlobalGroup, 8, 1.0, 0);
+  HotRecommenderView view(&tracker, kGlobalGroup, 10);
+  RecRequest request;
+  request.user = 1;
+  request.now = 0;
+  auto recs = view.Recommend(request);
+  ASSERT_TRUE(recs.ok());
+  ASSERT_EQ(recs->size(), 2u);
+  EXPECT_EQ((*recs)[0].video, 7u);
+  EXPECT_EQ(view.name(), "Hot");
+}
+
+}  // namespace
+}  // namespace rtrec

@@ -1,0 +1,141 @@
+#include "kvstore/kv_store.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace rtrec {
+namespace {
+
+TEST(ShardedKvStoreTest, PutGetRoundTrip) {
+  ShardedKvStore store;
+  ASSERT_TRUE(store.Put("k1", "v1").ok());
+  auto v = store.Get("k1");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "v1");
+}
+
+TEST(ShardedKvStoreTest, GetMissingIsNotFound) {
+  ShardedKvStore store;
+  EXPECT_TRUE(store.Get("nope").status().IsNotFound());
+}
+
+TEST(ShardedKvStoreTest, PutOverwrites) {
+  ShardedKvStore store;
+  store.Put("k", "a");
+  store.Put("k", "b");
+  EXPECT_EQ(*store.Get("k"), "b");
+  EXPECT_EQ(store.Size(), 1u);
+}
+
+TEST(ShardedKvStoreTest, DeleteRemovesKey) {
+  ShardedKvStore store;
+  store.Put("k", "v");
+  EXPECT_TRUE(store.Delete("k").ok());
+  EXPECT_TRUE(store.Get("k").status().IsNotFound());
+  EXPECT_TRUE(store.Delete("k").IsNotFound());
+}
+
+TEST(ShardedKvStoreTest, ContainsTracksPresence) {
+  ShardedKvStore store;
+  EXPECT_FALSE(store.Contains("k"));
+  store.Put("k", "v");
+  EXPECT_TRUE(store.Contains("k"));
+}
+
+TEST(ShardedKvStoreTest, UpdateCreatesWhenAsked) {
+  ShardedKvStore store;
+  ASSERT_TRUE(
+      store.Update("k", [](std::string& v) { v += "x"; }, true).ok());
+  EXPECT_EQ(*store.Get("k"), "x");
+  // Without create_if_missing: NotFound.
+  EXPECT_TRUE(store.Update("missing", [](std::string&) {}, false)
+                  .IsNotFound());
+}
+
+TEST(ShardedKvStoreTest, UpdateIsReadModifyWrite) {
+  ShardedKvStore store;
+  store.Put("k", "1");
+  store.Update("k", [](std::string& v) { v = std::to_string(
+      std::stoi(v) + 1); }, false);
+  EXPECT_EQ(*store.Get("k"), "2");
+}
+
+TEST(ShardedKvStoreTest, ShardCountRoundsUpToPowerOfTwo) {
+  ShardedKvStoreOptions options;
+  options.num_shards = 5;
+  ShardedKvStore store(options);
+  EXPECT_EQ(store.num_shards(), 8u);
+  ShardedKvStoreOptions one;
+  one.num_shards = 0;
+  EXPECT_EQ(ShardedKvStore(one).num_shards(), 1u);
+}
+
+TEST(ShardedKvStoreTest, SizeAndForEachCoverAllShards) {
+  ShardedKvStore store;
+  for (int i = 0; i < 100; ++i) {
+    store.Put("key" + std::to_string(i), std::to_string(i));
+  }
+  EXPECT_EQ(store.Size(), 100u);
+  int visited = 0;
+  store.ForEach([&visited](const std::string&, const std::string&) {
+    ++visited;
+  });
+  EXPECT_EQ(visited, 100);
+}
+
+TEST(ShardedKvStoreTest, MetricsCountOperations) {
+  MetricsRegistry registry;
+  ShardedKvStoreOptions options;
+  options.metrics = &registry;
+  ShardedKvStore store(options);
+  store.Put("a", "1");
+  store.Get("a");
+  store.Get("missing");
+  store.Delete("a");
+  EXPECT_EQ(registry.GetCounter("kvstore.puts")->value(), 1);
+  EXPECT_EQ(registry.GetCounter("kvstore.gets")->value(), 2);
+  EXPECT_EQ(registry.GetCounter("kvstore.hits")->value(), 1);
+  EXPECT_EQ(registry.GetCounter("kvstore.deletes")->value(), 1);
+}
+
+TEST(ShardedKvStoreTest, ConcurrentUpdatesOnOneKeyAreAtomic) {
+  ShardedKvStore store;
+  store.Put("counter", "");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store] {
+      for (int i = 0; i < kPerThread; ++i) {
+        store.Update("counter", [](std::string& v) { v.push_back('x'); },
+                     false);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(store.Get("counter")->size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST(ShardedKvStoreTest, ConcurrentDisjointKeysAllLand) {
+  ShardedKvStore store;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        store.Put("t" + std::to_string(t) + "_" + std::to_string(i), "v");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(store.Size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace rtrec

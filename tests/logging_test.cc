@@ -1,0 +1,66 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace rtrec {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, LevelRoundTrip) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarn);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarn);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST(LoggingTest, BelowThresholdSkipsEvaluation) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return 42;
+  };
+  RTREC_LOG(kDebug) << "never " << expensive();
+  RTREC_LOG(kInfo) << "never " << expensive();
+  RTREC_LOG(kWarn) << "never " << expensive();
+  EXPECT_EQ(evaluations, 0);
+  RTREC_LOG(kError) << "emitted " << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LoggingTest, OrderingOfLevels) {
+  EXPECT_LT(LogLevel::kDebug, LogLevel::kInfo);
+  EXPECT_LT(LogLevel::kInfo, LogLevel::kWarn);
+  EXPECT_LT(LogLevel::kWarn, LogLevel::kError);
+}
+
+TEST(LoggingTest, ConcurrentLoggingDoesNotCrash) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);  // Keep the test output quiet.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 200; ++i) {
+        RTREC_LOG(kInfo) << "thread " << t << " line " << i;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace
+}  // namespace rtrec

@@ -1,0 +1,101 @@
+#include "common/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/types.h"
+
+namespace rtrec {
+namespace {
+
+TEST(LruCacheTest, PutGetRoundTrip) {
+  LruCache<int, std::string> cache(4);
+  cache.Put(1, "one");
+  ASSERT_NE(cache.Get(1), nullptr);
+  EXPECT_EQ(*cache.Get(1), "one");
+  EXPECT_EQ(cache.Get(2), nullptr);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(3);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(3, 30);
+  cache.Put(4, 40);  // Evicts 1 (oldest).
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_NE(cache.Get(2), nullptr);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(LruCacheTest, GetRefreshesRecency) {
+  LruCache<int, int> cache(3);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(3, 30);
+  EXPECT_NE(cache.Get(1), nullptr);  // 1 is now most recent.
+  cache.Put(4, 40);                  // Evicts 2.
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.Get(2), nullptr);
+}
+
+TEST(LruCacheTest, PutOverwritesAndRefreshes) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(1, 11);  // Overwrite refreshes 1.
+  cache.Put(3, 30);  // Evicts 2.
+  ASSERT_NE(cache.Get(1), nullptr);
+  EXPECT_EQ(*cache.Get(1), 11);
+  EXPECT_EQ(cache.Get(2), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCacheTest, EraseRemoves) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  EXPECT_TRUE(cache.Erase(1));
+  EXPECT_FALSE(cache.Erase(1));
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, ClearEmptiesEverything) {
+  LruCache<int, int> cache(4);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Get(1), nullptr);
+}
+
+TEST(LruCacheTest, HitMissCounters) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Get(1);
+  cache.Get(1);
+  cache.Get(9);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCacheTest, ZeroCapacityClampsToOne) {
+  LruCache<int, int> cache(0);
+  EXPECT_EQ(cache.capacity(), 1u);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_NE(cache.Get(2), nullptr);
+}
+
+TEST(LruCacheTest, CustomHashWorks) {
+  LruCache<VideoPair, double, VideoPairHash> cache(8);
+  cache.Put(VideoPair(1, 2), 0.5);
+  // Normalized pair order: (2,1) is the same key.
+  ASSERT_NE(cache.Get(VideoPair(2, 1)), nullptr);
+  EXPECT_DOUBLE_EQ(*cache.Get(VideoPair(2, 1)), 0.5);
+}
+
+}  // namespace
+}  // namespace rtrec

@@ -1,0 +1,94 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace rtrec {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Increment(5);
+  EXPECT_EQ(c.value(), 6);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(CounterTest, ConcurrentIncrementsDoNotLoseUpdates) {
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.Increment();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), 80000);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(10);
+  EXPECT_EQ(g.value(), 10);
+  g.Add(-3);
+  EXPECT_EQ(g.value(), 7);
+}
+
+TEST(MetricsRegistryTest, LookupCreatesOnFirstUse) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("foo");
+  ASSERT_NE(c, nullptr);
+  c->Increment();
+  // Same name returns the same object.
+  EXPECT_EQ(registry.GetCounter("foo"), c);
+  EXPECT_EQ(registry.GetCounter("foo")->value(), 1);
+  // Different name is distinct.
+  EXPECT_NE(registry.GetCounter("bar"), c);
+}
+
+TEST(MetricsRegistryTest, SeparateNamespacesPerKind) {
+  MetricsRegistry registry;
+  registry.GetCounter("x")->Increment(5);
+  registry.GetGauge("x")->Set(7);
+  registry.GetHistogram("x")->Add(3);
+  EXPECT_EQ(registry.GetCounter("x")->value(), 5);
+  EXPECT_EQ(registry.GetGauge("x")->value(), 7);
+  EXPECT_EQ(registry.GetHistogram("x")->count(), 1u);
+}
+
+TEST(MetricsRegistryTest, ReportContainsAllMetrics) {
+  MetricsRegistry registry;
+  registry.GetCounter("alpha")->Increment(3);
+  registry.GetGauge("beta")->Set(-2);
+  registry.GetHistogram("gamma")->Add(10);
+  const std::string report = registry.Report();
+  EXPECT_NE(report.find("alpha = 3"), std::string::npos);
+  EXPECT_NE(report.find("beta = -2"), std::string::npos);
+  EXPECT_NE(report.find("gamma"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentLookupIsSafe) {
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < 1000; ++i) {
+        registry.GetCounter("shared")->Increment();
+        registry.GetCounter("own" + std::to_string(t))->Increment();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(registry.GetCounter("shared")->value(), 8000);
+}
+
+TEST(MetricsRegistryTest, DefaultRegistryIsSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Default(), &MetricsRegistry::Default());
+}
+
+}  // namespace
+}  // namespace rtrec

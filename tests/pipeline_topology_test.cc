@@ -1,0 +1,282 @@
+#include "core/topology_factory.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "core/recommender.h"
+#include "stream/topology.h"
+
+namespace rtrec {
+namespace {
+
+UserAction Play(UserId u, VideoId v, Timestamp t) {
+  UserAction a;
+  a.user = u;
+  a.video = v;
+  a.type = ActionType::kPlayTime;
+  a.view_fraction = 1.0;
+  a.time = t;
+  return a;
+}
+
+UserAction Impress(UserId u, VideoId v, Timestamp t) {
+  UserAction a;
+  a.user = u;
+  a.video = v;
+  a.type = ActionType::kImpress;
+  a.time = t;
+  return a;
+}
+
+class PipelineTopologyTest : public ::testing::Test {
+ protected:
+  PipelineTopologyTest() {
+    FactorStore::Options factor_options;
+    factor_options.num_factors = 8;
+    factors_ = std::make_unique<FactorStore>(factor_options);
+    history_ = std::make_unique<HistoryStore>();
+    table_ = std::make_unique<SimTableStore>();
+  }
+
+  PipelineDeps Deps() {
+    PipelineDeps deps;
+    deps.factors = factors_.get();
+    deps.history = history_.get();
+    deps.sim_table = table_.get();
+    deps.type_resolver = [](VideoId) -> VideoType { return 0; };
+    deps.model_config.num_factors = 8;
+    return deps;
+  }
+
+  /// Runs the Fig. 2 topology over `actions` to completion.
+  void RunPipeline(std::vector<UserAction> actions,
+                   PipelineParallelism parallelism = {}) {
+    auto source =
+        std::make_shared<VectorActionSource>(std::move(actions));
+    auto spec = BuildRecommendationTopology(source, Deps(), parallelism);
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    auto topo = stream::Topology::Create(std::move(spec).value());
+    ASSERT_TRUE(topo.ok()) << topo.status().ToString();
+    ASSERT_TRUE((*topo)->Start().ok());
+    ASSERT_TRUE((*topo)->Join().ok());
+    metrics_report_ = (*topo)->metrics().Report();
+  }
+
+  std::unique_ptr<FactorStore> factors_;
+  std::unique_ptr<HistoryStore> history_;
+  std::unique_ptr<SimTableStore> table_;
+  std::string metrics_report_;
+};
+
+TEST(VectorActionSourceTest, HandsOutEachActionExactlyOnce) {
+  std::vector<UserAction> actions;
+  for (int i = 0; i < 5000; ++i) {
+    actions.push_back(Play(static_cast<UserId>(i), 1, i));
+  }
+  VectorActionSource source(actions);
+  EXPECT_EQ(source.size(), 5000u);
+
+  std::atomic<std::size_t> total{0};
+  std::atomic<std::uint64_t> user_sum{0};
+  std::vector<std::thread> pullers;
+  for (int t = 0; t < 4; ++t) {
+    pullers.emplace_back([&source, &total, &user_sum] {
+      while (auto action = source.Next()) {
+        total.fetch_add(1);
+        user_sum.fetch_add(action->user);
+      }
+    });
+  }
+  for (auto& th : pullers) th.join();
+  EXPECT_EQ(total.load(), 5000u);
+  EXPECT_EQ(user_sum.load(), 4999ull * 5000 / 2);
+  EXPECT_FALSE(source.Next().has_value());
+}
+
+TEST(ActionTupleTest, RoundTrip) {
+  const UserAction original = Play(7, 9, 1234);
+  auto decoded = TupleToAction(ActionToTuple(original));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, original);
+}
+
+TEST(ActionTupleTest, RejectsBadActionCode) {
+  stream::Tuple bad(pipeline_schema::Action(),
+                    {std::int64_t{1}, std::int64_t{2}, std::int64_t{99},
+                     0.0, std::int64_t{0}});
+  EXPECT_FALSE(TupleToAction(bad).ok());
+}
+
+TEST_F(PipelineTopologyTest, RejectsNullDeps) {
+  auto source = std::make_shared<VectorActionSource>(
+      std::vector<UserAction>{});
+  PipelineDeps deps = Deps();
+  deps.factors = nullptr;
+  EXPECT_FALSE(BuildRecommendationTopology(source, deps).ok());
+  EXPECT_FALSE(BuildRecommendationTopology(nullptr, Deps()).ok());
+}
+
+TEST_F(PipelineTopologyTest, TrainsModelFromStream) {
+  std::vector<UserAction> actions;
+  for (int round = 0; round < 30; ++round) {
+    for (UserId u = 1; u <= 5; ++u) {
+      actions.push_back(Play(u, 10, round * 1000));
+      actions.push_back(Play(u, 11, round * 1000 + 500));
+    }
+  }
+  RunPipeline(std::move(actions));
+
+  // MF vectors were created and written through MFStorage.
+  EXPECT_EQ(factors_->NumUsers(), 5u);
+  EXPECT_EQ(factors_->NumVideos(), 2u);
+  EXPECT_GT(factors_->RatingCount(), 0u);
+
+  // Histories recorded.
+  EXPECT_EQ(history_->Get(1).size(), 2u);
+
+  // Similar-video tables populated via GetItemPairs -> ItemPairSim ->
+  // ResultStorage.
+  EXPECT_GT(table_->GetDecayedSimilarity(10, 11, 30000), 0.0);
+}
+
+TEST_F(PipelineTopologyTest, ImpressionsFlowThroughWithoutStateChanges) {
+  std::vector<UserAction> actions;
+  for (int i = 0; i < 50; ++i) {
+    actions.push_back(Impress(1, static_cast<VideoId>(i + 1), i * 100));
+  }
+  RunPipeline(std::move(actions));
+  EXPECT_EQ(factors_->NumUsers(), 0u);
+  EXPECT_TRUE(history_->Get(1).empty());
+  EXPECT_EQ(table_->NumVideos(), 0u);
+}
+
+TEST_F(PipelineTopologyTest, HighParallelismMatchesLowParallelismCounts) {
+  std::vector<UserAction> actions;
+  for (int round = 0; round < 50; ++round) {
+    for (UserId u = 1; u <= 20; ++u) {
+      actions.push_back(
+          Play(u, static_cast<VideoId>(u % 7 + 1), round * 1000 + u));
+    }
+  }
+  PipelineParallelism wide;
+  wide.spout = 2;
+  wide.compute_mf = 4;
+  wide.mf_storage = 4;
+  wide.user_history = 3;
+  wide.get_item_pairs = 3;
+  wide.item_pair_sim = 4;
+  wide.result_storage = 3;
+  RunPipeline(actions, wide);
+
+  // Every engaged action trained the model exactly once.
+  EXPECT_EQ(factors_->RatingCount(), actions.size());
+  EXPECT_EQ(factors_->NumUsers(), 20u);
+  EXPECT_EQ(factors_->NumVideos(), 7u);
+}
+
+TEST_F(PipelineTopologyTest, PairCacheHitsOnRepeatedCoWatches) {
+  // Section 5.1's cache technique: the same pair recomputed within the
+  // TTL is served from the ItemPairSim task-local LRU. Repeated
+  // co-watches of one pair in a tight window must produce cache hits.
+  std::vector<UserAction> actions;
+  for (int round = 0; round < 40; ++round) {
+    for (UserId u = 1; u <= 5; ++u) {
+      actions.push_back(Play(u, 10, round * 100));
+      actions.push_back(Play(u, 11, round * 100 + 50));
+    }
+  }
+  auto source = std::make_shared<VectorActionSource>(std::move(actions));
+  PipelineDeps deps = Deps();
+  deps.sim_config.pair_cache_size = 1024;
+  deps.sim_config.pair_cache_ttl_millis = 10'000.0;
+  auto spec = BuildRecommendationTopology(source, deps);
+  ASSERT_TRUE(spec.ok());
+  auto topo = stream::Topology::Create(std::move(spec).value());
+  ASSERT_TRUE(topo.ok());
+  ASSERT_TRUE((*topo)->Start().ok());
+  ASSERT_TRUE((*topo)->Join().ok());
+  EXPECT_GT((*topo)->metrics().GetCounter("item_pair_sim.cache_hits")
+                ->value(),
+            0);
+  // The table still holds the pair.
+  EXPECT_GT(table_->GetDecayedSimilarity(10, 11, 4000), 0.0);
+}
+
+TEST_F(PipelineTopologyTest, PairCacheDisabledComputesEveryPair) {
+  std::vector<UserAction> actions;
+  for (int round = 0; round < 20; ++round) {
+    actions.push_back(Play(1, 10, round * 100));
+    actions.push_back(Play(1, 11, round * 100 + 50));
+  }
+  auto source = std::make_shared<VectorActionSource>(std::move(actions));
+  PipelineDeps deps = Deps();
+  deps.sim_config.pair_cache_size = 0;
+  auto spec = BuildRecommendationTopology(source, deps);
+  ASSERT_TRUE(spec.ok());
+  auto topo = stream::Topology::Create(std::move(spec).value());
+  ASSERT_TRUE(topo.ok());
+  ASSERT_TRUE((*topo)->Start().ok());
+  ASSERT_TRUE((*topo)->Join().ok());
+  EXPECT_EQ(
+      (*topo)->metrics().GetCounter("item_pair_sim.cache_hits")->value(), 0);
+}
+
+TEST_F(PipelineTopologyTest, ReliableSpoutDeliversEveryActionWithAcking) {
+  std::vector<UserAction> actions;
+  for (int round = 0; round < 40; ++round) {
+    for (UserId u = 1; u <= 10; ++u) {
+      actions.push_back(
+          Play(u, static_cast<VideoId>(u % 5 + 1), round * 1000 + u));
+    }
+  }
+  const std::size_t total = actions.size();
+  auto source = std::make_shared<VectorActionSource>(std::move(actions));
+  PipelineDeps deps = Deps();
+  deps.reliable_spout = true;
+  auto spec = BuildRecommendationTopology(source, deps);
+  ASSERT_TRUE(spec.ok());
+  stream::TopologyOptions options;
+  options.enable_acking = true;
+  auto topo = stream::Topology::Create(std::move(spec).value(), options);
+  ASSERT_TRUE(topo.ok());
+  ASSERT_TRUE((*topo)->Start().ok());
+  ASSERT_TRUE((*topo)->Join().ok());
+  // Every action trained the model (no losses, no duplicates on the
+  // healthy path).
+  EXPECT_EQ(factors_->RatingCount(), total);
+}
+
+TEST_F(PipelineTopologyTest, ServingPathWorksOverPipelineOutput) {
+  std::vector<UserAction> actions;
+  for (int round = 0; round < 40; ++round) {
+    for (UserId u = 1; u <= 8; ++u) {
+      actions.push_back(Play(u, 10, round * 1000));
+      actions.push_back(Play(u, 11, round * 1000 + 500));
+      actions.push_back(Play(u, 12, round * 1000 + 700));
+    }
+  }
+  RunPipeline(std::move(actions));
+
+  MfModelConfig model_config;
+  model_config.num_factors = 8;
+  OnlineMf model(factors_.get(), model_config);
+  RecommendConfig rec_config;
+  MfRecommender recommender(&model, history_.get(), table_.get(), nullptr,
+                            rec_config);
+  RecRequest request;
+  request.user = 999;
+  request.seed_videos = {10};
+  request.now = 40000;
+  auto recs = recommender.Recommend(request);
+  ASSERT_TRUE(recs.ok());
+  ASSERT_FALSE(recs->empty());
+  for (const auto& r : *recs) {
+    EXPECT_TRUE(r.video == 11 || r.video == 12) << r.video;
+  }
+}
+
+}  // namespace
+}  // namespace rtrec

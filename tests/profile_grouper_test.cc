@@ -1,0 +1,93 @@
+#include "demographic/grouper.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rtrec {
+namespace {
+
+UserProfile Registered(Gender g, AgeBucket a,
+                       Education e = Education::kBachelor) {
+  UserProfile p;
+  p.registered = true;
+  p.gender = g;
+  p.age = a;
+  p.education = e;
+  return p;
+}
+
+TEST(ProfileTest, ToStringIncludesParts) {
+  const std::string s =
+      ProfileToString(Registered(Gender::kMale, AgeBucket::k25To34));
+  EXPECT_NE(s.find("reg"), std::string::npos);
+  EXPECT_NE(s.find("male"), std::string::npos);
+  EXPECT_NE(s.find("25-34"), std::string::npos);
+  EXPECT_NE(ProfileToString(UserProfile{}).find("unreg"), std::string::npos);
+}
+
+TEST(GrouperTest, UnregisteredMapsToGlobal) {
+  EXPECT_EQ(DemographicGrouper::GroupFor(UserProfile{}), kGlobalGroup);
+}
+
+TEST(GrouperTest, GroupIsGenderAgeCell) {
+  const GroupId a = DemographicGrouper::GroupFor(
+      Registered(Gender::kMale, AgeBucket::k25To34));
+  const GroupId b = DemographicGrouper::GroupFor(
+      Registered(Gender::kMale, AgeBucket::k25To34, Education::kPrimary));
+  EXPECT_EQ(a, b);  // Education does not split groups.
+  const GroupId c = DemographicGrouper::GroupFor(
+      Registered(Gender::kFemale, AgeBucket::k25To34));
+  const GroupId d = DemographicGrouper::GroupFor(
+      Registered(Gender::kMale, AgeBucket::k18To24));
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  EXPECT_NE(c, d);
+}
+
+TEST(GrouperTest, AllCellsDistinct) {
+  std::set<GroupId> groups;
+  for (Gender g : {Gender::kUnknown, Gender::kFemale, Gender::kMale}) {
+    for (int a = 0; a < kNumAgeBuckets; ++a) {
+      groups.insert(DemographicGrouper::GroupFor(
+          Registered(g, static_cast<AgeBucket>(a))));
+    }
+  }
+  EXPECT_EQ(groups.size(), DemographicGrouper::kNumGroups);
+  EXPECT_FALSE(groups.contains(kGlobalGroup));
+}
+
+TEST(GrouperTest, RegistryRoundTrip) {
+  DemographicGrouper grouper;
+  const UserProfile profile = Registered(Gender::kFemale, AgeBucket::k35To49);
+  grouper.RegisterProfile(42, profile);
+  EXPECT_EQ(grouper.GetProfile(42), profile);
+  EXPECT_EQ(grouper.GroupOf(42), DemographicGrouper::GroupFor(profile));
+  EXPECT_EQ(grouper.NumProfiles(), 1u);
+}
+
+TEST(GrouperTest, UnknownUserIsGlobal) {
+  DemographicGrouper grouper;
+  EXPECT_EQ(grouper.GroupOf(7), kGlobalGroup);
+  EXPECT_FALSE(grouper.GetProfile(7).registered);
+}
+
+TEST(GrouperTest, ReRegistrationUpdatesProfile) {
+  DemographicGrouper grouper;
+  grouper.RegisterProfile(1, Registered(Gender::kMale, AgeBucket::kUnder18));
+  grouper.RegisterProfile(1, Registered(Gender::kMale, AgeBucket::k50Plus));
+  EXPECT_EQ(grouper.GetProfile(1).age, AgeBucket::k50Plus);
+  EXPECT_EQ(grouper.NumProfiles(), 1u);
+}
+
+TEST(GrouperTest, GroupNamesAreReadable) {
+  EXPECT_EQ(DemographicGrouper::GroupName(kGlobalGroup), "global");
+  const GroupId g = DemographicGrouper::GroupFor(
+      Registered(Gender::kMale, AgeBucket::k25To34));
+  const std::string name = DemographicGrouper::GroupName(g);
+  EXPECT_NE(name.find("male"), std::string::npos);
+  EXPECT_NE(name.find("25-34"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtrec

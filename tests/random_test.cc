@@ -1,0 +1,178 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace rtrec {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, BoundedUniformStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextUint64(10), 10u);
+    const std::int64_t v = rng.NextInt64(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, BoundedUniformCoversAllValues) {
+  Rng rng(13);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.NextUint64(8)];
+  for (int c : counts) {
+    EXPECT_GT(c, 700);  // Expected 1000 each; loose bound.
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(17);
+  const int n = 50000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, GaussianWithParamsShiftsAndScales) {
+  Rng rng(19);
+  const int n = 20000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.NextGaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, NextBoolRespectsProbability) {
+  Rng rng(23);
+  int trues = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBool(0.3)) ++trues;
+  }
+  EXPECT_NEAR(static_cast<double>(trues) / n, 0.3, 0.03);
+  Rng rng2(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng2.NextBool(0.0));
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, original);  // Astronomically unlikely to be identity.
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(ZipfTest, UniformWhenExponentZero) {
+  ZipfDistribution zipf(4, 0.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(zipf.Pmf(i), 0.25, 1e-9);
+  }
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution zipf(100, 1.1);
+  double total = 0;
+  for (std::size_t i = 0; i < 100; ++i) total += zipf.Pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, HeadHeavierThanTail) {
+  ZipfDistribution zipf(1000, 1.0);
+  EXPECT_GT(zipf.Pmf(0), zipf.Pmf(1));
+  EXPECT_GT(zipf.Pmf(1), zipf.Pmf(100));
+  EXPECT_GT(zipf.Pmf(100), zipf.Pmf(999));
+}
+
+TEST(ZipfTest, SampleMatchesPmfRoughly) {
+  ZipfDistribution zipf(10, 1.0);
+  Rng rng(37);
+  std::vector<int> counts(10, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, zipf.Pmf(i), 0.01)
+        << "rank " << i;
+  }
+}
+
+TEST(ZipfTest, SingleElementAlwaysSampled) {
+  ZipfDistribution zipf(1, 2.0);
+  Rng rng(41);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+  EXPECT_NEAR(zipf.Pmf(0), 1.0, 1e-12);
+}
+
+// Property sweep: sampling stays in range for many (n, s) combinations.
+class ZipfParamTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(ZipfParamTest, SamplesAlwaysInRange) {
+  const auto [n, s] = GetParam();
+  ZipfDistribution zipf(n, s);
+  Rng rng(n * 1000 + static_cast<std::uint64_t>(s * 10));
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), n);
+  }
+  double total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += zipf.Pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ZipfParamTest,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 10, 1000),
+                       ::testing::Values(0.0, 0.5, 1.0, 2.0)));
+
+}  // namespace
+}  // namespace rtrec

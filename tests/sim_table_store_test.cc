@@ -1,0 +1,129 @@
+#include "kvstore/sim_table_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rtrec {
+namespace {
+
+SimTableStore::Options SmallOptions(std::size_t k = 4,
+                                    double xi = 1000.0) {
+  SimTableStore::Options o;
+  o.top_k = k;
+  o.xi_millis = xi;
+  return o;
+}
+
+TEST(SimTableStoreTest, UpdateIsBidirectional) {
+  SimTableStore table(SmallOptions());
+  table.Update(1, 2, 0.8, 0);
+  const auto from_1 = table.Query(1, 0, 10);
+  const auto from_2 = table.Query(2, 0, 10);
+  ASSERT_EQ(from_1.size(), 1u);
+  ASSERT_EQ(from_2.size(), 1u);
+  EXPECT_EQ(from_1[0].video, 2u);
+  EXPECT_EQ(from_2[0].video, 1u);
+  EXPECT_DOUBLE_EQ(from_1[0].similarity, 0.8);
+}
+
+TEST(SimTableStoreTest, SelfPairsIgnored) {
+  SimTableStore table(SmallOptions());
+  table.Update(1, 1, 0.9, 0);
+  EXPECT_TRUE(table.Query(1, 0, 10).empty());
+}
+
+TEST(SimTableStoreTest, QueryRanksByDecayedSimilarity) {
+  SimTableStore table(SmallOptions());
+  table.Update(1, 2, 0.5, 0);
+  table.Update(1, 3, 0.9, 0);
+  table.Update(1, 4, 0.7, 0);
+  const auto similar = table.Query(1, 0, 10);
+  ASSERT_EQ(similar.size(), 3u);
+  EXPECT_EQ(similar[0].video, 3u);
+  EXPECT_EQ(similar[1].video, 4u);
+  EXPECT_EQ(similar[2].video, 2u);
+}
+
+TEST(SimTableStoreTest, DecayHalvesAtXi) {
+  SimTableStore table(SmallOptions(4, 1000.0));
+  table.Update(1, 2, 0.8, 0);
+  EXPECT_NEAR(table.GetDecayedSimilarity(1, 2, 1000), 0.4, 1e-9);
+  EXPECT_NEAR(table.GetDecayedSimilarity(1, 2, 2000), 0.2, 1e-9);
+  // No decay at or before the update time.
+  EXPECT_NEAR(table.GetDecayedSimilarity(1, 2, 0), 0.8, 1e-9);
+}
+
+TEST(SimTableStoreTest, UpdateRestartsDecayClock) {
+  SimTableStore table(SmallOptions(4, 1000.0));
+  table.Update(1, 2, 0.8, 0);
+  table.Update(1, 2, 0.8, 5000);  // Fresh action touches the pair.
+  EXPECT_NEAR(table.GetDecayedSimilarity(1, 2, 5000), 0.8, 1e-9);
+}
+
+TEST(SimTableStoreTest, DecayCanReorderEntries) {
+  SimTableStore table(SmallOptions(4, 1000.0));
+  table.Update(1, 2, 0.9, 0);     // Strong but old.
+  table.Update(1, 3, 0.5, 4000);  // Weaker but fresh.
+  const auto similar = table.Query(1, 4000, 10);
+  ASSERT_EQ(similar.size(), 2u);
+  // 0.9 decayed over 4 half-lives = 0.05625 < 0.5.
+  EXPECT_EQ(similar[0].video, 3u);
+}
+
+TEST(SimTableStoreTest, CapacityEvictsWeakestDecayed) {
+  SimTableStore table(SmallOptions(2, 1000.0));
+  table.Update(1, 2, 0.3, 0);
+  table.Update(1, 3, 0.5, 0);
+  table.Update(1, 4, 0.4, 0);  // Evicts video 2 (weakest).
+  const auto similar = table.Query(1, 0, 10);
+  ASSERT_EQ(similar.size(), 2u);
+  EXPECT_EQ(similar[0].video, 3u);
+  EXPECT_EQ(similar[1].video, 4u);
+}
+
+TEST(SimTableStoreTest, WeakNewcomerDoesNotEvict) {
+  SimTableStore table(SmallOptions(2, 1000.0));
+  table.Update(1, 2, 0.3, 0);
+  table.Update(1, 3, 0.5, 0);
+  table.Update(1, 4, 0.1, 0);
+  const auto similar = table.Query(1, 0, 10);
+  ASSERT_EQ(similar.size(), 2u);
+  EXPECT_EQ(similar[0].video, 3u);
+  EXPECT_EQ(similar[1].video, 2u);
+}
+
+TEST(SimTableStoreTest, FullyDecayedEntriesArePruned) {
+  SimTableStore table(SmallOptions(4, 10.0));  // 10 ms half-life.
+  table.Update(1, 2, 0.5, 0);
+  // After 1000 half-lives the entry is numerically dead.
+  EXPECT_TRUE(table.Query(1, 10000, 10).empty());
+  EXPECT_DOUBLE_EQ(table.GetDecayedSimilarity(1, 2, 10000), 0.0);
+}
+
+TEST(SimTableStoreTest, QueryLimitTruncates) {
+  SimTableStore table(SmallOptions(10, 1000.0));
+  for (VideoId v = 2; v <= 8; ++v) {
+    table.Update(1, v, 0.1 * static_cast<double>(v), 0);
+  }
+  EXPECT_EQ(table.Query(1, 0, 3).size(), 3u);
+  EXPECT_EQ(table.Query(1, 0, 100).size(), 7u);
+}
+
+TEST(SimTableStoreTest, UnknownVideoYieldsEmpty) {
+  SimTableStore table(SmallOptions());
+  EXPECT_TRUE(table.Query(123, 0, 10).empty());
+  EXPECT_DOUBLE_EQ(table.GetDecayedSimilarity(123, 456, 0), 0.0);
+}
+
+TEST(SimTableStoreTest, NumVideosCountsNonEmptyLists) {
+  SimTableStore table(SmallOptions());
+  EXPECT_EQ(table.NumVideos(), 0u);
+  table.Update(1, 2, 0.5, 0);
+  EXPECT_EQ(table.NumVideos(), 2u);  // Both directions.
+  table.Update(3, 4, 0.5, 0);
+  EXPECT_EQ(table.NumVideos(), 4u);
+}
+
+}  // namespace
+}  // namespace rtrec

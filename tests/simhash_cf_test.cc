@@ -1,0 +1,176 @@
+#include "baselines/simhash_cf.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+namespace rtrec {
+namespace {
+
+UserAction Play(UserId u, VideoId v, Timestamp t) {
+  UserAction a;
+  a.user = u;
+  a.video = v;
+  a.type = ActionType::kPlayTime;
+  a.view_fraction = 1.0;
+  a.time = t;
+  return a;
+}
+
+TEST(SimHashTest, IdenticalProfilesIdenticalSignatures) {
+  std::vector<std::pair<VideoId, double>> profile = {
+      {1, 1.0}, {2, 2.0}, {3, 0.5}};
+  EXPECT_EQ(ComputeSimHash(profile), ComputeSimHash(profile));
+}
+
+TEST(SimHashTest, OrderIndependent) {
+  std::vector<std::pair<VideoId, double>> a = {{1, 1.0}, {2, 2.0}};
+  std::vector<std::pair<VideoId, double>> b = {{2, 2.0}, {1, 1.0}};
+  EXPECT_EQ(ComputeSimHash(a), ComputeSimHash(b));
+}
+
+TEST(SimHashTest, SimilarProfilesHaveSmallHammingDistance) {
+  // 19 shared videos, one differing: signatures should be much closer
+  // than two disjoint profiles.
+  std::vector<std::pair<VideoId, double>> base;
+  for (VideoId v = 1; v <= 19; ++v) base.emplace_back(v, 1.0);
+  auto near = base;
+  near.emplace_back(100, 1.0);
+  auto base_plus = base;
+  base_plus.emplace_back(101, 1.0);
+
+  std::vector<std::pair<VideoId, double>> disjoint;
+  for (VideoId v = 1000; v < 1020; ++v) disjoint.emplace_back(v, 1.0);
+
+  const auto d_near = std::popcount(ComputeSimHash(near) ^
+                                    ComputeSimHash(base_plus));
+  const auto d_far = std::popcount(ComputeSimHash(near) ^
+                                   ComputeSimHash(disjoint));
+  EXPECT_LT(d_near, d_far);
+}
+
+TEST(SimHashTest, EmptyProfileIsZeroSignature) {
+  EXPECT_EQ(ComputeSimHash({}), 0u);
+}
+
+TEST(SimHashTest, SingleVideoSignatureMatchesItsHashSigns) {
+  // A one-element profile's signature is exactly the video's hash bits
+  // (positive weight sets the bit where the hash bit is 1).
+  const std::uint64_t sig = ComputeSimHash({{7, 2.0}});
+  const std::uint64_t sig_weighted = ComputeSimHash({{7, 0.5}});
+  EXPECT_EQ(sig, sig_weighted);  // Sign pattern is weight-invariant.
+}
+
+TEST(CosineFromSimHashTest, Calibration) {
+  EXPECT_NEAR(CosineFromSimHash(0xFFFFull, 0xFFFFull), 1.0, 1e-12);
+  EXPECT_NEAR(CosineFromSimHash(0ull, ~0ull), -1.0, 1e-12);
+  // Half the bits differ -> orthogonal estimate.
+  std::uint64_t half = 0;
+  for (int b = 0; b < 32; ++b) half |= (1ull << b);
+  EXPECT_NEAR(CosineFromSimHash(0ull, half), 0.0, 1e-12);
+}
+
+TEST(HammingSimilarityTest, Bounds) {
+  EXPECT_DOUBLE_EQ(HammingSimilarity(0xABCDull, 0xABCDull), 1.0);
+  EXPECT_DOUBLE_EQ(HammingSimilarity(0ull, ~0ull), 0.0);
+  EXPECT_DOUBLE_EQ(HammingSimilarity(0ull, 1ull), 1.0 - 1.0 / 64.0);
+}
+
+TEST(SimHashCfTest, UnseenUserGetsNothing) {
+  SimHashCfRecommender cf;
+  RecRequest request;
+  request.user = 1;
+  request.now = 0;
+  auto recs = cf.Recommend(request);
+  ASSERT_TRUE(recs.ok());
+  EXPECT_TRUE(recs->empty());
+}
+
+TEST(SimHashCfTest, RequiresRetrainBeforeServing) {
+  SimHashCfRecommender cf;
+  cf.Observe(Play(1, 10, 100));
+  RecRequest request;
+  request.user = 1;
+  request.now = 200;
+  EXPECT_TRUE(cf.Recommend(request)->empty());
+  cf.RetrainBatch(300);
+  EXPECT_NE(cf.GetSignature(1), 0u);
+}
+
+TEST(SimHashCfTest, SimilarUsersShareRecommendations) {
+  SimHashCfRecommender cf;
+  Timestamp t = 0;
+  // Users 1 and 2 share a long profile; user 2 also watched video 99.
+  for (VideoId v = 1; v <= 20; ++v) {
+    cf.Observe(Play(1, v, t += 100));
+    cf.Observe(Play(2, v, t += 100));
+  }
+  cf.Observe(Play(2, 99, t += 100));
+  cf.RetrainBatch(t);
+
+  RecRequest request;
+  request.user = 1;
+  request.now = t;
+  auto recs = cf.Recommend(request);
+  ASSERT_TRUE(recs.ok());
+  ASSERT_FALSE(recs->empty());
+  EXPECT_EQ((*recs)[0].video, 99u);
+}
+
+TEST(SimHashCfTest, OwnVideosNeverRecommended) {
+  SimHashCfRecommender cf;
+  Timestamp t = 0;
+  for (VideoId v = 1; v <= 20; ++v) {
+    cf.Observe(Play(1, v, t += 100));
+    cf.Observe(Play(2, v, t += 100));
+  }
+  cf.RetrainBatch(t);
+  RecRequest request;
+  request.user = 1;
+  request.now = t;
+  auto recs = cf.Recommend(request);
+  ASSERT_TRUE(recs.ok());
+  EXPECT_TRUE(recs->empty());  // Neighbour has nothing new.
+}
+
+TEST(SimHashCfTest, SignatureOfIdenticalProfilesMatches) {
+  SimHashCfRecommender cf;
+  Timestamp t = 0;
+  for (VideoId v = 1; v <= 10; ++v) {
+    cf.Observe(Play(1, v, t += 100));
+    cf.Observe(Play(2, v, t += 100));
+  }
+  cf.RetrainBatch(t);
+  EXPECT_EQ(cf.GetSignature(1), cf.GetSignature(2));
+}
+
+TEST(SimHashCfTest, DissimilarUsersDoNotCrossRecommend) {
+  SimHashCfRecommender cf;
+  Timestamp t = 0;
+  for (VideoId v = 1; v <= 20; ++v) cf.Observe(Play(1, v, t += 100));
+  for (VideoId v = 500; v <= 520; ++v) cf.Observe(Play(2, v, t += 100));
+  cf.RetrainBatch(t);
+  RecRequest request;
+  request.user = 1;
+  request.now = t;
+  auto recs = cf.Recommend(request);
+  ASSERT_TRUE(recs.ok());
+  // Disjoint profiles rarely collide in any band; if they do, scores are
+  // low. Accept empty or weak results, but never user 2's whole profile.
+  EXPECT_LT(recs->size(), 15u);
+  EXPECT_EQ(cf.name(), "SimHash");
+}
+
+TEST(SimHashCfTest, WeakActionsDoNotEnterProfiles) {
+  SimHashCfRecommender cf;
+  UserAction impress;
+  impress.user = 1;
+  impress.video = 10;
+  impress.type = ActionType::kImpress;
+  cf.Observe(impress);
+  cf.RetrainBatch(100);
+  EXPECT_EQ(cf.GetSignature(1), 0u);  // No profile was built.
+}
+
+}  // namespace
+}  // namespace rtrec

@@ -1,0 +1,105 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+
+namespace rtrec {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // Must not hang.
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ran = 1; });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, TasksRunOnMultipleThreads) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&mu, &ids] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      std::lock_guard<std::mutex> lock(mu);
+      ids.insert(std::this_thread::get_id());
+    });
+  }
+  pool.Wait();
+  EXPECT_GT(ids.size(), 1u);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Shutdown();
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  pool.Shutdown();  // Must not crash or hang.
+}
+
+TEST(ThreadPoolTest, DestructorJoinsWorkers) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        counter.fetch_add(1);
+      });
+    }
+  }  // Destructor.
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(pool, hits.size(),
+              [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, ZeroIterationsIsNoOp) {
+  ThreadPool pool(2);
+  ParallelFor(pool, 0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ParallelForTest, SingleIteration) {
+  ThreadPool pool(2);
+  std::atomic<int> n{0};
+  ParallelFor(pool, 1, [&n](std::size_t i) { n = static_cast<int>(i) + 1; });
+  EXPECT_EQ(n.load(), 1);
+}
+
+}  // namespace
+}  // namespace rtrec

@@ -1,0 +1,437 @@
+#include "stream/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <set>
+
+namespace rtrec::stream {
+namespace {
+
+std::shared_ptr<const Schema> NumberSchema() {
+  static const auto& schema = *new std::shared_ptr<const Schema>(
+      std::make_shared<const Schema>(Schema{{"n"}}));
+  return schema;
+}
+
+/// Emits the integers [0, limit).
+class CountingSpout : public Spout {
+ public:
+  explicit CountingSpout(std::int64_t limit) : limit_(limit) {}
+
+  bool Next(OutputCollector& collector) override {
+    if (next_ >= limit_) return false;
+    collector.Emit(Tuple(NumberSchema(), {next_++}));
+    return true;
+  }
+
+ private:
+  std::int64_t limit_;
+  std::int64_t next_ = 0;
+};
+
+/// Accumulates the sum of received numbers into a shared atomic; counts
+/// Prepare/Cleanup calls.
+class SummingBolt : public Bolt {
+ public:
+  SummingBolt(std::atomic<std::int64_t>* sum, std::atomic<int>* prepared,
+              std::atomic<int>* cleaned)
+      : sum_(sum), prepared_(prepared), cleaned_(cleaned) {}
+
+  void Prepare(const TaskContext&) override { prepared_->fetch_add(1); }
+  void Cleanup() override { cleaned_->fetch_add(1); }
+
+  void Process(const Tuple& tuple, OutputCollector& collector) override {
+    sum_->fetch_add(*tuple.GetInt("n"));
+    collector.Emit(tuple);  // Forward for chained topologies.
+  }
+
+ private:
+  std::atomic<std::int64_t>* sum_;
+  std::atomic<int>* prepared_;
+  std::atomic<int>* cleaned_;
+};
+
+/// Records which task processed which keys (for fields-grouping checks).
+class KeyRecordingBolt : public Bolt {
+ public:
+  struct State {
+    std::mutex mu;
+    std::map<std::int64_t, std::set<std::size_t>> tasks_per_key;
+  };
+
+  explicit KeyRecordingBolt(State* state) : state_(state) {}
+
+  void Prepare(const TaskContext& context) override {
+    task_index_ = context.task_index;
+  }
+
+  void Process(const Tuple& tuple, OutputCollector&) override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->tasks_per_key[*tuple.GetInt("n")].insert(task_index_);
+  }
+
+ private:
+  State* state_;
+  std::size_t task_index_ = 0;
+};
+
+TEST(TopologyTest, LinearPipelineProcessesEverything) {
+  std::atomic<std::int64_t> sum{0};
+  std::atomic<int> prepared{0}, cleaned{0};
+
+  TopologyBuilder builder;
+  builder.AddSpout(
+      "numbers", [] { return std::make_unique<CountingSpout>(1000); }, 1);
+  builder
+      .AddBolt(
+          "sum",
+          [&] {
+            return std::make_unique<SummingBolt>(&sum, &prepared, &cleaned);
+          },
+          4)
+      .ShuffleGrouping("numbers");
+  auto spec = builder.Build();
+  ASSERT_TRUE(spec.ok());
+
+  auto topo = Topology::Create(std::move(spec).value());
+  ASSERT_TRUE(topo.ok()) << topo.status().ToString();
+  ASSERT_TRUE((*topo)->Start().ok());
+  ASSERT_TRUE((*topo)->Join().ok());
+
+  EXPECT_EQ(sum.load(), 999LL * 1000 / 2);
+  EXPECT_EQ(prepared.load(), 4);
+  EXPECT_EQ(cleaned.load(), 4);
+  EXPECT_TRUE((*topo)->finished());
+  EXPECT_EQ((*topo)->metrics().GetCounter("sum.processed")->value(), 1000);
+  EXPECT_EQ((*topo)->metrics().GetCounter("numbers.emitted")->value(), 1000);
+}
+
+TEST(TopologyTest, MultipleSpoutTasksShareTheSource) {
+  // Each spout instance emits its own 0..99; two tasks -> 200 tuples.
+  std::atomic<std::int64_t> sum{0};
+  std::atomic<int> prepared{0}, cleaned{0};
+
+  TopologyBuilder builder;
+  builder.AddSpout(
+      "numbers", [] { return std::make_unique<CountingSpout>(100); }, 2);
+  builder
+      .AddBolt(
+          "sum",
+          [&] {
+            return std::make_unique<SummingBolt>(&sum, &prepared, &cleaned);
+          },
+          2)
+      .ShuffleGrouping("numbers");
+  auto spec = builder.Build();
+  ASSERT_TRUE(spec.ok());
+  auto topo = Topology::Create(std::move(spec).value());
+  ASSERT_TRUE(topo.ok());
+  ASSERT_TRUE((*topo)->Start().ok());
+  ASSERT_TRUE((*topo)->Join().ok());
+  EXPECT_EQ(sum.load(), 2 * (99LL * 100 / 2));
+}
+
+TEST(TopologyTest, FieldsGroupingSendsKeyToSingleTask) {
+  KeyRecordingBolt::State state;
+  TopologyBuilder builder;
+  builder.AddSpout(
+      "numbers",
+      [] {
+        // Emit each key several times.
+        class RepeatSpout : public Spout {
+         public:
+          bool Next(OutputCollector& collector) override {
+            if (i_ >= 500) return false;
+            collector.Emit(Tuple(NumberSchema(), {i_ % 50}));
+            ++i_;
+            return true;
+          }
+
+         private:
+          std::int64_t i_ = 0;
+        };
+        return std::make_unique<RepeatSpout>();
+      },
+      1);
+  builder
+      .AddBolt("record",
+               [&] { return std::make_unique<KeyRecordingBolt>(&state); }, 4)
+      .FieldsGrouping("numbers", {"n"});
+  auto spec = builder.Build();
+  ASSERT_TRUE(spec.ok());
+  auto topo = Topology::Create(std::move(spec).value());
+  ASSERT_TRUE(topo.ok());
+  ASSERT_TRUE((*topo)->Start().ok());
+  ASSERT_TRUE((*topo)->Join().ok());
+
+  ASSERT_EQ(state.tasks_per_key.size(), 50u);
+  std::set<std::size_t> used_tasks;
+  for (const auto& [key, tasks] : state.tasks_per_key) {
+    EXPECT_EQ(tasks.size(), 1u) << "key " << key << " hit multiple tasks";
+    used_tasks.insert(*tasks.begin());
+  }
+  EXPECT_GT(used_tasks.size(), 1u);  // Work actually spread out.
+}
+
+TEST(TopologyTest, ChainedBoltsCascade) {
+  std::atomic<std::int64_t> sum1{0}, sum2{0};
+  std::atomic<int> prepared{0}, cleaned{0};
+
+  TopologyBuilder builder;
+  builder.AddSpout(
+      "numbers", [] { return std::make_unique<CountingSpout>(100); }, 1);
+  builder
+      .AddBolt(
+          "first",
+          [&] {
+            return std::make_unique<SummingBolt>(&sum1, &prepared, &cleaned);
+          },
+          2)
+      .ShuffleGrouping("numbers");
+  builder
+      .AddBolt(
+          "second",
+          [&] {
+            return std::make_unique<SummingBolt>(&sum2, &prepared, &cleaned);
+          },
+          3)
+      .ShuffleGrouping("first");
+  auto spec = builder.Build();
+  ASSERT_TRUE(spec.ok());
+  auto topo = Topology::Create(std::move(spec).value());
+  ASSERT_TRUE(topo.ok());
+  ASSERT_TRUE((*topo)->Start().ok());
+  ASSERT_TRUE((*topo)->Join().ok());
+  EXPECT_EQ(sum1.load(), 99LL * 100 / 2);
+  EXPECT_EQ(sum2.load(), 99LL * 100 / 2);
+  EXPECT_EQ(cleaned.load(), 5);  // Every bolt task cleaned up.
+}
+
+TEST(TopologyTest, AllGroupingDuplicatesToEveryTask) {
+  std::atomic<std::int64_t> sum{0};
+  std::atomic<int> prepared{0}, cleaned{0};
+  TopologyBuilder builder;
+  builder.AddSpout(
+      "numbers", [] { return std::make_unique<CountingSpout>(10); }, 1);
+  TopologyBuilder::BoltDeclarer declarer = builder.AddBolt(
+      "sum",
+      [&] { return std::make_unique<SummingBolt>(&sum, &prepared, &cleaned); },
+      3);
+  declarer.AllGrouping("numbers");
+  auto spec = builder.Build();
+  ASSERT_TRUE(spec.ok());
+  auto topo = Topology::Create(std::move(spec).value());
+  ASSERT_TRUE(topo.ok());
+  ASSERT_TRUE((*topo)->Start().ok());
+  ASSERT_TRUE((*topo)->Join().ok());
+  EXPECT_EQ(sum.load(), 3 * (9LL * 10 / 2));
+}
+
+TEST(TopologyTest, UnsubscribedStreamTuplesAreDroppedAndCounted) {
+  class TwoStreamSpout : public Spout {
+   public:
+    bool Next(OutputCollector& collector) override {
+      if (done_) return false;
+      done_ = true;
+      collector.Emit(Tuple(NumberSchema(), {std::int64_t{1}}));
+      collector.EmitTo("nobody_listens", Tuple(NumberSchema(),
+                                               {std::int64_t{2}}));
+      return true;
+    }
+
+   private:
+    bool done_ = false;
+  };
+  std::atomic<std::int64_t> sum{0};
+  std::atomic<int> prepared{0}, cleaned{0};
+  TopologyBuilder builder;
+  builder.AddSpout("src", [] { return std::make_unique<TwoStreamSpout>(); });
+  builder
+      .AddBolt("sum",
+               [&] {
+                 return std::make_unique<SummingBolt>(&sum, &prepared,
+                                                      &cleaned);
+               })
+      .ShuffleGrouping("src");
+  auto spec = builder.Build();
+  ASSERT_TRUE(spec.ok());
+  auto topo = Topology::Create(std::move(spec).value());
+  ASSERT_TRUE(topo.ok());
+  ASSERT_TRUE((*topo)->Start().ok());
+  ASSERT_TRUE((*topo)->Join().ok());
+  EXPECT_EQ(sum.load(), 1);
+  EXPECT_EQ((*topo)->metrics().GetCounter("src.dropped")->value(), 1);
+}
+
+TEST(TopologyTest, MultiStreamSubscriptionsRouteIndependently) {
+  // One producer, two named streams with different groupings to the same
+  // consumer — the ComputeMF -> MFStorage pattern of Fig. 2 in
+  // isolation. Every tuple on both streams must arrive exactly once and
+  // the EOS drain must complete despite the double subscription.
+  class TwoStreamSpout : public Spout {
+   public:
+    bool Next(OutputCollector& collector) override {
+      if (i_ >= 100) return false;
+      collector.EmitTo("left", Tuple(NumberSchema(), {i_}));
+      collector.EmitTo("right", Tuple(NumberSchema(), {i_ * 1000}));
+      ++i_;
+      return true;
+    }
+
+   private:
+    std::int64_t i_ = 0;
+  };
+  class CountingSink : public Bolt {
+   public:
+    CountingSink(std::atomic<std::int64_t>* small_sum,
+                 std::atomic<std::int64_t>* large_sum)
+        : small_sum_(small_sum), large_sum_(large_sum) {}
+    void Process(const Tuple& tuple, OutputCollector&) override {
+      const std::int64_t n = *tuple.GetInt("n");
+      (n < 1000 && n != 0 ? *small_sum_ : *large_sum_).fetch_add(n);
+    }
+
+   private:
+    std::atomic<std::int64_t>* small_sum_;
+    std::atomic<std::int64_t>* large_sum_;
+  };
+
+  std::atomic<std::int64_t> small_sum{0}, large_sum{0};
+  TopologyBuilder builder;
+  builder.AddSpout("src", [] { return std::make_unique<TwoStreamSpout>(); });
+  builder
+      .AddBolt("sink",
+               [&] {
+                 return std::make_unique<CountingSink>(&small_sum,
+                                                       &large_sum);
+               },
+               3)
+      .FieldsGrouping("src", "left", {"n"})
+      .ShuffleGrouping("src", "right");
+  auto spec = builder.Build();
+  ASSERT_TRUE(spec.ok());
+  auto topo = Topology::Create(std::move(spec).value());
+  ASSERT_TRUE(topo.ok());
+  ASSERT_TRUE((*topo)->Start().ok());
+  ASSERT_TRUE((*topo)->Join().ok());
+  // left carries 1..99 (0 classified into large bucket, worth 0 anyway);
+  // right carries 0,1000,...,99000.
+  EXPECT_EQ(small_sum.load() + large_sum.load(),
+            99LL * 100 / 2 + 1000LL * (99 * 100 / 2));
+  EXPECT_EQ((*topo)->metrics().GetCounter("sink.processed")->value(), 200);
+}
+
+TEST(TopologyTest, RequestStopEndsInfiniteSpout) {
+  class InfiniteSpout : public Spout {
+   public:
+    bool Next(OutputCollector& collector) override {
+      collector.Emit(Tuple(NumberSchema(), {std::int64_t{1}}));
+      return true;
+    }
+  };
+  std::atomic<std::int64_t> sum{0};
+  std::atomic<int> prepared{0}, cleaned{0};
+  TopologyBuilder builder;
+  builder.AddSpout("inf", [] { return std::make_unique<InfiniteSpout>(); });
+  builder
+      .AddBolt("sum",
+               [&] {
+                 return std::make_unique<SummingBolt>(&sum, &prepared,
+                                                      &cleaned);
+               })
+      .ShuffleGrouping("inf");
+  auto spec = builder.Build();
+  ASSERT_TRUE(spec.ok());
+  auto topo = Topology::Create(std::move(spec).value());
+  ASSERT_TRUE(topo.ok());
+  ASSERT_TRUE((*topo)->Start().ok());
+  while (sum.load() < 100) {
+  }
+  (*topo)->RequestStop();
+  ASSERT_TRUE((*topo)->Join().ok());
+  EXPECT_GE(sum.load(), 100);
+  EXPECT_EQ(cleaned.load(), 1);  // Clean drain even on forced stop.
+}
+
+TEST(TopologyTest, QueueDepthGaugeDrainsToZero) {
+  std::atomic<std::int64_t> sum{0};
+  std::atomic<int> prepared{0}, cleaned{0};
+  TopologyBuilder builder;
+  builder.AddSpout("numbers",
+                   [] { return std::make_unique<CountingSpout>(2000); }, 2);
+  builder
+      .AddBolt("sum",
+               [&] {
+                 return std::make_unique<SummingBolt>(&sum, &prepared,
+                                                      &cleaned);
+               },
+               3)
+      .ShuffleGrouping("numbers");
+  auto spec = builder.Build();
+  ASSERT_TRUE(spec.ok());
+  auto topo = Topology::Create(std::move(spec).value());
+  ASSERT_TRUE(topo.ok());
+  ASSERT_TRUE((*topo)->Start().ok());
+  ASSERT_TRUE((*topo)->Join().ok());
+  // Every pushed data tuple was popped: the gauge returns to zero.
+  EXPECT_EQ((*topo)->metrics().GetGauge("sum.queue_depth")->value(), 0);
+}
+
+TEST(TopologyTest, StartTwiceFails) {
+  TopologyBuilder builder;
+  builder.AddSpout("numbers",
+                   [] { return std::make_unique<CountingSpout>(1); });
+  auto spec = builder.Build();
+  ASSERT_TRUE(spec.ok());
+  auto topo = Topology::Create(std::move(spec).value());
+  ASSERT_TRUE(topo.ok());
+  ASSERT_TRUE((*topo)->Start().ok());
+  EXPECT_FALSE((*topo)->Start().ok());
+  ASSERT_TRUE((*topo)->Join().ok());
+}
+
+TEST(TopologyTest, JoinBeforeStartFails) {
+  TopologyBuilder builder;
+  builder.AddSpout("numbers",
+                   [] { return std::make_unique<CountingSpout>(1); });
+  auto spec = builder.Build();
+  ASSERT_TRUE(spec.ok());
+  auto topo = Topology::Create(std::move(spec).value());
+  ASSERT_TRUE(topo.ok());
+  EXPECT_FALSE((*topo)->Join().ok());
+}
+
+TEST(TopologyTest, EmptySpecRejected) {
+  EXPECT_FALSE(Topology::Create(TopologySpec{}).ok());
+}
+
+TEST(TopologyTest, BackpressureSmallQueuesStillComplete) {
+  std::atomic<std::int64_t> sum{0};
+  std::atomic<int> prepared{0}, cleaned{0};
+  TopologyBuilder builder;
+  builder.AddSpout(
+      "numbers", [] { return std::make_unique<CountingSpout>(5000); }, 2);
+  builder
+      .AddBolt("sum",
+               [&] {
+                 return std::make_unique<SummingBolt>(&sum, &prepared,
+                                                      &cleaned);
+               },
+               1)
+      .ShuffleGrouping("numbers");
+  auto spec = builder.Build();
+  ASSERT_TRUE(spec.ok());
+  TopologyOptions options;
+  options.queue_capacity = 2;  // Aggressive backpressure.
+  auto topo = Topology::Create(std::move(spec).value(), options);
+  ASSERT_TRUE(topo.ok());
+  ASSERT_TRUE((*topo)->Start().ok());
+  ASSERT_TRUE((*topo)->Join().ok());
+  EXPECT_EQ(sum.load(), 2 * (4999LL * 5000 / 2));
+}
+
+}  // namespace
+}  // namespace rtrec::stream

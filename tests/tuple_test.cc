@@ -1,0 +1,107 @@
+#include "stream/tuple.h"
+
+#include <gtest/gtest.h>
+
+namespace rtrec::stream {
+namespace {
+
+std::shared_ptr<const Schema> TestSchema() {
+  return std::make_shared<const Schema>(
+      Schema{{"user", "score", "name", "vec"}});
+}
+
+Tuple MakeTuple() {
+  return Tuple(TestSchema(),
+               {std::int64_t{7}, 2.5, std::string("abc"),
+                std::vector<float>{1.0f, 2.0f}});
+}
+
+TEST(SchemaTest, IndexOfFindsFields) {
+  Schema schema({"a", "b", "c"});
+  EXPECT_EQ(schema.IndexOf("a"), 0);
+  EXPECT_EQ(schema.IndexOf("c"), 2);
+  EXPECT_EQ(schema.IndexOf("nope"), -1);
+  EXPECT_EQ(schema.size(), 3u);
+}
+
+TEST(TupleTest, PositionalAccess) {
+  Tuple t = MakeTuple();
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(std::get<std::int64_t>(t.Get(0)), 7);
+  EXPECT_DOUBLE_EQ(std::get<double>(t.Get(1)), 2.5);
+}
+
+TEST(TupleTest, TypedAccessorsSucceed) {
+  Tuple t = MakeTuple();
+  EXPECT_EQ(*t.GetInt("user"), 7);
+  EXPECT_DOUBLE_EQ(*t.GetDouble("score"), 2.5);
+  EXPECT_EQ(*t.GetString("name"), "abc");
+  EXPECT_EQ(t.GetFloats("vec")->size(), 2u);
+}
+
+TEST(TupleTest, MissingFieldIsNotFound) {
+  Tuple t = MakeTuple();
+  EXPECT_TRUE(t.GetInt("missing").status().IsNotFound());
+  EXPECT_EQ(t.GetByName("missing"), nullptr);
+}
+
+TEST(TupleTest, WrongTypeIsInvalidArgument) {
+  Tuple t = MakeTuple();
+  EXPECT_TRUE(t.GetInt("name").status().IsInvalidArgument());
+  EXPECT_TRUE(t.GetString("user").status().IsInvalidArgument());
+  EXPECT_TRUE(t.GetFloats("score").status().IsInvalidArgument());
+}
+
+TEST(TupleTest, GetDoubleWidensInts) {
+  Tuple t = MakeTuple();
+  EXPECT_DOUBLE_EQ(*t.GetDouble("user"), 7.0);
+}
+
+TEST(TupleTest, DefaultTupleIsEmpty) {
+  Tuple t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.GetByName("x"), nullptr);
+}
+
+TEST(TupleTest, ToStringNamesFields) {
+  Tuple t = MakeTuple();
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("user=7"), std::string::npos);
+  EXPECT_NE(s.find("name=abc"), std::string::npos);
+  EXPECT_NE(s.find("float[2]"), std::string::npos);
+}
+
+TEST(TupleTest, CopyIsIndependent) {
+  Tuple a = MakeTuple();
+  Tuple b = a;
+  EXPECT_EQ(*b.GetInt("user"), 7);
+  EXPECT_EQ(a.schema(), b.schema());  // Schema shared by pointer.
+}
+
+TEST(HashValueTest, EqualValuesHashEqual) {
+  EXPECT_EQ(HashValue(Value{std::int64_t{5}}),
+            HashValue(Value{std::int64_t{5}}));
+  EXPECT_EQ(HashValue(Value{std::string("xy")}),
+            HashValue(Value{std::string("xy")}));
+  EXPECT_EQ(HashValue(Value{2.5}), HashValue(Value{2.5}));
+}
+
+TEST(HashValueTest, DistinctValuesMostlyDiffer) {
+  EXPECT_NE(HashValue(Value{std::int64_t{5}}),
+            HashValue(Value{std::int64_t{6}}));
+  EXPECT_NE(HashValue(Value{std::string("a")}),
+            HashValue(Value{std::string("b")}));
+  // Same number as int vs double hashes independently (type matters for
+  // routing only if emitters are consistent, which schemas enforce).
+  EXPECT_NE(HashValue(Value{}), HashValue(Value{std::int64_t{0}}));
+}
+
+TEST(ValueToStringTest, AllAlternatives) {
+  EXPECT_EQ(ValueToString(Value{}), "null");
+  EXPECT_EQ(ValueToString(Value{std::int64_t{42}}), "42");
+  EXPECT_EQ(ValueToString(Value{std::string("s")}), "s");
+  EXPECT_EQ(ValueToString(Value{std::vector<float>{1, 2, 3}}), "float[3]");
+}
+
+}  // namespace
+}  // namespace rtrec::stream

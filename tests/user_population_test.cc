@@ -1,0 +1,125 @@
+#include "data/user_population.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/vec_math.h"
+
+namespace rtrec {
+namespace {
+
+UserPopulation::Options SmallOptions() {
+  UserPopulation::Options o;
+  o.num_users = 500;
+  o.num_genres = 4;
+  o.registered_fraction = 0.7;
+  o.seed = 3;
+  return o;
+}
+
+TEST(UserPopulationTest, GeneratesRequestedSize) {
+  const UserPopulation pop = UserPopulation::Generate(SmallOptions());
+  EXPECT_EQ(pop.size(), 500u);
+  EXPECT_EQ(pop.Get(1).id, 1u);
+}
+
+TEST(UserPopulationTest, DeterministicForSeed) {
+  const UserPopulation a = UserPopulation::Generate(SmallOptions());
+  const UserPopulation b = UserPopulation::Generate(SmallOptions());
+  for (UserId u = 1; u <= 500; ++u) {
+    EXPECT_EQ(a.Get(u).taste, b.Get(u).taste);
+    EXPECT_EQ(a.Get(u).profile, b.Get(u).profile);
+  }
+}
+
+TEST(UserPopulationTest, RegisteredFractionApproximatelyRespected) {
+  const UserPopulation pop = UserPopulation::Generate(SmallOptions());
+  int registered = 0;
+  for (const SimUser& u : pop.users()) {
+    if (u.profile.registered) ++registered;
+  }
+  EXPECT_NEAR(static_cast<double>(registered) / 500.0, 0.7, 0.07);
+}
+
+TEST(UserPopulationTest, RegisteredUsersHaveRealDemographics) {
+  const UserPopulation pop = UserPopulation::Generate(SmallOptions());
+  for (const SimUser& u : pop.users()) {
+    if (!u.profile.registered) continue;
+    EXPECT_NE(u.profile.gender, Gender::kUnknown);
+    EXPECT_NE(u.profile.age, AgeBucket::kUnknown);
+  }
+}
+
+TEST(UserPopulationTest, TastesAreUnitNorm) {
+  const UserPopulation pop = UserPopulation::Generate(SmallOptions());
+  for (const SimUser& u : pop.users()) {
+    EXPECT_NEAR(Norm(u.taste), 1.0, 1e-5);
+  }
+}
+
+TEST(UserPopulationTest, GroupMembersShareTaste) {
+  // The planted structure of Fig. 3: within-group taste similarity must
+  // exceed cross-group similarity.
+  const UserPopulation pop = UserPopulation::Generate(SmallOptions());
+  std::map<GroupId, std::vector<const SimUser*>> groups;
+  for (const SimUser& u : pop.users()) {
+    if (!u.profile.registered) continue;
+    groups[DemographicGrouper::GroupFor(u.profile)].push_back(&u);
+  }
+  ASSERT_GE(groups.size(), 3u);
+
+  double within = 0, cross = 0;
+  int within_n = 0, cross_n = 0;
+  std::vector<GroupId> ids;
+  for (const auto& [group, members] : groups) ids.push_back(group);
+  for (std::size_t gi = 0; gi < ids.size(); ++gi) {
+    const auto& members = groups[ids[gi]];
+    for (std::size_t i = 0; i + 1 < members.size() && i < 20; ++i) {
+      within += Dot(members[i]->taste, members[i + 1]->taste);
+      ++within_n;
+    }
+    if (gi + 1 < ids.size()) {
+      const auto& other = groups[ids[gi + 1]];
+      for (std::size_t i = 0; i < members.size() && i < other.size() &&
+                              i < 20; ++i) {
+        cross += Dot(members[i]->taste, other[i]->taste);
+        ++cross_n;
+      }
+    }
+  }
+  ASSERT_GT(within_n, 0);
+  ASSERT_GT(cross_n, 0);
+  EXPECT_GT(within / within_n, cross / cross_n + 0.1);
+}
+
+TEST(UserPopulationTest, ActivityIsPositiveAndSkewed) {
+  const UserPopulation pop = UserPopulation::Generate(SmallOptions());
+  double min_activity = 1e9, max_activity = 0;
+  for (const SimUser& u : pop.users()) {
+    EXPECT_GT(u.activity, 0.0);
+    min_activity = std::min(min_activity, u.activity);
+    max_activity = std::max(max_activity, u.activity);
+  }
+  EXPECT_GT(max_activity / min_activity, 5.0);  // Heavy/light users exist.
+}
+
+TEST(UserPopulationTest, RegisterProfilesFillsGrouper) {
+  const UserPopulation pop = UserPopulation::Generate(SmallOptions());
+  DemographicGrouper grouper;
+  pop.RegisterProfiles(grouper);
+  int registered = 0;
+  for (const SimUser& u : pop.users()) {
+    if (u.profile.registered) {
+      ++registered;
+      EXPECT_EQ(grouper.GroupOf(u.id),
+                DemographicGrouper::GroupFor(u.profile));
+    } else {
+      EXPECT_EQ(grouper.GroupOf(u.id), kGlobalGroup);
+    }
+  }
+  EXPECT_EQ(grouper.NumProfiles(), static_cast<std::size_t>(registered));
+}
+
+}  // namespace
+}  // namespace rtrec
