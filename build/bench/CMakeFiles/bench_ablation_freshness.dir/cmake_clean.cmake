@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_freshness.dir/bench_ablation_freshness.cc.o"
+  "CMakeFiles/bench_ablation_freshness.dir/bench_ablation_freshness.cc.o.d"
+  "bench_ablation_freshness"
+  "bench_ablation_freshness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_freshness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_demographic.dir/bench_fig3_demographic.cc.o"
+  "CMakeFiles/bench_fig3_demographic.dir/bench_fig3_demographic.cc.o.d"
+  "bench_fig3_demographic"
+  "bench_fig3_demographic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_demographic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

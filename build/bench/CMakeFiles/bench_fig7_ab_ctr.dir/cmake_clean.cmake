@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_ab_ctr.dir/bench_fig7_ab_ctr.cc.o"
+  "CMakeFiles/bench_fig7_ab_ctr.dir/bench_fig7_ab_ctr.cc.o.d"
+  "bench_fig7_ab_ctr"
+  "bench_fig7_ab_ctr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_ab_ctr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_gridsearch.dir/bench_table2_gridsearch.cc.o"
+  "CMakeFiles/bench_table2_gridsearch.dir/bench_table2_gridsearch.cc.o.d"
+  "bench_table2_gridsearch"
+  "bench_table2_gridsearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_gridsearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

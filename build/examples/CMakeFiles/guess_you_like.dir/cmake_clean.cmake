@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guess_you_like.dir/guess_you_like.cpp.o"
+  "CMakeFiles/guess_you_like.dir/guess_you_like.cpp.o.d"
+  "guess_you_like"
+  "guess_you_like.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guess_you_like.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

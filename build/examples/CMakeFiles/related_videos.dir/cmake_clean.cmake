@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_videos.dir/related_videos.cpp.o"
+  "CMakeFiles/related_videos.dir/related_videos.cpp.o.d"
+  "related_videos"
+  "related_videos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_videos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

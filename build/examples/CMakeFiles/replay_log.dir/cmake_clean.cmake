@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_log.dir/replay_log.cpp.o"
+  "CMakeFiles/replay_log.dir/replay_log.cpp.o.d"
+  "replay_log"
+  "replay_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

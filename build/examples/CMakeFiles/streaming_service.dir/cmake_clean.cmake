@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_service.dir/streaming_service.cpp.o"
+  "CMakeFiles/streaming_service.dir/streaming_service.cpp.o.d"
+  "streaming_service"
+  "streaming_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

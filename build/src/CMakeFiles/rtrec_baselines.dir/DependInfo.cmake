@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/assoc_rules.cc" "src/CMakeFiles/rtrec_baselines.dir/baselines/assoc_rules.cc.o" "gcc" "src/CMakeFiles/rtrec_baselines.dir/baselines/assoc_rules.cc.o.d"
+  "/root/repo/src/baselines/hot_recommender.cc" "src/CMakeFiles/rtrec_baselines.dir/baselines/hot_recommender.cc.o" "gcc" "src/CMakeFiles/rtrec_baselines.dir/baselines/hot_recommender.cc.o.d"
+  "/root/repo/src/baselines/item_cf.cc" "src/CMakeFiles/rtrec_baselines.dir/baselines/item_cf.cc.o" "gcc" "src/CMakeFiles/rtrec_baselines.dir/baselines/item_cf.cc.o.d"
+  "/root/repo/src/baselines/reservoir_mf.cc" "src/CMakeFiles/rtrec_baselines.dir/baselines/reservoir_mf.cc.o" "gcc" "src/CMakeFiles/rtrec_baselines.dir/baselines/reservoir_mf.cc.o.d"
+  "/root/repo/src/baselines/simhash_cf.cc" "src/CMakeFiles/rtrec_baselines.dir/baselines/simhash_cf.cc.o" "gcc" "src/CMakeFiles/rtrec_baselines.dir/baselines/simhash_cf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtrec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtrec_demographic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtrec_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtrec_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

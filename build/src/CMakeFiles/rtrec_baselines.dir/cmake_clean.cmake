@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtrec_baselines.dir/baselines/assoc_rules.cc.o"
+  "CMakeFiles/rtrec_baselines.dir/baselines/assoc_rules.cc.o.d"
+  "CMakeFiles/rtrec_baselines.dir/baselines/hot_recommender.cc.o"
+  "CMakeFiles/rtrec_baselines.dir/baselines/hot_recommender.cc.o.d"
+  "CMakeFiles/rtrec_baselines.dir/baselines/item_cf.cc.o"
+  "CMakeFiles/rtrec_baselines.dir/baselines/item_cf.cc.o.d"
+  "CMakeFiles/rtrec_baselines.dir/baselines/reservoir_mf.cc.o"
+  "CMakeFiles/rtrec_baselines.dir/baselines/reservoir_mf.cc.o.d"
+  "CMakeFiles/rtrec_baselines.dir/baselines/simhash_cf.cc.o"
+  "CMakeFiles/rtrec_baselines.dir/baselines/simhash_cf.cc.o.d"
+  "librtrec_baselines.a"
+  "librtrec_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtrec_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtrec_common.dir/common/clock.cc.o"
+  "CMakeFiles/rtrec_common.dir/common/clock.cc.o.d"
+  "CMakeFiles/rtrec_common.dir/common/histogram.cc.o"
+  "CMakeFiles/rtrec_common.dir/common/histogram.cc.o.d"
+  "CMakeFiles/rtrec_common.dir/common/logging.cc.o"
+  "CMakeFiles/rtrec_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/rtrec_common.dir/common/metrics.cc.o"
+  "CMakeFiles/rtrec_common.dir/common/metrics.cc.o.d"
+  "CMakeFiles/rtrec_common.dir/common/random.cc.o"
+  "CMakeFiles/rtrec_common.dir/common/random.cc.o.d"
+  "CMakeFiles/rtrec_common.dir/common/status.cc.o"
+  "CMakeFiles/rtrec_common.dir/common/status.cc.o.d"
+  "CMakeFiles/rtrec_common.dir/common/string_util.cc.o"
+  "CMakeFiles/rtrec_common.dir/common/string_util.cc.o.d"
+  "CMakeFiles/rtrec_common.dir/common/thread_pool.cc.o"
+  "CMakeFiles/rtrec_common.dir/common/thread_pool.cc.o.d"
+  "librtrec_common.a"
+  "librtrec_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtrec_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

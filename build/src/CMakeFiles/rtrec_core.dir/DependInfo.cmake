@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/action.cc" "src/CMakeFiles/rtrec_core.dir/core/action.cc.o" "gcc" "src/CMakeFiles/rtrec_core.dir/core/action.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/rtrec_core.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/rtrec_core.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/implicit_feedback.cc" "src/CMakeFiles/rtrec_core.dir/core/implicit_feedback.cc.o" "gcc" "src/CMakeFiles/rtrec_core.dir/core/implicit_feedback.cc.o.d"
+  "/root/repo/src/core/model_config.cc" "src/CMakeFiles/rtrec_core.dir/core/model_config.cc.o" "gcc" "src/CMakeFiles/rtrec_core.dir/core/model_config.cc.o.d"
+  "/root/repo/src/core/online_mf.cc" "src/CMakeFiles/rtrec_core.dir/core/online_mf.cc.o" "gcc" "src/CMakeFiles/rtrec_core.dir/core/online_mf.cc.o.d"
+  "/root/repo/src/core/recommender.cc" "src/CMakeFiles/rtrec_core.dir/core/recommender.cc.o" "gcc" "src/CMakeFiles/rtrec_core.dir/core/recommender.cc.o.d"
+  "/root/repo/src/core/sim_table.cc" "src/CMakeFiles/rtrec_core.dir/core/sim_table.cc.o" "gcc" "src/CMakeFiles/rtrec_core.dir/core/sim_table.cc.o.d"
+  "/root/repo/src/core/similarity.cc" "src/CMakeFiles/rtrec_core.dir/core/similarity.cc.o" "gcc" "src/CMakeFiles/rtrec_core.dir/core/similarity.cc.o.d"
+  "/root/repo/src/core/topology_factory.cc" "src/CMakeFiles/rtrec_core.dir/core/topology_factory.cc.o" "gcc" "src/CMakeFiles/rtrec_core.dir/core/topology_factory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtrec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtrec_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtrec_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtrec_core.dir/core/action.cc.o"
+  "CMakeFiles/rtrec_core.dir/core/action.cc.o.d"
+  "CMakeFiles/rtrec_core.dir/core/engine.cc.o"
+  "CMakeFiles/rtrec_core.dir/core/engine.cc.o.d"
+  "CMakeFiles/rtrec_core.dir/core/implicit_feedback.cc.o"
+  "CMakeFiles/rtrec_core.dir/core/implicit_feedback.cc.o.d"
+  "CMakeFiles/rtrec_core.dir/core/model_config.cc.o"
+  "CMakeFiles/rtrec_core.dir/core/model_config.cc.o.d"
+  "CMakeFiles/rtrec_core.dir/core/online_mf.cc.o"
+  "CMakeFiles/rtrec_core.dir/core/online_mf.cc.o.d"
+  "CMakeFiles/rtrec_core.dir/core/recommender.cc.o"
+  "CMakeFiles/rtrec_core.dir/core/recommender.cc.o.d"
+  "CMakeFiles/rtrec_core.dir/core/sim_table.cc.o"
+  "CMakeFiles/rtrec_core.dir/core/sim_table.cc.o.d"
+  "CMakeFiles/rtrec_core.dir/core/similarity.cc.o"
+  "CMakeFiles/rtrec_core.dir/core/similarity.cc.o.d"
+  "CMakeFiles/rtrec_core.dir/core/topology_factory.cc.o"
+  "CMakeFiles/rtrec_core.dir/core/topology_factory.cc.o.d"
+  "librtrec_core.a"
+  "librtrec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtrec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

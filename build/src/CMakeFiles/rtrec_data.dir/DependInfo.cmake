@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/action_source.cc" "src/CMakeFiles/rtrec_data.dir/data/action_source.cc.o" "gcc" "src/CMakeFiles/rtrec_data.dir/data/action_source.cc.o.d"
+  "/root/repo/src/data/catalog.cc" "src/CMakeFiles/rtrec_data.dir/data/catalog.cc.o" "gcc" "src/CMakeFiles/rtrec_data.dir/data/catalog.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/rtrec_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/rtrec_data.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/event_generator.cc" "src/CMakeFiles/rtrec_data.dir/data/event_generator.cc.o" "gcc" "src/CMakeFiles/rtrec_data.dir/data/event_generator.cc.o.d"
+  "/root/repo/src/data/log_format.cc" "src/CMakeFiles/rtrec_data.dir/data/log_format.cc.o" "gcc" "src/CMakeFiles/rtrec_data.dir/data/log_format.cc.o.d"
+  "/root/repo/src/data/user_population.cc" "src/CMakeFiles/rtrec_data.dir/data/user_population.cc.o" "gcc" "src/CMakeFiles/rtrec_data.dir/data/user_population.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtrec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtrec_demographic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtrec_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtrec_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtrec_data.dir/data/action_source.cc.o"
+  "CMakeFiles/rtrec_data.dir/data/action_source.cc.o.d"
+  "CMakeFiles/rtrec_data.dir/data/catalog.cc.o"
+  "CMakeFiles/rtrec_data.dir/data/catalog.cc.o.d"
+  "CMakeFiles/rtrec_data.dir/data/dataset.cc.o"
+  "CMakeFiles/rtrec_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/rtrec_data.dir/data/event_generator.cc.o"
+  "CMakeFiles/rtrec_data.dir/data/event_generator.cc.o.d"
+  "CMakeFiles/rtrec_data.dir/data/log_format.cc.o"
+  "CMakeFiles/rtrec_data.dir/data/log_format.cc.o.d"
+  "CMakeFiles/rtrec_data.dir/data/user_population.cc.o"
+  "CMakeFiles/rtrec_data.dir/data/user_population.cc.o.d"
+  "librtrec_data.a"
+  "librtrec_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtrec_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

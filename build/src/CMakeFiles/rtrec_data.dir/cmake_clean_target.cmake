@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librtrec_data.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/demographic/demographic_filter.cc" "src/CMakeFiles/rtrec_demographic.dir/demographic/demographic_filter.cc.o" "gcc" "src/CMakeFiles/rtrec_demographic.dir/demographic/demographic_filter.cc.o.d"
+  "/root/repo/src/demographic/demographic_topology.cc" "src/CMakeFiles/rtrec_demographic.dir/demographic/demographic_topology.cc.o" "gcc" "src/CMakeFiles/rtrec_demographic.dir/demographic/demographic_topology.cc.o.d"
+  "/root/repo/src/demographic/demographic_trainer.cc" "src/CMakeFiles/rtrec_demographic.dir/demographic/demographic_trainer.cc.o" "gcc" "src/CMakeFiles/rtrec_demographic.dir/demographic/demographic_trainer.cc.o.d"
+  "/root/repo/src/demographic/group_checkpoint.cc" "src/CMakeFiles/rtrec_demographic.dir/demographic/group_checkpoint.cc.o" "gcc" "src/CMakeFiles/rtrec_demographic.dir/demographic/group_checkpoint.cc.o.d"
+  "/root/repo/src/demographic/group_stores.cc" "src/CMakeFiles/rtrec_demographic.dir/demographic/group_stores.cc.o" "gcc" "src/CMakeFiles/rtrec_demographic.dir/demographic/group_stores.cc.o.d"
+  "/root/repo/src/demographic/grouper.cc" "src/CMakeFiles/rtrec_demographic.dir/demographic/grouper.cc.o" "gcc" "src/CMakeFiles/rtrec_demographic.dir/demographic/grouper.cc.o.d"
+  "/root/repo/src/demographic/hot_videos.cc" "src/CMakeFiles/rtrec_demographic.dir/demographic/hot_videos.cc.o" "gcc" "src/CMakeFiles/rtrec_demographic.dir/demographic/hot_videos.cc.o.d"
+  "/root/repo/src/demographic/profile.cc" "src/CMakeFiles/rtrec_demographic.dir/demographic/profile.cc.o" "gcc" "src/CMakeFiles/rtrec_demographic.dir/demographic/profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtrec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtrec_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtrec_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

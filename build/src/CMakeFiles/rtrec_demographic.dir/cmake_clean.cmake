@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtrec_demographic.dir/demographic/demographic_filter.cc.o"
+  "CMakeFiles/rtrec_demographic.dir/demographic/demographic_filter.cc.o.d"
+  "CMakeFiles/rtrec_demographic.dir/demographic/demographic_topology.cc.o"
+  "CMakeFiles/rtrec_demographic.dir/demographic/demographic_topology.cc.o.d"
+  "CMakeFiles/rtrec_demographic.dir/demographic/demographic_trainer.cc.o"
+  "CMakeFiles/rtrec_demographic.dir/demographic/demographic_trainer.cc.o.d"
+  "CMakeFiles/rtrec_demographic.dir/demographic/group_checkpoint.cc.o"
+  "CMakeFiles/rtrec_demographic.dir/demographic/group_checkpoint.cc.o.d"
+  "CMakeFiles/rtrec_demographic.dir/demographic/group_stores.cc.o"
+  "CMakeFiles/rtrec_demographic.dir/demographic/group_stores.cc.o.d"
+  "CMakeFiles/rtrec_demographic.dir/demographic/grouper.cc.o"
+  "CMakeFiles/rtrec_demographic.dir/demographic/grouper.cc.o.d"
+  "CMakeFiles/rtrec_demographic.dir/demographic/hot_videos.cc.o"
+  "CMakeFiles/rtrec_demographic.dir/demographic/hot_videos.cc.o.d"
+  "CMakeFiles/rtrec_demographic.dir/demographic/profile.cc.o"
+  "CMakeFiles/rtrec_demographic.dir/demographic/profile.cc.o.d"
+  "librtrec_demographic.a"
+  "librtrec_demographic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtrec_demographic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

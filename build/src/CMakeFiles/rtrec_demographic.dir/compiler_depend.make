@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rtrec_demographic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/ab_test.cc" "src/CMakeFiles/rtrec_eval.dir/eval/ab_test.cc.o" "gcc" "src/CMakeFiles/rtrec_eval.dir/eval/ab_test.cc.o.d"
+  "/root/repo/src/eval/evaluator.cc" "src/CMakeFiles/rtrec_eval.dir/eval/evaluator.cc.o" "gcc" "src/CMakeFiles/rtrec_eval.dir/eval/evaluator.cc.o.d"
+  "/root/repo/src/eval/experiment_runner.cc" "src/CMakeFiles/rtrec_eval.dir/eval/experiment_runner.cc.o" "gcc" "src/CMakeFiles/rtrec_eval.dir/eval/experiment_runner.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/rtrec_eval.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/rtrec_eval.dir/eval/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtrec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtrec_demographic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtrec_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtrec_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtrec_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtrec_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

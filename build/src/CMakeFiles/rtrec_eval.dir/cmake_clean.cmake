@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtrec_eval.dir/eval/ab_test.cc.o"
+  "CMakeFiles/rtrec_eval.dir/eval/ab_test.cc.o.d"
+  "CMakeFiles/rtrec_eval.dir/eval/evaluator.cc.o"
+  "CMakeFiles/rtrec_eval.dir/eval/evaluator.cc.o.d"
+  "CMakeFiles/rtrec_eval.dir/eval/experiment_runner.cc.o"
+  "CMakeFiles/rtrec_eval.dir/eval/experiment_runner.cc.o.d"
+  "CMakeFiles/rtrec_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/rtrec_eval.dir/eval/metrics.cc.o.d"
+  "librtrec_eval.a"
+  "librtrec_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtrec_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

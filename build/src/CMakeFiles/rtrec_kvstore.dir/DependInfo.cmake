@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvstore/checkpoint.cc" "src/CMakeFiles/rtrec_kvstore.dir/kvstore/checkpoint.cc.o" "gcc" "src/CMakeFiles/rtrec_kvstore.dir/kvstore/checkpoint.cc.o.d"
+  "/root/repo/src/kvstore/factor_store.cc" "src/CMakeFiles/rtrec_kvstore.dir/kvstore/factor_store.cc.o" "gcc" "src/CMakeFiles/rtrec_kvstore.dir/kvstore/factor_store.cc.o.d"
+  "/root/repo/src/kvstore/history_store.cc" "src/CMakeFiles/rtrec_kvstore.dir/kvstore/history_store.cc.o" "gcc" "src/CMakeFiles/rtrec_kvstore.dir/kvstore/history_store.cc.o.d"
+  "/root/repo/src/kvstore/kv_store.cc" "src/CMakeFiles/rtrec_kvstore.dir/kvstore/kv_store.cc.o" "gcc" "src/CMakeFiles/rtrec_kvstore.dir/kvstore/kv_store.cc.o.d"
+  "/root/repo/src/kvstore/sim_table_store.cc" "src/CMakeFiles/rtrec_kvstore.dir/kvstore/sim_table_store.cc.o" "gcc" "src/CMakeFiles/rtrec_kvstore.dir/kvstore/sim_table_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtrec_kvstore.dir/kvstore/checkpoint.cc.o"
+  "CMakeFiles/rtrec_kvstore.dir/kvstore/checkpoint.cc.o.d"
+  "CMakeFiles/rtrec_kvstore.dir/kvstore/factor_store.cc.o"
+  "CMakeFiles/rtrec_kvstore.dir/kvstore/factor_store.cc.o.d"
+  "CMakeFiles/rtrec_kvstore.dir/kvstore/history_store.cc.o"
+  "CMakeFiles/rtrec_kvstore.dir/kvstore/history_store.cc.o.d"
+  "CMakeFiles/rtrec_kvstore.dir/kvstore/kv_store.cc.o"
+  "CMakeFiles/rtrec_kvstore.dir/kvstore/kv_store.cc.o.d"
+  "CMakeFiles/rtrec_kvstore.dir/kvstore/sim_table_store.cc.o"
+  "CMakeFiles/rtrec_kvstore.dir/kvstore/sim_table_store.cc.o.d"
+  "librtrec_kvstore.a"
+  "librtrec_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtrec_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

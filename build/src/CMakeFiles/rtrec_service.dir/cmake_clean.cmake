@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtrec_service.dir/service/recommendation_service.cc.o"
+  "CMakeFiles/rtrec_service.dir/service/recommendation_service.cc.o.d"
+  "librtrec_service.a"
+  "librtrec_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtrec_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

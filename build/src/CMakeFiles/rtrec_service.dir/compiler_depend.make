@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rtrec_service.
+# This may be replaced when dependencies are built.

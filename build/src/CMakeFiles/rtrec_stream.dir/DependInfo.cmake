@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/acker.cc" "src/CMakeFiles/rtrec_stream.dir/stream/acker.cc.o" "gcc" "src/CMakeFiles/rtrec_stream.dir/stream/acker.cc.o.d"
+  "/root/repo/src/stream/grouping.cc" "src/CMakeFiles/rtrec_stream.dir/stream/grouping.cc.o" "gcc" "src/CMakeFiles/rtrec_stream.dir/stream/grouping.cc.o.d"
+  "/root/repo/src/stream/reliable_spout.cc" "src/CMakeFiles/rtrec_stream.dir/stream/reliable_spout.cc.o" "gcc" "src/CMakeFiles/rtrec_stream.dir/stream/reliable_spout.cc.o.d"
+  "/root/repo/src/stream/topology.cc" "src/CMakeFiles/rtrec_stream.dir/stream/topology.cc.o" "gcc" "src/CMakeFiles/rtrec_stream.dir/stream/topology.cc.o.d"
+  "/root/repo/src/stream/topology_builder.cc" "src/CMakeFiles/rtrec_stream.dir/stream/topology_builder.cc.o" "gcc" "src/CMakeFiles/rtrec_stream.dir/stream/topology_builder.cc.o.d"
+  "/root/repo/src/stream/tuple.cc" "src/CMakeFiles/rtrec_stream.dir/stream/tuple.cc.o" "gcc" "src/CMakeFiles/rtrec_stream.dir/stream/tuple.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

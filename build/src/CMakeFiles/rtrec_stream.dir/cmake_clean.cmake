@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtrec_stream.dir/stream/acker.cc.o"
+  "CMakeFiles/rtrec_stream.dir/stream/acker.cc.o.d"
+  "CMakeFiles/rtrec_stream.dir/stream/grouping.cc.o"
+  "CMakeFiles/rtrec_stream.dir/stream/grouping.cc.o.d"
+  "CMakeFiles/rtrec_stream.dir/stream/reliable_spout.cc.o"
+  "CMakeFiles/rtrec_stream.dir/stream/reliable_spout.cc.o.d"
+  "CMakeFiles/rtrec_stream.dir/stream/topology.cc.o"
+  "CMakeFiles/rtrec_stream.dir/stream/topology.cc.o.d"
+  "CMakeFiles/rtrec_stream.dir/stream/topology_builder.cc.o"
+  "CMakeFiles/rtrec_stream.dir/stream/topology_builder.cc.o.d"
+  "CMakeFiles/rtrec_stream.dir/stream/tuple.cc.o"
+  "CMakeFiles/rtrec_stream.dir/stream/tuple.cc.o.d"
+  "librtrec_stream.a"
+  "librtrec_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtrec_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

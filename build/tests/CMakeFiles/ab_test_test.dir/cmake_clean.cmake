@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab_test_test.dir/ab_test_test.cc.o"
+  "CMakeFiles/ab_test_test.dir/ab_test_test.cc.o.d"
+  "ab_test_test"
+  "ab_test_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_test_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

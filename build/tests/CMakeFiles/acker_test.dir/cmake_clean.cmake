@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acker_test.dir/acker_test.cc.o"
+  "CMakeFiles/acker_test.dir/acker_test.cc.o.d"
+  "acker_test"
+  "acker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demographic_filter_test.dir/demographic_filter_test.cc.o"
+  "CMakeFiles/demographic_filter_test.dir/demographic_filter_test.cc.o.d"
+  "demographic_filter_test"
+  "demographic_filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demographic_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

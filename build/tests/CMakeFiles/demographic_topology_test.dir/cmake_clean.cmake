@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demographic_topology_test.dir/demographic_topology_test.cc.o"
+  "CMakeFiles/demographic_topology_test.dir/demographic_topology_test.cc.o.d"
+  "demographic_topology_test"
+  "demographic_topology_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demographic_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demographic_trainer_test.dir/demographic_trainer_test.cc.o"
+  "CMakeFiles/demographic_trainer_test.dir/demographic_trainer_test.cc.o.d"
+  "demographic_trainer_test"
+  "demographic_trainer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demographic_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_generator_test.dir/event_generator_test.cc.o"
+  "CMakeFiles/event_generator_test.dir/event_generator_test.cc.o.d"
+  "event_generator_test"
+  "event_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_reference_test.dir/fuzz_reference_test.cc.o"
+  "CMakeFiles/fuzz_reference_test.dir/fuzz_reference_test.cc.o.d"
+  "fuzz_reference_test"
+  "fuzz_reference_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

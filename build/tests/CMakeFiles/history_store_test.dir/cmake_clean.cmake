@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_store_test.dir/history_store_test.cc.o"
+  "CMakeFiles/history_store_test.dir/history_store_test.cc.o.d"
+  "history_store_test"
+  "history_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_item_cf_test.dir/hot_item_cf_test.cc.o"
+  "CMakeFiles/hot_item_cf_test.dir/hot_item_cf_test.cc.o.d"
+  "hot_item_cf_test"
+  "hot_item_cf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_item_cf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_videos_test.dir/hot_videos_test.cc.o"
+  "CMakeFiles/hot_videos_test.dir/hot_videos_test.cc.o.d"
+  "hot_videos_test"
+  "hot_videos_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_videos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

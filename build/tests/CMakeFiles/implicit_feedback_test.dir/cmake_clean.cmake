@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/implicit_feedback_test.dir/implicit_feedback_test.cc.o"
+  "CMakeFiles/implicit_feedback_test.dir/implicit_feedback_test.cc.o.d"
+  "implicit_feedback_test"
+  "implicit_feedback_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/implicit_feedback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/log_format_test.cc" "tests/CMakeFiles/log_format_test.dir/log_format_test.cc.o" "gcc" "tests/CMakeFiles/log_format_test.dir/log_format_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtrec_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtrec_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtrec_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtrec_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtrec_demographic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtrec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtrec_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtrec_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_topology_test.dir/pipeline_topology_test.cc.o"
+  "CMakeFiles/pipeline_topology_test.dir/pipeline_topology_test.cc.o.d"
+  "pipeline_topology_test"
+  "pipeline_topology_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_grouper_test.dir/profile_grouper_test.cc.o"
+  "CMakeFiles/profile_grouper_test.dir/profile_grouper_test.cc.o.d"
+  "profile_grouper_test"
+  "profile_grouper_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_grouper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

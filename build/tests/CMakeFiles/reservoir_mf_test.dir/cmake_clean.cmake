@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reservoir_mf_test.dir/reservoir_mf_test.cc.o"
+  "CMakeFiles/reservoir_mf_test.dir/reservoir_mf_test.cc.o.d"
+  "reservoir_mf_test"
+  "reservoir_mf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reservoir_mf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simhash_cf_test.dir/simhash_cf_test.cc.o"
+  "CMakeFiles/simhash_cf_test.dir/simhash_cf_test.cc.o.d"
+  "simhash_cf_test"
+  "simhash_cf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simhash_cf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_builder_test.dir/topology_builder_test.cc.o"
+  "CMakeFiles/topology_builder_test.dir/topology_builder_test.cc.o.d"
+  "topology_builder_test"
+  "topology_builder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_population_test.dir/user_population_test.cc.o"
+  "CMakeFiles/user_population_test.dir/user_population_test.cc.o.d"
+  "user_population_test"
+  "user_population_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_population_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vec_math_test.dir/vec_math_test.cc.o"
+  "CMakeFiles/vec_math_test.dir/vec_math_test.cc.o.d"
+  "vec_math_test"
+  "vec_math_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vec_math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
