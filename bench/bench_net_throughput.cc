@@ -1,0 +1,145 @@
+// Network serving throughput: spawns a RecServer over a warmed
+// RecommendationService on a loopback socket, drives it from N
+// concurrent client connections (one RecClient per thread, mixed
+// Recommend/Observe traffic), and reports QPS plus client- and
+// server-side latency percentiles straight from MetricsRegistry
+// histograms.
+//
+//   $ ./bench_net_throughput [connections] [seconds]   # defaults: 8, 3
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/metrics.h"
+#include "net/rec_client.h"
+#include "net/rec_server.h"
+#include "service/recommendation_service.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+rtrec::UserAction Watch(rtrec::UserId user, rtrec::VideoId video,
+                        rtrec::Timestamp t) {
+  rtrec::UserAction action;
+  action.user = user;
+  action.video = video;
+  action.type = rtrec::ActionType::kPlayTime;
+  action.view_fraction = 1.0;
+  action.time = t;
+  return action;
+}
+
+/// Warm the model so Recommend does real scoring work, not fallbacks.
+void WarmService(rtrec::RecommendationService* service) {
+  rtrec::Timestamp t = 0;
+  for (int round = 0; round < 20; ++round) {
+    for (rtrec::UserId user = 1; user <= 16; ++user) {
+      service->Observe(Watch(user, 10 + user % 5, t += 1000));
+      service->Observe(Watch(user, 11 + user % 5, t += 1000));
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int connections = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int seconds = argc > 2 ? std::atoi(argv[2]) : 3;
+
+  rtrec::RecommendationService service(
+      [](rtrec::VideoId v) -> rtrec::VideoType { return v < 100 ? 0 : 1; });
+  WarmService(&service);
+
+  rtrec::MetricsRegistry metrics;
+  rtrec::RecServer::Options server_options;
+  server_options.port = 0;  // Ephemeral.
+  server_options.num_workers = 4;
+  server_options.metrics = &metrics;
+  rtrec::RecServer server(&service, server_options);
+  rtrec::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server failed to start: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+
+  // Client-observed end-to-end latency, one histogram shared by all
+  // loadgen threads (Histogram is thread-safe).
+  rtrec::Histogram* client_latency =
+      metrics.GetHistogram("bench.client.rpc.latency_us");
+  std::atomic<std::int64_t> ok_calls{0};
+  std::atomic<std::int64_t> failed_calls{0};
+  std::atomic<bool> stop{false};
+
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (int i = 0; i < connections; ++i) {
+    threads.emplace_back([&, i] {
+      rtrec::RecClient::Options client_options;
+      client_options.port = server.port();
+      rtrec::RecClient client(client_options);
+      rtrec::RecRequest request;
+      request.top_n = 10;
+      rtrec::Timestamp t = 1'000'000 + i;
+      int seq = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        request.user = 1 + (seq + i) % 16;
+        request.seed_videos = {10 + static_cast<rtrec::VideoId>(seq % 5)};
+        request.now = t;
+        const auto start = Clock::now();
+        // 1-in-8 writes keeps the stream "real-time" while the bench
+        // stays read-dominated like the production serving mix.
+        bool ok;
+        if (seq % 8 == 7) {
+          ok = client.Observe(Watch(request.user, 10 + seq % 5, t += 1000))
+                   .ok();
+        } else {
+          ok = client.Recommend(request).ok();
+        }
+        const auto micros =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - start)
+                .count();
+        client_latency->Add(micros);
+        (ok ? ok_calls : failed_calls).fetch_add(1,
+                                                 std::memory_order_relaxed);
+        ++seq;
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  stop.store(true);
+  for (auto& thread : threads) thread.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  server.Stop();
+
+  const std::int64_t total = ok_calls.load() + failed_calls.load();
+  std::printf("== bench_net_throughput ==\n");
+  std::printf("connections            %d\n", connections);
+  std::printf("duration               %.2fs\n", elapsed);
+  std::printf("requests               %lld (%lld ok, %lld failed)\n",
+              static_cast<long long>(total),
+              static_cast<long long>(ok_calls.load()),
+              static_cast<long long>(failed_calls.load()));
+  std::printf("QPS                    %.0f\n", total / elapsed);
+  std::printf("client latency (us)    p50 %.0f   p99 %.0f   mean %.0f\n",
+              client_latency->Percentile(50), client_latency->Percentile(99),
+              client_latency->Mean());
+  const rtrec::Histogram* server_latency =
+      metrics.GetHistogram("net.server.rpc.recommend.latency_us");
+  std::printf("server recommend (us)  p50 %.0f   p99 %.0f   mean %.0f\n",
+              server_latency->Percentile(50), server_latency->Percentile(99),
+              server_latency->Mean());
+  std::printf("\nserver metrics:\n%s\n", metrics.Report().c_str());
+  return 0;
+}

@@ -1,0 +1,198 @@
+#include "net/rec_client.h"
+
+#include <errno.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <chrono>
+
+#include "common/string_util.h"
+
+namespace rtrec {
+namespace {
+
+std::int64_t SteadyMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+RecClient::RecClient(Options options)
+    : options_(std::move(options)), decoder_(options_.max_frame_bytes) {}
+
+RecClient::~RecClient() { Disconnect(); }
+
+Status RecClient::Connect() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ConnectLocked();
+}
+
+void RecClient::Disconnect() {
+  std::lock_guard<std::mutex> lock(mu_);
+  DisconnectLocked();
+}
+
+bool RecClient::connected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fd_.valid();
+}
+
+Status RecClient::ConnectLocked() {
+  if (fd_.valid()) return Status::OK();
+  auto fd =
+      ConnectTcp(options_.host, options_.port, options_.connect_timeout_ms);
+  if (!fd.ok()) return fd.status();
+  fd_ = std::move(*fd);
+  decoder_ = FrameDecoder(options_.max_frame_bytes);
+  return Status::OK();
+}
+
+void RecClient::DisconnectLocked() {
+  fd_.Reset();
+  decoder_ = FrameDecoder(options_.max_frame_bytes);
+}
+
+Status RecClient::Ping() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_request_id_++;
+  StatusOr<Frame> frame = Call(EncodePingRequest(id), id);
+  if (!frame.ok()) return frame.status();
+  if (frame->type == MessageType::kPongResponse) return Status::OK();
+  if (frame->type == MessageType::kErrorResponse) {
+    auto error = DecodeErrorResponse(*frame);
+    if (!error.ok()) return error.status();
+    return WireErrorToStatus(*error);
+  }
+  return Status::Internal(StringPrintf("unexpected response %s to ping",
+                                       MessageTypeToString(frame->type)));
+}
+
+StatusOr<std::vector<ScoredVideo>> RecClient::Recommend(
+    const RecRequest& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_request_id_++;
+  StatusOr<Frame> frame = Call(EncodeRecommendRequest(id, request), id);
+  if (!frame.ok()) return frame.status();
+  if (frame->type == MessageType::kRecommendResponse) {
+    return DecodeRecommendResponse(*frame);
+  }
+  if (frame->type == MessageType::kErrorResponse) {
+    auto error = DecodeErrorResponse(*frame);
+    if (!error.ok()) return error.status();
+    return WireErrorToStatus(*error);
+  }
+  return Status::Internal(StringPrintf("unexpected response %s to recommend",
+                                       MessageTypeToString(frame->type)));
+}
+
+Status RecClient::Observe(const UserAction& action) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_request_id_++;
+  return ExpectAck(Call(EncodeObserveRequest(id, action), id));
+}
+
+Status RecClient::RegisterProfile(UserId user, const UserProfile& profile) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_request_id_++;
+  return ExpectAck(Call(EncodeRegisterProfileRequest(id, user, profile), id));
+}
+
+Status RecClient::ExpectAck(const StatusOr<Frame>& frame) {
+  if (!frame.ok()) return frame.status();
+  if (frame->type == MessageType::kAckResponse) return Status::OK();
+  if (frame->type == MessageType::kErrorResponse) {
+    auto error = DecodeErrorResponse(*frame);
+    if (!error.ok()) return error.status();
+    return WireErrorToStatus(*error);
+  }
+  return Status::Internal(StringPrintf("unexpected response %s, wanted ack",
+                                       MessageTypeToString(frame->type)));
+}
+
+StatusOr<Frame> RecClient::Call(const std::string& encoded,
+                                std::uint64_t request_id) {
+  StatusOr<Frame> result = CallOnce(encoded, request_id);
+  // Only transport failures are retried (Unavailable/Internal from the
+  // socket layer); typed server errors arrive as OK frames. One retry
+  // over a fresh connection covers the common case of a server restart
+  // between calls.
+  if (!result.ok() && options_.auto_reconnect) {
+    DisconnectLocked();
+    result = CallOnce(encoded, request_id);
+  }
+  if (!result.ok()) DisconnectLocked();
+  return result;
+}
+
+StatusOr<Frame> RecClient::CallOnce(const std::string& encoded,
+                                    std::uint64_t request_id) {
+  RTREC_RETURN_IF_ERROR(ConnectLocked());
+  const std::int64_t deadline_ms =
+      SteadyMillis() + options_.request_timeout_ms;
+  Status sent = SendAll(encoded, deadline_ms);
+  if (!sent.ok()) {
+    DisconnectLocked();
+    return sent;
+  }
+  StatusOr<Frame> frame = ReadFrame(request_id, deadline_ms);
+  if (!frame.ok()) DisconnectLocked();
+  return frame;
+}
+
+Status RecClient::SendAll(const std::string& bytes,
+                          std::int64_t deadline_ms) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const std::int64_t remaining = deadline_ms - SteadyMillis();
+    if (remaining <= 0) return Status::Unavailable("request send timed out");
+    RTREC_RETURN_IF_ERROR(WaitReady(fd_.get(), /*for_read=*/false,
+                                    static_cast<int>(remaining)));
+    ssize_t n = write(fd_.get(), bytes.data() + sent, bytes.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(StringPrintf("send: %s", strerror(errno)));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+StatusOr<Frame> RecClient::ReadFrame(std::uint64_t request_id,
+                                     std::int64_t deadline_ms) {
+  char buf[64 * 1024];
+  while (true) {
+    StatusOr<Frame> frame = decoder_.Next();
+    if (frame.ok()) {
+      if (frame->request_id != request_id) {
+        // One request is in flight at a time, so an id mismatch means
+        // the stream is desynchronized (e.g. a stale response from
+        // before a timeout). Drop the connection rather than guess.
+        return Status::Internal(
+            StringPrintf("response id %llu does not match request id %llu",
+                         static_cast<unsigned long long>(frame->request_id),
+                         static_cast<unsigned long long>(request_id)));
+      }
+      return frame;
+    }
+    if (!frame.status().IsNotFound()) return frame.status();  // Corrupt.
+    const std::int64_t remaining = deadline_ms - SteadyMillis();
+    if (remaining <= 0) {
+      return Status::Unavailable(
+          StringPrintf("request timed out after %dms",
+                       options_.request_timeout_ms));
+    }
+    RTREC_RETURN_IF_ERROR(WaitReady(fd_.get(), /*for_read=*/true,
+                                    static_cast<int>(remaining)));
+    ssize_t n = read(fd_.get(), buf, sizeof(buf));
+    if (n == 0) return Status::Unavailable("server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(StringPrintf("recv: %s", strerror(errno)));
+    }
+    decoder_.Append(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+}
+
+}  // namespace rtrec

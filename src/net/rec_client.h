@@ -1,0 +1,94 @@
+#ifndef RTREC_NET_REC_CLIENT_H_
+#define RTREC_NET_REC_CLIENT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace rtrec {
+
+/// Blocking client for the rtrec wire protocol: one TCP connection, one
+/// outstanding request at a time. Calls are serialized with an internal
+/// mutex, so a RecClient may be shared across threads, but callers that
+/// want parallelism should hold one client per thread (the loadgen in
+/// bench/bench_net_throughput.cc does exactly that).
+///
+/// Transport errors (connection refused/reset, timeout) surface as
+/// Unavailable; if Options::auto_reconnect is set, the client first
+/// tears the connection down, reconnects, and retries the call once.
+/// Typed server errors (net/wire.h WireError) are mapped through
+/// WireErrorToStatus — notably OVERLOADED becomes Unavailable and is
+/// never retried automatically, since retrying into an overloaded
+/// server makes the overload worse.
+class RecClient {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    int connect_timeout_ms = 1'000;
+    int request_timeout_ms = 5'000;
+    std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+    /// Retry a failed call once over a fresh connection.
+    bool auto_reconnect = true;
+  };
+
+  explicit RecClient(Options options);
+  ~RecClient();
+
+  RecClient(const RecClient&) = delete;
+  RecClient& operator=(const RecClient&) = delete;
+
+  /// Establishes the connection eagerly. Calls connect lazily, so this
+  /// is optional — useful to fail fast at startup.
+  Status Connect();
+
+  /// Closes the connection; the next call reconnects.
+  void Disconnect();
+
+  bool connected() const;
+
+  /// Round-trip health check.
+  Status Ping();
+
+  /// Remote RecommendationService::Recommend.
+  StatusOr<std::vector<ScoredVideo>> Recommend(const RecRequest& request);
+
+  /// Remote RecommendationService::Observe. Acknowledged (the server
+  /// replies after applying), so a returned OK means the action landed.
+  Status Observe(const UserAction& action);
+
+  /// Remote RecommendationService::RegisterProfile.
+  Status RegisterProfile(UserId user, const UserProfile& profile);
+
+ private:
+  Status ConnectLocked();
+  void DisconnectLocked();
+
+  /// Sends `encoded` and waits for the frame answering `request_id`.
+  /// Retries once over a fresh connection on transport errors when
+  /// auto_reconnect is on.
+  StatusOr<Frame> Call(const std::string& encoded, std::uint64_t request_id);
+  StatusOr<Frame> CallOnce(const std::string& encoded,
+                           std::uint64_t request_id);
+  Status SendAll(const std::string& bytes, std::int64_t deadline_ms);
+  StatusOr<Frame> ReadFrame(std::uint64_t request_id,
+                            std::int64_t deadline_ms);
+
+  /// Expects an Ack (or a typed error) for observe/register calls.
+  Status ExpectAck(const StatusOr<Frame>& frame);
+
+  Options options_;
+  mutable std::mutex mu_;
+  UniqueFd fd_;
+  FrameDecoder decoder_;
+  std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace rtrec
+
+#endif  // RTREC_NET_REC_CLIENT_H_

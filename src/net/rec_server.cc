@@ -1,0 +1,508 @@
+#include "net/rec_server.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace rtrec {
+namespace {
+
+std::int64_t SteadyMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Worker: one epoll event loop owning a share of the connections.
+
+class RecServer::Worker {
+ public:
+  Worker(RecServer* server, int index) : server_(server), index_(index) {}
+
+  ~Worker() {
+    // Connections normally close when the loop exits; pending fds that
+    // were never adopted still need closing.
+    for (int fd : pending_) ::close(fd);
+  }
+
+  Status Init() {
+    epoll_fd_.Reset(epoll_create1(EPOLL_CLOEXEC));
+    if (!epoll_fd_.valid()) {
+      return Status::Internal(
+          StringPrintf("epoll_create1: %s", strerror(errno)));
+    }
+    wake_fd_.Reset(eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+    if (!wake_fd_.valid()) {
+      return Status::Internal(StringPrintf("eventfd: %s", strerror(errno)));
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = wake_fd_.get();
+    if (epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev) < 0) {
+      return Status::Internal(
+          StringPrintf("epoll_ctl(wakeup): %s", strerror(errno)));
+    }
+    return Status::OK();
+  }
+
+  void StartThread() {
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  /// Called from the acceptor thread: hand over an accepted socket.
+  void AddConnection(int fd) {
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      pending_.push_back(fd);
+    }
+    Wake();
+  }
+
+  void RequestStop() {
+    stop_.store(true, std::memory_order_release);
+    Wake();
+  }
+
+  void Join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  struct Connection {
+    explicit Connection(int raw_fd, std::size_t max_frame_bytes)
+        : fd(raw_fd), decoder(max_frame_bytes) {}
+
+    UniqueFd fd;
+    FrameDecoder decoder;
+    std::string outbuf;
+    std::size_t outpos = 0;
+    std::int64_t last_active_ms = 0;
+    bool close_after_flush = false;
+    bool epollout_armed = false;
+  };
+
+  void Wake() {
+    std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = write(wake_fd_.get(), &one, sizeof(one));
+  }
+
+  void Loop() {
+    constexpr int kMaxEvents = 64;
+    epoll_event events[kMaxEvents];
+    while (!stop_.load(std::memory_order_acquire)) {
+      int n = epoll_wait(epoll_fd_.get(), events, kMaxEvents, /*timeout=*/250);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        RTREC_LOG(kError) << "worker " << index_
+                          << " epoll_wait: " << strerror(errno);
+        break;
+      }
+      for (int i = 0; i < n; ++i) {
+        if (events[i].data.fd == wake_fd_.get()) {
+          std::uint64_t drained;
+          while (read(wake_fd_.get(), &drained, sizeof(drained)) > 0) {
+          }
+          AdoptPending();
+        } else {
+          HandleEvent(events[i].data.fd, events[i].events);
+        }
+      }
+      SweepIdle();
+    }
+    // Close every connection this worker owns.
+    while (!conns_.empty()) CloseConnection(conns_.begin()->first);
+  }
+
+  void AdoptPending() {
+    std::vector<int> adopted;
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      adopted.swap(pending_);
+    }
+    for (int fd : adopted) {
+      if (stop_.load(std::memory_order_acquire)) {
+        ::close(fd);
+        continue;
+      }
+      auto conn = std::make_unique<Connection>(
+          fd, server_->options_.max_frame_bytes);
+      conn->last_active_ms = SteadyMillis();
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = fd;
+      if (epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
+        RTREC_LOG(kError) << "epoll_ctl(add conn): " << strerror(errno);
+        continue;  // UniqueFd closes the socket.
+      }
+      conns_.emplace(fd, std::move(conn));
+      server_->metrics_->GetGauge("net.server.connections.active")->Add(1);
+    }
+  }
+
+  void HandleEvent(int fd, std::uint32_t events) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) return;  // Already closed this pass.
+    Connection* conn = it->second.get();
+    if (events & (EPOLLHUP | EPOLLERR)) {
+      CloseConnection(fd);
+      return;
+    }
+    if ((events & EPOLLIN) && !ReadAndHandle(conn)) {
+      CloseConnection(fd);
+      return;
+    }
+    if (!FlushWrites(conn)) {
+      CloseConnection(fd);
+      return;
+    }
+    if (conn->close_after_flush && conn->outpos >= conn->outbuf.size()) {
+      CloseConnection(fd);
+    }
+  }
+
+  /// Drains the socket and handles every complete frame. Returns false
+  /// if the connection must be closed now (EOF or fatal error).
+  bool ReadAndHandle(Connection* conn) {
+    char buf[64 * 1024];
+    while (!conn->close_after_flush) {
+      ssize_t n = read(conn->fd.get(), buf, sizeof(buf));
+      if (n == 0) return false;  // Peer closed.
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        return false;
+      }
+      server_->metrics_->GetCounter("net.server.bytes.in")->Increment(n);
+      conn->last_active_ms = SteadyMillis();
+      conn->decoder.Append(std::string_view(buf, static_cast<std::size_t>(n)));
+      while (!conn->close_after_flush) {
+        StatusOr<Frame> frame = conn->decoder.Next();
+        if (frame.ok()) {
+          HandleFrame(conn, *frame);
+          continue;
+        }
+        if (frame.status().IsNotFound()) break;  // Partial frame: wait.
+        // Structurally corrupt stream: framing is lost, so answer once
+        // (request id unknowable -> 0) and drop the connection.
+        server_->metrics_->GetCounter("net.server.protocol_errors")
+            ->Increment();
+        QueueResponse(conn,
+                      EncodeErrorResponse(0, WireError::kMalformedFrame,
+                                          frame.status().message()));
+        conn->close_after_flush = true;
+      }
+    }
+    return true;
+  }
+
+  void HandleFrame(Connection* conn, const Frame& frame) {
+    server_->metrics_->GetCounter("net.server.requests")->Increment();
+    if (frame.version != kWireVersion) {
+      server_->metrics_->GetCounter("net.server.protocol_errors")->Increment();
+      QueueResponse(conn, EncodeErrorResponse(
+                              frame.request_id, WireError::kBadVersion,
+                              StringPrintf("unsupported wire version %u; "
+                                           "server speaks %u",
+                                           frame.version, kWireVersion)));
+      conn->close_after_flush = true;  // Peer speaks a different dialect.
+      return;
+    }
+    switch (frame.type) {
+      case MessageType::kPingRequest: {
+        // Health checks bypass admission control by design.
+        ScopedLatencyTimer timer(
+            server_->metrics_->GetHistogram("net.server.rpc.ping.latency_us"));
+        QueueResponse(conn, EncodePongResponse(frame.request_id));
+        return;
+      }
+      case MessageType::kRecommendRequest:
+      case MessageType::kObserveRequest:
+      case MessageType::kRegisterProfileRequest:
+        HandleServiceRpc(conn, frame);
+        return;
+      default:
+        server_->metrics_->GetCounter("net.server.protocol_errors")
+            ->Increment();
+        QueueResponse(conn,
+                      EncodeErrorResponse(
+                          frame.request_id, WireError::kUnknownType,
+                          StringPrintf("server does not handle type 0x%02x",
+                                       static_cast<unsigned>(frame.type))));
+        return;
+    }
+  }
+
+  /// The three RPCs that reach the RecommendationService; all sit behind
+  /// the in-flight admission gate.
+  void HandleServiceRpc(Connection* conn, const Frame& frame) {
+    if (!server_->TryAcquireInFlight()) {
+      server_->metrics_->GetCounter("net.server.requests.shed")->Increment();
+      QueueResponse(conn,
+                    EncodeErrorResponse(
+                        frame.request_id, WireError::kOverloaded,
+                        StringPrintf("in-flight cap %d reached; retry later",
+                                     server_->options_.max_in_flight)));
+      return;
+    }
+    if (server_->options_.handler_delay_for_test_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          server_->options_.handler_delay_for_test_ms));
+    }
+    switch (frame.type) {
+      case MessageType::kRecommendRequest: {
+        ScopedLatencyTimer timer(server_->metrics_->GetHistogram(
+            "net.server.rpc.recommend.latency_us"));
+        StatusOr<RecRequest> request = DecodeRecommendRequest(frame);
+        if (!request.ok()) {
+          QueueDecodeError(conn, frame.request_id, request.status());
+          break;
+        }
+        StatusOr<std::vector<ScoredVideo>> recs =
+            server_->service_->Recommend(*request);
+        if (!recs.ok()) {
+          const WireError code = recs.status().IsInvalidArgument()
+                                     ? WireError::kBadRequest
+                                     : WireError::kInternal;
+          QueueResponse(conn, EncodeErrorResponse(frame.request_id, code,
+                                                  recs.status().message()));
+          break;
+        }
+        QueueResponse(conn, EncodeRecommendResponse(frame.request_id, *recs));
+        break;
+      }
+      case MessageType::kObserveRequest: {
+        ScopedLatencyTimer timer(server_->metrics_->GetHistogram(
+            "net.server.rpc.observe.latency_us"));
+        StatusOr<UserAction> action = DecodeObserveRequest(frame);
+        if (!action.ok()) {
+          QueueDecodeError(conn, frame.request_id, action.status());
+          break;
+        }
+        server_->service_->Observe(*action);
+        QueueResponse(conn, EncodeAckResponse(frame.request_id));
+        break;
+      }
+      case MessageType::kRegisterProfileRequest: {
+        ScopedLatencyTimer timer(server_->metrics_->GetHistogram(
+            "net.server.rpc.register_profile.latency_us"));
+        StatusOr<ProfileUpdate> update = DecodeRegisterProfileRequest(frame);
+        if (!update.ok()) {
+          QueueDecodeError(conn, frame.request_id, update.status());
+          break;
+        }
+        server_->service_->RegisterProfile(update->user, update->profile);
+        QueueResponse(conn, EncodeAckResponse(frame.request_id));
+        break;
+      }
+      default:
+        break;  // Unreachable: caller dispatched on type.
+    }
+    server_->ReleaseInFlight();
+  }
+
+  /// A frame that parsed structurally but whose body would not decode:
+  /// the stream is still framed, so answer and keep the connection.
+  void QueueDecodeError(Connection* conn, std::uint64_t request_id,
+                        const Status& status) {
+    server_->metrics_->GetCounter("net.server.protocol_errors")->Increment();
+    QueueResponse(conn, EncodeErrorResponse(request_id,
+                                            WireError::kMalformedFrame,
+                                            status.message()));
+  }
+
+  void QueueResponse(Connection* conn, std::string bytes) {
+    if (conn->outpos > 0 && conn->outpos == conn->outbuf.size()) {
+      conn->outbuf.clear();
+      conn->outpos = 0;
+    }
+    conn->outbuf.append(bytes);
+  }
+
+  /// Writes as much buffered output as the socket accepts. Returns false
+  /// on a fatal write error.
+  bool FlushWrites(Connection* conn) {
+    while (conn->outpos < conn->outbuf.size()) {
+      ssize_t n = write(conn->fd.get(), conn->outbuf.data() + conn->outpos,
+                        conn->outbuf.size() - conn->outpos);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        return false;
+      }
+      conn->outpos += static_cast<std::size_t>(n);
+      conn->last_active_ms = SteadyMillis();
+      server_->metrics_->GetCounter("net.server.bytes.out")->Increment(n);
+    }
+    if (conn->outpos == conn->outbuf.size()) {
+      conn->outbuf.clear();
+      conn->outpos = 0;
+    }
+    // Arm EPOLLOUT only while output is pending.
+    const bool want_out = !conn->outbuf.empty();
+    if (want_out != conn->epollout_armed) {
+      epoll_event ev{};
+      ev.events = EPOLLIN | (want_out ? EPOLLOUT : 0u);
+      ev.data.fd = conn->fd.get();
+      if (epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, conn->fd.get(), &ev) < 0) {
+        return false;
+      }
+      conn->epollout_armed = want_out;
+    }
+    return true;
+  }
+
+  void CloseConnection(int fd) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) return;
+    epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+    conns_.erase(it);  // UniqueFd closes the socket.
+    server_->metrics_->GetGauge("net.server.connections.active")->Add(-1);
+  }
+
+  void SweepIdle() {
+    const int timeout_ms = server_->options_.idle_timeout_ms;
+    if (timeout_ms <= 0) return;
+    const std::int64_t now = SteadyMillis();
+    if (now - last_sweep_ms_ < std::min<std::int64_t>(timeout_ms / 4 + 1, 1000))
+      return;
+    last_sweep_ms_ = now;
+    std::vector<int> idle;
+    for (const auto& [fd, conn] : conns_) {
+      if (now - conn->last_active_ms > timeout_ms) idle.push_back(fd);
+    }
+    for (int fd : idle) {
+      server_->metrics_->GetCounter("net.server.connections.idle_closed")
+          ->Increment();
+      CloseConnection(fd);
+    }
+  }
+
+  RecServer* server_;
+  int index_;
+  UniqueFd epoll_fd_;
+  UniqueFd wake_fd_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::mutex pending_mu_;
+  std::vector<int> pending_;
+  std::unordered_map<int, std::unique_ptr<Connection>> conns_;
+  std::int64_t last_sweep_ms_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// RecServer.
+
+RecServer::RecServer(RecommendationService* service, Options options)
+    : service_(service), options_(std::move(options)) {
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  if (options_.num_workers < 1) options_.num_workers = 1;
+  if (options_.max_in_flight < 1) options_.max_in_flight = 1;
+}
+
+RecServer::~RecServer() { Stop(); }
+
+Status RecServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already running");
+  }
+  stopping_.store(false, std::memory_order_release);
+
+  auto listener =
+      ListenTcp(options_.host, options_.port, options_.accept_backlog);
+  if (!listener.ok()) return listener.status();
+  listen_fd_ = std::move(*listener);
+  auto port = LocalPort(listen_fd_.get());
+  if (!port.ok()) return port.status();
+  port_ = *port;
+
+  workers_.clear();
+  for (int i = 0; i < options_.num_workers; ++i) {
+    auto worker = std::make_unique<Worker>(this, i);
+    RTREC_RETURN_IF_ERROR(worker->Init());
+    workers_.push_back(std::move(worker));
+  }
+  for (auto& worker : workers_) worker->StartThread();
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  running_.store(true, std::memory_order_release);
+  RTREC_LOG(kInfo) << "RecServer listening on " << options_.host << ":"
+                   << port_ << " (" << options_.num_workers << " workers, "
+                   << options_.max_in_flight << " in-flight cap)";
+  return Status::OK();
+}
+
+void RecServer::Stop() {
+  stopping_.store(true, std::memory_order_release);
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& worker : workers_) worker->RequestStop();
+  for (auto& worker : workers_) worker->Join();
+  workers_.clear();
+  listen_fd_.Reset();
+  port_ = 0;
+  RTREC_LOG(kInfo) << "RecServer stopped";
+}
+
+void RecServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Status ready = WaitReady(listen_fd_.get(), /*for_read=*/true,
+                             /*timeout_ms=*/250);
+    if (stopping_.load(std::memory_order_acquire)) break;
+    if (!ready.ok()) {
+      if (ready.IsUnavailable()) continue;  // Poll timeout: re-check stop.
+      RTREC_LOG(kError) << "acceptor poll failed: " << ready.ToString();
+      break;
+    }
+    while (true) {
+      int fd = accept4(listen_fd_.get(), nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        RTREC_LOG(kWarn) << "accept4: " << strerror(errno);
+        break;
+      }
+      SetTcpNoDelay(fd);  // Best effort; a failure only costs latency.
+      metrics_->GetCounter("net.server.connections.accepted")->Increment();
+      const std::size_t target =
+          next_worker_.fetch_add(1, std::memory_order_relaxed) %
+          workers_.size();
+      workers_[target]->AddConnection(fd);
+    }
+  }
+}
+
+bool RecServer::TryAcquireInFlight() {
+  int current = in_flight_.load(std::memory_order_relaxed);
+  while (current < options_.max_in_flight) {
+    if (in_flight_.compare_exchange_weak(current, current + 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void RecServer::ReleaseInFlight() {
+  in_flight_.fetch_sub(1, std::memory_order_release);
+}
+
+}  // namespace rtrec

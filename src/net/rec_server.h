@@ -1,0 +1,118 @@
+#ifndef RTREC_NET_REC_SERVER_H_
+#define RTREC_NET_REC_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "service/recommendation_service.h"
+
+namespace rtrec {
+
+/// The network front of the serving stack: an epoll-based TCP server
+/// speaking the rtrec wire protocol (net/wire.h) over a
+/// RecommendationService.
+///
+/// Threading model:
+///  - one acceptor thread owns the listening socket and hands accepted
+///    connections to the workers round-robin;
+///  - N worker threads each run an epoll event loop over their share of
+///    the connections (a connection lives on one worker for its whole
+///    lifetime, so per-connection state needs no locking);
+///  - request handling runs inline on the worker: decode, call the
+///    service, encode, flush. The service itself is thread-safe, so
+///    workers call it concurrently.
+///
+/// Backpressure: a global in-flight gate caps concurrently handled
+/// service RPCs. When the cap is reached, the request is answered
+/// immediately with an OVERLOADED error instead of queueing — bounded
+/// work, explicit shedding, client decides whether to retry. Pings are
+/// exempt so health checks stay responsive under load.
+///
+/// Malformed input: a structurally corrupt stream (bad length prefix)
+/// gets one typed MALFORMED_FRAME error and the connection is closed;
+/// an undecodable body on an intact frame gets a typed error and the
+/// connection stays open. Idle connections are reaped after
+/// Options::idle_timeout_ms.
+class RecServer {
+ public:
+  struct Options {
+    /// IPv4 address to bind; loopback by default.
+    std::string host = "127.0.0.1";
+    /// 0 picks an ephemeral port; read it back via port().
+    std::uint16_t port = 0;
+    /// Worker event-loop threads.
+    int num_workers = 2;
+    /// Max service RPCs handled concurrently before shedding.
+    int max_in_flight = 256;
+    /// Connections idle longer than this are closed. <= 0 disables.
+    int idle_timeout_ms = 60'000;
+    /// Frames with a larger payload are rejected as corrupt.
+    std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+    /// listen(2) backlog.
+    int accept_backlog = 128;
+    /// Registry for server metrics (counters, gauges, histograms under
+    /// "net.server."). Null falls back to an internal registry.
+    MetricsRegistry* metrics = nullptr;
+    /// Test hook: sleep this long inside each admitted service RPC, to
+    /// make admission-control shedding deterministic. 0 in production.
+    int handler_delay_for_test_ms = 0;
+  };
+
+  RecServer(RecommendationService* service, Options options);
+  ~RecServer();  ///< Stops the server if still running.
+
+  RecServer(const RecServer&) = delete;
+  RecServer& operator=(const RecServer&) = delete;
+
+  /// Binds, listens, and spawns the acceptor + worker threads.
+  Status Start();
+
+  /// Stops accepting, wakes every worker, closes all connections, and
+  /// joins all threads. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Bound port (useful with Options::port == 0). 0 before Start.
+  std::uint16_t port() const { return port_; }
+
+  /// The registry holding this server's metrics.
+  MetricsRegistry& metrics() { return *metrics_; }
+
+ private:
+  class Worker;
+
+  void AcceptLoop();
+
+  /// Admission gate: true (and a slot held) if under max_in_flight.
+  bool TryAcquireInFlight();
+  void ReleaseInFlight();
+
+  RecommendationService* service_;
+  Options options_;
+
+  std::unique_ptr<MetricsRegistry> owned_metrics_;  // When options.metrics==0.
+  MetricsRegistry* metrics_ = nullptr;
+
+  UniqueFd listen_fd_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> in_flight_{0};
+  std::atomic<std::size_t> next_worker_{0};
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::thread acceptor_;
+};
+
+}  // namespace rtrec
+
+#endif  // RTREC_NET_REC_SERVER_H_

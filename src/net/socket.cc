@@ -1,0 +1,143 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/string_util.h"
+
+namespace rtrec {
+namespace {
+
+Status ErrnoStatus(const char* op, int err) {
+  return Status::Internal(StringPrintf("%s: %s", op, strerror(err)));
+}
+
+StatusOr<sockaddr_in> ResolveV4(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(
+        StringPrintf("not an IPv4 address: %s", host.c_str()));
+  }
+  return addr;
+}
+
+}  // namespace
+
+void UniqueFd::Reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Status SetNonBlocking(int fd, bool nonblocking) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)", errno);
+  flags = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (fcntl(fd, F_SETFL, flags) < 0) {
+    return ErrnoStatus("fcntl(F_SETFL)", errno);
+  }
+  return Status::OK();
+}
+
+Status SetTcpNoDelay(int fd) {
+  int one = 1;
+  if (setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0) {
+    return ErrnoStatus("setsockopt(TCP_NODELAY)", errno);
+  }
+  return Status::OK();
+}
+
+StatusOr<UniqueFd> ListenTcp(const std::string& host, std::uint16_t port,
+                             int backlog) {
+  auto addr = ResolveV4(host, port);
+  if (!addr.ok()) return addr.status();
+
+  UniqueFd fd(socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return ErrnoStatus("socket", errno);
+
+  int one = 1;
+  if (setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0) {
+    return ErrnoStatus("setsockopt(SO_REUSEADDR)", errno);
+  }
+  if (bind(fd.get(), reinterpret_cast<const sockaddr*>(&*addr),
+           sizeof(*addr)) < 0) {
+    return ErrnoStatus("bind", errno);
+  }
+  if (listen(fd.get(), backlog) < 0) return ErrnoStatus("listen", errno);
+  RTREC_RETURN_IF_ERROR(SetNonBlocking(fd.get(), true));
+  return fd;
+}
+
+StatusOr<std::uint16_t> LocalPort(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return ErrnoStatus("getsockname", errno);
+  }
+  return static_cast<std::uint16_t>(ntohs(addr.sin_port));
+}
+
+StatusOr<UniqueFd> ConnectTcp(const std::string& host, std::uint16_t port,
+                              int timeout_ms) {
+  auto addr = ResolveV4(host, port);
+  if (!addr.ok()) return addr.status();
+
+  UniqueFd fd(socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return ErrnoStatus("socket", errno);
+
+  // Non-blocking connect so the timeout is enforceable, then back to
+  // blocking for the caller.
+  RTREC_RETURN_IF_ERROR(SetNonBlocking(fd.get(), true));
+  int rc = connect(fd.get(), reinterpret_cast<const sockaddr*>(&*addr),
+                   sizeof(*addr));
+  if (rc < 0 && errno != EINPROGRESS) return ErrnoStatus("connect", errno);
+  if (rc < 0) {
+    Status ready = WaitReady(fd.get(), /*for_read=*/false, timeout_ms);
+    if (!ready.ok()) {
+      if (ready.IsUnavailable()) {
+        return Status::Unavailable(
+            StringPrintf("connect to %s:%u timed out after %dms", host.c_str(),
+                         port, timeout_ms));
+      }
+      return ready;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      return ErrnoStatus("getsockopt(SO_ERROR)", errno);
+    }
+    if (err != 0) {
+      return Status::Unavailable(StringPrintf("connect to %s:%u: %s",
+                                              host.c_str(), port,
+                                              strerror(err)));
+    }
+  }
+  RTREC_RETURN_IF_ERROR(SetNonBlocking(fd.get(), false));
+  RTREC_RETURN_IF_ERROR(SetTcpNoDelay(fd.get()));
+  return fd;
+}
+
+Status WaitReady(int fd, bool for_read, int timeout_ms) {
+  pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = for_read ? POLLIN : POLLOUT;
+  pfd.revents = 0;
+  int rc;
+  do {
+    rc = poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return ErrnoStatus("poll", errno);
+  if (rc == 0) return Status::Unavailable("poll timed out");
+  return Status::OK();
+}
+
+}  // namespace rtrec

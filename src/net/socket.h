@@ -1,0 +1,70 @@
+#ifndef RTREC_NET_SOCKET_H_
+#define RTREC_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace rtrec {
+
+/// Owning wrapper around a POSIX file descriptor. Move-only; closes on
+/// destruction.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Relinquishes ownership without closing.
+  int Release() { return std::exchange(fd_, -1); }
+
+  /// Closes the current descriptor (if any) and adopts `fd`.
+  void Reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Toggles O_NONBLOCK on `fd`.
+Status SetNonBlocking(int fd, bool nonblocking);
+
+/// Sets TCP_NODELAY — RPC frames are small; Nagle adds 40ms of latency.
+Status SetTcpNoDelay(int fd);
+
+/// Opens a TCP listening socket bound to `host:port` (port 0 picks an
+/// ephemeral port; query it with LocalPort). SO_REUSEADDR, non-blocking.
+StatusOr<UniqueFd> ListenTcp(const std::string& host, std::uint16_t port,
+                             int backlog);
+
+/// Returns the locally bound port of a socket (after bind).
+StatusOr<std::uint16_t> LocalPort(int fd);
+
+/// Blocking TCP connect to `host:port` with a timeout. The returned
+/// socket is in blocking mode with TCP_NODELAY set.
+StatusOr<UniqueFd> ConnectTcp(const std::string& host, std::uint16_t port,
+                              int timeout_ms);
+
+/// poll()s `fd` for readability (`for_read`) or writability until
+/// `timeout_ms` elapses. OK when ready; Unavailable on timeout; Internal
+/// on poll failure.
+Status WaitReady(int fd, bool for_read, int timeout_ms);
+
+}  // namespace rtrec
+
+#endif  // RTREC_NET_SOCKET_H_

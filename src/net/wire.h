@@ -1,0 +1,178 @@
+#ifndef RTREC_NET_WIRE_H_
+#define RTREC_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/action.h"
+#include "core/recommender.h"
+#include "demographic/profile.h"
+
+namespace rtrec {
+
+/// The rtrec binary wire protocol, version 1.
+///
+/// Every message travels in one length-prefixed frame:
+///
+///   offset  size  field
+///   ------  ----  -----------------------------------------------
+///        0     4  payload length N, big-endian (bytes after this field)
+///        4     1  protocol version (kWireVersion)
+///        5     1  message type (MessageType)
+///        6     8  request id, big-endian (echoed back in the response)
+///       14   N-10 message body (layout depends on the type)
+///
+/// All multi-byte integers are big-endian; doubles are the IEEE-754 bit
+/// pattern as a big-endian u64. The payload length covers version, type,
+/// request id, and body, so the minimum legal value is
+/// kFrameHeaderBytes (10) and the maximum is enforced by the receiver
+/// (Options::max_frame_bytes; kDefaultMaxFrameBytes by default). A peer
+/// that sends a length outside those bounds is structurally corrupt and
+/// gets disconnected after a typed ErrorResponse.
+
+/// Protocol version carried in every frame.
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Bytes of payload occupied by version + type + request id.
+inline constexpr std::size_t kFrameHeaderBytes = 10;
+
+/// Bytes of the leading length prefix.
+inline constexpr std::size_t kLengthPrefixBytes = 4;
+
+/// Default cap on the payload length a receiver will accept.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 1 << 20;  // 1 MiB
+
+/// Cap on seed videos per RecommendRequest and results per
+/// RecommendResponse; a peer exceeding it is sending garbage.
+inline constexpr std::size_t kMaxListedVideos = 4096;
+
+/// Message discriminator. Requests have the high bit clear, responses set.
+enum class MessageType : std::uint8_t {
+  kPingRequest = 0x01,
+  kRecommendRequest = 0x02,
+  kObserveRequest = 0x03,
+  kRegisterProfileRequest = 0x04,
+
+  kPongResponse = 0x81,
+  kRecommendResponse = 0x82,
+  kAckResponse = 0x83,
+  kErrorResponse = 0x84,
+};
+
+/// Stable name for logs ("recommend_request", ...); "unknown" if invalid.
+const char* MessageTypeToString(MessageType type);
+
+/// Typed error codes carried by ErrorResponse.
+enum class WireError : std::uint8_t {
+  kMalformedFrame = 1,  ///< Structurally bad frame or undecodable body.
+  kBadVersion = 2,      ///< Frame version != kWireVersion.
+  kUnknownType = 3,     ///< Message type the server does not handle.
+  kBadRequest = 4,      ///< Decoded, but semantically invalid.
+  kOverloaded = 5,      ///< Shed by admission control; retry later.
+  kInternal = 6,        ///< Server-side failure while handling.
+};
+
+/// Stable name for logs ("OVERLOADED", ...); "UNKNOWN" if invalid.
+const char* WireErrorToString(WireError error);
+
+/// One parsed frame: the fixed header plus the raw body bytes.
+struct Frame {
+  std::uint8_t version = kWireVersion;
+  MessageType type = MessageType::kPingRequest;
+  std::uint64_t request_id = 0;
+  std::string body;
+};
+
+/// Serializes `frame` (length prefix included) onto `out`.
+void AppendFrame(const Frame& frame, std::string* out);
+
+/// Incremental frame extractor for a byte stream. Feed bytes with
+/// Append, then drain complete frames with Next. One decoder per
+/// connection; not thread-safe.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void Append(std::string_view bytes) { buffer_.append(bytes); }
+
+  /// Extracts the next complete frame.
+  ///  - OK: one frame (version is NOT validated here — callers decide
+  ///    how to answer a bad version).
+  ///  - NotFound: the buffer holds only a partial frame; feed more bytes.
+  ///  - Corruption: structurally invalid stream (payload length below
+  ///    the header size or above max_frame_bytes). The connection is
+  ///    unrecoverable: framing is lost, so the caller must close it.
+  StatusOr<Frame> Next();
+
+  /// Bytes currently buffered (partial frame awaiting more input).
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+};
+
+// ---------------------------------------------------------------------------
+// Request codecs.
+
+/// Ping: empty body.
+std::string EncodePingRequest(std::uint64_t request_id);
+
+/// Recommend body: u64 user, i64 now, u32 top_n, u32 seed count, then
+/// one u64 per seed video.
+std::string EncodeRecommendRequest(std::uint64_t request_id,
+                                   const RecRequest& request);
+StatusOr<RecRequest> DecodeRecommendRequest(const Frame& frame);
+
+/// Observe body: u64 user, u64 video, u8 action type, f64 view
+/// fraction, i64 time.
+std::string EncodeObserveRequest(std::uint64_t request_id,
+                                 const UserAction& action);
+StatusOr<UserAction> DecodeObserveRequest(const Frame& frame);
+
+/// RegisterProfile body: u64 user, u8 registered, u8 gender, u8 age
+/// bucket, u8 education.
+struct ProfileUpdate {
+  UserId user = 0;
+  UserProfile profile;
+};
+std::string EncodeRegisterProfileRequest(std::uint64_t request_id,
+                                         UserId user,
+                                         const UserProfile& profile);
+StatusOr<ProfileUpdate> DecodeRegisterProfileRequest(const Frame& frame);
+
+// ---------------------------------------------------------------------------
+// Response codecs.
+
+/// Pong / Ack: empty bodies.
+std::string EncodePongResponse(std::uint64_t request_id);
+std::string EncodeAckResponse(std::uint64_t request_id);
+
+/// RecommendResponse body: u32 count, then (u64 video, f64 score) pairs.
+std::string EncodeRecommendResponse(std::uint64_t request_id,
+                                    const std::vector<ScoredVideo>& results);
+StatusOr<std::vector<ScoredVideo>> DecodeRecommendResponse(const Frame& frame);
+
+/// ErrorResponse body: u8 error code, u16 message length, message bytes.
+struct WireErrorInfo {
+  WireError code = WireError::kInternal;
+  std::string message;
+};
+std::string EncodeErrorResponse(std::uint64_t request_id, WireError code,
+                                std::string_view message);
+StatusOr<WireErrorInfo> DecodeErrorResponse(const Frame& frame);
+
+/// Maps an ErrorResponse to the Status a client API surfaces:
+/// kOverloaded -> Unavailable (retryable), kBadRequest/kMalformedFrame/
+/// kBadVersion/kUnknownType -> InvalidArgument, kInternal -> Internal.
+Status WireErrorToStatus(const WireErrorInfo& error);
+
+}  // namespace rtrec
+
+#endif  // RTREC_NET_WIRE_H_

@@ -31,6 +31,12 @@
 // The full production serving stack.
 #include "service/recommendation_service.h"
 
+// The network serving layer: wire protocol, epoll TCP server, client.
+#include "net/rec_client.h"
+#include "net/rec_server.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
 // Storage.
 #include "kvstore/checkpoint.h"
 #include "kvstore/factor_store.h"
