@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/histogram.h"
 #include "common/metrics.h"
 #include "net/rec_client.h"
@@ -58,6 +59,9 @@ int main(int argc, char** argv) {
   WarmService(&service);
 
   rtrec::MetricsRegistry metrics;
+  // Route fault.injected.* here too, so a chaos-enabled run (faults
+  // armed via a custom main or debugger) reports in one place.
+  rtrec::FaultInjector::Instance().SetMetrics(&metrics);
   rtrec::RecServer::Options server_options;
   server_options.port = 0;  // Ephemeral.
   server_options.num_workers = 4;
@@ -85,6 +89,7 @@ int main(int argc, char** argv) {
     threads.emplace_back([&, i] {
       rtrec::RecClient::Options client_options;
       client_options.port = server.port();
+      client_options.metrics = &metrics;  // client.retries
       rtrec::RecClient client(client_options);
       rtrec::RecRequest request;
       request.top_n = 10;
@@ -140,6 +145,18 @@ int main(int argc, char** argv) {
   std::printf("server recommend (us)  p50 %.0f   p99 %.0f   mean %.0f\n",
               server_latency->Percentile(50), server_latency->Percentile(99),
               server_latency->Mean());
+  // The robustness ledger: all zero on a healthy loopback run; any
+  // injected faults, degraded answers, or client retries show up here.
+  std::printf("robustness             faults %lld   degraded %lld   "
+              "retries %lld   task_restarts %lld\n",
+              static_cast<long long>(
+                  metrics.GetCounter("fault.injected")->value()),
+              static_cast<long long>(
+                  metrics.GetCounter("server.degraded_responses")->value()),
+              static_cast<long long>(
+                  metrics.GetCounter("client.retries")->value()),
+              static_cast<long long>(
+                  metrics.GetCounter("topology.task_restarts")->value()));
   std::printf("\nserver metrics:\n%s\n", metrics.Report().c_str());
   return 0;
 }

@@ -3,7 +3,16 @@
 // a RecommendationService; clients speak the binary wire protocol
 // (src/net/wire.h) via RecClient.
 //
-//   $ ./serve [port] [workers]     # defaults: 7471, 4
+//   $ ./serve [port] [workers] [--checkpoint-dir=DIR]
+//             [--checkpoint-interval-ms=N] [--deadline-ms=N]
+//
+// Defaults: port 7471, 4 workers, no checkpointing, no deadline.
+//
+// With --checkpoint-dir the server restores the model from the last
+// snapshot on boot (fresh warm-up if none exists) and a background
+// Checkpointer keeps snapshotting on an interval — so a kill -9 loses
+// at most one interval of model updates. See examples/README.md for the
+// kill-and-restart walkthrough.
 //
 // The server warms itself with a little synthetic traffic so the first
 // client request already gets non-empty pages, then runs until SIGINT /
@@ -17,12 +26,16 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include <atomic>
 #include <chrono>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "net/rec_server.h"
+#include "service/checkpointer.h"
 #include "service/recommendation_service.h"
 
 namespace {
@@ -42,20 +55,65 @@ rtrec::UserAction Watch(rtrec::UserId user, rtrec::VideoId video,
   return action;
 }
 
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::uint16_t port =
-      argc > 1 ? static_cast<std::uint16_t>(std::atoi(argv[1])) : 7471;
-  const int workers = argc > 2 ? std::atoi(argv[2]) : 4;
+  std::uint16_t port = 7471;
+  int workers = 4;
+  std::string checkpoint_dir;
+  int checkpoint_interval_ms = 30'000;
+  int deadline_ms = 0;
+
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--checkpoint-dir", &value)) {
+      checkpoint_dir = value;
+    } else if (ParseFlag(argv[i], "--checkpoint-interval-ms", &value)) {
+      checkpoint_interval_ms = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--deadline-ms", &value)) {
+      deadline_ms = std::atoi(value.c_str());
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() > 0) {
+    port = static_cast<std::uint16_t>(std::atoi(positional[0]));
+  }
+  if (positional.size() > 1) workers = std::atoi(positional[1]);
 
   // Videos 1-99 are "drama", 100+ are "sports" — same toy type system
   // as the quickstart.
   rtrec::RecommendationService service(
       [](rtrec::VideoId v) -> rtrec::VideoType { return v < 100 ? 0 : 1; });
 
+  bool restored = false;
+  if (!checkpoint_dir.empty()) {
+    rtrec::Status loaded = service.Restore(checkpoint_dir);
+    if (loaded.ok()) {
+      std::printf("restored model from %s\n", checkpoint_dir.c_str());
+      restored = true;
+    } else if (loaded.IsNotFound()) {
+      std::printf("no checkpoint in %s yet, starting fresh\n",
+                  checkpoint_dir.c_str());
+    } else {
+      std::fprintf(stderr, "checkpoint restore failed: %s\n",
+                   loaded.ToString().c_str());
+      return 1;
+    }
+  }
+
   // Warm the model: a few users co-watching makes the similar-video
-  // tables and hot lists non-empty from the first request.
+  // tables and hot lists non-empty from the first request. A restored
+  // model is already warm, but the hot lists are rebuilt from traffic,
+  // so replay the warm-up either way — it's idempotent enough.
   rtrec::Timestamp t = 0;
   for (int round = 0; round < 10; ++round) {
     for (rtrec::UserId user = 1; user <= 8; ++user) {
@@ -64,10 +122,27 @@ int main(int argc, char** argv) {
     }
   }
 
+  rtrec::Checkpointer::Options checkpointer_options;
+  checkpointer_options.directory = checkpoint_dir;
+  checkpointer_options.interval_ms = checkpoint_interval_ms;
+  checkpointer_options.metrics = &rtrec::MetricsRegistry::Default();
+  rtrec::Checkpointer checkpointer(&service, checkpointer_options);
+  if (!checkpoint_dir.empty()) {
+    rtrec::Status started = checkpointer.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "checkpointer failed to start: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    std::printf("checkpointing to %s every %dms%s\n", checkpoint_dir.c_str(),
+                checkpoint_interval_ms, restored ? " (restored)" : "");
+  }
+
   rtrec::RecServer::Options options;
   options.port = port;
   options.num_workers = workers;
   options.metrics = &rtrec::MetricsRegistry::Default();
+  options.recommend_deadline_ms = deadline_ms;
   rtrec::RecServer server(&service, options);
   rtrec::Status started = server.Start();
   if (!started.ok()) {
@@ -85,6 +160,7 @@ int main(int argc, char** argv) {
   }
 
   server.Stop();
+  checkpointer.Stop();  // Takes a final snapshot when checkpointing is on.
   std::printf("\n%s\n", rtrec::MetricsRegistry::Default().Report().c_str());
   return 0;
 }

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Loop the chaos test to shake out rare interleavings. The chaos test
+# arms every fault point at ~1%, so each iteration explores a different
+# random failure schedule; a single pass is cheap, so run many.
+#
+#   scripts/chaos.sh [iterations] [build-dir]
+#
+# Defaults: 20 iterations against ./build. Exits non-zero on the first
+# failing iteration, leaving its log in /tmp for inspection. Pair with a
+# sanitizer build (cmake -DRTREC_SANITIZE=address|thread) for the full
+# treatment — that is what CI runs.
+
+set -u
+
+iterations="${1:-20}"
+build_dir="${2:-build}"
+binary="${build_dir}/tests/chaos_test"
+
+if [[ ! -x "${binary}" ]]; then
+  echo "chaos.sh: ${binary} not found — build first (cmake --build ${build_dir})" >&2
+  exit 2
+fi
+
+for ((i = 1; i <= iterations; i++)); do
+  log="$(mktemp /tmp/rtrec_chaos_XXXXXX.log)"
+  if "${binary}" --gtest_shuffle --gtest_random_seed="${i}" >"${log}" 2>&1; then
+    echo "chaos iteration ${i}/${iterations}: OK"
+    rm -f "${log}"
+  else
+    status=$?
+    echo "chaos iteration ${i}/${iterations}: FAILED (exit ${status}), log: ${log}" >&2
+    tail -n 40 "${log}" >&2
+    exit "${status}"
+  fi
+done
+echo "all ${iterations} chaos iterations passed"

@@ -1,0 +1,38 @@
+#ifndef RTREC_COMMON_CRC32_H_
+#define RTREC_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace rtrec {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/gzip variant), computed with a
+/// software lookup table. Used to guard checkpoint sections against silent
+/// corruption; not cryptographic.
+///
+/// `Crc32(data, len)` is the one-shot form. `Crc32Update` lets callers feed
+/// data incrementally: start from `kCrc32Init`, feed chunks, then finalize
+/// with `Crc32Finalize`.
+inline constexpr std::uint32_t kCrc32Init = 0xFFFFFFFFu;
+
+/// Feeds `len` bytes into a running CRC state (already-inverted form).
+std::uint32_t Crc32Update(std::uint32_t state, const void* data,
+                          std::size_t len);
+
+inline std::uint32_t Crc32Finalize(std::uint32_t state) {
+  return state ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC-32 of a buffer.
+inline std::uint32_t Crc32(const void* data, std::size_t len) {
+  return Crc32Finalize(Crc32Update(kCrc32Init, data, len));
+}
+
+inline std::uint32_t Crc32(std::string_view s) {
+  return Crc32(s.data(), s.size());
+}
+
+}  // namespace rtrec
+
+#endif  // RTREC_COMMON_CRC32_H_

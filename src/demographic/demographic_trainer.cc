@@ -77,11 +77,6 @@ Status DemographicTrainer::SaveSnapshot(const std::string& directory) const {
     return Status::Unavailable("cannot create '" + directory +
                                "': " + ec.message());
   }
-  std::ofstream manifest(directory + "/manifest.txt", std::ios::trunc);
-  if (!manifest.is_open()) {
-    return Status::Unavailable("cannot write manifest in '" + directory +
-                               "'");
-  }
   std::vector<std::pair<GroupId, RecEngine*>> engines;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -90,16 +85,17 @@ Status DemographicTrainer::SaveSnapshot(const std::string& directory) const {
     }
   }
   if (global_ != nullptr) engines.emplace_back(kGlobalGroup, global_.get());
+  // Data files first, manifest last and atomically: a failure anywhere
+  // leaves the previous manifest (and the snapshot it names) intact.
+  std::string manifest;
   for (const auto& [group, engine] : engines) {
     const std::string path = directory + "/" + SnapshotFileName(group);
     RTREC_RETURN_IF_ERROR(SaveCheckpoint(path, &engine->factors(),
                                          &engine->sim_table(),
                                          &engine->history()));
-    manifest << group << "\n";
+    manifest += std::to_string(group) + "\n";
   }
-  manifest.flush();
-  if (!manifest.good()) return Status::Internal("manifest write failed");
-  return Status::OK();
+  return WriteFileAtomic(directory + "/manifest.txt", manifest);
 }
 
 Status DemographicTrainer::LoadSnapshot(const std::string& directory) {

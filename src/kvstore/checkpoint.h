@@ -16,24 +16,42 @@ namespace rtrec {
 /// a production deployment of the paper's system needs since its model
 /// exists only as KV-store contents.
 ///
-/// Format: little-endian, magic "RTRECCP1", then the factor section
-/// (dimensionality, μ accumulator, user entries, video entries), the
-/// similar-video section (directed lists), and the history section.
-/// Load validates the magic and the factor dimensionality against the
-/// target store and fails with Corruption / InvalidArgument on mismatch,
-/// leaving partially-loaded stores in an unspecified but safe state.
+/// Format: little-endian, magic "RTRECCP2", then three length-prefixed
+/// sections — factor (dimensionality, μ accumulator, user entries, video
+/// entries), similar-video (directed lists), and history — each framed as
+///   u64 section_length | section bytes | u32 CRC-32 of the bytes
+/// so corruption anywhere in a section is detected before a single byte
+/// of it is interpreted.
+///
+/// Crash safety: SaveCheckpoint serializes to memory, writes `path`.tmp,
+/// fsyncs it, and atomically renames it over `path` (then fsyncs the
+/// directory), so a crash mid-save leaves the previous checkpoint intact.
+/// LoadCheckpoint parses the whole file into staging buffers and applies
+/// them to the target stores only after every section verified — a
+/// corrupt or truncated file can never half-clobber live stores; on any
+/// error the targets are exactly as they were before the call.
+///
+/// Fault points: "kvstore.checkpoint.write" and "kvstore.checkpoint.read"
+/// (see common/fault_injection.h).
 
-/// Serializes the three stores to `path` (overwrites). Any may be null
-/// to skip its section (an empty section is written).
+/// Serializes the three stores to `path` (atomic overwrite). Any may be
+/// null to skip its section (an empty section is written).
 Status SaveCheckpoint(const std::string& path, const FactorStore* factors,
                       const SimTableStore* sim_table,
                       const HistoryStore* history);
 
 /// Restores into the given stores; null targets skip their section.
 /// `factors` must be configured with the same num_factors as the saved
-/// state.
+/// state. On any non-OK return the target stores are untouched.
 Status LoadCheckpoint(const std::string& path, FactorStore* factors,
                       SimTableStore* sim_table, HistoryStore* history);
+
+/// Durably replaces `path` with `contents`: tmp file, fsync, atomic
+/// rename, directory fsync. A crash (or error return) at any point
+/// leaves either the old file or the new one, never a mix. Used for the
+/// checkpoint files themselves and for snapshot manifests, which must
+/// only name files that were fully written.
+Status WriteFileAtomic(const std::string& path, const std::string& contents);
 
 }  // namespace rtrec
 

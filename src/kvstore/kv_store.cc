@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "common/fault_injection.h"
+
 namespace rtrec {
 
 namespace {
@@ -40,6 +42,7 @@ const ShardedKvStore::Shard& ShardedKvStore::ShardFor(
 }
 
 StatusOr<std::string> ShardedKvStore::Get(const std::string& key) const {
+  RTREC_RETURN_IF_ERROR(RTREC_FAULT_POINT("kvstore.get"));
   if (gets_ != nullptr) gets_->Increment();
   const Shard& shard = ShardFor(key);
   std::shared_lock lock(shard.mu);
@@ -52,6 +55,7 @@ StatusOr<std::string> ShardedKvStore::Get(const std::string& key) const {
 }
 
 Status ShardedKvStore::Put(const std::string& key, std::string value) {
+  RTREC_RETURN_IF_ERROR(RTREC_FAULT_POINT("kvstore.put"));
   if (puts_ != nullptr) puts_->Increment();
   Shard& shard = ShardFor(key);
   std::unique_lock lock(shard.mu);
@@ -60,6 +64,7 @@ Status ShardedKvStore::Put(const std::string& key, std::string value) {
 }
 
 Status ShardedKvStore::Delete(const std::string& key) {
+  RTREC_RETURN_IF_ERROR(RTREC_FAULT_POINT("kvstore.delete"));
   if (deletes_ != nullptr) deletes_->Increment();
   Shard& shard = ShardFor(key);
   std::unique_lock lock(shard.mu);
@@ -78,6 +83,7 @@ bool ShardedKvStore::Contains(const std::string& key) const {
 Status ShardedKvStore::Update(const std::string& key,
                               const std::function<void(std::string&)>& fn,
                               bool create_if_missing) {
+  RTREC_RETURN_IF_ERROR(RTREC_FAULT_POINT("kvstore.update"));
   Shard& shard = ShardFor(key);
   std::unique_lock lock(shard.mu);
   auto it = shard.map.find(key);

@@ -4,8 +4,12 @@
 #include <string.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <thread>
 
+#include "common/random.h"
 #include "common/string_util.h"
 
 namespace rtrec {
@@ -17,10 +21,25 @@ std::int64_t SteadyMillis() {
       .count();
 }
 
+// Per-thread source for retry jitter, seeded distinctly per thread so
+// clients created together don't retry in lockstep.
+std::uint64_t JitterMillis(std::int64_t bound_ms) {
+  if (bound_ms <= 0) return 0;
+  static std::atomic<std::uint64_t> seed_counter{0};
+  thread_local Rng rng(0x9E3779B97F4A7C15ull *
+                       (seed_counter.fetch_add(1, std::memory_order_relaxed) +
+                        1));
+  return rng.NextUint64(static_cast<std::uint64_t>(bound_ms) + 1);
+}
+
 }  // namespace
 
 RecClient::RecClient(Options options)
-    : options_(std::move(options)), decoder_(options_.max_frame_bytes) {}
+    : options_(std::move(options)), decoder_(options_.max_frame_bytes) {
+  if (options_.metrics != nullptr) {
+    retries_ = options_.metrics->GetCounter("client.retries");
+  }
+}
 
 RecClient::~RecClient() { Disconnect(); }
 
@@ -71,12 +90,19 @@ Status RecClient::Ping() {
 
 StatusOr<std::vector<ScoredVideo>> RecClient::Recommend(
     const RecRequest& request) {
+  StatusOr<RecommendReply> reply = RecommendDetailed(request);
+  RTREC_RETURN_IF_ERROR(reply.status());
+  return std::move(reply->videos);
+}
+
+StatusOr<RecommendReply> RecClient::RecommendDetailed(
+    const RecRequest& request) {
   std::lock_guard<std::mutex> lock(mu_);
   const std::uint64_t id = next_request_id_++;
   StatusOr<Frame> frame = Call(EncodeRecommendRequest(id, request), id);
   if (!frame.ok()) return frame.status();
   if (frame->type == MessageType::kRecommendResponse) {
-    return DecodeRecommendResponse(*frame);
+    return DecodeRecommendReply(*frame);
   }
   if (frame->type == MessageType::kErrorResponse) {
     auto error = DecodeErrorResponse(*frame);
@@ -113,12 +139,26 @@ Status RecClient::ExpectAck(const StatusOr<Frame>& frame) {
 
 StatusOr<Frame> RecClient::Call(const std::string& encoded,
                                 std::uint64_t request_id) {
-  StatusOr<Frame> result = CallOnce(encoded, request_id);
   // Only transport failures are retried (Unavailable/Internal from the
-  // socket layer); typed server errors arrive as OK frames. One retry
-  // over a fresh connection covers the common case of a server restart
-  // between calls.
-  if (!result.ok() && options_.auto_reconnect) {
+  // socket layer); typed server errors — OVERLOADED included — arrive
+  // as OK frames and are never retried here.
+  const std::int64_t give_up_ms = SteadyMillis() + options_.total_deadline_ms;
+  StatusOr<Frame> result = CallOnce(encoded, request_id);
+  std::int64_t backoff_ms =
+      std::max<std::int64_t>(1, options_.retry_backoff_initial_ms);
+  for (int attempt = 0;
+       !result.ok() && options_.auto_reconnect &&
+       attempt < options_.max_retries;
+       ++attempt) {
+    const std::int64_t remaining_ms = give_up_ms - SteadyMillis();
+    if (remaining_ms <= 0) break;
+    const std::int64_t sleep_ms = std::min<std::int64_t>(
+        remaining_ms,
+        backoff_ms + static_cast<std::int64_t>(JitterMillis(backoff_ms)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    backoff_ms = std::min<std::int64_t>(
+        backoff_ms * 2, std::max<std::int64_t>(1, options_.retry_backoff_max_ms));
+    if (retries_ != nullptr) retries_->Increment();
     DisconnectLocked();
     result = CallOnce(encoded, request_id);
   }

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "net/socket.h"
 #include "net/wire.h"
@@ -19,12 +20,18 @@ namespace rtrec {
 /// bench/bench_net_throughput.cc does exactly that).
 ///
 /// Transport errors (connection refused/reset, timeout) surface as
-/// Unavailable; if Options::auto_reconnect is set, the client first
-/// tears the connection down, reconnects, and retries the call once.
-/// Typed server errors (net/wire.h WireError) are mapped through
-/// WireErrorToStatus — notably OVERLOADED becomes Unavailable and is
-/// never retried automatically, since retrying into an overloaded
-/// server makes the overload worse.
+/// Unavailable; if Options::auto_reconnect is set, the client retries
+/// the call over a fresh connection with exponential backoff + jitter,
+/// up to Options::max_retries attempts and never past
+/// Options::total_deadline_ms. Typed server errors (net/wire.h
+/// WireError) are mapped through WireErrorToStatus — notably OVERLOADED
+/// becomes Unavailable and is never retried automatically, since
+/// retrying into an overloaded server makes the overload worse.
+///
+/// Retried Observe/RegisterProfile calls are at-least-once: a transport
+/// error after the server applied the action replays it. Both RPCs are
+/// idempotent enough in practice (profile writes are, action replays
+/// only double-count one engagement) for this to be the right trade.
 class RecClient {
  public:
   struct Options {
@@ -33,8 +40,18 @@ class RecClient {
     int connect_timeout_ms = 1'000;
     int request_timeout_ms = 5'000;
     std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
-    /// Retry a failed call once over a fresh connection.
+    /// Master switch for transport-level retries.
     bool auto_reconnect = true;
+    /// Retries after the first attempt (so max_retries + 1 attempts).
+    int max_retries = 3;
+    /// First backoff; doubles per retry up to retry_backoff_max_ms, with
+    /// up to 100% uniform jitter added to decorrelate retry storms.
+    int retry_backoff_initial_ms = 10;
+    int retry_backoff_max_ms = 500;
+    /// Budget across all attempts of one call, backoffs included.
+    int total_deadline_ms = 10'000;
+    /// Counter sink for "client.retries"; null disables.
+    MetricsRegistry* metrics = nullptr;
   };
 
   explicit RecClient(Options options);
@@ -58,6 +75,10 @@ class RecClient {
   /// Remote RecommendationService::Recommend.
   StatusOr<std::vector<ScoredVideo>> Recommend(const RecRequest& request);
 
+  /// Like Recommend, but surfaces the full reply including the DEGRADED
+  /// flag, so callers can tell a fallback answer from an engine answer.
+  StatusOr<RecommendReply> RecommendDetailed(const RecRequest& request);
+
   /// Remote RecommendationService::Observe. Acknowledged (the server
   /// replies after applying), so a returned OK means the action landed.
   Status Observe(const UserAction& action);
@@ -70,8 +91,8 @@ class RecClient {
   void DisconnectLocked();
 
   /// Sends `encoded` and waits for the frame answering `request_id`.
-  /// Retries once over a fresh connection on transport errors when
-  /// auto_reconnect is on.
+  /// On transport errors, retries over a fresh connection with
+  /// exponential backoff + jitter per the Options retry policy.
   StatusOr<Frame> Call(const std::string& encoded, std::uint64_t request_id);
   StatusOr<Frame> CallOnce(const std::string& encoded,
                            std::uint64_t request_id);
@@ -83,6 +104,7 @@ class RecClient {
   Status ExpectAck(const StatusOr<Frame>& frame);
 
   Options options_;
+  Counter* retries_ = nullptr;
   mutable std::mutex mu_;
   UniqueFd fd_;
   FrameDecoder decoder_;

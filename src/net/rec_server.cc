@@ -11,6 +11,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -178,6 +179,8 @@ class RecServer::Worker {
   bool ReadAndHandle(Connection* conn) {
     char buf[64 * 1024];
     while (!conn->close_after_flush) {
+      // An injected read fault plays as a peer that died mid-stream.
+      if (!RTREC_FAULT_POINT("net.socket.read").ok()) return false;
       ssize_t n = read(conn->fd.get(), buf, sizeof(buf));
       if (n == 0) return false;  // Peer closed.
       if (n < 0) {
@@ -270,17 +273,7 @@ class RecServer::Worker {
           QueueDecodeError(conn, frame.request_id, request.status());
           break;
         }
-        StatusOr<std::vector<ScoredVideo>> recs =
-            server_->service_->Recommend(*request);
-        if (!recs.ok()) {
-          const WireError code = recs.status().IsInvalidArgument()
-                                     ? WireError::kBadRequest
-                                     : WireError::kInternal;
-          QueueResponse(conn, EncodeErrorResponse(frame.request_id, code,
-                                                  recs.status().message()));
-          break;
-        }
-        QueueResponse(conn, EncodeRecommendResponse(frame.request_id, *recs));
+        HandleRecommend(conn, frame.request_id, *request);
         break;
       }
       case MessageType::kObserveRequest: {
@@ -313,6 +306,71 @@ class RecServer::Worker {
     server_->ReleaseInFlight();
   }
 
+  /// The Recommend serving ladder: breaker-open -> straight fallback;
+  /// engine OK within its deadline -> full answer; engine error or
+  /// deadline breach -> fallback with the DEGRADED flag (or, with the
+  /// fallback disabled, a typed error / the late answer).
+  void HandleRecommend(Connection* conn, std::uint64_t request_id,
+                       const RecRequest& request) {
+    const int deadline_ms = server_->options_.recommend_deadline_ms;
+    const bool fallback_on = server_->options_.degraded_fallback;
+    std::vector<ScoredVideo> results;
+    std::uint8_t flags = 0;
+    bool answered = false;
+    if (fallback_on && server_->InBreakerCooldown(SteadyMillis())) {
+      results = server_->service_->FallbackRecommend(request);
+      flags |= kRecommendFlagDegraded;
+      answered = true;
+    } else {
+      const std::int64_t start_ms = SteadyMillis();
+      StatusOr<std::vector<ScoredVideo>> recs =
+          server_->service_->Recommend(request);
+      const std::int64_t elapsed_ms = SteadyMillis() - start_ms;
+      if (!recs.ok() && recs.status().IsInvalidArgument()) {
+        // The client's fault, not the engine's: no breaker bookkeeping,
+        // no fallback masking.
+        QueueResponse(conn,
+                      EncodeErrorResponse(request_id, WireError::kBadRequest,
+                                          recs.status().message()));
+        return;
+      }
+      const bool late = deadline_ms > 0 && elapsed_ms > deadline_ms;
+      if (late) {
+        server_->metrics_->GetCounter("net.server.deadline_breaches")
+            ->Increment();
+      }
+      if (recs.ok() && !late) {
+        server_->RecordEngineSuccess();
+        results = std::move(*recs);
+        answered = true;
+      } else {
+        server_->RecordEngineFailure(SteadyMillis());
+        if (fallback_on) {
+          results = server_->service_->FallbackRecommend(request);
+          flags |= kRecommendFlagDegraded;
+          answered = true;
+        } else if (recs.ok()) {
+          // Late but the fallback is disabled: the stale answer is all
+          // we have.
+          results = std::move(*recs);
+          answered = true;
+        } else {
+          QueueResponse(conn,
+                        EncodeErrorResponse(request_id, WireError::kInternal,
+                                            recs.status().message()));
+        }
+      }
+    }
+    if (answered) {
+      if ((flags & kRecommendFlagDegraded) != 0) {
+        server_->metrics_->GetCounter("server.degraded_responses")
+            ->Increment();
+      }
+      QueueResponse(conn,
+                    EncodeRecommendResponse(request_id, results, flags));
+    }
+  }
+
   /// A frame that parsed structurally but whose body would not decode:
   /// the stream is still framed, so answer and keep the connection.
   void QueueDecodeError(Connection* conn, std::uint64_t request_id,
@@ -335,6 +393,8 @@ class RecServer::Worker {
   /// on a fatal write error.
   bool FlushWrites(Connection* conn) {
     while (conn->outpos < conn->outbuf.size()) {
+      // An injected write fault plays as a connection reset under us.
+      if (!RTREC_FAULT_POINT("net.socket.write").ok()) return false;
       ssize_t n = write(conn->fd.get(), conn->outbuf.data() + conn->outpos,
                         conn->outbuf.size() - conn->outpos);
       if (n < 0) {
@@ -479,6 +539,12 @@ void RecServer::AcceptLoop() {
         RTREC_LOG(kWarn) << "accept4: " << strerror(errno);
         break;
       }
+      // An injected accept fault drops the new connection on the floor,
+      // as a listener hitting EMFILE or a dying acceptor would.
+      if (!RTREC_FAULT_POINT("net.socket.accept").ok()) {
+        ::close(fd);
+        continue;
+      }
       SetTcpNoDelay(fd);  // Best effort; a failure only costs latency.
       metrics_->GetCounter("net.server.connections.accepted")->Increment();
       const std::size_t target =
@@ -503,6 +569,31 @@ bool RecServer::TryAcquireInFlight() {
 
 void RecServer::ReleaseInFlight() {
   in_flight_.fetch_sub(1, std::memory_order_release);
+}
+
+bool RecServer::InBreakerCooldown(std::int64_t now_ms) const {
+  return now_ms < degraded_until_ms_.load(std::memory_order_acquire);
+}
+
+void RecServer::RecordEngineFailure(std::int64_t now_ms) {
+  const int threshold = options_.breaker_failure_threshold;
+  if (threshold <= 0) return;
+  const int failures =
+      consecutive_engine_failures_.fetch_add(1, std::memory_order_relaxed) +
+      1;
+  if (failures >= threshold) {
+    degraded_until_ms_.store(now_ms + options_.breaker_cooldown_ms,
+                             std::memory_order_release);
+    consecutive_engine_failures_.store(0, std::memory_order_relaxed);
+    metrics_->GetCounter("net.server.breaker_trips")->Increment();
+    RTREC_LOG(kWarn) << "Recommend circuit breaker tripped; serving "
+                        "degraded fallback for "
+                     << options_.breaker_cooldown_ms << " ms";
+  }
+}
+
+void RecServer::RecordEngineSuccess() {
+  consecutive_engine_failures_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace rtrec

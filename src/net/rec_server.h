@@ -41,6 +41,13 @@ namespace rtrec {
 /// an undecodable body on an intact frame gets a typed error and the
 /// connection stays open. Idle connections are reaped after
 /// Options::idle_timeout_ms.
+///
+/// Graceful degradation: Recommend carries a latency budget
+/// (Options::recommend_deadline_ms) and a circuit breaker. When the
+/// engine errors, breaches the budget, or the breaker is open, the
+/// request is answered from the demographic hot-video fallback and
+/// flagged DEGRADED on the wire instead of failing — recommendations
+/// keep flowing while the engine misbehaves.
 class RecServer {
  public:
   struct Options {
@@ -64,6 +71,25 @@ class RecServer {
     /// Test hook: sleep this long inside each admitted service RPC, to
     /// make admission-control shedding deterministic. 0 in production.
     int handler_delay_for_test_ms = 0;
+
+    /// Per-request latency budget for Recommend. When > 0 and the engine
+    /// takes longer, the late answer is discarded in favour of the
+    /// degraded fallback (when enabled) and the request counts as an
+    /// engine failure for the circuit breaker. 0 disables the deadline.
+    int recommend_deadline_ms = 0;
+    /// Answer Recommend from the demographic hot-video fallback —
+    /// flagged DEGRADED on the wire and counted in
+    /// "server.degraded_responses" — when the engine errors or breaches
+    /// its deadline budget. When false, engine errors surface as typed
+    /// wire errors (the pre-degradation behaviour).
+    bool degraded_fallback = true;
+    /// Consecutive Recommend engine failures (errors or deadline
+    /// breaches) that trip the circuit breaker. While tripped, Recommend
+    /// is served straight from the fallback for breaker_cooldown_ms
+    /// without touching the engine, giving it room to recover. <= 0
+    /// disables the breaker.
+    int breaker_failure_threshold = 8;
+    int breaker_cooldown_ms = 2'000;
   };
 
   RecServer(RecommendationService* service, Options options);
@@ -96,6 +122,12 @@ class RecServer {
   bool TryAcquireInFlight();
   void ReleaseInFlight();
 
+  /// Circuit breaker over the Recommend engine path (worker threads
+  /// share this state through atomics).
+  bool InBreakerCooldown(std::int64_t now_ms) const;
+  void RecordEngineFailure(std::int64_t now_ms);
+  void RecordEngineSuccess();
+
   RecommendationService* service_;
   Options options_;
 
@@ -108,6 +140,8 @@ class RecServer {
   std::atomic<bool> stopping_{false};
   std::atomic<int> in_flight_{0};
   std::atomic<std::size_t> next_worker_{0};
+  std::atomic<int> consecutive_engine_failures_{0};
+  std::atomic<std::int64_t> degraded_until_ms_{0};
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::thread acceptor_;

@@ -349,10 +349,12 @@ std::string EncodeAckResponse(std::uint64_t request_id) {
 }
 
 std::string EncodeRecommendResponse(std::uint64_t request_id,
-                                    const std::vector<ScoredVideo>& results) {
+                                    const std::vector<ScoredVideo>& results,
+                                    std::uint8_t flags) {
   Frame frame;
   frame.type = MessageType::kRecommendResponse;
   frame.request_id = request_id;
+  PutU8(flags, &frame.body);
   PutU32(static_cast<std::uint32_t>(results.size()), &frame.body);
   for (const ScoredVideo& r : results) {
     PutU64(r.video, &frame.body);
@@ -363,30 +365,38 @@ std::string EncodeRecommendResponse(std::uint64_t request_id,
   return out;
 }
 
-StatusOr<std::vector<ScoredVideo>> DecodeRecommendResponse(
-    const Frame& frame) {
+StatusOr<RecommendReply> DecodeRecommendReply(const Frame& frame) {
   if (frame.type != MessageType::kRecommendResponse) {
     return WrongType("recommend_response", frame.type);
   }
   BodyReader reader(frame.body);
+  RecommendReply reply;
   std::uint32_t count = 0;
-  if (!reader.ReadU32(&count)) return Truncated("recommend_response");
+  if (!reader.ReadU8(&reply.flags) || !reader.ReadU32(&count)) {
+    return Truncated("recommend_response");
+  }
   if (count > kMaxListedVideos) {
     return Status::InvalidArgument(
         StringPrintf("recommend_response lists %u videos (cap %zu)", count,
                      kMaxListedVideos));
   }
-  std::vector<ScoredVideo> results;
-  results.reserve(count);
+  reply.videos.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     ScoredVideo r;
     if (!reader.ReadU64(&r.video) || !reader.ReadF64(&r.score)) {
       return Truncated("recommend_response");
     }
-    results.push_back(r);
+    reply.videos.push_back(r);
   }
   if (!reader.AtEnd()) return TrailingGarbage("recommend_response");
-  return results;
+  return reply;
+}
+
+StatusOr<std::vector<ScoredVideo>> DecodeRecommendResponse(
+    const Frame& frame) {
+  StatusOr<RecommendReply> reply = DecodeRecommendReply(frame);
+  RTREC_RETURN_IF_ERROR(reply.status());
+  return std::move(reply->videos);
 }
 
 std::string EncodeErrorResponse(std::uint64_t request_id, WireError code,

@@ -154,9 +154,27 @@ StatusOr<ProfileUpdate> DecodeRegisterProfileRequest(const Frame& frame);
 std::string EncodePongResponse(std::uint64_t request_id);
 std::string EncodeAckResponse(std::uint64_t request_id);
 
-/// RecommendResponse body: u32 count, then (u64 video, f64 score) pairs.
+/// Bit set in the RecommendResponse flags byte when the server answered
+/// from the degraded fallback (demographic hot videos) rather than the
+/// full engine — because the engine errored, breached its deadline
+/// budget, or the server's circuit breaker is open.
+inline constexpr std::uint8_t kRecommendFlagDegraded = 0x01;
+
+/// A decoded RecommendResponse: the ranked videos plus the flags byte.
+struct RecommendReply {
+  std::vector<ScoredVideo> videos;
+  std::uint8_t flags = 0;
+
+  bool degraded() const { return (flags & kRecommendFlagDegraded) != 0; }
+};
+
+/// RecommendResponse body: u8 flags (kRecommendFlag*; unknown bits are
+/// ignored by receivers), u32 count, then (u64 video, f64 score) pairs.
 std::string EncodeRecommendResponse(std::uint64_t request_id,
-                                    const std::vector<ScoredVideo>& results);
+                                    const std::vector<ScoredVideo>& results,
+                                    std::uint8_t flags = 0);
+StatusOr<RecommendReply> DecodeRecommendReply(const Frame& frame);
+/// Flag-discarding convenience wrapper around DecodeRecommendReply.
 StatusOr<std::vector<ScoredVideo>> DecodeRecommendResponse(const Frame& frame);
 
 /// ErrorResponse body: u8 error code, u16 message length, message bytes.

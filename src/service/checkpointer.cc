@@ -1,0 +1,78 @@
+#include "service/checkpointer.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace rtrec {
+
+Checkpointer::Checkpointer(RecommendationService* service, Options options)
+    : service_(service), options_(std::move(options)) {
+  if (options_.metrics != nullptr) {
+    saves_ = options_.metrics->GetCounter("checkpoint.saves");
+    failures_ = options_.metrics->GetCounter("checkpoint.failures");
+  }
+}
+
+Checkpointer::~Checkpointer() { Stop(); }
+
+Status Checkpointer::Start() {
+  if (options_.directory.empty()) {
+    return Status::InvalidArgument("checkpointer needs a directory");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) {
+      return Status::FailedPrecondition("checkpointer already started");
+    }
+    started_ = true;
+    stop_ = false;
+  }
+  thread_ = std::thread([this] { Run(); });
+  return Status::OK();
+}
+
+void Checkpointer::Stop() {
+  bool was_started = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    was_started = started_ && !stop_;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  if (was_started && options_.snapshot_on_stop) {
+    Status status = SnapshotNow();
+    if (!status.ok()) {
+      RTREC_LOG(kWarn) << "final snapshot failed: " << status.ToString();
+    }
+  }
+}
+
+Status Checkpointer::SnapshotNow() {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  Status status = service_->Checkpoint(options_.directory);
+  if (status.ok()) {
+    if (saves_ != nullptr) saves_->Increment();
+  } else {
+    if (failures_ != nullptr) failures_->Increment();
+  }
+  return status;
+}
+
+void Checkpointer::Run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                 [this] { return stop_; });
+    if (stop_) return;
+    lock.unlock();
+    Status status = SnapshotNow();
+    if (!status.ok()) {
+      RTREC_LOG(kWarn) << "periodic snapshot failed: " << status.ToString();
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace rtrec

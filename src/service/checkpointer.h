@@ -1,0 +1,77 @@
+#ifndef RTREC_SERVICE_CHECKPOINTER_H_
+#define RTREC_SERVICE_CHECKPOINTER_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "service/recommendation_service.h"
+
+namespace rtrec {
+
+/// Background thread that snapshots a RecommendationService into a
+/// directory on a fixed interval, bounding the model state lost to a
+/// crash by that interval. Snapshots go through SaveCheckpoint's
+/// tmp + fsync + atomic-rename path, so a kill -9 mid-snapshot leaves
+/// the previous snapshot intact and a restart with Restore() resumes
+/// from it.
+///
+///   Checkpointer::Options options;
+///   options.directory = "/var/lib/rtrec/ckpt";
+///   Checkpointer checkpointer(&service, options);
+///   RTREC_RETURN_IF_ERROR(checkpointer.Start());
+///   ...
+///   checkpointer.Stop();  // Also takes one final snapshot.
+///
+/// Thread-safe; SnapshotNow may be called from any thread and is
+/// serialized against the background snapshots.
+class Checkpointer {
+ public:
+  struct Options {
+    std::string directory;
+    /// Interval between snapshots; also the worst-case model loss window.
+    int interval_ms = 30'000;
+    /// If true, Stop() (and the destructor) writes a final snapshot.
+    bool snapshot_on_stop = true;
+    /// Counters "checkpoint.saves" / "checkpoint.failures"; null disables.
+    MetricsRegistry* metrics = nullptr;
+  };
+
+  /// `service` is shared, not owned, and must outlive the checkpointer.
+  Checkpointer(RecommendationService* service, Options options);
+  ~Checkpointer();
+
+  Checkpointer(const Checkpointer&) = delete;
+  Checkpointer& operator=(const Checkpointer&) = delete;
+
+  /// Spawns the background thread. Call at most once.
+  Status Start();
+
+  /// Joins the background thread (no-op if never started). Idempotent.
+  void Stop();
+
+  /// Takes one snapshot synchronously.
+  Status SnapshotNow();
+
+ private:
+  void Run();
+
+  RecommendationService* service_;
+  Options options_;
+  Counter* saves_ = nullptr;
+  Counter* failures_ = nullptr;
+
+  std::mutex snapshot_mu_;  // Serializes snapshots.
+  std::mutex mu_;           // Guards stop_ / cv_.
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace rtrec
+
+#endif  // RTREC_SERVICE_CHECKPOINTER_H_

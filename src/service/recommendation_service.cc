@@ -1,8 +1,8 @@
 #include "service/recommendation_service.h"
 
 #include <filesystem>
-#include <fstream>
 
+#include "common/fault_injection.h"
 #include "kvstore/checkpoint.h"
 
 namespace rtrec {
@@ -43,16 +43,14 @@ Status RecommendationService::Checkpoint(const std::string& directory) const {
     return Status::Unavailable("cannot create '" + directory +
                                "': " + ec.message());
   }
-  std::ofstream manifest(directory + "/manifest.txt", std::ios::trunc);
-  if (!manifest.is_open()) {
-    return Status::Unavailable("cannot write manifest");
-  }
-  manifest << kGlobalGroup << std::endl;
-  manifest.flush();
-  return SaveCheckpoint(directory + "/group_global.ckpt",
-                        &global_engine_->factors(),
-                        &global_engine_->sim_table(),
-                        &global_engine_->history());
+  // Data file first, manifest last and atomically: a failed checkpoint
+  // write must leave the previous snapshot (and its manifest) serving.
+  RTREC_RETURN_IF_ERROR(SaveCheckpoint(directory + "/group_global.ckpt",
+                                       &global_engine_->factors(),
+                                       &global_engine_->sim_table(),
+                                       &global_engine_->history()));
+  return WriteFileAtomic(directory + "/manifest.txt",
+                         std::to_string(kGlobalGroup) + "\n");
 }
 
 Status RecommendationService::Restore(const std::string& directory) {
@@ -78,7 +76,20 @@ StatusOr<std::vector<ScoredVideo>> RecommendationService::Recommend(
     const RecRequest& request) {
   ScopedLatencyTimer timer(&request_latency_);
   if (requests_ != nullptr) requests_->Increment();
+  RTREC_RETURN_IF_ERROR(RTREC_FAULT_POINT("service.recommend"));
   return filter_->Recommend(request);
+}
+
+std::vector<ScoredVideo> RecommendationService::FallbackRecommend(
+    const RecRequest& request) const {
+  const std::size_t n =
+      request.top_n > 0 ? request.top_n : options_.filter.top_n;
+  const GroupId group = grouper_.GroupOf(request.user);
+  std::vector<ScoredVideo> hot = hot_.Hottest(group, n, request.now);
+  if (hot.empty() && group != kGlobalGroup) {
+    hot = hot_.Hottest(kGlobalGroup, n, request.now);
+  }
+  return hot;
 }
 
 }  // namespace rtrec

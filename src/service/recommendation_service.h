@@ -59,6 +59,13 @@ class RecommendationService : public Recommender {
   StatusOr<std::vector<ScoredVideo>> Recommend(
       const RecRequest& request) override;
 
+  /// Model-free serving path for degraded mode: answers purely from the
+  /// demographic hot-video tracker (the user's group, falling back to
+  /// the global list). Never errors and touches no engine state, so it
+  /// stays available while the primary engine is failing or over its
+  /// latency budget; RecServer flags such answers DEGRADED on the wire.
+  std::vector<ScoredVideo> FallbackRecommend(const RecRequest& request) const;
+
   std::string name() const override { return "rtrec-service"; }
 
   /// Snapshots the model state (per-group engines or the global engine)

@@ -25,7 +25,7 @@ bool ReliableReplaySpout::Next(OutputCollector& collector) {
       lock.unlock();
       const std::uint64_t id = collector.Emit(std::move(to_send));
       lock.lock();
-      in_flight_.emplace(id, std::move(item));
+      TrackLocked(id, std::move(item));
       return true;
     }
   }
@@ -38,7 +38,7 @@ bool ReliableReplaySpout::Next(OutputCollector& collector) {
       item.tuple = *tuple;
       const std::uint64_t id = collector.Emit(std::move(*tuple));
       std::lock_guard<std::mutex> lock(mu_);
-      in_flight_.emplace(id, std::move(item));
+      TrackLocked(id, std::move(item));
       return true;
     }
     generator_done_ = true;
@@ -55,15 +55,43 @@ bool ReliableReplaySpout::Next(OutputCollector& collector) {
   return true;
 }
 
+void ReliableReplaySpout::TrackLocked(std::uint64_t id, InFlight item) {
+  if (early_acked_.erase(id) > 0) {
+    ++acked_;
+    return;
+  }
+  if (early_failed_.erase(id) > 0) {
+    ++failed_;
+    if (options_.max_retries > 0 && item.attempts > options_.max_retries) {
+      ++gave_up_;
+      return;
+    }
+    retry_queue_.push_back(std::move(item));
+    return;
+  }
+  in_flight_.emplace(id, std::move(item));
+}
+
 void ReliableReplaySpout::Ack(std::uint64_t tuple_id) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (in_flight_.erase(tuple_id) > 0) ++acked_;
+  if (in_flight_.erase(tuple_id) > 0) {
+    ++acked_;
+    return;
+  }
+  // The tree completed before Next() registered the emission; park the
+  // ack so TrackLocked can claim it.
+  early_acked_.insert(tuple_id);
 }
 
 void ReliableReplaySpout::Fail(std::uint64_t tuple_id) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = in_flight_.find(tuple_id);
-  if (it == in_flight_.end()) return;
+  if (it == in_flight_.end()) {
+    // Timed out before Next() registered the emission (e.g. Emit stalled
+    // on backpressure longer than the ack timeout).
+    early_failed_.insert(tuple_id);
+    return;
+  }
   ++failed_;
   InFlight item = std::move(it->second);
   in_flight_.erase(it);

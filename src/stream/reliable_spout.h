@@ -8,6 +8,7 @@
 #include <optional>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "stream/bolt.h"
 
@@ -55,6 +56,10 @@ class ReliableReplaySpout : public Spout {
     std::size_t attempts = 1;
   };
 
+  /// Registers an emission under `id`, reconciling against completions
+  /// that raced ahead of the registration. Caller holds `mu_`.
+  void TrackLocked(std::uint64_t id, InFlight item);
+
   Generator generator_;
   Options options_;
   bool generator_done_ = false;
@@ -62,6 +67,13 @@ class ReliableReplaySpout : public Spout {
   mutable std::mutex mu_;
   std::unordered_map<std::uint64_t, InFlight> in_flight_;
   std::deque<InFlight> retry_queue_;
+  // Emit() runs outside `mu_` (it can block on backpressure), so a tree
+  // can be acked or failed before Next() registers it in `in_flight_`.
+  // Such early completions park here until the registration claims them;
+  // without this, the racing entry would sit in `in_flight_` forever and
+  // the end-of-stream drain would never finish.
+  std::unordered_set<std::uint64_t> early_acked_;
+  std::unordered_set<std::uint64_t> early_failed_;
   std::size_t acked_ = 0;
   std::size_t failed_ = 0;
   std::size_t gave_up_ = 0;

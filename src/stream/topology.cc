@@ -1,9 +1,13 @@
 #include "stream/topology.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <set>
+#include <thread>
 #include <unordered_set>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 
 namespace rtrec::stream {
@@ -68,6 +72,15 @@ class Topology::TaskCollector : public OutputCollector {
     }
     component_->emitted->Increment();
     for (auto& [queue, depth] : destinations_) {
+      // A fired "stream.queue.push" fault drops this copy on the floor
+      // (a lost in-flight tuple); with acking on, its tree fails by
+      // timeout and the spout replays it. The tracked count registered
+      // above intentionally keeps the dropped copy, which is what makes
+      // the tree time out instead of acking a lost tuple.
+      if (!RTREC_FAULT_POINT("stream.queue.push").ok()) {
+        component_->dropped->Increment();
+        continue;
+      }
       // Push blocks when the consumer is saturated: backpressure.
       if (queue->Push(Envelope(tuple, root)) && depth != nullptr) {
         depth->Add(1);
@@ -75,6 +88,10 @@ class Topology::TaskCollector : public OutputCollector {
     }
     return root;
   }
+
+  /// Re-points spout emissions at a new tracker registration; used when
+  /// the supervisor replaces a crashed spout instance.
+  void set_acker_owner(std::uint64_t owner) { acker_owner_ = owner; }
 
  private:
   ComponentRuntime* component_;
@@ -181,13 +198,15 @@ Status Topology::Join() {
     if (th.joinable()) th.join();
   }
   // Every tuple has been processed (or timed out via the sweeper), so
-  // all reliability callbacks have fired; retire the parked spouts.
+  // all reliability callbacks have fired; retire the tracker
+  // registrations. The spout objects themselves stay alive until the
+  // topology is destroyed — callers inspect their counters after Join.
   if (acker_ != nullptr) {
     std::lock_guard<std::mutex> lock(parked_spouts_mu_);
     for (auto& [spout, owner] : parked_spouts_) {
       acker_->UnregisterOwner(owner);
+      owner = 0;
     }
-    parked_spouts_.clear();
   }
   finished_.store(true, std::memory_order_release);
   return Status::OK();
@@ -205,7 +224,7 @@ Topology::~Topology() {
   if (acker_ != nullptr) {
     std::lock_guard<std::mutex> lock(parked_spouts_mu_);
     for (auto& [spout, owner] : parked_spouts_) {
-      acker_->UnregisterOwner(owner);
+      if (owner != 0) acker_->UnregisterOwner(owner);
     }
     parked_spouts_.clear();
   }
@@ -236,21 +255,8 @@ void Topology::RunSpoutTask(std::size_t component_index,
                                       components_[c].queue_depth);
     }
   }
-  std::unique_ptr<Spout> spout = rt.spec.spout_factory();
-  std::uint64_t acker_owner = 0;
-  if (acker_ != nullptr) {
-    Spout* raw = spout.get();
-    acker_owner =
-        acker_->RegisterOwner([raw](std::uint64_t root, bool acked) {
-          if (acked) {
-            raw->Ack(root);
-          } else {
-            raw->Fail(root);
-          }
-        });
-  }
-  TaskCollector collector(&rt, std::move(edges), acker_.get(), acker_owner,
-                          /*current_root=*/nullptr);
+  TaskCollector collector(&rt, std::move(edges), acker_.get(),
+                          /*acker_owner=*/0, /*current_root=*/nullptr);
 
   TaskContext context;
   context.component = rt.spec.name;
@@ -258,17 +264,101 @@ void Topology::RunSpoutTask(std::size_t component_index,
   context.parallelism = rt.spec.parallelism;
   context.metrics = metrics_;
 
-  spout->Open(context);
-  while (!stop_requested_.load(std::memory_order_acquire)) {
-    ScopedLatencyTimer timer(rt.process_us);
-    if (!spout->Next(collector)) break;
+  Counter* restarts_total = metrics_->GetCounter("topology.task_restarts");
+  Counter* restarts_here =
+      metrics_->GetCounter(rt.spec.name + ".task_restarts");
+
+  std::unique_ptr<Spout> spout;
+  std::uint64_t acker_owner = 0;
+  // Builds (or rebuilds, after a crash) the spout instance and its
+  // tracker registration. Factory/Open failures leave `spout` null.
+  auto make_spout = [&]() -> bool {
+    try {
+      spout = rt.spec.spout_factory();
+      spout->Open(context);
+    } catch (const std::exception& e) {
+      RTREC_LOG(kError) << rt.spec.name << " task " << task_index
+                        << " failed to open spout: " << e.what();
+      spout.reset();
+      return false;
+    } catch (...) {
+      RTREC_LOG(kError) << rt.spec.name << " task " << task_index
+                        << " failed to open spout";
+      spout.reset();
+      return false;
+    }
+    if (acker_ != nullptr) {
+      Spout* raw = spout.get();
+      acker_owner =
+          acker_->RegisterOwner([raw](std::uint64_t root, bool acked) {
+            if (acked) {
+              raw->Ack(root);
+            } else {
+              raw->Fail(root);
+            }
+          });
+      collector.set_acker_owner(acker_owner);
+    }
+    return true;
+  };
+
+  int consecutive_failures = 0;
+  std::int64_t backoff_ms = options_.restart_backoff_initial_ms;
+  bool alive = make_spout();
+  while (alive && !stop_requested_.load(std::memory_order_acquire)) {
+    bool call_ok = false;
+    bool has_more = true;
+    if (RTREC_FAULT_POINT("stream.spout.next").ok()) {
+      try {
+        ScopedLatencyTimer timer(rt.process_us);
+        has_more = spout->Next(collector);
+        call_ok = true;
+      } catch (const std::exception& e) {
+        RTREC_LOG(kError) << rt.spec.name << " task " << task_index
+                          << " crashed in Next: " << e.what();
+      } catch (...) {
+        RTREC_LOG(kError) << rt.spec.name << " task " << task_index
+                          << " crashed in Next";
+      }
+    }
+    if (call_ok) {
+      consecutive_failures = 0;
+      backoff_ms = options_.restart_backoff_initial_ms;
+      if (!has_more) break;
+      continue;
+    }
+    // Crash: retire this incarnation (abandoning its in-flight trees —
+    // their replay state died with the instance) and restart from the
+    // factory, unless the consecutive-failure budget is spent.
+    if (++consecutive_failures > options_.max_task_restarts) {
+      RTREC_LOG(kError) << rt.spec.name << " task " << task_index
+                        << " exceeded max_task_restarts="
+                        << options_.max_task_restarts << "; giving up";
+      break;
+    }
+    restarts_total->Increment();
+    restarts_here->Increment();
+    try {
+      spout->Close();
+    } catch (...) {
+    }
+    if (acker_ != nullptr) acker_->UnregisterOwner(acker_owner);
+    spout.reset();
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, options_.restart_backoff_max_ms);
+    alive = make_spout();
   }
-  spout->Close();
-  if (acker_ != nullptr) {
-    // Keep the spout registered: its tuple trees may still be in flight
-    // downstream. Join() unregisters once the whole DAG has drained.
-    std::lock_guard<std::mutex> lock(parked_spouts_mu_);
-    parked_spouts_.emplace_back(std::move(spout), acker_owner);
+  if (spout != nullptr) {
+    try {
+      spout->Close();
+    } catch (...) {
+    }
+    if (acker_ != nullptr) {
+      // Keep the spout registered: its tuple trees may still be in flight
+      // downstream. Join() unregisters once the whole DAG has drained.
+      std::lock_guard<std::mutex> lock(parked_spouts_mu_);
+      parked_spouts_.emplace_back(std::move(spout), acker_owner);
+    }
   }
   BroadcastEos(rt);
 }
@@ -298,8 +388,34 @@ void Topology::RunBoltTask(std::size_t component_index,
   context.parallelism = rt.spec.parallelism;
   context.metrics = metrics_;
 
-  std::unique_ptr<Bolt> bolt = rt.spec.bolt_factory();
-  bolt->Prepare(context);
+  Counter* restarts_total = metrics_->GetCounter("topology.task_restarts");
+  Counter* restarts_here =
+      metrics_->GetCounter(rt.spec.name + ".task_restarts");
+
+  std::unique_ptr<Bolt> bolt;
+  // Builds (or rebuilds, after a crash) the bolt instance. Factory /
+  // Prepare failures leave `bolt` null.
+  auto make_bolt = [&]() -> bool {
+    try {
+      bolt = rt.spec.bolt_factory();
+      bolt->Prepare(context);
+      return true;
+    } catch (const std::exception& e) {
+      RTREC_LOG(kError) << rt.spec.name << " task " << task_index
+                        << " failed to prepare bolt: " << e.what();
+    } catch (...) {
+      RTREC_LOG(kError) << rt.spec.name << " task " << task_index
+                        << " failed to prepare bolt";
+    }
+    bolt.reset();
+    return false;
+  };
+
+  int consecutive_failures = 0;
+  std::int64_t backoff_ms = options_.restart_backoff_initial_ms;
+  // A degraded task has spent its restart budget: it keeps draining its
+  // queue (dropping tuples) so the EOS cascade still completes.
+  bool degraded = !make_bolt();
 
   TaskQueue& queue = *rt.queues[task_index];
   std::size_t eos_seen = 0;
@@ -312,19 +428,65 @@ void Topology::RunBoltTask(std::size_t component_index,
     }
     rt.queue_depth->Add(-1);
     current_root = envelope->root;
-    {
-      ScopedLatencyTimer timer(rt.process_us);
-      bolt->Process(envelope->tuple, collector);
+    bool processed_ok = false;
+    if (!degraded && RTREC_FAULT_POINT("stream.bolt.process").ok()) {
+      try {
+        ScopedLatencyTimer timer(rt.process_us);
+        bolt->Process(envelope->tuple, collector);
+        processed_ok = true;
+      } catch (const std::exception& e) {
+        RTREC_LOG(kError) << rt.spec.name << " task " << task_index
+                          << " crashed in Process: " << e.what();
+      } catch (...) {
+        RTREC_LOG(kError) << rt.spec.name << " task " << task_index
+                          << " crashed in Process";
+      }
     }
-    rt.processed->Increment();
-    if (acker_ != nullptr && current_root != 0) {
-      // This tuple's own contribution to the tree is done (any anchored
-      // emissions were added during Process).
-      acker_->Add(current_root, -1);
+    if (processed_ok) {
+      consecutive_failures = 0;
+      backoff_ms = options_.restart_backoff_initial_ms;
+      rt.processed->Increment();
+      if (acker_ != nullptr && current_root != 0) {
+        // This tuple's own contribution to the tree is done (any anchored
+        // emissions were added during Process).
+        acker_->Add(current_root, -1);
+      }
+    } else {
+      // The tuple is dropped, deliberately without acking its tree: with
+      // acking on it fails by timeout and the spout replays it.
+      rt.dropped->Increment();
+      if (!degraded) {
+        if (++consecutive_failures > options_.max_task_restarts) {
+          RTREC_LOG(kError)
+              << rt.spec.name << " task " << task_index
+              << " exceeded max_task_restarts=" << options_.max_task_restarts
+              << "; degrading to drain mode";
+          degraded = true;
+        } else {
+          restarts_total->Increment();
+          restarts_here->Increment();
+          if (bolt != nullptr) {
+            try {
+              bolt->Cleanup();
+            } catch (...) {
+            }
+          }
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(backoff_ms));
+          backoff_ms =
+              std::min(backoff_ms * 2, options_.restart_backoff_max_ms);
+          degraded = !make_bolt();
+        }
+      }
     }
     current_root = 0;
   }
-  bolt->Cleanup();
+  if (bolt != nullptr) {
+    try {
+      bolt->Cleanup();
+    } catch (...) {
+    }
+  }
   // Every task broadcasts its own marker; consumers expect one marker per
   // upstream task, so the drain completes exactly once per edge.
   BroadcastEos(rt);

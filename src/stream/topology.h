@@ -33,6 +33,21 @@ struct TopologyOptions {
   /// deployment does.
   bool enable_acking = false;
   std::int64_t ack_timeout_millis = 30000;
+
+  /// Supervision policy (Storm's supervisor, folded into the task loop):
+  /// a task whose bolt Process / spout Next throws — or whose
+  /// "stream.bolt.process" / "stream.spout.next" fault point fires — is
+  /// restarted: the component instance is destroyed, recreated from its
+  /// factory, and re-Prepared/re-Opened after an exponentially growing
+  /// backoff. The budget counts *consecutive* failures and resets on the
+  /// first successful call. A task that exhausts the budget degrades to
+  /// draining its input (dropping tuples, counted in "<name>.dropped")
+  /// instead of killing the process; with acking on, dropped tuples fail
+  /// by ack-timeout and the spout replays them. Restarts increment
+  /// "topology.task_restarts" and "<name>.task_restarts".
+  int max_task_restarts = 3;
+  std::int64_t restart_backoff_initial_ms = 5;
+  std::int64_t restart_backoff_max_ms = 1000;
 };
 
 /// A running instance of a TopologySpec: one thread per task (Storm
@@ -49,6 +64,11 @@ struct TopologyOptions {
 /// finishes after receiving one marker from every upstream producer task,
 /// runs Cleanup(), and forwards markers downstream. The cascade drains the
 /// DAG deterministically, so tests can assert on totals after Join().
+///
+/// Failure handling: component exceptions never escape a task thread.
+/// Crashed components are restarted per TopologyOptions' supervision
+/// policy, and a task that exhausts its restart budget keeps draining its
+/// queue so the EOS cascade — and therefore Join() — always completes.
 class Topology {
  public:
   /// Validates per-task construction and wires queues/routers.

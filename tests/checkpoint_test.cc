@@ -171,6 +171,64 @@ TEST_F(CheckpointTest, DimensionalityMismatchRejected) {
                   .IsInvalidArgument());
 }
 
+TEST_F(CheckpointTest, BitFlipMidFileRejectedWithLiveStoresUntouched) {
+  // Regression for the staged load: corrupting a single byte anywhere in
+  // the file must fail with Corruption (per-section CRC-32), and — the
+  // part the old load-in-place implementation got wrong — the target
+  // stores must come through completely untouched, even when the
+  // corruption sits in a later section than the one being applied.
+  FactorStore source(FactorOptions());
+  for (UserId u = 1; u <= 10; ++u) {
+    source.UpdateUser(u, [u](FactorEntry& e) {
+      e.bias = static_cast<float>(u) * 0.5f;
+    });
+  }
+  SimTableStore sims;
+  sims.Update(1, 2, 0.7, 1000);
+  HistoryStore history;
+  history.Append(1, {10, 1.0, 100});
+  ASSERT_TRUE(SaveCheckpoint(path_.string(), &source, &sims, &history).ok());
+
+  // Flip one bit in the middle of the file.
+  {
+    std::fstream file(path_, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(file.is_open());
+    const auto mid =
+        static_cast<std::streamoff>(std::filesystem::file_size(path_) / 2);
+    file.seekg(mid);
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x10);
+    file.seekp(mid);
+    file.write(&byte, 1);
+  }
+
+  // Targets that already hold live serving state.
+  FactorStore live(FactorOptions());
+  live.UpdateUser(42, [](FactorEntry& e) { e.bias = 9.0f; });
+  live.ObserveRating(2.0);
+  SimTableStore live_sims;
+  live_sims.Update(7, 8, 0.9, 500);
+  HistoryStore live_history;
+  live_history.Append(5, {50, 3.0, 999});
+
+  EXPECT_EQ(
+      LoadCheckpoint(path_.string(), &live, &live_sims, &live_history).code(),
+      StatusCode::kCorruption);
+
+  // Every live store is exactly as it was before the failed load.
+  EXPECT_EQ(live.NumUsers(), 1u);
+  EXPECT_EQ(live.RatingCount(), 1u);
+  auto entry = live.GetUser(42);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_FLOAT_EQ(entry->bias, 9.0f);
+  EXPECT_FALSE(live.GetUser(1).ok());
+  EXPECT_DOUBLE_EQ(live_sims.GetDecayedSimilarity(7, 8, 500), 0.9);
+  EXPECT_EQ(live_sims.GetDecayedSimilarity(1, 2, 1000), 0.0);
+  EXPECT_EQ(live_history.Get(5).size(), 1u);
+  EXPECT_TRUE(live_history.Get(1).empty());
+}
+
 TEST_F(CheckpointTest, NullTargetsSkipSections) {
   FactorStore source(FactorOptions());
   source.GetOrInitUser(1);

@@ -96,6 +96,47 @@ TEST(NetCodecTest, RecommendResponseRoundtrip) {
   EXPECT_TRUE(empty->empty());
 }
 
+TEST(NetCodecTest, RecommendResponseDegradedFlagRoundtrip) {
+  std::vector<ScoredVideo> results = {{.video = 10, .score = 0.5}};
+  auto reply = DecodeRecommendReply(DecodeOne(
+      EncodeRecommendResponse(4, results, kRecommendFlagDegraded)));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_TRUE(reply->degraded());
+  EXPECT_EQ(reply->flags, kRecommendFlagDegraded);
+  EXPECT_EQ(reply->videos, results);
+
+  auto normal =
+      DecodeRecommendReply(DecodeOne(EncodeRecommendResponse(5, results)));
+  ASSERT_TRUE(normal.ok());
+  EXPECT_FALSE(normal->degraded());
+  EXPECT_EQ(normal->flags, 0);
+
+  // The flag-discarding legacy decode still sees the same videos.
+  auto videos = DecodeRecommendResponse(DecodeOne(
+      EncodeRecommendResponse(6, results, kRecommendFlagDegraded)));
+  ASSERT_TRUE(videos.ok());
+  EXPECT_EQ(*videos, results);
+}
+
+TEST(NetCodecTest, RecommendResponseUnknownFlagBitsTolerated) {
+  // A newer server may set flag bits this client does not know; they
+  // must decode cleanly (forward compatibility), preserved verbatim.
+  std::vector<ScoredVideo> results = {{.video = 3, .score = 1.0}};
+  auto reply = DecodeRecommendReply(
+      DecodeOne(EncodeRecommendResponse(7, results, 0xFE)));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->flags, 0xFE);
+  EXPECT_FALSE(reply->degraded());  // Bit 0 is clear.
+  EXPECT_EQ(reply->videos, results);
+}
+
+TEST(NetCodecTest, RecommendReplyEmptyBodyIsTypedError) {
+  Frame frame;
+  frame.type = MessageType::kRecommendResponse;
+  frame.body = "";  // Not even the flags byte.
+  EXPECT_TRUE(DecodeRecommendReply(frame).status().IsInvalidArgument());
+}
+
 TEST(NetCodecTest, ErrorResponseRoundtrip) {
   auto decoded = DecodeErrorResponse(DecodeOne(
       EncodeErrorResponse(6, WireError::kOverloaded, "shed: cap reached")));

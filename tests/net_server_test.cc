@@ -4,16 +4,24 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "net/rec_client.h"
 #include "net/socket.h"
 #include "net/wire.h"
 
 namespace rtrec {
 namespace {
+
+/// Disarms every fault point on scope exit, so a failing ASSERT cannot
+/// leak an armed fault into later tests.
+struct FaultGuard {
+  ~FaultGuard() { FaultInjector::Instance().DisarmAll(); }
+};
 
 UserAction Play(UserId user, VideoId video, Timestamp t) {
   UserAction action;
@@ -333,6 +341,153 @@ TEST(RecServerTest, StopIsIdempotentAndRestartWorks) {
   RecClient client(live.ClientOptions());
   EXPECT_TRUE(client.Ping().ok());
   live.server->Stop();
+}
+
+TEST(RecServerTest, ByteAtATimeRequestAndOneByteWindowResponse) {
+  // Exercises both directions of incremental framing: the server must
+  // reassemble a request that arrives one byte per segment, and the
+  // response must decode through a 1-byte read window on our side.
+  LiveServer live;
+  Timestamp t = 0;
+  for (UserId user = 1; user <= 5; ++user) {
+    live.service.Observe(Play(user, 100, t += 1000));
+  }
+
+  RawPeer peer(live.server->port());
+  RecRequest request;
+  request.user = 999;
+  request.top_n = 3;
+  request.now = t;
+  const std::string bytes = EncodeRecommendRequest(77, request);
+  for (char byte : bytes) {
+    peer.Send(std::string(1, byte));
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  StatusOr<Frame> frame = peer.decoder.Next();
+  while (!frame.ok() && frame.status().IsNotFound()) {
+    ASSERT_TRUE(WaitReady(peer.fd.get(), /*for_read=*/true, 2000).ok());
+    char byte = 0;
+    ASSERT_EQ(read(peer.fd.get(), &byte, 1), 1);  // 1-byte window.
+    peer.decoder.Append(std::string_view(&byte, 1));
+    frame = peer.decoder.Next();
+  }
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->type, MessageType::kRecommendResponse);
+  EXPECT_EQ(frame->request_id, 77u);
+  auto reply = DecodeRecommendReply(*frame);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_FALSE(reply->degraded());
+  ASSERT_FALSE(reply->videos.empty());
+  EXPECT_EQ(reply->videos[0].video, 100u);
+}
+
+TEST(RecServerTest, EngineFailureServesDegradedFallback) {
+  FaultGuard guard;
+  LiveServer live;
+  Timestamp t = 0;
+  for (UserId user = 1; user <= 5; ++user) {
+    live.service.Observe(Play(user, 100, t += 1000));
+    live.service.Observe(Play(user, 101, t += 1000));
+  }
+
+  FaultInjector::Instance().Arm("service.recommend",
+                                FaultSpec::Error(StatusCode::kInternal));
+  RecClient client(live.ClientOptions());
+  RecRequest request;
+  request.user = 999;
+  request.top_n = 5;
+  request.now = t;
+  auto reply = client.RecommendDetailed(request);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_TRUE(reply->degraded());
+  ASSERT_FALSE(reply->videos.empty());
+  EXPECT_TRUE(reply->videos[0].video == 100 || reply->videos[0].video == 101);
+  EXPECT_GE(live.metrics.GetCounter("server.degraded_responses")->value(), 1);
+
+  // Engine healthy again: answers come from the engine, unflagged.
+  FaultInjector::Instance().DisarmAll();
+  auto healthy = client.RecommendDetailed(request);
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_FALSE(healthy->degraded());
+}
+
+TEST(RecServerTest, DeadlineBreachServesDegradedFallback) {
+  FaultGuard guard;
+  RecServer::Options options;
+  options.recommend_deadline_ms = 5;
+  LiveServer live(options);
+  Timestamp t = 0;
+  for (UserId user = 1; user <= 5; ++user) {
+    live.service.Observe(Play(user, 100, t += 1000));
+  }
+
+  FaultInjector::Instance().Arm("service.recommend", FaultSpec::Latency(60));
+  RecClient client(live.ClientOptions());
+  RecRequest request;
+  request.user = 999;
+  request.top_n = 3;
+  request.now = t;
+  auto reply = client.RecommendDetailed(request);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_TRUE(reply->degraded());
+  ASSERT_FALSE(reply->videos.empty());
+  EXPECT_GE(live.metrics.GetCounter("net.server.deadline_breaches")->value(),
+            1);
+}
+
+TEST(RecServerTest, BreakerTripsAndServesFallbackDuringCooldown) {
+  FaultGuard guard;
+  RecServer::Options options;
+  options.breaker_failure_threshold = 3;
+  options.breaker_cooldown_ms = 60'000;  // Stays open for the whole test.
+  LiveServer live(options);
+  Timestamp t = 0;
+  for (UserId user = 1; user <= 5; ++user) {
+    live.service.Observe(Play(user, 100, t += 1000));
+  }
+
+  FaultInjector::Instance().Arm("service.recommend",
+                                FaultSpec::Error(StatusCode::kInternal));
+  RecClient client(live.ClientOptions());
+  RecRequest request;
+  request.user = 999;
+  request.top_n = 3;
+  request.now = t;
+  for (int i = 0; i < 3; ++i) {
+    auto reply = client.RecommendDetailed(request);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_TRUE(reply->degraded());
+  }
+  EXPECT_EQ(live.metrics.GetCounter("net.server.breaker_trips")->value(), 1);
+
+  // Engine is healthy again, but the breaker is open: requests go
+  // straight to the fallback without touching the engine.
+  FaultInjector::Instance().DisarmAll();
+  auto reply = client.RecommendDetailed(request);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply->degraded());
+}
+
+TEST(RecServerTest, ClientRetriesTransientSocketFaults) {
+  FaultGuard guard;
+  LiveServer live;
+  // The next server-side socket read fails once, killing the connection
+  // mid-conversation; the client's retry over a fresh connection must
+  // absorb it transparently.
+  FaultInjector::Instance().Arm("net.socket.read",
+                                FaultSpec::Error().WithOneShot());
+  MetricsRegistry client_metrics;
+  RecClient::Options client_options = live.ClientOptions();
+  client_options.metrics = &client_metrics;
+  RecClient client(client_options);
+  int ok = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (client.Ping().ok()) ++ok;
+  }
+  EXPECT_EQ(ok, 10);  // The retry absorbed the injected failure.
+  EXPECT_GE(client_metrics.GetCounter("client.retries")->value(), 1);
+  EXPECT_EQ(FaultInjector::Instance().InjectedCount("net.socket.read"), 1u);
 }
 
 TEST(RecServerTest, ClientReconnectsAcrossServerRestart) {
