@@ -1,0 +1,479 @@
+// Unified benchmark runner: one binary, three phases, one
+// machine-readable ledger.
+//
+//   ingest  — replays a seeded synthetic action stream through the
+//             Fig. 2 topology with tracing on and reports actions/sec
+//             plus per-stage latency percentiles derived from the
+//             propagated trace contexts (trace.stage.*, trace.e2e.*);
+//   serve   — stands up a traced RecServer over a warmed service,
+//             drives it from concurrent RecClient loadgen threads, and
+//             reports QPS, client/server percentiles, and a Stats-RPC
+//             scrape pair (verifying counters are monotone);
+//   recall  — offline recall@N / average-rank of the CombineModel
+//             engine under the Section 6.1 protocol.
+//
+// Everything is seeded (WorldConfig seed 2016), so two runs on the same
+// machine produce the same workload; timings of course vary.
+//
+//   $ ./bench_runner [--smoke] [--out=BENCH_PR3.json]
+//                    [--connections=N] [--seconds=N]
+//
+// --smoke shrinks every phase for CI (a few seconds total). The ledger
+// is written to --out (default BENCH_PR3.json in the working
+// directory); scripts/bench.sh wraps the build + run + validate cycle.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "core/engine.h"
+#include "core/topology_factory.h"
+#include "data/dataset.h"
+#include "data/event_generator.h"
+#include "eval/evaluator.h"
+#include "eval/experiment_runner.h"
+#include "net/rec_client.h"
+#include "net/rec_server.h"
+#include "service/recommendation_service.h"
+#include "stream/topology.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+// --- Minimal JSON writer ---------------------------------------------------
+// The ledger is flat enough that a hand-rolled writer beats dragging in a
+// JSON dependency; keys are code-controlled (no escaping needed).
+
+class Json {
+ public:
+  void Open() { Begin("{"); }
+  void Close() { End("}"); }
+  void OpenObject(const std::string& key) {
+    Key(key);
+    out_ << '{';
+    needs_comma_ = false;
+  }
+
+  void Field(const std::string& key, double value) {
+    Key(key);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    out_ << buf;
+  }
+  void Field(const std::string& key, std::int64_t value) {
+    Key(key);
+    out_ << value;
+  }
+  void Field(const std::string& key, const std::string& value) {
+    Key(key);
+    out_ << '"' << value << '"';
+  }
+  void Field(const std::string& key, bool value) {
+    Key(key);
+    out_ << (value ? "true" : "false");
+  }
+
+  std::string str() const { return out_.str() + "\n"; }
+
+ private:
+  void Key(const std::string& key) {
+    Comma();
+    out_ << '"' << key << "\": ";
+  }
+  void Begin(const char* bracket) {
+    Comma();
+    out_ << bracket;
+    needs_comma_ = false;
+  }
+  void End(const char* bracket) {
+    out_ << bracket;
+    needs_comma_ = true;
+  }
+  void Comma() {
+    if (needs_comma_) out_ << ", ";
+    needs_comma_ = true;
+  }
+
+  std::ostringstream out_;
+  bool needs_comma_ = false;
+};
+
+/// Emits {count, mean_us, p50_us, p95_us, p99_us} for a histogram.
+void Percentiles(Json& json, const std::string& key,
+                 const rtrec::Histogram& hist) {
+  json.OpenObject(key);
+  json.Field("count", static_cast<std::int64_t>(hist.count()));
+  json.Field("mean_us", hist.Mean());
+  json.Field("p50_us", hist.Percentile(50));
+  json.Field("p95_us", hist.Percentile(95));
+  json.Field("p99_us", hist.Percentile(99));
+  json.Close();
+}
+
+// --- Shared workload helpers ----------------------------------------------
+
+rtrec::UserAction Watch(rtrec::UserId user, rtrec::VideoId video,
+                        rtrec::Timestamp t) {
+  rtrec::UserAction action;
+  action.user = user;
+  action.video = video;
+  action.type = rtrec::ActionType::kPlayTime;
+  action.view_fraction = 1.0;
+  action.time = t;
+  return action;
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+// --- Phase 1: ingest -------------------------------------------------------
+
+bool RunIngest(Json& json, bool smoke) {
+  const int days = smoke ? 1 : 4;
+  const rtrec::SyntheticWorld world(rtrec::SmallWorldConfig());
+  std::vector<rtrec::UserAction> actions = world.GenerateDays(0, days);
+  const std::size_t num_actions = actions.size();
+
+  rtrec::FactorStore::Options factor_options;
+  factor_options.num_factors = 16;
+  rtrec::FactorStore factors(factor_options);
+  rtrec::HistoryStore history;
+  rtrec::SimTableStore sim_table;
+  rtrec::PipelineDeps deps;
+  deps.factors = &factors;
+  deps.history = &history;
+  deps.sim_table = &sim_table;
+  deps.type_resolver = world.TypeResolver();
+  deps.model_config.num_factors = 16;
+
+  rtrec::MetricsRegistry metrics;
+  rtrec::Tracer::Options tracer_options;
+  tracer_options.sample_every_n = 8;
+  tracer_options.metrics = &metrics;
+  rtrec::Tracer tracer(tracer_options);
+
+  auto source =
+      std::make_shared<rtrec::VectorActionSource>(std::move(actions));
+  auto spec = rtrec::BuildRecommendationTopology(source, deps);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "ingest: topology spec failed: %s\n",
+                 spec.status().ToString().c_str());
+    return false;
+  }
+  rtrec::stream::TopologyOptions topo_options;
+  topo_options.metrics = &metrics;
+  topo_options.tracer = &tracer;
+  auto topo =
+      rtrec::stream::Topology::Create(std::move(spec).value(), topo_options);
+  if (!topo.ok()) {
+    std::fprintf(stderr, "ingest: topology create failed: %s\n",
+                 topo.status().ToString().c_str());
+    return false;
+  }
+
+  const auto t0 = Clock::now();
+  if (!(*topo)->Start().ok() || !(*topo)->Join().ok()) {
+    std::fprintf(stderr, "ingest: topology run failed\n");
+    return false;
+  }
+  const double elapsed = Seconds(t0, Clock::now());
+
+  json.OpenObject("ingest");
+  json.Field("days", static_cast<std::int64_t>(days));
+  json.Field("actions", static_cast<std::int64_t>(num_actions));
+  json.Field("elapsed_s", elapsed);
+  json.Field("actions_per_sec",
+             elapsed > 0 ? static_cast<double>(num_actions) / elapsed : 0.0);
+  json.Field(
+      "traces_sampled",
+      static_cast<std::int64_t>(metrics.GetCounter("trace.sampled")->value()));
+  json.OpenObject("stages");
+  const char* stages[] = {"compute_mf",     "mf_storage",   "user_history",
+                          "get_item_pairs", "item_pair_sim", "result_storage"};
+  for (const char* stage : stages) {
+    json.OpenObject(stage);
+    Percentiles(json, "process",
+                *tracer.StageHistogram(stage));
+    Percentiles(json, "queue_wait", *tracer.QueueHistogram(stage));
+    Percentiles(json, "since_root", *tracer.SinceRootHistogram(stage));
+    json.Close();
+  }
+  json.Close();
+  // result_storage ends the longest chain, so its since-root time is the
+  // pipeline's end-to-end latency.
+  Percentiles(json, "e2e_us", *tracer.SinceRootHistogram("result_storage"));
+  json.Close();
+
+  std::printf("ingest   %zu actions in %.2fs (%.0f actions/sec, %lld traces)\n",
+              num_actions, elapsed, num_actions / elapsed,
+              static_cast<long long>(
+                  metrics.GetCounter("trace.sampled")->value()));
+  return true;
+}
+
+// --- Phase 2: serve --------------------------------------------------------
+
+/// Reads the value of `name` from Prometheus text; -1 if absent.
+double ScrapeValue(const std::string& text, const std::string& name) {
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.compare(0, name.size(), name) == 0 &&
+        line.size() > name.size() && line[name.size()] == ' ') {
+      return std::atof(line.c_str() + name.size() + 1);
+    }
+  }
+  return -1.0;
+}
+
+bool RunServe(Json& json, bool smoke, int connections, int seconds) {
+  if (smoke) {
+    connections = std::min(connections, 4);
+    seconds = 1;
+  }
+
+  rtrec::MetricsRegistry metrics;
+  rtrec::Tracer::Options tracer_options;
+  tracer_options.sample_every_n = 4;
+  tracer_options.metrics = &metrics;
+  rtrec::Tracer tracer(tracer_options);
+
+  rtrec::RecommendationService::Options service_options;
+  service_options.metrics = &metrics;
+  rtrec::RecommendationService service(
+      [](rtrec::VideoId v) -> rtrec::VideoType { return v < 100 ? 0 : 1; },
+      service_options);
+  rtrec::Timestamp warm_t = 0;
+  for (int round = 0; round < 20; ++round) {
+    for (rtrec::UserId user = 1; user <= 16; ++user) {
+      service.Observe(Watch(user, 10 + user % 5, warm_t += 1000));
+      service.Observe(Watch(user, 11 + user % 5, warm_t += 1000));
+    }
+  }
+
+  rtrec::RecServer::Options server_options;
+  server_options.port = 0;  // Ephemeral.
+  server_options.num_workers = 4;
+  server_options.metrics = &metrics;
+  server_options.tracer = &tracer;
+  rtrec::RecServer server(&service, server_options);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "serve: server failed to start\n");
+    return false;
+  }
+
+  rtrec::Histogram* client_latency =
+      metrics.GetHistogram("bench.client.rpc.latency_us");
+  std::atomic<std::int64_t> ok_calls{0};
+  std::atomic<std::int64_t> failed_calls{0};
+  std::atomic<bool> stop{false};
+
+  // First Stats scrape before the load, second one after: the counters
+  // in the second must dominate the first.
+  rtrec::RecClient::Options stats_client_options;
+  stats_client_options.port = server.port();
+  rtrec::RecClient stats_client(stats_client_options);
+  auto first_scrape = stats_client.Stats();
+  if (!first_scrape.ok()) {
+    std::fprintf(stderr, "serve: first stats scrape failed: %s\n",
+                 first_scrape.status().ToString().c_str());
+    server.Stop();
+    return false;
+  }
+
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (int i = 0; i < connections; ++i) {
+    threads.emplace_back([&, i] {
+      rtrec::RecClient::Options client_options;
+      client_options.port = server.port();
+      client_options.metrics = &metrics;
+      rtrec::RecClient client(client_options);
+      rtrec::RecRequest request;
+      request.top_n = 10;
+      rtrec::Timestamp t = 1'000'000 + i;
+      int seq = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        request.user = 1 + (seq + i) % 16;
+        request.seed_videos = {10 + static_cast<rtrec::VideoId>(seq % 5)};
+        request.now = t;
+        const auto start = Clock::now();
+        bool ok;
+        // 1-in-8 writes: read-dominated, like the production mix.
+        if (seq % 8 == 7) {
+          ok = client.Observe(Watch(request.user, 10 + seq % 5, t += 1000))
+                   .ok();
+        } else {
+          ok = client.Recommend(request).ok();
+        }
+        client_latency->Add(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - start)
+                .count());
+        (ok ? ok_calls : failed_calls)
+            .fetch_add(1, std::memory_order_relaxed);
+        ++seq;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  stop.store(true);
+  for (auto& thread : threads) thread.join();
+  const double elapsed = Seconds(t0, Clock::now());
+
+  auto second_scrape = stats_client.Stats();
+  server.Stop();
+  if (!second_scrape.ok()) {
+    std::fprintf(stderr, "serve: second stats scrape failed: %s\n",
+                 second_scrape.status().ToString().c_str());
+    return false;
+  }
+  const double requests_before =
+      ScrapeValue(*first_scrape, "net_server_requests_total");
+  const double requests_after =
+      ScrapeValue(*second_scrape, "net_server_requests_total");
+  const bool monotone =
+      requests_before >= 0 && requests_after > requests_before;
+
+  const std::int64_t total = ok_calls.load() + failed_calls.load();
+  json.OpenObject("serve");
+  json.Field("connections", static_cast<std::int64_t>(connections));
+  json.Field("elapsed_s", elapsed);
+  json.Field("requests", total);
+  json.Field("ok", ok_calls.load());
+  json.Field("failed", failed_calls.load());
+  json.Field("qps", elapsed > 0 ? total / elapsed : 0.0);
+  Percentiles(json, "client_latency", *client_latency);
+  Percentiles(json, "server_recommend",
+              *metrics.GetHistogram("net.server.rpc.recommend.latency_us"));
+  Percentiles(json, "server_observe",
+              *metrics.GetHistogram("net.server.rpc.observe.latency_us"));
+  Percentiles(json, "trace_wire_recommend",
+              *tracer.SinceRootHistogram("wire.recommend"));
+  Percentiles(json, "trace_service_recommend",
+              *tracer.StageHistogram("service.recommend"));
+  json.OpenObject("stats_scrape");
+  json.Field("first_bytes", static_cast<std::int64_t>(first_scrape->size()));
+  json.Field("second_bytes",
+             static_cast<std::int64_t>(second_scrape->size()));
+  json.Field("requests_before", requests_before);
+  json.Field("requests_after", requests_after);
+  json.Field("counters_monotone", monotone);
+  json.Close();
+  json.Close();
+
+  std::printf("serve    %lld requests in %.2fs (%.0f QPS, p99 %.0fus, "
+              "scrapes %s)\n",
+              static_cast<long long>(total), elapsed, total / elapsed,
+              client_latency->Percentile(99),
+              monotone ? "monotone" : "NOT MONOTONE");
+  return monotone;
+}
+
+// --- Phase 3: recall -------------------------------------------------------
+
+bool RunRecall(Json& json, bool smoke) {
+  const rtrec::SyntheticWorld world(rtrec::SmallWorldConfig());
+  const rtrec::Dataset cleaned =
+      rtrec::Dataset(world.GenerateDays(0, 7))
+          .FilterMinActivity(smoke ? 5 : 10, smoke ? 3 : 5);
+  const auto [train, test] = cleaned.SplitAtTime(6 * rtrec::kMillisPerDay);
+
+  rtrec::RecEngine engine(
+      world.TypeResolver(),
+      rtrec::DefaultEngineOptions(rtrec::UpdatePolicy::kCombine));
+  const rtrec::OfflineEvaluator evaluator;
+  const auto t0 = Clock::now();
+  const rtrec::OfflineResult result =
+      evaluator.Evaluate(engine, train, test);
+  const double elapsed = Seconds(t0, Clock::now());
+
+  json.OpenObject("recall");
+  json.Field("model", result.model_name);
+  json.Field("train_actions", static_cast<std::int64_t>(train.size()));
+  json.Field("test_actions", static_cast<std::int64_t>(test.size()));
+  json.Field("users_evaluated",
+             static_cast<std::int64_t>(result.users_evaluated));
+  json.Field("elapsed_s", elapsed);
+  json.Field("recall_at_1", result.recall(1));
+  json.Field("recall_at_5", result.recall(5));
+  json.Field("recall_at_10", result.recall(10));
+  json.Field("avg_rank", result.avg_rank);
+  json.Close();
+
+  std::printf("recall   %s: recall@10 %.4f, avg rank %.4f "
+              "(%zu users, %.2fs)\n",
+              result.model_name.c_str(), result.recall(10), result.avg_rank,
+              result.users_evaluated, elapsed);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_PR3.json";
+  int connections = 8;
+  int seconds = 3;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (ParseFlag(argv[i], "--out", &value)) {
+      out_path = value;
+    } else if (ParseFlag(argv[i], "--connections", &value)) {
+      connections = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--seconds", &value)) {
+      seconds = std::atoi(value.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--out=PATH] [--connections=N] "
+                   "[--seconds=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("== bench_runner (%s mode, seed 2016) ==\n",
+              smoke ? "smoke" : "full");
+  Json json;
+  json.Open();
+  json.Field("schema", std::string("rtrec-bench/1"));
+  json.Field("seed", std::int64_t{2016});
+  json.Field("smoke", smoke);
+
+  bool ok = RunIngest(json, smoke);
+  ok = RunServe(json, smoke, connections, seconds) && ok;
+  ok = RunRecall(json, smoke) && ok;
+  json.Close();
+
+  std::ofstream out(out_path, std::ios::trunc);
+  out << json.str();
+  if (!out.good()) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("ledger   %s\n", out_path.c_str());
+  return ok ? 0 : 1;
+}

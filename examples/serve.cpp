@@ -5,8 +5,17 @@
 //
 //   $ ./serve [port] [workers] [--checkpoint-dir=DIR]
 //             [--checkpoint-interval-ms=N] [--deadline-ms=N]
+//             [--stats-port=N] [--trace-sample-every-n=N]
 //
-// Defaults: port 7471, 4 workers, no checkpointing, no deadline.
+// Defaults: port 7471, 4 workers, no checkpointing, no deadline, no
+// stats endpoint, trace sampling 1-in-64.
+//
+// With --stats-port the server also exposes its metrics registry over
+// plain HTTP in Prometheus text format (curl http://127.0.0.1:N/metrics
+// or point a scraper at it); the same text is always available in-band
+// via the wire protocol's Stats RPC (RecClient::Stats). Request tracing
+// is on by default: 1 in --trace-sample-every-n requests records
+// per-stage latencies under "trace.*" (0 disables tracing).
 //
 // With --checkpoint-dir the server restores the model from the last
 // snapshot on boot (fresh warm-up if none exists) and a background
@@ -34,7 +43,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/trace.h"
 #include "net/rec_server.h"
+#include "net/stats_server.h"
 #include "service/checkpointer.h"
 #include "service/recommendation_service.h"
 
@@ -70,6 +81,8 @@ int main(int argc, char** argv) {
   std::string checkpoint_dir;
   int checkpoint_interval_ms = 30'000;
   int deadline_ms = 0;
+  int stats_port = -1;  // -1 = no HTTP stats endpoint.
+  int trace_sample_every_n = 64;
 
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
@@ -80,6 +93,10 @@ int main(int argc, char** argv) {
       checkpoint_interval_ms = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "--deadline-ms", &value)) {
       deadline_ms = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--stats-port", &value)) {
+      stats_port = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--trace-sample-every-n", &value)) {
+      trace_sample_every_n = std::atoi(value.c_str());
     } else {
       positional.push_back(argv[i]);
     }
@@ -91,8 +108,11 @@ int main(int argc, char** argv) {
 
   // Videos 1-99 are "drama", 100+ are "sports" — same toy type system
   // as the quickstart.
+  rtrec::RecommendationService::Options service_options;
+  service_options.metrics = &rtrec::MetricsRegistry::Default();
   rtrec::RecommendationService service(
-      [](rtrec::VideoId v) -> rtrec::VideoType { return v < 100 ? 0 : 1; });
+      [](rtrec::VideoId v) -> rtrec::VideoType { return v < 100 ? 0 : 1; },
+      service_options);
 
   bool restored = false;
   if (!checkpoint_dir.empty()) {
@@ -138,11 +158,20 @@ int main(int argc, char** argv) {
                 checkpoint_interval_ms, restored ? " (restored)" : "");
   }
 
+  rtrec::Tracer::Options tracer_options;
+  tracer_options.sample_every_n =
+      trace_sample_every_n < 0 ? 0u
+                               : static_cast<std::uint32_t>(
+                                     trace_sample_every_n);
+  tracer_options.metrics = &rtrec::MetricsRegistry::Default();
+  rtrec::Tracer tracer(tracer_options);
+
   rtrec::RecServer::Options options;
   options.port = port;
   options.num_workers = workers;
   options.metrics = &rtrec::MetricsRegistry::Default();
   options.recommend_deadline_ms = deadline_ms;
+  options.tracer = &tracer;
   rtrec::RecServer server(&service, options);
   rtrec::Status started = server.Start();
   if (!started.ok()) {
@@ -153,12 +182,28 @@ int main(int argc, char** argv) {
   std::printf("serving on 127.0.0.1:%u with %d workers (Ctrl-C to stop)\n",
               server.port(), workers);
 
+  rtrec::StatsServer::Options stats_options;
+  stats_options.port = static_cast<std::uint16_t>(stats_port);
+  rtrec::StatsServer stats_server(&rtrec::MetricsRegistry::Default(),
+                                  stats_options);
+  if (stats_port >= 0) {
+    rtrec::Status stats_started = stats_server.Start();
+    if (!stats_started.ok()) {
+      std::fprintf(stderr, "stats endpoint failed to start: %s\n",
+                   stats_started.ToString().c_str());
+      return 1;
+    }
+    std::printf("stats (Prometheus text) on http://127.0.0.1:%u/metrics\n",
+                stats_server.port());
+  }
+
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
   while (!g_stop.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
   }
 
+  stats_server.Stop();
   server.Stop();
   checkpointer.Stop();  // Takes a final snapshot when checkpointing is on.
   std::printf("\n%s\n", rtrec::MetricsRegistry::Default().Report().c_str());

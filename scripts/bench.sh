@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Build-and-run wrapper for the unified benchmark runner: runs the
+# ingest / serve / recall phases with fixed seeds and writes the
+# machine-readable ledger (BENCH_PR3.json), then validates it.
+#
+#   scripts/bench.sh [--smoke] [--build-dir=DIR] [--out=PATH]
+#
+# Defaults: full mode, ./build, BENCH_PR3.json in the repo root.
+# --smoke shrinks every phase to a few seconds — what CI runs. Exits
+# non-zero if the runner fails or the ledger is missing or malformed.
+
+set -u
+
+smoke=""
+build_dir="build"
+out="BENCH_PR3.json"
+for arg in "$@"; do
+  case "${arg}" in
+    --smoke) smoke="--smoke" ;;
+    --build-dir=*) build_dir="${arg#--build-dir=}" ;;
+    --out=*) out="${arg#--out=}" ;;
+    *)
+      echo "usage: scripts/bench.sh [--smoke] [--build-dir=DIR] [--out=PATH]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+binary="${build_dir}/bench/bench_runner"
+if [[ ! -x "${binary}" ]]; then
+  echo "bench.sh: ${binary} not found — building it" >&2
+  cmake --build "${build_dir}" --target bench_runner -j "$(nproc)" || exit 2
+fi
+
+"${binary}" ${smoke} --out="${out}" || exit 1
+
+if [[ ! -s "${out}" ]]; then
+  echo "bench.sh: ledger ${out} missing or empty" >&2
+  exit 1
+fi
+
+# Validate the ledger: well-formed JSON carrying every promised metric.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "${out}" <<'EOF' || exit 1
+import json, sys
+with open(sys.argv[1]) as f:
+    ledger = json.load(f)
+assert ledger["schema"] == "rtrec-bench/1", "unexpected schema tag"
+assert ledger["ingest"]["actions_per_sec"] > 0, "no ingest throughput"
+assert ledger["ingest"]["stages"]["compute_mf"]["process"]["count"] > 0, \
+    "no propagated traces reached compute_mf"
+assert ledger["serve"]["qps"] > 0, "no serve throughput"
+assert ledger["serve"]["stats_scrape"]["counters_monotone"], \
+    "stats counters not monotone across scrapes"
+assert 0.0 <= ledger["recall"]["recall_at_10"] <= 1.0, "recall out of range"
+for key in ("p50_us", "p95_us", "p99_us"):
+    assert key in ledger["serve"]["client_latency"], f"missing {key}"
+print(f"ledger OK: {sys.argv[1]}")
+EOF
+else
+  # No python3: fall back to a structural grep so the script still
+  # catches an empty or truncated ledger.
+  for field in '"schema": "rtrec-bench/1"' '"qps"' '"actions_per_sec"' \
+               '"recall_at_10"' '"p99_us"'; do
+    if ! grep -q "${field}" "${out}"; then
+      echo "bench.sh: ledger ${out} is missing ${field}" >&2
+      exit 1
+    fi
+  done
+  echo "ledger OK (grep-validated): ${out}"
+fi

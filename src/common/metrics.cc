@@ -25,17 +25,88 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   return slot.get();
 }
 
-std::string MetricsRegistry::Report() const {
+MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
+  Snapshot snap;
   std::lock_guard<std::mutex> lock(mu_);
-  std::ostringstream out;
+  snap.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter.get());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge.get());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms.emplace_back(name, hist.get());
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::Report() const {
+  // Snapshot names/pointers under the lock, format outside it: histogram
+  // rendering is slow enough that holding mu_ through it would stall
+  // every hot-path GetCounter lookup for the duration of a scrape.
+  const Snapshot snap = Snap();
+  std::ostringstream out;
+  for (const auto& [name, counter] : snap.counters) {
     out << name << " = " << counter->value() << "\n";
   }
-  for (const auto& [name, gauge] : gauges_) {
+  for (const auto& [name, gauge] : snap.gauges) {
     out << name << " = " << gauge->value() << "\n";
   }
-  for (const auto& [name, hist] : histograms_) {
+  for (const auto& [name, hist] : snap.histograms) {
     out << name << " : " << hist->ToString() << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*; everything
+/// else (the registry's '.' separators, any stray '-') becomes '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    c == '_' || c == ':' || (i > 0 && c >= '0' && c <= '9');
+    if (!ok) out[i] = '_';
+  }
+  return out;
+}
+
+void AppendSummary(const std::string& name, const Histogram& hist,
+                   std::ostringstream& out) {
+  // Each accessor takes the histogram's own lock; a scrape racing a
+  // writer may see count advance between lines, which Prometheus
+  // tolerates (summaries are not atomic cuts).
+  out << "# TYPE " << name << " summary\n";
+  out << name << "{quantile=\"0.5\"} " << hist.Percentile(50) << "\n";
+  out << name << "{quantile=\"0.95\"} " << hist.Percentile(95) << "\n";
+  out << name << "{quantile=\"0.99\"} " << hist.Percentile(99) << "\n";
+  out << name << "_sum " << hist.Mean() * static_cast<double>(hist.count())
+      << "\n";
+  out << name << "_count " << hist.count() << "\n";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::PrometheusText() const {
+  const Snapshot snap = Snap();
+  std::ostringstream out;
+  for (const auto& [name, counter] : snap.counters) {
+    const std::string prom = PrometheusName(name) + "_total";
+    out << "# TYPE " << prom << " counter\n";
+    out << prom << " " << counter->value() << "\n";
+  }
+  for (const auto& [name, gauge] : snap.gauges) {
+    const std::string prom = PrometheusName(name);
+    out << "# TYPE " << prom << " gauge\n";
+    out << prom << " " << gauge->value() << "\n";
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    AppendSummary(PrometheusName(name), *hist, out);
   }
   return out.str();
 }

@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/histogram.h"
@@ -53,13 +54,32 @@ class MetricsRegistry {
   Histogram* GetHistogram(const std::string& name);
 
   /// Snapshot of all metric names and scalar values (histograms render via
-  /// Histogram::ToString). Sorted by name.
+  /// Histogram::ToString). Sorted by name. Formatting happens outside the
+  /// registry lock (a scrape must never stall hot-path GetCounter calls),
+  /// so values across metrics are each read atomically but not as one
+  /// consistent cut — fine for monitoring output.
   std::string Report() const;
+
+  /// The registry in Prometheus text exposition format (version 0.0.4):
+  /// counters as "<name>_total" counters, gauges as gauges, histograms as
+  /// summaries with p50/p95/p99 quantiles plus _sum and _count. Metric
+  /// names are sanitized ('.' and every other character outside
+  /// [a-zA-Z0-9_:] become '_'). Same locking discipline as Report().
+  std::string PrometheusText() const;
 
   /// Process-wide default registry.
   static MetricsRegistry& Default();
 
  private:
+  /// Name/pointer view of every registered metric, taken under the lock;
+  /// pointers stay valid for the registry's lifetime.
+  struct Snapshot {
+    std::vector<std::pair<std::string, const Counter*>> counters;
+    std::vector<std::pair<std::string, const Gauge*>> gauges;
+    std::vector<std::pair<std::string, const Histogram*>> histograms;
+  };
+  Snapshot Snap() const;
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;

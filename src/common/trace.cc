@@ -1,0 +1,81 @@
+#include "common/trace.h"
+
+#include <chrono>
+
+namespace rtrec {
+namespace {
+
+thread_local TraceContext t_current_trace;
+
+std::string StageMetricName(const char* prefix, std::string_view stage,
+                            const char* suffix) {
+  std::string name;
+  name.reserve(std::char_traits<char>::length(prefix) + stage.size() +
+               std::char_traits<char>::length(suffix));
+  name += prefix;
+  name += stage;
+  name += suffix;
+  return name;
+}
+
+}  // namespace
+
+Tracer::Tracer(Options options)
+    : options_(options),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : &MetricsRegistry::Default()),
+      roots_counter_(metrics_->GetCounter("trace.roots")),
+      sampled_counter_(metrics_->GetCounter("trace.sampled")) {}
+
+TraceContext Tracer::StartTrace() {
+  roots_counter_->Increment();
+  if (options_.sample_every_n == 0) return {};
+  const std::uint64_t n = roots_.fetch_add(1, std::memory_order_relaxed);
+  if (n % options_.sample_every_n != 0) return {};
+  TraceContext context;
+  context.id = next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  context.start_us = NowMicros();
+  sampled_counter_->Increment();
+  return context;
+}
+
+Histogram* Tracer::StageHistogram(std::string_view stage) {
+  return metrics_->GetHistogram(StageMetricName("trace.stage.", stage, ".us"));
+}
+
+Histogram* Tracer::QueueHistogram(std::string_view stage) {
+  return metrics_->GetHistogram(
+      StageMetricName("trace.stage.", stage, ".queue_us"));
+}
+
+Histogram* Tracer::SinceRootHistogram(std::string_view stage) {
+  return metrics_->GetHistogram(StageMetricName("trace.e2e.", stage, ".us"));
+}
+
+void Tracer::RecordSinceRoot(const TraceContext& context,
+                             std::string_view stage) {
+  if (!context.sampled()) return;
+  SinceRootHistogram(stage)->Add(NowMicros() - context.start_us);
+}
+
+std::int64_t Tracer::NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Tracer& Tracer::Default() {
+  static Tracer& tracer = *new Tracer();
+  return tracer;
+}
+
+const TraceContext& CurrentTrace() { return t_current_trace; }
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& context)
+    : previous_(t_current_trace) {
+  t_current_trace = context;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_current_trace = previous_; }
+
+}  // namespace rtrec

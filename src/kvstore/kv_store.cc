@@ -27,6 +27,12 @@ ShardedKvStore::ShardedKvStore(ShardedKvStoreOptions options) {
     hits_ = options.metrics->GetCounter(options.metrics_prefix + "hits");
     puts_ = options.metrics->GetCounter(options.metrics_prefix + "puts");
     deletes_ = options.metrics->GetCounter(options.metrics_prefix + "deletes");
+    get_span_ = options.metrics->GetHistogram(
+        "trace.stage." + options.metrics_prefix + "get.us");
+    put_span_ = options.metrics->GetHistogram(
+        "trace.stage." + options.metrics_prefix + "put.us");
+    update_span_ = options.metrics->GetHistogram(
+        "trace.stage." + options.metrics_prefix + "update.us");
   }
 }
 
@@ -43,6 +49,7 @@ const ShardedKvStore::Shard& ShardedKvStore::ShardFor(
 
 StatusOr<std::string> ShardedKvStore::Get(const std::string& key) const {
   RTREC_RETURN_IF_ERROR(RTREC_FAULT_POINT("kvstore.get"));
+  TraceSpan span(get_span_);
   if (gets_ != nullptr) gets_->Increment();
   const Shard& shard = ShardFor(key);
   std::shared_lock lock(shard.mu);
@@ -56,6 +63,7 @@ StatusOr<std::string> ShardedKvStore::Get(const std::string& key) const {
 
 Status ShardedKvStore::Put(const std::string& key, std::string value) {
   RTREC_RETURN_IF_ERROR(RTREC_FAULT_POINT("kvstore.put"));
+  TraceSpan span(put_span_);
   if (puts_ != nullptr) puts_->Increment();
   Shard& shard = ShardFor(key);
   std::unique_lock lock(shard.mu);
@@ -84,6 +92,7 @@ Status ShardedKvStore::Update(const std::string& key,
                               const std::function<void(std::string&)>& fn,
                               bool create_if_missing) {
   RTREC_RETURN_IF_ERROR(RTREC_FAULT_POINT("kvstore.update"));
+  TraceSpan span(update_span_);
   Shard& shard = ShardFor(key);
   std::unique_lock lock(shard.mu);
   auto it = shard.map.find(key);

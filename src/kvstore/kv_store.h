@@ -12,6 +12,7 @@
 
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/trace.h"
 
 namespace rtrec {
 
@@ -100,6 +101,12 @@ class ShardedKvStore : public KvStore {
   Counter* hits_ = nullptr;
   Counter* puts_ = nullptr;
   Counter* deletes_ = nullptr;
+  // Trace spans ("trace.stage.<prefix>get.us", …): recorded only when
+  // the calling thread carries a sampled trace (see common/trace.h), so
+  // a traced tuple's KV time is attributed separately from bolt compute.
+  Histogram* get_span_ = nullptr;
+  Histogram* put_span_ = nullptr;
+  Histogram* update_span_ = nullptr;
 };
 
 }  // namespace rtrec

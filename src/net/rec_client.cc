@@ -88,6 +88,23 @@ Status RecClient::Ping() {
                                        MessageTypeToString(frame->type)));
 }
 
+StatusOr<std::string> RecClient::Stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_request_id_++;
+  StatusOr<Frame> frame = Call(EncodeStatsRequest(id), id);
+  if (!frame.ok()) return frame.status();
+  if (frame->type == MessageType::kStatsResponse) {
+    return DecodeStatsResponse(*frame);
+  }
+  if (frame->type == MessageType::kErrorResponse) {
+    auto error = DecodeErrorResponse(*frame);
+    if (!error.ok()) return error.status();
+    return WireErrorToStatus(*error);
+  }
+  return Status::Internal(StringPrintf("unexpected response %s to stats",
+                                       MessageTypeToString(frame->type)));
+}
+
 StatusOr<std::vector<ScoredVideo>> RecClient::Recommend(
     const RecRequest& request) {
   StatusOr<RecommendReply> reply = RecommendDetailed(request);

@@ -72,6 +72,10 @@ class RecClient {
   /// Round-trip health check.
   Status Ping();
 
+  /// Fetches the server's metrics as Prometheus text-format (0.0.4).
+  /// Like Ping, answered even while the server is shedding load.
+  StatusOr<std::string> Stats();
+
   /// Remote RecommendationService::Recommend.
   StatusOr<std::vector<ScoredVideo>> Recommend(const RecRequest& request);
 

@@ -9,6 +9,7 @@
 
 #include <chrono>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 
 #include "common/fault_injection.h"
@@ -231,6 +232,25 @@ class RecServer::Worker {
         QueueResponse(conn, EncodePongResponse(frame.request_id));
         return;
       }
+      case MessageType::kStatsRequest: {
+        // Observability bypasses admission control like ping does: a
+        // scrape must still answer while the server is shedding load.
+        ScopedLatencyTimer timer(server_->metrics_->GetHistogram(
+            "net.server.rpc.stats.latency_us"));
+        server_->metrics_->GetCounter("net.server.stats_scrapes")
+            ->Increment();
+        // Keep the whole frame under the peer's likely cap: leave room
+        // for the length prefix, header, and body length field.
+        const std::size_t max_text =
+            server_->options_.max_frame_bytes > 64
+                ? server_->options_.max_frame_bytes - 64
+                : 0;
+        QueueResponse(conn, EncodeStatsResponse(
+                                frame.request_id,
+                                server_->metrics_->PrometheusText(),
+                                max_text));
+        return;
+      }
       case MessageType::kRecommendRequest:
       case MessageType::kObserveRequest:
       case MessageType::kRegisterProfileRequest:
@@ -264,6 +284,14 @@ class RecServer::Worker {
       std::this_thread::sleep_for(std::chrono::milliseconds(
           server_->options_.handler_delay_for_test_ms));
     }
+    // Every admitted service RPC is a trace root; a sampled context is
+    // installed as the thread-current trace so spans recorded inside the
+    // service (and the KV stores under it) nest under this request.
+    Tracer* const tracer = server_->options_.tracer;
+    TraceContext trace;
+    if (tracer != nullptr) trace = tracer->StartTrace();
+    std::optional<ScopedTraceContext> trace_scope;
+    if (trace.sampled()) trace_scope.emplace(trace);
     switch (frame.type) {
       case MessageType::kRecommendRequest: {
         ScopedLatencyTimer timer(server_->metrics_->GetHistogram(
@@ -302,6 +330,13 @@ class RecServer::Worker {
       }
       default:
         break;  // Unreachable: caller dispatched on type.
+    }
+    if (trace.sampled()) {
+      const char* stage =
+          frame.type == MessageType::kRecommendRequest ? "wire.recommend"
+          : frame.type == MessageType::kObserveRequest ? "wire.observe"
+                                                       : "wire.register_profile";
+      tracer->RecordSinceRoot(trace, stage);
     }
     server_->ReleaseInFlight();
   }

@@ -10,6 +10,7 @@
 
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "net/socket.h"
 #include "net/wire.h"
 #include "service/recommendation_service.h"
@@ -68,6 +69,13 @@ class RecServer {
     /// Registry for server metrics (counters, gauges, histograms under
     /// "net.server."). Null falls back to an internal registry.
     MetricsRegistry* metrics = nullptr;
+    /// Request tracing (common/trace.h): when set, every admitted
+    /// service RPC is a trace root (sampled 1-in-N by the tracer);
+    /// sampled requests install a thread-current trace for the handler's
+    /// duration — so service / engine / KV spans attach to it — and
+    /// record "trace.e2e.wire.<rpc>.us" when the handler finishes. Null
+    /// disables tracing at zero cost.
+    Tracer* tracer = nullptr;
     /// Test hook: sleep this long inside each admitted service RPC, to
     /// make admission-control shedding deterministic. 0 in production.
     int handler_delay_for_test_ms = 0;

@@ -1,0 +1,99 @@
+#include "net/stats_server.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace rtrec {
+
+StatsServer::StatsServer(MetricsRegistry* registry, Options options)
+    : registry_(registry), options_(std::move(options)) {
+  scrapes_ = registry_->GetCounter("stats.scrapes");
+}
+
+StatsServer::~StatsServer() { Stop(); }
+
+Status StatsServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("stats server already running");
+  }
+  stopping_.store(false, std::memory_order_release);
+  auto listener = ListenTcp(options_.host, options_.port, /*backlog=*/16);
+  if (!listener.ok()) return listener.status();
+  listen_fd_ = std::move(*listener);
+  auto port = LocalPort(listen_fd_.get());
+  if (!port.ok()) return port.status();
+  port_ = *port;
+  thread_ = std::thread([this] { AcceptLoop(); });
+  running_.store(true, std::memory_order_release);
+  RTREC_LOG(kInfo) << "StatsServer listening on " << options_.host << ":"
+                   << port_;
+  return Status::OK();
+}
+
+void StatsServer::Stop() {
+  stopping_.store(true, std::memory_order_release);
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  if (thread_.joinable()) thread_.join();
+  listen_fd_.Reset();
+  port_ = 0;
+}
+
+void StatsServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Status ready = WaitReady(listen_fd_.get(), /*for_read=*/true,
+                             /*timeout_ms=*/250);
+    if (stopping_.load(std::memory_order_acquire)) break;
+    if (!ready.ok()) {
+      if (ready.IsUnavailable()) continue;  // Poll timeout: re-check stop.
+      RTREC_LOG(kError) << "stats acceptor poll failed: " << ready.ToString();
+      break;
+    }
+    int fd = accept4(listen_fd_.get(), nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      RTREC_LOG(kWarn) << "stats accept4: " << strerror(errno);
+      continue;
+    }
+    ServeOne(fd);
+    ::close(fd);
+  }
+}
+
+void StatsServer::ServeOne(int fd) {
+  // Read whatever request line/headers arrive in the first chunk and
+  // ignore them: every request is treated as GET /metrics. A collector
+  // that pipelines or sends a huge request gets the scrape anyway.
+  char buf[4096];
+  if (WaitReady(fd, /*for_read=*/true, options_.io_timeout_ms).ok()) {
+    [[maybe_unused]] ssize_t ignored = read(fd, buf, sizeof(buf));
+  }
+  scrapes_->Increment();
+  const std::string body = registry_->PrometheusText();
+  std::string response =
+      StringPrintf("HTTP/1.0 200 OK\r\n"
+                   "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                   "Content-Length: %zu\r\n"
+                   "Connection: close\r\n"
+                   "\r\n",
+                   body.size());
+  response += body;
+  std::size_t sent = 0;
+  while (sent < response.size()) {
+    if (!WaitReady(fd, /*for_read=*/false, options_.io_timeout_ms).ok()) {
+      return;  // Slow or dead collector; drop the scrape.
+    }
+    ssize_t n = write(fd, response.data() + sent, response.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace rtrec

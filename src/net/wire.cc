@@ -141,10 +141,12 @@ const char* MessageTypeToString(MessageType type) {
     case MessageType::kRecommendRequest: return "recommend_request";
     case MessageType::kObserveRequest: return "observe_request";
     case MessageType::kRegisterProfileRequest: return "register_profile_request";
+    case MessageType::kStatsRequest: return "stats_request";
     case MessageType::kPongResponse: return "pong_response";
     case MessageType::kRecommendResponse: return "recommend_response";
     case MessageType::kAckResponse: return "ack_response";
     case MessageType::kErrorResponse: return "error_response";
+    case MessageType::kStatsResponse: return "stats_response";
   }
   return "unknown";
 }
@@ -211,6 +213,10 @@ StatusOr<Frame> FrameDecoder::Next() {
 
 std::string EncodePingRequest(std::uint64_t request_id) {
   return EncodeEmpty(MessageType::kPingRequest, request_id);
+}
+
+std::string EncodeStatsRequest(std::uint64_t request_id) {
+  return EncodeEmpty(MessageType::kStatsRequest, request_id);
 }
 
 std::string EncodeRecommendRequest(std::uint64_t request_id,
@@ -397,6 +403,39 @@ StatusOr<std::vector<ScoredVideo>> DecodeRecommendResponse(
   StatusOr<RecommendReply> reply = DecodeRecommendReply(frame);
   RTREC_RETURN_IF_ERROR(reply.status());
   return std::move(reply->videos);
+}
+
+std::string EncodeStatsResponse(std::uint64_t request_id,
+                                std::string_view text,
+                                std::size_t max_text_bytes) {
+  if (text.size() > max_text_bytes) {
+    // Cut at the last newline that fits: a Prometheus payload must be
+    // whole lines, and a registry can outgrow the frame cap.
+    const std::size_t cut = text.rfind('\n', max_text_bytes);
+    text = cut == std::string_view::npos ? std::string_view()
+                                         : text.substr(0, cut + 1);
+  }
+  Frame frame;
+  frame.type = MessageType::kStatsResponse;
+  frame.request_id = request_id;
+  PutU32(static_cast<std::uint32_t>(text.size()), &frame.body);
+  frame.body.append(text);
+  std::string out;
+  AppendFrame(frame, &out);
+  return out;
+}
+
+StatusOr<std::string> DecodeStatsResponse(const Frame& frame) {
+  if (frame.type != MessageType::kStatsResponse) {
+    return WrongType("stats_response", frame.type);
+  }
+  BodyReader reader(frame.body);
+  std::uint32_t len = 0;
+  if (!reader.ReadU32(&len)) return Truncated("stats_response");
+  std::string text;
+  if (!reader.ReadBytes(len, &text)) return Truncated("stats_response");
+  if (!reader.AtEnd()) return TrailingGarbage("stats_response");
+  return text;
 }
 
 std::string EncodeErrorResponse(std::uint64_t request_id, WireError code,

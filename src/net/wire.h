@@ -57,11 +57,13 @@ enum class MessageType : std::uint8_t {
   kRecommendRequest = 0x02,
   kObserveRequest = 0x03,
   kRegisterProfileRequest = 0x04,
+  kStatsRequest = 0x05,
 
   kPongResponse = 0x81,
   kRecommendResponse = 0x82,
   kAckResponse = 0x83,
   kErrorResponse = 0x84,
+  kStatsResponse = 0x85,
 };
 
 /// Stable name for logs ("recommend_request", ...); "unknown" if invalid.
@@ -136,6 +138,12 @@ std::string EncodeObserveRequest(std::uint64_t request_id,
                                  const UserAction& action);
 StatusOr<UserAction> DecodeObserveRequest(const Frame& frame);
 
+/// Stats: empty body. Asks the server for a scrape of its metrics
+/// registry; answered with a StatsResponse carrying Prometheus text.
+/// Like ping, Stats bypasses admission control — observability must
+/// keep working while the server is shedding load.
+std::string EncodeStatsRequest(std::uint64_t request_id);
+
 /// RegisterProfile body: u64 user, u8 registered, u8 gender, u8 age
 /// bucket, u8 education.
 struct ProfileUpdate {
@@ -176,6 +184,16 @@ std::string EncodeRecommendResponse(std::uint64_t request_id,
 StatusOr<RecommendReply> DecodeRecommendReply(const Frame& frame);
 /// Flag-discarding convenience wrapper around DecodeRecommendReply.
 StatusOr<std::vector<ScoredVideo>> DecodeRecommendResponse(const Frame& frame);
+
+/// StatsResponse body: u32 text length, then that many bytes of
+/// Prometheus text-format (0.0.4) metrics. The encoder truncates at the
+/// last newline that fits under `max_text_bytes` so the payload is
+/// always a whole number of exposition lines.
+std::string EncodeStatsResponse(std::uint64_t request_id,
+                                std::string_view text,
+                                std::size_t max_text_bytes =
+                                    kDefaultMaxFrameBytes - 1024);
+StatusOr<std::string> DecodeStatsResponse(const Frame& frame);
 
 /// ErrorResponse body: u8 error code, u16 message length, message bytes.
 struct WireErrorInfo {

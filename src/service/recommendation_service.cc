@@ -31,6 +31,10 @@ RecommendationService::RecommendationService(VideoTypeResolver type_resolver,
   if (options_.metrics != nullptr) {
     requests_ = options_.metrics->GetCounter("service.requests");
     actions_ = options_.metrics->GetCounter("service.actions");
+    recommend_span_ =
+        options_.metrics->GetHistogram("trace.stage.service.recommend.us");
+    observe_span_ =
+        options_.metrics->GetHistogram("trace.stage.service.observe.us");
   }
 }
 
@@ -67,6 +71,7 @@ void RecommendationService::RegisterProfile(UserId user,
 }
 
 void RecommendationService::Observe(const UserAction& action) {
+  TraceSpan span(observe_span_);
   if (actions_ != nullptr) actions_->Increment();
   // The filter fans out to the primary model and the hot trackers.
   filter_->Observe(action);
@@ -75,6 +80,7 @@ void RecommendationService::Observe(const UserAction& action) {
 StatusOr<std::vector<ScoredVideo>> RecommendationService::Recommend(
     const RecRequest& request) {
   ScopedLatencyTimer timer(&request_latency_);
+  TraceSpan span(recommend_span_);
   if (requests_ != nullptr) requests_->Increment();
   RTREC_RETURN_IF_ERROR(RTREC_FAULT_POINT("service.recommend"));
   return filter_->Recommend(request);

@@ -7,6 +7,7 @@
 
 #include "common/histogram.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "core/engine.h"
 #include "demographic/demographic_filter.h"
 #include "demographic/demographic_trainer.h"
@@ -92,6 +93,11 @@ class RecommendationService : public Recommender {
   Histogram request_latency_;
   Counter* requests_ = nullptr;
   Counter* actions_ = nullptr;
+  // Trace spans recorded only when the calling thread carries a sampled
+  // trace (a traced topology tuple reaching Observe through a bolt, or a
+  // traced RecServer request reaching Recommend).
+  Histogram* recommend_span_ = nullptr;
+  Histogram* observe_span_ = nullptr;
 };
 
 }  // namespace rtrec

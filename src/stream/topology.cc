@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <optional>
 #include <set>
 #include <thread>
 #include <unordered_set>
@@ -20,16 +21,22 @@ class Topology::TaskCollector : public OutputCollector {
   /// For spout tasks, `acker_owner` identifies the spout in the tracker;
   /// for bolt tasks, `current_root` points at the root of the tuple
   /// being processed (set by the task loop before each Process call).
+  /// `current_trace` mirrors `current_root`: null for spout tasks (each
+  /// emission mints a fresh trace root from `tracer`), otherwise the
+  /// trace of the tuple being processed, which anchored emissions join.
   TaskCollector(ComponentRuntime* component,
                 std::unordered_map<std::string, std::vector<EdgeRuntime>>
                     edges_by_stream,
                 AckTracker* acker, std::uint64_t acker_owner,
-                const std::uint64_t* current_root)
+                const std::uint64_t* current_root, Tracer* tracer,
+                const TraceContext* current_trace)
       : component_(component),
         edges_by_stream_(std::move(edges_by_stream)),
         acker_(acker),
         acker_owner_(acker_owner),
-        current_root_(current_root) {}
+        current_root_(current_root),
+        tracer_(tracer),
+        current_trace_(current_trace) {}
 
   std::uint64_t EmitTo(const std::string& stream, Tuple tuple) override {
     auto it = edges_by_stream_.find(stream);
@@ -66,11 +73,23 @@ class Topology::TaskCollector : public OutputCollector {
       }
     }
 
+    // Trace attachment: spout emissions are trace roots (the tracer
+    // decides sampling); bolt emissions inherit the trace of the tuple
+    // being processed, so a sampled action is followed through every
+    // stage it fans out to.
+    TraceContext trace;
+    if (tracer_ != nullptr) {
+      trace = current_trace_ == nullptr ? tracer_->StartTrace()
+                                        : *current_trace_;
+    }
+
     if (!subscribed) {
       component_->dropped->Increment();
       return root;
     }
     component_->emitted->Increment();
+    const std::int64_t enqueue_us =
+        trace.sampled() ? Tracer::NowMicros() : 0;
     for (auto& [queue, depth] : destinations_) {
       // A fired "stream.queue.push" fault drops this copy on the floor
       // (a lost in-flight tuple); with acking on, its tree fails by
@@ -82,7 +101,10 @@ class Topology::TaskCollector : public OutputCollector {
         continue;
       }
       // Push blocks when the consumer is saturated: backpressure.
-      if (queue->Push(Envelope(tuple, root)) && depth != nullptr) {
+      Envelope envelope(tuple, root);
+      envelope.trace = trace;
+      envelope.enqueue_us = enqueue_us;
+      if (queue->Push(std::move(envelope)) && depth != nullptr) {
         depth->Add(1);
       }
     }
@@ -99,6 +121,8 @@ class Topology::TaskCollector : public OutputCollector {
   AckTracker* acker_;
   std::uint64_t acker_owner_;
   const std::uint64_t* current_root_;
+  Tracer* tracer_;
+  const TraceContext* current_trace_;
   std::vector<std::size_t> scratch_;
   std::vector<std::pair<TaskQueue*, Gauge*>> destinations_;
 };
@@ -256,7 +280,8 @@ void Topology::RunSpoutTask(std::size_t component_index,
     }
   }
   TaskCollector collector(&rt, std::move(edges), acker_.get(),
-                          /*acker_owner=*/0, /*current_root=*/nullptr);
+                          /*acker_owner=*/0, /*current_root=*/nullptr,
+                          options_.tracer, /*current_trace=*/nullptr);
 
   TaskContext context;
   context.component = rt.spec.name;
@@ -379,8 +404,23 @@ void Topology::RunBoltTask(std::size_t component_index,
     }
   }
   std::uint64_t current_root = 0;
+  TraceContext current_trace;
   TaskCollector collector(&rt, std::move(edges), acker_.get(),
-                          /*acker_owner=*/0, &current_root);
+                          /*acker_owner=*/0, &current_root, options_.tracer,
+                          &current_trace);
+
+  // Per-task trace histogram pointers, resolved once: the per-tuple cost
+  // of tracing on this path is a branch for unsampled tuples and three
+  // Histogram::Add calls for sampled ones.
+  Tracer* tracer = options_.tracer;
+  Histogram* trace_stage_us = nullptr;
+  Histogram* trace_queue_us = nullptr;
+  Histogram* trace_e2e_us = nullptr;
+  if (tracer != nullptr) {
+    trace_stage_us = tracer->StageHistogram(rt.spec.name);
+    trace_queue_us = tracer->QueueHistogram(rt.spec.name);
+    trace_e2e_us = tracer->SinceRootHistogram(rt.spec.name);
+  }
 
   TaskContext context;
   context.component = rt.spec.name;
@@ -428,10 +468,21 @@ void Topology::RunBoltTask(std::size_t component_index,
     }
     rt.queue_depth->Add(-1);
     current_root = envelope->root;
+    current_trace = envelope->trace;
+    const bool traced = tracer != nullptr && current_trace.sampled();
+    std::int64_t trace_start_us = 0;
+    if (traced) {
+      trace_start_us = Tracer::NowMicros();
+      trace_queue_us->Add(trace_start_us - envelope->enqueue_us);
+    }
     bool processed_ok = false;
     if (!degraded && RTREC_FAULT_POINT("stream.bolt.process").ok()) {
       try {
         ScopedLatencyTimer timer(rt.process_us);
+        // Install the tuple's trace as the thread-current one so spans
+        // in layers the bolt calls into (KV stores, models) attach.
+        std::optional<ScopedTraceContext> trace_scope;
+        if (traced) trace_scope.emplace(current_trace);
         bolt->Process(envelope->tuple, collector);
         processed_ok = true;
       } catch (const std::exception& e) {
@@ -446,6 +497,13 @@ void Topology::RunBoltTask(std::size_t component_index,
       consecutive_failures = 0;
       backoff_ms = options_.restart_backoff_initial_ms;
       rt.processed->Increment();
+      if (traced) {
+        const std::int64_t end_us = Tracer::NowMicros();
+        trace_stage_us->Add(end_us - trace_start_us);
+        // At a terminal bolt (result_storage in Fig. 2) this is the
+        // pipeline's end-to-end latency for the traced action.
+        trace_e2e_us->Add(end_us - current_trace.start_us);
+      }
       if (acker_ != nullptr && current_root != 0) {
         // This tuple's own contribution to the tree is done (any anchored
         // emissions were added during Process).
@@ -480,6 +538,7 @@ void Topology::RunBoltTask(std::size_t component_index,
       }
     }
     current_root = 0;
+    current_trace = TraceContext{};
   }
   if (bolt != nullptr) {
     try {

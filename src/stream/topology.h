@@ -11,6 +11,7 @@
 #include "common/bounded_queue.h"
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "stream/acker.h"
 #include "stream/bolt.h"
 #include "stream/topology_builder.h"
@@ -48,6 +49,16 @@ struct TopologyOptions {
   int max_task_restarts = 3;
   std::int64_t restart_backoff_initial_ms = 5;
   std::int64_t restart_backoff_max_ms = 1000;
+
+  /// Distributed tracing across the topology (common/trace.h). When set,
+  /// every spout emission is a trace root (sampled 1-in-N by the
+  /// tracer); sampled contexts ride the tuple envelopes to every
+  /// downstream bolt, which records "trace.stage.<component>.us" /
+  /// ".queue_us" and "trace.e2e.<component>.us" into the tracer's
+  /// registry and installs the context as the thread-current trace for
+  /// the duration of Process (so KV-store / service spans nest under
+  /// it). Null disables tracing at zero cost.
+  Tracer* tracer = nullptr;
 };
 
 /// A running instance of a TopologySpec: one thread per task (Storm
@@ -103,6 +114,11 @@ class Topology {
     bool eos = false;
     // Tuple-tree root this tuple is anchored to (0 = untracked).
     std::uint64_t root = 0;
+    // Trace this tuple belongs to (null context when unsampled) and the
+    // time it was enqueued, for queue-wait accounting. Only sampled
+    // envelopes pay the clock read at enqueue.
+    TraceContext trace;
+    std::int64_t enqueue_us = 0;
     Envelope() = default;
     explicit Envelope(Tuple t) : tuple(std::move(t)) {}
     Envelope(Tuple t, std::uint64_t r) : tuple(std::move(t)), root(r) {}

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "common/fault_injection.h"
 #include "net/rec_client.h"
 #include "net/socket.h"
+#include "net/stats_server.h"
 #include "net/wire.h"
 
 namespace rtrec {
@@ -510,6 +512,97 @@ TEST(RecServerTest, ClientReconnectsAcrossServerRestart) {
     RecClient fresh(live.ClientOptions());
     EXPECT_TRUE(fresh.Ping().ok());
   }
+}
+
+TEST(RecServerTest, StatsRpcReturnsWellFormedPrometheusText) {
+  LiveServer live;
+  RecClient client(live.ClientOptions());
+  ASSERT_TRUE(client.Ping().ok());
+
+  StatusOr<std::string> first = client.Stats();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  // Well-formed text exposition: TYPE headers, counters with _total,
+  // dots sanitized to underscores, trailing newline (whole lines only).
+  EXPECT_NE(first->find("# TYPE net_server_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(first->find("net_server_bytes_in_total "), std::string::npos);
+  EXPECT_EQ(first->find("net.server."), std::string::npos);
+  ASSERT_FALSE(first->empty());
+  EXPECT_EQ(first->back(), '\n');
+
+  // Counters must be monotone across scrapes; the traffic in between
+  // guarantees strict growth for the request counter.
+  ASSERT_TRUE(client.Ping().ok());
+  RecRequest request;
+  request.user = 1;
+  request.top_n = 5;
+  (void)client.Recommend(request);
+  StatusOr<std::string> second = client.Stats();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+
+  auto value_of = [](const std::string& text, const std::string& name) {
+    const std::size_t pos = text.find("\n" + name + " ");
+    EXPECT_NE(pos, std::string::npos) << name;
+    if (pos == std::string::npos) return -1.0;
+    return std::atof(text.c_str() + pos + 1 + name.size() + 1);
+  };
+  const double before = value_of(*first, "net_server_requests_total");
+  const double after = value_of(*second, "net_server_requests_total");
+  EXPECT_GT(after, before);
+}
+
+TEST(RecServerTest, StatsRpcBypassesAdmissionControl) {
+  RecServer::Options options;
+  options.max_in_flight = 1;
+  options.handler_delay_for_test_ms = 200;
+  options.num_workers = 2;
+  LiveServer live(options);
+
+  // Saturate the single in-flight slot with a slow Recommend...
+  std::thread slow([&] {
+    RecClient client(live.ClientOptions());
+    RecRequest request;
+    request.user = 1;
+    request.top_n = 5;
+    (void)client.Recommend(request);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // ...and scrape while it holds the gate: Stats must still answer.
+  RecClient client(live.ClientOptions());
+  StatusOr<std::string> stats = client.Stats();
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  slow.join();
+}
+
+TEST(StatsServerTest, ServesPrometheusTextOverHttp) {
+  MetricsRegistry metrics;
+  metrics.GetCounter("some.counter")->Increment(3);
+  StatsServer stats_server(&metrics, {});
+  ASSERT_TRUE(stats_server.Start().ok());
+  ASSERT_NE(stats_server.port(), 0);
+
+  auto fd = ConnectTcp("127.0.0.1", stats_server.port(), 1000);
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(write(fd->get(), request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+
+  std::string response;
+  char buf[4096];
+  while (true) {
+    Status ready = WaitReady(fd->get(), /*for_read=*/true, 2000);
+    if (!ready.ok()) break;
+    ssize_t n = read(fd->get(), buf, sizeof(buf));
+    if (n <= 0) break;  // Connection: close ends the response.
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  stats_server.Stop();
+
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(response.find("some_counter_total 3"), std::string::npos);
+  // The scrape itself is counted (visible from the next scrape on).
+  EXPECT_EQ(metrics.GetCounter("stats.scrapes")->value(), 1);
 }
 
 }  // namespace

@@ -1,0 +1,318 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "kvstore/kv_store.h"
+#include "service/recommendation_service.h"
+#include "stream/topology.h"
+
+namespace rtrec {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tracer sampling.
+
+TEST(TracerTest, SamplesExactlyOneInN) {
+  MetricsRegistry metrics;
+  Tracer::Options options;
+  options.sample_every_n = 4;
+  options.metrics = &metrics;
+  Tracer tracer(options);
+
+  int sampled = 0;
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < 100; ++i) {
+    const TraceContext context = tracer.StartTrace();
+    if (context.sampled()) {
+      ++sampled;
+      EXPECT_GT(context.start_us, 0);
+      ids.insert(context.id);
+    }
+  }
+  // Deterministic round-robin: exactly 100/4, not "roughly".
+  EXPECT_EQ(sampled, 25);
+  EXPECT_EQ(ids.size(), 25u);  // Distinct ids per sampled trace.
+  EXPECT_EQ(metrics.GetCounter("trace.roots")->value(), 100);
+  EXPECT_EQ(metrics.GetCounter("trace.sampled")->value(), 25);
+}
+
+TEST(TracerTest, SampleEveryZeroDisablesTracing) {
+  MetricsRegistry metrics;
+  Tracer::Options options;
+  options.sample_every_n = 0;
+  options.metrics = &metrics;
+  Tracer tracer(options);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(tracer.StartTrace().sampled());
+  }
+  EXPECT_EQ(metrics.GetCounter("trace.sampled")->value(), 0);
+}
+
+TEST(TracerTest, SamplingBoundHoldsUnderConcurrency) {
+  MetricsRegistry metrics;
+  Tracer::Options options;
+  options.sample_every_n = 8;
+  options.metrics = &metrics;
+  Tracer tracer(options);
+
+  std::atomic<int> sampled{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        if (tracer.StartTrace().sampled()) sampled.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // 8000 roots at 1-in-8: exactly 1000 sampled — the overhead bound is
+  // a hard guarantee, not an expectation.
+  EXPECT_EQ(sampled.load(), 1000);
+  EXPECT_EQ(metrics.GetCounter("trace.roots")->value(), 8000);
+}
+
+TEST(TracerTest, RecordSinceRootIsNoOpForUnsampled) {
+  MetricsRegistry metrics;
+  Tracer::Options options;
+  options.sample_every_n = 1;
+  options.metrics = &metrics;
+  Tracer tracer(options);
+
+  tracer.RecordSinceRoot(TraceContext{}, "stage");
+  EXPECT_EQ(tracer.SinceRootHistogram("stage")->count(), 0u);
+
+  const TraceContext context = tracer.StartTrace();
+  ASSERT_TRUE(context.sampled());
+  tracer.RecordSinceRoot(context, "stage");
+  EXPECT_EQ(tracer.SinceRootHistogram("stage")->count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-current trace and spans.
+
+TEST(ScopedTraceContextTest, InstallsAndRestoresNested) {
+  EXPECT_FALSE(CurrentTrace().sampled());
+  TraceContext outer;
+  outer.id = 7;
+  {
+    ScopedTraceContext outer_scope(outer);
+    EXPECT_EQ(CurrentTrace().id, 7u);
+    TraceContext inner;
+    inner.id = 9;
+    {
+      ScopedTraceContext inner_scope(inner);
+      EXPECT_EQ(CurrentTrace().id, 9u);
+    }
+    EXPECT_EQ(CurrentTrace().id, 7u);
+  }
+  EXPECT_FALSE(CurrentTrace().sampled());
+}
+
+TEST(TraceSpanTest, RecordsOnlyUnderSampledTrace) {
+  Histogram hist;
+  { TraceSpan span(&hist); }  // No current trace: nothing recorded.
+  EXPECT_EQ(hist.count(), 0u);
+
+  TraceContext context;
+  context.id = 1;
+  context.start_us = Tracer::NowMicros();
+  {
+    ScopedTraceContext scope(context);
+    TraceSpan span(&hist);
+  }
+  EXPECT_EQ(hist.count(), 1u);
+
+  { TraceSpan span(nullptr); }  // Null histogram is always safe.
+}
+
+// ---------------------------------------------------------------------------
+// Propagation across the stream topology.
+
+std::shared_ptr<const stream::Schema> NumberSchema() {
+  static const auto& schema = *new std::shared_ptr<const stream::Schema>(
+      std::make_shared<const stream::Schema>(stream::Schema{{"n"}}));
+  return schema;
+}
+
+class CountingSpout : public stream::Spout {
+ public:
+  explicit CountingSpout(std::int64_t limit) : limit_(limit) {}
+
+  bool Next(stream::OutputCollector& collector) override {
+    if (next_ >= limit_) return false;
+    collector.Emit(stream::Tuple(NumberSchema(), {next_++}));
+    return true;
+  }
+
+ private:
+  std::int64_t limit_;
+  std::int64_t next_ = 0;
+};
+
+/// Forwards every tuple; under a sampled trace also exercises a KV span
+/// through the thread-current context.
+class ForwardingBolt : public stream::Bolt {
+ public:
+  explicit ForwardingBolt(std::atomic<int>* sampled_seen)
+      : sampled_seen_(sampled_seen) {}
+
+  void Process(const stream::Tuple& tuple,
+               stream::OutputCollector& collector) override {
+    if (CurrentTrace().sampled()) sampled_seen_->fetch_add(1);
+    collector.Emit(tuple);
+  }
+
+ private:
+  std::atomic<int>* sampled_seen_;
+};
+
+TEST(TopologyTracingTest, TraceSurvivesSpoutToBoltToBolt) {
+  MetricsRegistry metrics;
+  Tracer::Options tracer_options;
+  tracer_options.sample_every_n = 4;
+  tracer_options.metrics = &metrics;
+  Tracer tracer(tracer_options);
+
+  std::atomic<int> first_sampled{0};
+  std::atomic<int> second_sampled{0};
+  stream::TopologyBuilder builder;
+  builder.AddSpout(
+      "numbers", [] { return std::make_unique<CountingSpout>(100); }, 1);
+  builder
+      .AddBolt(
+          "first",
+          [&] { return std::make_unique<ForwardingBolt>(&first_sampled); }, 2)
+      .ShuffleGrouping("numbers");
+  builder
+      .AddBolt(
+          "second",
+          [&] { return std::make_unique<ForwardingBolt>(&second_sampled); },
+          2)
+      .ShuffleGrouping("first");
+  auto spec = builder.Build();
+  ASSERT_TRUE(spec.ok());
+
+  stream::TopologyOptions options;
+  options.metrics = &metrics;
+  options.tracer = &tracer;
+  auto topo = stream::Topology::Create(std::move(spec).value(), options);
+  ASSERT_TRUE(topo.ok()) << topo.status().ToString();
+  ASSERT_TRUE((*topo)->Start().ok());
+  ASSERT_TRUE((*topo)->Join().ok());
+
+  // 100 spout emissions at 1-in-4: exactly 25 sampled contexts, each of
+  // which must reach both bolts (the thread-current trace is installed
+  // during Process) and record one entry per stage histogram.
+  EXPECT_EQ(metrics.GetCounter("trace.sampled")->value(), 25);
+  EXPECT_EQ(first_sampled.load(), 25);
+  EXPECT_EQ(second_sampled.load(), 25);
+  EXPECT_EQ(tracer.StageHistogram("first")->count(), 25u);
+  EXPECT_EQ(tracer.StageHistogram("second")->count(), 25u);
+  EXPECT_EQ(tracer.QueueHistogram("first")->count(), 25u);
+  EXPECT_EQ(tracer.QueueHistogram("second")->count(), 25u);
+  EXPECT_EQ(tracer.SinceRootHistogram("first")->count(), 25u);
+  EXPECT_EQ(tracer.SinceRootHistogram("second")->count(), 25u);
+  // Unsampled tuples still flow: all 100 processed at both stages.
+  EXPECT_EQ(metrics.GetCounter("first.processed")->value(), 100);
+  EXPECT_EQ(metrics.GetCounter("second.processed")->value(), 100);
+}
+
+TEST(TopologyTracingTest, NullTracerRecordsNoTraceMetrics) {
+  MetricsRegistry metrics;
+  std::atomic<int> sampled_seen{0};
+  stream::TopologyBuilder builder;
+  builder.AddSpout(
+      "numbers", [] { return std::make_unique<CountingSpout>(50); }, 1);
+  builder
+      .AddBolt(
+          "sink",
+          [&] { return std::make_unique<ForwardingBolt>(&sampled_seen); }, 1)
+      .ShuffleGrouping("numbers");
+  auto spec = builder.Build();
+  ASSERT_TRUE(spec.ok());
+
+  stream::TopologyOptions options;
+  options.metrics = &metrics;  // options.tracer stays null.
+  auto topo = stream::Topology::Create(std::move(spec).value(), options);
+  ASSERT_TRUE(topo.ok());
+  ASSERT_TRUE((*topo)->Start().ok());
+  ASSERT_TRUE((*topo)->Join().ok());
+
+  EXPECT_EQ(sampled_seen.load(), 0);
+  EXPECT_EQ(metrics.Report().find("trace."), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Spans in the call-stack-shaped layers.
+
+TEST(ServiceTracingTest, ObserveAndRecommendRecordSpansUnderSampledTrace) {
+  MetricsRegistry metrics;
+  RecommendationService::Options options;
+  options.engine.model.num_factors = 8;
+  options.metrics = &metrics;
+  RecommendationService service([](VideoId) -> VideoType { return 0; },
+                                options);
+
+  UserAction action;
+  action.user = 1;
+  action.video = 2;
+  action.type = ActionType::kPlayTime;
+  action.view_fraction = 1.0;
+  action.time = 1000;
+
+  // No thread-current trace: spans stay silent.
+  service.Observe(action);
+  EXPECT_EQ(
+      metrics.GetHistogram("trace.stage.service.observe.us")->count(), 0u);
+
+  TraceContext context;
+  context.id = 1;
+  context.start_us = Tracer::NowMicros();
+  {
+    ScopedTraceContext scope(context);
+    service.Observe(action);
+    RecRequest request;
+    request.user = 1;
+    request.top_n = 5;
+    ASSERT_TRUE(service.Recommend(request).ok());
+  }
+  EXPECT_EQ(
+      metrics.GetHistogram("trace.stage.service.observe.us")->count(), 1u);
+  EXPECT_EQ(
+      metrics.GetHistogram("trace.stage.service.recommend.us")->count(), 1u);
+}
+
+TEST(KvStoreTracingTest, OperationsRecordSpansUnderSampledTrace) {
+  MetricsRegistry metrics;
+  ShardedKvStoreOptions options;
+  options.metrics = &metrics;
+  ShardedKvStore store(options);
+
+  ASSERT_TRUE(store.Put("k", "v").ok());  // Untraced: no span.
+  EXPECT_EQ(metrics.GetHistogram("trace.stage.kvstore.put.us")->count(), 0u);
+
+  TraceContext context;
+  context.id = 1;
+  context.start_us = Tracer::NowMicros();
+  {
+    ScopedTraceContext scope(context);
+    ASSERT_TRUE(store.Put("k", "w").ok());
+    ASSERT_TRUE(store.Get("k").ok());
+    ASSERT_TRUE(
+        store.Update("k", [](std::string& v) { v += "!"; }, false).ok());
+  }
+  EXPECT_EQ(metrics.GetHistogram("trace.stage.kvstore.put.us")->count(), 1u);
+  EXPECT_EQ(metrics.GetHistogram("trace.stage.kvstore.get.us")->count(), 1u);
+  EXPECT_EQ(metrics.GetHistogram("trace.stage.kvstore.update.us")->count(),
+            1u);
+}
+
+}  // namespace
+}  // namespace rtrec
