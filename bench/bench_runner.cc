@@ -15,11 +15,11 @@
 // Everything is seeded (WorldConfig seed 2016), so two runs on the same
 // machine produce the same workload; timings of course vary.
 //
-//   $ ./bench_runner [--smoke] [--out=BENCH_PR3.json]
+//   $ ./bench_runner [--smoke] [--out=BENCH_PR4.json]
 //                    [--connections=N] [--seconds=N]
 //
 // --smoke shrinks every phase for CI (a few seconds total). The ledger
-// is written to --out (default BENCH_PR3.json in the working
+// is written to --out (default BENCH_PR4.json in the working
 // directory); scripts/bench.sh wraps the build + run + validate cycle.
 
 #include <cstdio>
@@ -380,6 +380,22 @@ bool RunServe(Json& json, bool smoke, int connections, int seconds) {
   json.Field("requests_before", requests_before);
   json.Field("requests_after", requests_after);
   json.Field("counters_monotone", monotone);
+  // Serving hot-path counters, read off the same Stats scrape that
+  // operators see: the batched VectorsGet and the factor cache must be
+  // doing work during the serve phase.
+  json.Field("multiget_calls",
+             ScrapeValue(*second_scrape, "kvstore_multiget_calls_total"));
+  json.Field("multiget_keys",
+             ScrapeValue(*second_scrape, "kvstore_multiget_keys_total"));
+  json.Field(
+      "multiget_shard_batches",
+      ScrapeValue(*second_scrape, "kvstore_multiget_shard_batches_total"));
+  json.Field(
+      "factor_cache_hits",
+      ScrapeValue(*second_scrape, "service_factor_cache_hits_total"));
+  json.Field(
+      "factor_cache_misses",
+      ScrapeValue(*second_scrape, "service_factor_cache_misses_total"));
   json.Close();
   json.Close();
 
@@ -433,7 +449,7 @@ bool RunRecall(Json& json, bool smoke) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
-  std::string out_path = "BENCH_PR3.json";
+  std::string out_path = "BENCH_PR4.json";
   int connections = 8;
   int seconds = 3;
   for (int i = 1; i < argc; ++i) {

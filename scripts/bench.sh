@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
 # Build-and-run wrapper for the unified benchmark runner: runs the
 # ingest / serve / recall phases with fixed seeds and writes the
-# machine-readable ledger (BENCH_PR3.json), then validates it.
+# machine-readable ledger (BENCH_PR4.json), then validates it.
 #
 #   scripts/bench.sh [--smoke] [--build-dir=DIR] [--out=PATH]
 #
-# Defaults: full mode, ./build, BENCH_PR3.json in the repo root.
+# Defaults: full mode, ./build, BENCH_PR4.json in the repo root.
 # --smoke shrinks every phase to a few seconds — what CI runs. Exits
 # non-zero if the runner fails or the ledger is missing or malformed.
 
@@ -13,7 +13,7 @@ set -u
 
 smoke=""
 build_dir="build"
-out="BENCH_PR3.json"
+out="BENCH_PR4.json"
 for arg in "$@"; do
   case "${arg}" in
     --smoke) smoke="--smoke" ;;

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Warn-only diff between two bench ledgers (rtrec-bench/1 schema).
+
+    scripts/bench_diff.py BASELINE.json FRESH.json [--threshold=0.20]
+
+Compares serve QPS and client p99 of a fresh (usually --smoke) ledger
+against a committed baseline. Regressions beyond the threshold print
+GitHub `::warning::` annotations; the exit code is always 0 — CI bench
+hardware is too noisy for a hard gate, so this is an operator signal,
+not a merge blocker. Recall is also checked (it is deterministic, so a
+drift there is a real behaviour change, but smoke and full ledgers use
+different workload sizes — recall is only compared when both ledgers
+ran the same mode, per the ledger's `smoke` flag).
+"""
+
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            ledger = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"::warning::bench_diff: cannot read {path}: {e}")
+        return None
+    if ledger.get("schema") != "rtrec-bench/1":
+        print(f"::warning::bench_diff: {path} has unexpected schema "
+              f"{ledger.get('schema')!r}")
+        return None
+    return ledger
+
+
+def main(argv):
+    threshold = 0.20
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print("usage: bench_diff.py BASELINE.json FRESH.json "
+              "[--threshold=0.20]")
+        return 0  # Warn-only by contract.
+    baseline, fresh = load(paths[0]), load(paths[1])
+    if baseline is None or fresh is None:
+        return 0
+
+    base_qps = baseline["serve"]["qps"]
+    fresh_qps = fresh["serve"]["qps"]
+    base_p99 = baseline["serve"]["client_latency"]["p99_us"]
+    fresh_p99 = fresh["serve"]["client_latency"]["p99_us"]
+
+    print(f"serve qps : {base_qps:12.1f} -> {fresh_qps:12.1f} "
+          f"({(fresh_qps / base_qps - 1) * 100:+.1f}%)")
+    print(f"client p99: {base_p99:10.1f}us -> {fresh_p99:10.1f}us "
+          f"({(fresh_p99 / base_p99 - 1) * 100:+.1f}%)")
+
+    if fresh_qps < base_qps * (1 - threshold):
+        print(f"::warning::serve QPS regressed more than "
+              f"{threshold:.0%}: {base_qps:.0f} -> {fresh_qps:.0f} "
+              f"({paths[0]} vs {paths[1]})")
+    if fresh_p99 > base_p99 * (1 + threshold):
+        print(f"::warning::serve p99 regressed more than "
+              f"{threshold:.0%}: {base_p99:.0f}us -> {fresh_p99:.0f}us "
+              f"({paths[0]} vs {paths[1]})")
+
+    if baseline.get("smoke") == fresh.get("smoke"):
+        for k in ("recall_at_1", "recall_at_5", "recall_at_10"):
+            b, f = baseline["recall"][k], fresh["recall"][k]
+            if abs(b - f) > 0.001:
+                print(f"::warning::{k} drifted: {b:.6f} -> {f:.6f} — "
+                      f"recall is deterministic, this is a behaviour "
+                      f"change, not noise")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

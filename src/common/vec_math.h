@@ -8,14 +8,31 @@
 
 namespace rtrec {
 
-/// Inner product of two equal-length float vectors, accumulated in double.
-inline double Dot(const std::vector<float>& a, const std::vector<float>& b) {
-  assert(a.size() == b.size());
-  double sum = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
+/// Inner product of two equal-length float arrays, accumulated in double.
+/// Four independent accumulators break the loop-carried dependency so the
+/// compiler can keep multiple FMAs in flight (and vectorize the
+/// float→double widening); summation order therefore differs from the
+/// naive loop by O(ε) — callers must not rely on bit-exact totals.
+inline double Dot(const float* a, const float* b, std::size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+    s1 += static_cast<double>(a[i + 1]) * static_cast<double>(b[i + 1]);
+    s2 += static_cast<double>(a[i + 2]) * static_cast<double>(b[i + 2]);
+    s3 += static_cast<double>(a[i + 3]) * static_cast<double>(b[i + 3]);
+  }
+  double sum = (s0 + s1) + (s2 + s3);
+  for (; i < n; ++i) {
     sum += static_cast<double>(a[i]) * static_cast<double>(b[i]);
   }
   return sum;
+}
+
+/// Inner product of two equal-length float vectors, accumulated in double.
+inline double Dot(const std::vector<float>& a, const std::vector<float>& b) {
+  assert(a.size() == b.size());
+  return Dot(a.data(), b.data(), a.size());
 }
 
 /// Squared Euclidean norm.

@@ -26,6 +26,7 @@ RecEngine::RecEngine(VideoTypeResolver type_resolver, Options options)
   factor_options.num_factors = options_.model.num_factors;
   factor_options.init_scale = options_.model.init_scale;
   factor_options.seed = options_.model.seed;
+  factor_options.metrics = options_.metrics;
   factors_ = std::make_unique<FactorStore>(factor_options);
 
   HistoryStore::Options history_options;
@@ -44,7 +45,7 @@ RecEngine::RecEngine(VideoTypeResolver type_resolver, Options options)
       options_.model.feedback);
   recommender_ = std::make_unique<MfRecommender>(
       model_.get(), history_.get(), sim_table_.get(), updater_.get(),
-      options_.recommend);
+      options_.recommend, options_.metrics);
 }
 
 void RecEngine::Observe(const UserAction& action) {

@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "common/metrics.h"
 #include "core/model_config.h"
 #include "core/online_mf.h"
 #include "core/recommender.h"
@@ -30,6 +31,10 @@ class RecEngine : public Recommender {
     RecommendConfig recommend;
     /// Per-user history retention.
     std::size_t history_per_user = 64;
+    /// When set, the factor store registers `kvstore.multiget.*` and the
+    /// recommender's factor cache registers `service.factor_cache.*`.
+    /// Not owned; must outlive the engine.
+    MetricsRegistry* metrics = nullptr;
 
     Status Validate() const;
   };
@@ -54,6 +59,7 @@ class RecEngine : public Recommender {
   OnlineMf& model() { return *model_; }
   FactorStore& factors() { return *factors_; }
   HistoryStore& history() { return *history_; }
+  const HistoryStore& history() const { return *history_; }
   SimTableStore& sim_table() { return *sim_table_; }
   SimTableUpdater& updater() { return *updater_; }
   MfRecommender& recommender() { return *recommender_; }

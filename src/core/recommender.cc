@@ -9,7 +9,7 @@ namespace rtrec {
 
 MfRecommender::MfRecommender(OnlineMf* model, HistoryStore* history,
                              SimTableStore* table, SimTableUpdater* updater,
-                             RecommendConfig config)
+                             RecommendConfig config, MetricsRegistry* metrics)
     : model_(model),
       history_(history),
       table_(table),
@@ -19,6 +19,10 @@ MfRecommender::MfRecommender(OnlineMf* model, HistoryStore* history,
   assert(history_ != nullptr);
   assert(table_ != nullptr);
   assert(config_.Validate().ok());
+  if (config_.factor_cache_size > 0) {
+    factor_cache_ = std::make_unique<FactorCache>(
+        &model_->store(), config_.factor_cache_size, metrics);
+  }
 }
 
 StatusOr<std::vector<ScoredVideo>> MfRecommender::Recommend(
@@ -63,7 +67,11 @@ StatusOr<std::vector<ScoredVideo>> MfRecommender::Recommend(
     // along the path.
     const std::size_t per_node =
         hop == 0 ? config_.candidates_per_seed : config_.hop_fanout;
-    std::vector<std::pair<VideoId, double>> next_frontier;
+    // Candidates improved this hop, each recorded once: a node whose best
+    // path similarity improves several times (reached from several
+    // frontier nodes) must not occupy several frontier slots or be
+    // expanded more than once next hop.
+    std::unordered_set<VideoId> improved;
     for (VideoId node : frontier) {
       const double base =
           hop == 0 ? 1.0 : candidate_sim[node];
@@ -74,20 +82,31 @@ StatusOr<std::vector<ScoredVideo>> MfRecommender::Recommend(
         double& best = candidate_sim[similar.video];
         if (path_sim > best) {
           best = path_sim;
-          next_frontier.emplace_back(similar.video, path_sim);
+          improved.insert(similar.video);
         }
       }
     }
     if (hop + 1 >= config_.candidate_hops) break;
-    // Next frontier: strongest newly-improved candidates.
-    std::sort(next_frontier.begin(), next_frontier.end(),
-              [](const auto& a, const auto& b) { return a.second > b.second; });
-    frontier.clear();
-    for (std::size_t i = 0;
-         i < next_frontier.size() && i < config_.hop_fanout * seeds.size();
-         ++i) {
-      frontier.push_back(next_frontier[i].first);
+    // Next frontier: strongest newly-improved candidates, capped by
+    // distinct candidate count.
+    std::vector<std::pair<VideoId, double>> next_frontier;
+    next_frontier.reserve(improved.size());
+    for (VideoId video : improved) {
+      next_frontier.emplace_back(video, candidate_sim[video]);
     }
+    const std::size_t cap = config_.hop_fanout * seeds.size();
+    if (next_frontier.size() > cap) {
+      std::nth_element(
+          next_frontier.begin(),
+          next_frontier.begin() + static_cast<std::ptrdiff_t>(cap),
+          next_frontier.end(), [](const auto& a, const auto& b) {
+            if (a.second != b.second) return a.second > b.second;
+            return a.first < b.first;  // Deterministic tie-break.
+          });
+      next_frontier.resize(cap);
+    }
+    frontier.clear();
+    for (const auto& [video, sim] : next_frontier) frontier.push_back(video);
     if (frontier.empty()) break;
   }
   if (candidate_sim.empty()) return std::vector<ScoredVideo>{};
@@ -107,30 +126,73 @@ StatusOr<std::vector<ScoredVideo>> MfRecommender::Recommend(
   }
 
   // 3. Preference prediction (Eq. 2) and ranking. The user entry is
-  //    fetched once (Fig. 1's VectorsGet).
+  //    fetched once; video entries arrive in one batched VectorsGet
+  //    (Fig. 1) — candidates are deduped already, so the request-scoped
+  //    entry buffer below fetches each vector at most once per request.
+  //    The service-level cache short-circuits hot videos entirely,
+  //    validated against the store's per-video write version.
   StatusOr<FactorEntry> user_entry = model_->store().GetUser(request.user);
   const FactorEntry user =
       user_entry.ok()
           ? std::move(user_entry).value()
           : model_->store().MakeInitialEntry(request.user, /*is_user=*/true);
 
+  FactorStore& store = model_->store();
+  std::vector<FactorEntry> entries(candidates.size());
+  std::vector<std::size_t> missing;  // Positions not served by the cache.
+  if (factor_cache_ != nullptr) {
+    missing.reserve(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (!factor_cache_->Lookup(candidates[i].first, &entries[i])) {
+        missing.push_back(i);
+      }
+    }
+  } else {
+    missing.resize(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) missing[i] = i;
+  }
+  if (!missing.empty()) {
+    std::vector<VideoId> ids;
+    ids.reserve(missing.size());
+    for (std::size_t pos : missing) ids.push_back(candidates[pos].first);
+    std::vector<FactorStore::VideoBatchEntry> batch = store.GetVideos(ids);
+    for (std::size_t j = 0; j < missing.size(); ++j) {
+      const std::size_t pos = missing[j];
+      if (batch[j].found) {
+        if (factor_cache_ != nullptr) {
+          factor_cache_->Insert(ids[j], batch[j].entry, batch[j].version);
+        }
+        entries[pos] = std::move(batch[j].entry);
+      } else {
+        // Unknown video: score with its deterministic initial entry, but
+        // do not cache it — the id gains a real entry (and a version
+        // bump) on its first observed action.
+        entries[pos] = store.MakeInitialEntry(ids[j], /*is_user=*/false);
+      }
+    }
+  }
+
   std::vector<ScoredVideo> scored;
   scored.reserve(candidates.size());
-  for (const auto& [video, sim] : candidates) {
-    StatusOr<FactorEntry> video_entry = model_->store().GetVideo(video);
-    const FactorEntry entry =
-        video_entry.ok()
-            ? std::move(video_entry).value()
-            : model_->store().MakeInitialEntry(video, /*is_user=*/false);
-    scored.push_back(
-        ScoredVideo{video, model_->PredictWithEntries(user, entry)});
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    scored.push_back(ScoredVideo{
+        candidates[i].first, model_->PredictWithEntries(user, entries[i])});
   }
-  std::sort(scored.begin(), scored.end(),
-            [](const ScoredVideo& a, const ScoredVideo& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.video < b.video;  // Deterministic tie-break.
-            });
-  if (scored.size() > top_n) scored.resize(top_n);
+
+  // Partial selection: only the top-N need ordering, so select them with
+  // nth_element and sort just that prefix instead of sorting every
+  // candidate (Section 4.1's latency bound).
+  const auto better = [](const ScoredVideo& a, const ScoredVideo& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.video < b.video;  // Deterministic tie-break.
+  };
+  if (scored.size() > top_n) {
+    std::nth_element(scored.begin(),
+                     scored.begin() + static_cast<std::ptrdiff_t>(top_n),
+                     scored.end(), better);
+    scored.resize(top_n);
+  }
+  std::sort(scored.begin(), scored.end(), better);
   return scored;
 }
 

@@ -61,6 +61,13 @@ RecEngine* DemographicTrainer::GetEngine(GroupId group) {
   return it == engines_.end() ? nullptr : it->second.get();
 }
 
+const RecEngine* DemographicTrainer::GetEngine(GroupId group) const {
+  if (group == kGlobalGroup) return global_.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = engines_.find(group);
+  return it == engines_.end() ? nullptr : it->second.get();
+}
+
 namespace {
 
 std::string SnapshotFileName(GroupId group) {

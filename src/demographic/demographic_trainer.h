@@ -49,6 +49,7 @@ class DemographicTrainer : public Recommender {
   /// kGlobalGroup returns the global engine (null when train_global is
   /// off).
   RecEngine* GetEngine(GroupId group);
+  const RecEngine* GetEngine(GroupId group) const;
 
   /// Groups that currently have engines (excluding kGlobalGroup).
   std::vector<GroupId> ActiveGroups() const;

@@ -1,0 +1,123 @@
+#ifndef RTREC_KVSTORE_FACTOR_CACHE_H_
+#define RTREC_KVSTORE_FACTOR_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/lru_cache.h"
+#include "common/metrics.h"
+#include "common/types.h"
+#include "kvstore/factor_store.h"
+
+namespace rtrec {
+
+/// Thread-safe LRU cache of hot video factor entries fronting a
+/// FactorStore — the service-level half of the serving path's caching
+/// (the request-scoped half is the batched VectorsGet itself, which
+/// fetches each candidate at most once per request).
+///
+/// Invalidation protocol: every cached entry carries the video's write
+/// version (FactorStore::VideoVersion) captured under the store's stripe
+/// lock at fill time. A lookup is a hit only when the stored version
+/// still equals the live one, so any OnlineMf::Update (which rewrites
+/// the video entry via PutVideo and bumps the version) invalidates the
+/// cached copy without the writer ever touching the cache. Versions are
+/// hash-bucketed, so collisions cause occasional spurious misses, never
+/// stale hits beyond the (entry, version) snapshot itself.
+///
+/// Internally lock-striped so concurrent Recommend threads do not
+/// serialize on one mutex.
+class FactorCache {
+ public:
+  /// `store` must outlive the cache. `metrics` may be null; when set,
+  /// registers `service.factor_cache.hits` / `.misses`.
+  FactorCache(const FactorStore* store, std::size_t capacity,
+              MetricsRegistry* metrics)
+      : store_(store) {
+    const std::size_t per_stripe =
+        (capacity + kStripes - 1) / kStripes;
+    stripes_.reserve(kStripes);
+    for (std::size_t i = 0; i < kStripes; ++i) {
+      stripes_.push_back(std::make_unique<Stripe>(per_stripe));
+    }
+    if (metrics != nullptr) {
+      hits_ = metrics->GetCounter("service.factor_cache.hits");
+      misses_ = metrics->GetCounter("service.factor_cache.misses");
+    }
+  }
+
+  FactorCache(const FactorCache&) = delete;
+  FactorCache& operator=(const FactorCache&) = delete;
+
+  /// Returns true and copies the entry into `out` when `video` is cached
+  /// at its current write version; counts a miss otherwise (including
+  /// version mismatches, which also drop the stale copy).
+  bool Lookup(VideoId video, FactorEntry* out) {
+    const std::uint64_t live = store_->VideoVersion(video);
+    Stripe& stripe = StripeFor(video);
+    {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      Cached* cached = stripe.cache.Get(video);
+      if (cached != nullptr && cached->version == live) {
+        *out = cached->entry;
+        hit_count_.fetch_add(1, std::memory_order_relaxed);
+        if (hits_ != nullptr) hits_->Increment();
+        return true;
+      }
+      // A version mismatch is a miss: the cached copy is stale.
+      if (cached != nullptr) stripe.cache.Erase(video);
+    }
+    miss_count_.fetch_add(1, std::memory_order_relaxed);
+    if (misses_ != nullptr) misses_->Increment();
+    return false;
+  }
+
+  /// Caches `entry` under the write version captured when it was read
+  /// from the store (FactorStore::VideoBatchEntry::version).
+  void Insert(VideoId video, FactorEntry entry, std::uint64_t version) {
+    Stripe& stripe = StripeFor(video);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.cache.Put(video, Cached{std::move(entry), version});
+  }
+
+  /// Cumulative effective hit/miss counts — a stale (version-mismatched)
+  /// entry counts as a miss, matching the metric counters.
+  std::size_t hits() const {
+    return hit_count_.load(std::memory_order_relaxed);
+  }
+  std::size_t misses() const {
+    return miss_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Cached {
+    FactorEntry entry;
+    std::uint64_t version = 0;
+  };
+  struct Stripe {
+    explicit Stripe(std::size_t capacity) : cache(capacity) {}
+    std::mutex mu;
+    LruCache<VideoId, Cached> cache;
+  };
+
+  static constexpr std::size_t kStripes = 8;
+
+  Stripe& StripeFor(VideoId video) {
+    return *stripes_[MixHash64(video) & (kStripes - 1)];
+  }
+
+  const FactorStore* store_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::atomic<std::size_t> hit_count_{0};
+  std::atomic<std::size_t> miss_count_{0};
+  Counter* hits_ = nullptr;
+  Counter* misses_ = nullptr;
+};
+
+}  // namespace rtrec
+
+#endif  // RTREC_KVSTORE_FACTOR_CACHE_H_

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <bit>
 #include <mutex>
+#include <utility>
+
+#include "common/trace.h"
 
 namespace rtrec {
 
@@ -19,9 +22,21 @@ void FactorStore::InitTable(Table<Id>& table, std::size_t num_shards) {
 
 FactorStore::FactorStore() : FactorStore(Options{}) {}
 
-FactorStore::FactorStore(Options options) : options_(options) {
+FactorStore::FactorStore(Options options) : options_(std::move(options)) {
   InitTable(users_, options_.num_shards);
   InitTable(videos_, options_.num_shards);
+  if (options_.metrics != nullptr) {
+    multiget_calls_ = options_.metrics->GetCounter(options_.metrics_prefix +
+                                                   "multiget.calls");
+    multiget_keys_ = options_.metrics->GetCounter(options_.metrics_prefix +
+                                                  "multiget.keys");
+    multiget_hits_ = options_.metrics->GetCounter(options_.metrics_prefix +
+                                                  "multiget.hits");
+    multiget_shard_batches_ = options_.metrics->GetCounter(
+        options_.metrics_prefix + "multiget.shard_batches");
+    multiget_span_ = options_.metrics->GetHistogram(
+        "trace.stage." + options_.metrics_prefix + "multiget.us");
+  }
 }
 
 FactorEntry FactorStore::MakeInitialEntry(std::uint64_t id,
@@ -62,7 +77,10 @@ FactorEntry FactorStore::GetOrInitVideo(VideoId i) {
   }
   std::unique_lock lock(stripe.mu);
   auto [it, inserted] = stripe.map.try_emplace(i);
-  if (inserted) it->second = MakeInitialEntry(i, /*is_user=*/false);
+  if (inserted) {
+    it->second = MakeInitialEntry(i, /*is_user=*/false);
+    BumpVideoVersion(i);
+  }
   return it->second;
 }
 
@@ -82,6 +100,56 @@ StatusOr<FactorEntry> FactorStore::GetVideo(VideoId i) const {
   return it->second;
 }
 
+std::vector<FactorStore::VideoBatchEntry> FactorStore::GetVideos(
+    std::span<const VideoId> ids) const {
+  if (multiget_calls_ != nullptr) multiget_calls_->Increment();
+  if (multiget_keys_ != nullptr) {
+    multiget_keys_->Increment(static_cast<std::int64_t>(ids.size()));
+  }
+  TraceSpan span(multiget_span_);
+  std::vector<VideoBatchEntry> results(ids.size());
+
+  // Group positions by stripe so each stripe lock is taken once. Stripe
+  // counts are small powers of two; sorting (stripe, position) pairs is
+  // cheaper than per-stripe buckets for the ~200-key batches the serving
+  // path issues.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> order;
+  order.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    order.emplace_back(
+        static_cast<std::uint32_t>(MixHash64(ids[i]) & videos_.mask),
+        static_cast<std::uint32_t>(i));
+  }
+  std::sort(order.begin(), order.end());
+
+  std::int64_t hits = 0;
+  std::int64_t stripe_batches = 0;
+  for (std::size_t i = 0; i < order.size();) {
+    const std::size_t stripe_index = order[i].first;
+    const auto& stripe = *videos_.stripes[stripe_index];
+    std::shared_lock lock(stripe.mu);
+    ++stripe_batches;
+    for (; i < order.size() && order[i].first == stripe_index; ++i) {
+      const std::size_t pos = order[i].second;
+      const VideoId id = ids[pos];
+      auto it = stripe.map.find(id);
+      if (it == stripe.map.end()) continue;  // found stays false.
+      VideoBatchEntry& result = results[pos];
+      result.found = true;
+      // Read under the stripe lock: writers bump inside the same lock,
+      // so the (entry, version) pair is consistent.
+      result.version = VideoVersion(id);
+      result.entry = it->second;
+      ++hits;
+    }
+  }
+  if (multiget_hits_ != nullptr) multiget_hits_->Increment(hits);
+  if (multiget_shard_batches_ != nullptr) {
+    multiget_shard_batches_->Increment(stripe_batches);
+  }
+  return results;
+}
+
 void FactorStore::PutUser(UserId u, FactorEntry entry) {
   auto& stripe = users_.StripeFor(u);
   std::unique_lock lock(stripe.mu);
@@ -92,6 +160,9 @@ void FactorStore::PutVideo(VideoId i, FactorEntry entry) {
   auto& stripe = videos_.StripeFor(i);
   std::unique_lock lock(stripe.mu);
   stripe.map[i] = std::move(entry);
+  // Bumped under the stripe lock, so a GetVideos snapshot can never pair
+  // the new entry with the old version (or vice versa).
+  BumpVideoVersion(i);
 }
 
 void FactorStore::UpdateUser(UserId u,
@@ -110,6 +181,7 @@ void FactorStore::UpdateVideo(VideoId i,
   auto [it, inserted] = stripe.map.try_emplace(i);
   if (inserted) it->second = MakeInitialEntry(i, /*is_user=*/false);
   fn(it->second);
+  BumpVideoVersion(i);
 }
 
 void FactorStore::ObserveRating(double rating) {

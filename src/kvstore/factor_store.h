@@ -1,14 +1,17 @@
 #ifndef RTREC_KVSTORE_FACTOR_STORE_H_
 #define RTREC_KVSTORE_FACTOR_STORE_H_
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <functional>
 #include <memory>
 #include <shared_mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -43,6 +46,12 @@ class FactorStore {
     std::uint64_t seed = 1;
     /// Lock-stripe count (rounded up to a power of two).
     std::size_t num_shards = 16;
+    /// Optional registry for batch-read counters (`<prefix>multiget.*`);
+    /// nullptr disables.
+    MetricsRegistry* metrics = nullptr;
+    /// Prefix for metric names. The factor store is the typed view over
+    /// the paper's KV store, so it reports under the same namespace.
+    std::string metrics_prefix = "kvstore.";
   };
 
   /// Constructs with default options.
@@ -65,6 +74,32 @@ class FactorStore {
 
   /// Returns the video entry, or NotFound without creating it.
   StatusOr<FactorEntry> GetVideo(VideoId i) const;
+
+  /// One result of a batched video read.
+  struct VideoBatchEntry {
+    /// False when the id has no stored entry (the caller scores it with
+    /// MakeInitialEntry instead).
+    bool found = false;
+    /// The id's version (see VideoVersion) read under the same stripe
+    /// lock as `entry`, so (entry, version) is consistent.
+    std::uint64_t version = 0;
+    FactorEntry entry;
+  };
+
+  /// Batched VectorsGet (Fig. 1): fetches all ids in one pass, grouping
+  /// them by stripe and taking each stripe lock exactly once instead of
+  /// once per id. Results are aligned with `ids`.
+  std::vector<VideoBatchEntry> GetVideos(std::span<const VideoId> ids) const;
+
+  /// Monotone per-video write version, bumped whenever the video's entry
+  /// is (re)written (PutVideo / UpdateVideo / first GetOrInitVideo).
+  /// Versions are tracked in hashed buckets, so two videos may share a
+  /// version stream — a collision only causes a spurious cache
+  /// invalidation, never a stale hit. Lock-free read; serving caches
+  /// compare it against the version captured at fill time.
+  std::uint64_t VideoVersion(VideoId i) const {
+    return video_versions_[VersionBucket(i)].load(std::memory_order_acquire);
+  }
 
   /// Overwrites the user entry (MFStorage bolt write path).
   void PutUser(UserId u, FactorEntry entry);
@@ -131,9 +166,27 @@ class FactorStore {
   template <typename Id>
   void InitTable(Table<Id>& table, std::size_t num_shards);
 
+  static constexpr std::size_t kVersionBuckets = 4096;  // Power of two.
+  static std::size_t VersionBucket(VideoId i) {
+    return MixHash64(i) & (kVersionBuckets - 1);
+  }
+  void BumpVideoVersion(VideoId i) {
+    video_versions_[VersionBucket(i)].fetch_add(1, std::memory_order_acq_rel);
+  }
+
   Options options_;
   Table<UserId> users_;
   Table<VideoId> videos_;
+
+  // Hashed per-video write versions backing serving-cache invalidation.
+  std::array<std::atomic<std::uint64_t>, kVersionBuckets> video_versions_{};
+
+  // Batch-read instrumentation (see ShardedKvStore's multiget counters).
+  Counter* multiget_calls_ = nullptr;
+  Counter* multiget_keys_ = nullptr;
+  Counter* multiget_hits_ = nullptr;
+  Counter* multiget_shard_batches_ = nullptr;
+  Histogram* multiget_span_ = nullptr;
 
   // Running mean μ: sum and count, updated lock-free.
   std::atomic<double> rating_sum_{0.0};

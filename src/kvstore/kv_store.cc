@@ -1,6 +1,8 @@
 #include "kvstore/kv_store.h"
 
+#include <algorithm>
 #include <bit>
+#include <utility>
 
 #include "common/fault_injection.h"
 
@@ -33,6 +35,16 @@ ShardedKvStore::ShardedKvStore(ShardedKvStoreOptions options) {
         "trace.stage." + options.metrics_prefix + "put.us");
     update_span_ = options.metrics->GetHistogram(
         "trace.stage." + options.metrics_prefix + "update.us");
+    multiget_calls_ =
+        options.metrics->GetCounter(options.metrics_prefix + "multiget.calls");
+    multiget_keys_ =
+        options.metrics->GetCounter(options.metrics_prefix + "multiget.keys");
+    multiget_hits_ =
+        options.metrics->GetCounter(options.metrics_prefix + "multiget.hits");
+    multiget_shard_batches_ = options.metrics->GetCounter(
+        options.metrics_prefix + "multiget.shard_batches");
+    multiget_span_ = options.metrics->GetHistogram(
+        "trace.stage." + options.metrics_prefix + "multiget.us");
   }
 }
 
@@ -45,6 +57,73 @@ const ShardedKvStore::Shard& ShardedKvStore::ShardFor(
     const std::string& key) const {
   const std::size_t h = std::hash<std::string>{}(key);
   return *shards_[h & shard_mask_];
+}
+
+std::size_t ShardedKvStore::ShardIndexFor(const std::string& key) const {
+  return std::hash<std::string>{}(key) & shard_mask_;
+}
+
+std::vector<StatusOr<std::string>> KvStore::MultiGet(
+    std::span<const std::string> keys) const {
+  std::vector<StatusOr<std::string>> results;
+  results.reserve(keys.size());
+  for (const std::string& key : keys) results.push_back(Get(key));
+  return results;
+}
+
+std::vector<StatusOr<std::string>> ShardedKvStore::MultiGet(
+    std::span<const std::string> keys) const {
+  if (multiget_calls_ != nullptr) multiget_calls_->Increment();
+  if (multiget_keys_ != nullptr) {
+    multiget_keys_->Increment(static_cast<std::int64_t>(keys.size()));
+  }
+  std::vector<StatusOr<std::string>> results(
+      keys.size(), StatusOr<std::string>(Status::NotFound("not looked up")));
+  if (const Status fault = RTREC_FAULT_POINT("kvstore.multiget");
+      !fault.ok()) {
+    std::fill(results.begin(), results.end(),
+              StatusOr<std::string>(fault));
+    return results;
+  }
+  TraceSpan span(multiget_span_);
+
+  // Bucket key indices by shard, then visit each shard's run under one
+  // lock acquisition. Sorting (shard, position) pairs groups the keys
+  // without a per-shard allocation.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> order;
+  order.reserve(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    order.emplace_back(static_cast<std::uint32_t>(ShardIndexFor(keys[i])),
+                       static_cast<std::uint32_t>(i));
+  }
+  std::sort(order.begin(), order.end());
+
+  std::uint64_t hits = 0;
+  std::uint64_t shard_batches = 0;
+  for (std::size_t i = 0; i < order.size();) {
+    const std::size_t shard_index = order[i].first;
+    const Shard& shard = *shards_[shard_index];
+    std::shared_lock lock(shard.mu);
+    ++shard_batches;
+    for (; i < order.size() && order[i].first == shard_index; ++i) {
+      const std::size_t key_index = order[i].second;
+      auto it = shard.map.find(keys[key_index]);
+      if (it == shard.map.end()) {
+        results[key_index] = Status::NotFound("key '" + keys[key_index] + "'");
+      } else {
+        results[key_index] = it->second;
+        ++hits;
+      }
+    }
+  }
+  if (multiget_hits_ != nullptr) {
+    multiget_hits_->Increment(static_cast<std::int64_t>(hits));
+  }
+  if (multiget_shard_batches_ != nullptr) {
+    multiget_shard_batches_->Increment(
+        static_cast<std::int64_t>(shard_batches));
+  }
+  return results;
 }
 
 StatusOr<std::string> ShardedKvStore::Get(const std::string& key) const {

@@ -1,6 +1,7 @@
 #include "service/recommendation_service.h"
 
 #include <filesystem>
+#include <unordered_set>
 
 #include "common/fault_injection.h"
 #include "kvstore/checkpoint.h"
@@ -13,6 +14,9 @@ RecommendationService::RecommendationService(VideoTypeResolver type_resolver)
 RecommendationService::RecommendationService(VideoTypeResolver type_resolver,
                                              Options options)
     : options_(std::move(options)), hot_(options_.hot) {
+  // The engines register their own metrics (kvstore.multiget.*,
+  // service.factor_cache.*) against the service's registry.
+  options_.engine.metrics = options_.metrics;
   Recommender* primary = nullptr;
   if (options_.demographic_training) {
     DemographicTrainer::Options trainer_options;
@@ -91,10 +95,40 @@ std::vector<ScoredVideo> RecommendationService::FallbackRecommend(
   const std::size_t n =
       request.top_n > 0 ? request.top_n : options_.filter.top_n;
   const GroupId group = grouper_.GroupOf(request.user);
-  std::vector<ScoredVideo> hot = hot_.Hottest(group, n, request.now);
-  if (hot.empty() && group != kGlobalGroup) {
-    hot = hot_.Hottest(kGlobalGroup, n, request.now);
+
+  // Honour the same exclusions as the primary path: never hand back the
+  // video the user is watching (request seeds), and under exclude_watched
+  // drop their history too — a degraded answer must not be "the page you
+  // are on".
+  std::unordered_set<VideoId> excluded(request.seed_videos.begin(),
+                                       request.seed_videos.end());
+  if (options_.engine.recommend.exclude_watched) {
+    const RecEngine* engine = nullptr;
+    if (trainer_ != nullptr) {
+      engine = trainer_->GetEngine(group);
+      if (engine == nullptr) engine = trainer_->GetEngine(kGlobalGroup);
+    } else {
+      engine = global_engine_.get();
+    }
+    if (engine != nullptr) {
+      for (const HistoryEntry& e : engine->history().Get(request.user)) {
+        excluded.insert(e.video);
+      }
+    }
   }
+
+  // Over-fetch so the list survives filtering at full length.
+  const std::size_t fetch = n + excluded.size();
+  std::vector<ScoredVideo> hot = hot_.Hottest(group, fetch, request.now);
+  if (hot.empty() && group != kGlobalGroup) {
+    hot = hot_.Hottest(kGlobalGroup, fetch, request.now);
+  }
+  if (!excluded.empty()) {
+    std::erase_if(hot, [&excluded](const ScoredVideo& v) {
+      return excluded.contains(v.video);
+    });
+  }
+  if (hot.size() > n) hot.resize(n);
   return hot;
 }
 

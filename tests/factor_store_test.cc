@@ -6,6 +6,8 @@
 #include <thread>
 #include <vector>
 
+#include "kvstore/factor_cache.h"
+
 namespace rtrec {
 namespace {
 
@@ -146,6 +148,83 @@ TEST(FactorStoreTest, ConcurrentUpdatesOnSameKeyAreSerialized) {
   }
   for (auto& th : threads) th.join();
   EXPECT_FLOAT_EQ(store.GetUser(1)->bias, 10000.0f);
+}
+
+TEST(FactorStoreTest, GetVideosBatchMatchesSingleGets) {
+  FactorStore store(SmallOptions());
+  for (VideoId v = 1; v <= 30; v += 2) store.GetOrInitVideo(v);
+  std::vector<VideoId> ids;
+  for (VideoId v = 1; v <= 40; ++v) ids.push_back(v);  // Hits and misses.
+  std::vector<FactorStore::VideoBatchEntry> batch = store.GetVideos(ids);
+  ASSERT_EQ(batch.size(), ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    StatusOr<FactorEntry> single = store.GetVideo(ids[i]);
+    ASSERT_EQ(batch[i].found, single.ok()) << "video " << ids[i];
+    if (single.ok()) {
+      EXPECT_EQ(batch[i].entry.vec, single->vec);
+      EXPECT_EQ(batch[i].version, store.VideoVersion(ids[i]));
+    }
+  }
+  EXPECT_TRUE(store.GetVideos({}).empty());
+}
+
+TEST(FactorStoreTest, VideoVersionBumpsOnEveryWrite) {
+  FactorStore store(SmallOptions());
+  const VideoId v = 17;
+  const std::uint64_t v0 = store.VideoVersion(v);
+  store.GetOrInitVideo(v);  // First materialization bumps.
+  const std::uint64_t v1 = store.VideoVersion(v);
+  EXPECT_GT(v1, v0);
+  store.GetOrInitVideo(v);  // Re-read does not.
+  EXPECT_EQ(store.VideoVersion(v), v1);
+  store.UpdateVideo(v, [](FactorEntry& e) { e.bias += 1.0f; });
+  const std::uint64_t v2 = store.VideoVersion(v);
+  EXPECT_GT(v2, v1);
+  store.PutVideo(v, store.MakeInitialEntry(v, /*is_user=*/false));
+  EXPECT_GT(store.VideoVersion(v), v2);
+}
+
+TEST(FactorCacheTest, HitsOnlyAtCurrentVersion) {
+  FactorStore store(SmallOptions());
+  FactorCache cache(&store, 64, nullptr);
+  const VideoId v = 5;
+  store.GetOrInitVideo(v);
+  std::vector<VideoId> ids = {v};
+  std::vector<FactorStore::VideoBatchEntry> batch = store.GetVideos(ids);
+  ASSERT_TRUE(batch[0].found);
+
+  FactorEntry out;
+  EXPECT_FALSE(cache.Lookup(v, &out));  // Cold.
+  cache.Insert(v, batch[0].entry, batch[0].version);
+  ASSERT_TRUE(cache.Lookup(v, &out));
+  EXPECT_EQ(out.vec, batch[0].entry.vec);
+
+  // A write invalidates the cached copy without touching the cache.
+  store.UpdateVideo(v, [](FactorEntry& e) { e.bias = 9.0f; });
+  EXPECT_FALSE(cache.Lookup(v, &out));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+
+  // Re-fill at the new version serves the new entry.
+  batch = store.GetVideos(ids);
+  cache.Insert(v, batch[0].entry, batch[0].version);
+  ASSERT_TRUE(cache.Lookup(v, &out));
+  EXPECT_FLOAT_EQ(out.bias, 9.0f);
+}
+
+TEST(FactorStoreTest, MultiGetMetricsRegistered) {
+  MetricsRegistry registry;
+  FactorStore::Options options = SmallOptions();
+  options.metrics = &registry;
+  FactorStore store(options);
+  for (VideoId v = 1; v <= 10; ++v) store.GetOrInitVideo(v);
+  std::vector<VideoId> ids = {1, 2, 3, 99};
+  (void)store.GetVideos(ids);
+  EXPECT_EQ(registry.GetCounter("kvstore.multiget.calls")->value(), 1);
+  EXPECT_EQ(registry.GetCounter("kvstore.multiget.keys")->value(), 4);
+  EXPECT_EQ(registry.GetCounter("kvstore.multiget.hits")->value(), 3);
+  EXPECT_GT(registry.GetCounter("kvstore.multiget.shard_batches")->value(),
+            0);
 }
 
 TEST(FactorStoreTest, ForEachVideoVisitsAll) {

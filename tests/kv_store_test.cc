@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -118,6 +119,62 @@ TEST(ShardedKvStoreTest, ConcurrentUpdatesOnOneKeyAreAtomic) {
   for (auto& th : threads) th.join();
   EXPECT_EQ(store.Get("counter")->size(),
             static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST(ShardedKvStoreTest, MultiGetAlignsResultsWithKeys) {
+  ShardedKvStore store;
+  for (int i = 0; i < 50; ++i) {
+    store.Put("k" + std::to_string(i), "v" + std::to_string(i));
+  }
+  // Hits and misses interleaved, plus a duplicate key.
+  std::vector<std::string> keys;
+  for (int i = 0; i < 60; i += 3) keys.push_back("k" + std::to_string(i));
+  keys.push_back("k3");
+  std::vector<StatusOr<std::string>> results = store.MultiGet(keys);
+  ASSERT_EQ(results.size(), keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const int n = std::stoi(keys[i].substr(1));
+    if (n < 50) {
+      ASSERT_TRUE(results[i].ok()) << keys[i];
+      EXPECT_EQ(*results[i], "v" + std::to_string(n));
+    } else {
+      EXPECT_TRUE(results[i].status().IsNotFound()) << keys[i];
+    }
+  }
+}
+
+TEST(ShardedKvStoreTest, MultiGetEmptyAndMetrics) {
+  MetricsRegistry registry;
+  ShardedKvStoreOptions options;
+  options.metrics = &registry;
+  options.metrics_prefix = "test.";
+  ShardedKvStore store(options);
+  EXPECT_TRUE(store.MultiGet({}).empty());
+  store.Put("a", "1");
+  store.Put("b", "2");
+  std::vector<std::string> keys = {"a", "b", "missing"};
+  (void)store.MultiGet(keys);
+  EXPECT_EQ(registry.GetCounter("test.multiget.calls")->value(), 2);
+  EXPECT_EQ(registry.GetCounter("test.multiget.keys")->value(), 3);
+  EXPECT_EQ(registry.GetCounter("test.multiget.hits")->value(), 2);
+  // Shard batches never exceed the key count.
+  EXPECT_LE(registry.GetCounter("test.multiget.shard_batches")->value(), 3);
+  EXPECT_GT(registry.GetCounter("test.multiget.shard_batches")->value(), 0);
+}
+
+TEST(ShardedKvStoreTest, MultiGetMatchesGetUnderRandomKeys) {
+  ShardedKvStore store;
+  for (int i = 0; i < 200; i += 2) {
+    store.Put("key" + std::to_string(i), std::to_string(i * i));
+  }
+  std::vector<std::string> keys;
+  for (int i = 0; i < 200; i += 7) keys.push_back("key" + std::to_string(i));
+  std::vector<StatusOr<std::string>> batch = store.MultiGet(keys);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    StatusOr<std::string> single = store.Get(keys[i]);
+    ASSERT_EQ(batch[i].ok(), single.ok()) << keys[i];
+    if (single.ok()) EXPECT_EQ(*batch[i], *single);
+  }
 }
 
 TEST(ShardedKvStoreTest, ConcurrentDisjointKeysAllLand) {

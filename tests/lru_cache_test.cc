@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
+#include "common/random.h"
 #include "common/types.h"
 
 namespace rtrec {
@@ -87,6 +92,71 @@ TEST(LruCacheTest, ZeroCapacityClampsToOne) {
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_EQ(cache.Get(1), nullptr);
   EXPECT_NE(cache.Get(2), nullptr);
+}
+
+TEST(LruCacheTest, FuzzEvictionOrderAndCounters) {
+  // Replay a random Get/Put/Erase workload against a naive recency-list
+  // model. The key domain (16) exceeds capacity (6), so evictions happen
+  // constantly; any divergence in eviction order shows up as a membership
+  // mismatch on a later Get.
+  Rng rng(42);
+  constexpr std::size_t kCap = 6;
+  LruCache<std::uint64_t, std::uint64_t> cache(kCap);
+  std::vector<std::uint64_t> order;  // Front = most recent.
+  std::unordered_map<std::uint64_t, std::uint64_t> values;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  auto touch = [&order](std::uint64_t key) {
+    order.erase(std::find(order.begin(), order.end(), key));
+    order.insert(order.begin(), key);
+  };
+  for (int step = 0; step < 4000; ++step) {
+    const std::uint64_t op = rng.NextUint64(10);
+    const std::uint64_t key = rng.NextUint64(16);
+    if (op < 4) {  // Get.
+      std::uint64_t* got = cache.Get(key);
+      if (values.contains(key)) {
+        ++hits;
+        ASSERT_NE(got, nullptr) << "step " << step << " key " << key;
+        ASSERT_EQ(*got, values[key]) << "step " << step;
+        touch(key);
+      } else {
+        ++misses;
+        ASSERT_EQ(got, nullptr) << "step " << step << " key " << key;
+      }
+    } else if (op < 8) {  // Put.
+      const std::uint64_t value = rng.NextUint64();
+      cache.Put(key, value);
+      if (values.contains(key)) {
+        values[key] = value;
+        touch(key);
+      } else {
+        if (order.size() >= kCap) {
+          values.erase(order.back());
+          order.pop_back();
+        }
+        values[key] = value;
+        order.insert(order.begin(), key);
+      }
+    } else {  // Erase.
+      const bool removed = cache.Erase(key);
+      ASSERT_EQ(removed, values.erase(key) > 0) << "step " << step;
+      if (removed) {
+        order.erase(std::find(order.begin(), order.end(), key));
+      }
+    }
+    ASSERT_EQ(cache.size(), order.size()) << "step " << step;
+    ASSERT_EQ(cache.hits(), hits) << "step " << step;
+    ASSERT_EQ(cache.misses(), misses) << "step " << step;
+  }
+  // Drain check: fresh keys (more recent than every survivor) must evict
+  // the survivors in exact reverse-recency order.
+  std::uint64_t fresh = 1000000;
+  while (cache.size() < kCap) cache.Put(fresh++, 0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    cache.Put(fresh++, 0);
+    EXPECT_EQ(cache.Get(*it), nullptr) << "expected victim " << *it;
+  }
 }
 
 TEST(LruCacheTest, CustomHashWorks) {

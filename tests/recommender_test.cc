@@ -241,6 +241,88 @@ TEST_F(MfRecommenderTest, HugeTopNReturnsWhatExists) {
   EXPECT_LE(recs->size(), 5u);  // Bounded by actual candidates.
 }
 
+TEST(FrontierExpansionTest, RepeatedImprovementDoesNotCrowdOutFrontier) {
+  // Regression: a candidate whose best path similarity improves more than
+  // once within a hop (reached from several frontier nodes) used to be
+  // appended to the next frontier once per improvement, so its duplicates
+  // crowded distinct candidates out of the capped frontier.
+  RecEngine::Options options;
+  options.model.num_factors = 8;
+  options.recommend.candidate_hops = 2;
+  options.recommend.hop_fanout = 1;  // Frontier cap = fanout·|seeds| = 2.
+  RecEngine engine([](VideoId) -> VideoType { return 0; }, options);
+  const Timestamp now = 1000;
+  // Both seeds (100, 101) point at A=200 with different strengths, so A's
+  // best path similarity improves twice in hop 0. Only the weaker branch
+  // B=201 leads on to C=300.
+  SimTableStore& table = engine.sim_table();
+  table.Update(100, 200, 0.90, now);
+  table.Update(101, 200, 0.95, now);
+  table.Update(100, 201, 0.50, now);
+  table.Update(201, 300, 0.80, now);
+
+  RecRequest request;
+  request.user = 999;
+  request.seed_videos = {100, 101};
+  request.now = now;
+  auto recs = engine.Recommend(request);
+  ASSERT_TRUE(recs.ok());
+  bool found_c = false;
+  for (const auto& r : *recs) found_c |= (r.video == 300);
+  EXPECT_TRUE(found_c) << "duplicate frontier slots for video 200 crowded "
+                          "out 201, so 300 was never reached";
+}
+
+TEST(FactorCacheEquivalenceTest, CachedServingMatchesUncached) {
+  auto build = [](std::size_t cache_size) {
+    RecEngine::Options options;
+    options.model.num_factors = 8;
+    options.recommend.factor_cache_size = cache_size;
+    auto engine = std::make_unique<RecEngine>(
+        [](VideoId) -> VideoType { return 0; }, options);
+    Timestamp t = 1000;
+    for (int round = 0; round < 10; ++round) {
+      for (UserId u = 1; u <= 6; ++u) {
+        for (VideoId v : {10, 12, 14, 16}) {
+          engine->Observe(Play(u, v, t));
+          t += 1000;
+        }
+      }
+    }
+    return std::make_pair(std::move(engine), t);
+  };
+  auto [cached, t1] = build(4096);
+  auto [uncached, t2] = build(0);
+  ASSERT_EQ(t1, t2);
+  EXPECT_EQ(uncached->recommender().factor_cache(), nullptr);
+
+  RecRequest request;
+  request.user = 3;
+  request.now = t1;
+  auto warm = cached->Recommend(request);  // Fill the cache.
+  ASSERT_TRUE(warm.ok());
+  auto a = cached->Recommend(request);
+  auto b = uncached->Recommend(request);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *warm);
+  EXPECT_EQ(*a, *b);
+  FactorCache* cache = cached->recommender().factor_cache();
+  ASSERT_NE(cache, nullptr);
+  EXPECT_GT(cache->hits(), 0u);
+
+  // An update to a video invalidates exactly its cached entry: the next
+  // serve re-reads it from the store and still matches the uncached path.
+  cached->Observe(Play(3, 10, t1 + 1000));
+  uncached->Observe(Play(3, 10, t1 + 1000));
+  request.now = t1 + 1000;
+  auto a2 = cached->Recommend(request);
+  auto b2 = uncached->Recommend(request);
+  ASSERT_TRUE(a2.ok());
+  ASSERT_TRUE(b2.ok());
+  EXPECT_EQ(*a2, *b2);
+}
+
 TEST(TransitiveClosureTest, SecondHopReachesChainNeighbors) {
   // Similar-video chain 10—11—12 with no direct (10, 12) co-watch:
   // 1-hop expansion from seed 10 cannot see 12; the YouTube-style 2-hop

@@ -106,6 +106,32 @@ TEST(RecommendationServiceTest, MetricsCountTraffic) {
   EXPECT_EQ(service.request_latency().count(), 1u);
 }
 
+TEST(RecommendationServiceTest, ServingPathMetricsVisible) {
+  // The batched VectorsGet and the factor cache must surface through the
+  // service registry (the Stats RPC serves exactly this registry).
+  MetricsRegistry registry;
+  RecommendationService::Options options = FastOptions();
+  options.metrics = &registry;
+  RecommendationService service(OneType(), options);
+  Timestamp t = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (UserId u = 1; u <= 4; ++u) {
+      service.Observe(Play(u, 10, t += 1000));
+      service.Observe(Play(u, 11, t += 1000));
+    }
+  }
+  RecRequest request;
+  request.user = 1;
+  request.seed_videos = {10};
+  request.now = t;
+  ASSERT_TRUE(service.Recommend(request).ok());
+  ASSERT_TRUE(service.Recommend(request).ok());  // Second serve hits cache.
+  EXPECT_GT(registry.GetCounter("kvstore.multiget.calls")->value(), 0);
+  EXPECT_GT(registry.GetCounter("kvstore.multiget.keys")->value(), 0);
+  EXPECT_GT(registry.GetCounter("service.factor_cache.misses")->value(), 0);
+  EXPECT_GT(registry.GetCounter("service.factor_cache.hits")->value(), 0);
+}
+
 TEST(RecommendationServiceTest, ConcurrentTrafficIsSafe) {
   RecommendationService service(OneType(), FastOptions());
   for (UserId u = 1; u <= 8; ++u) service.RegisterProfile(u, MaleYoung());
@@ -177,6 +203,56 @@ TEST(RecommendationServiceTest, GlobalModeCheckpointRoundTrip) {
   RecommendationService restored(OneType(), options);
   ASSERT_TRUE(restored.Restore(dir).ok());
   std::filesystem::remove_all(dir);
+}
+
+TEST(RecommendationServiceTest, FallbackExcludesRequestSeeds) {
+  // Regression: the degraded-mode path used to ignore request.seed_videos
+  // and could hand back the very video the user was watching.
+  RecommendationService service(OneType(), FastOptions());
+  for (UserId u = 1; u <= 5; ++u) service.Observe(Play(u, 100, 1000));
+  for (UserId u = 1; u <= 3; ++u) service.Observe(Play(u, 101, 2000));
+  RecRequest request;
+  request.user = 999;
+  request.seed_videos = {100};  // The video on screen — and the hottest.
+  request.top_n = 1;
+  request.now = 3000;
+  std::vector<ScoredVideo> recs = service.FallbackRecommend(request);
+  ASSERT_FALSE(recs.empty());
+  EXPECT_EQ(recs[0].video, 101u);
+}
+
+TEST(RecommendationServiceTest, FallbackExcludesWatchedWhenConfigured) {
+  RecommendationService::Options options = FastOptions();
+  options.engine.recommend.exclude_watched = true;
+  RecommendationService service(OneType(), options);
+  for (UserId u = 1; u <= 5; ++u) service.Observe(Play(u, 100, 1000));
+  for (UserId u = 1; u <= 3; ++u) service.Observe(Play(u, 101, 2000));
+  service.Observe(Play(7, 100, 2500));  // User 7 already watched 100.
+  RecRequest request;
+  request.user = 7;
+  request.top_n = 2;
+  request.now = 3000;
+  std::vector<ScoredVideo> recs = service.FallbackRecommend(request);
+  ASSERT_FALSE(recs.empty());
+  for (const auto& r : recs) EXPECT_NE(r.video, 100u);
+}
+
+TEST(RecommendationServiceTest, FallbackStillFullWhenSeedsOverlapHotList) {
+  // Over-fetching keeps the page full after filtering.
+  RecommendationService service(OneType(), FastOptions());
+  for (UserId u = 1; u <= 5; ++u) {
+    service.Observe(Play(u, 100, 1000));
+    service.Observe(Play(u, 101, 1500));
+    service.Observe(Play(u, 102, 2000));
+  }
+  RecRequest request;
+  request.user = 999;
+  request.seed_videos = {100};
+  request.top_n = 2;
+  request.now = 3000;
+  std::vector<ScoredVideo> recs = service.FallbackRecommend(request);
+  EXPECT_EQ(recs.size(), 2u);
+  for (const auto& r : recs) EXPECT_NE(r.video, 100u);
 }
 
 TEST(RecommendationServiceTest, ProfilesRouteToGroupEngines) {

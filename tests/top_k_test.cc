@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
+#include <unordered_map>
 
 #include "common/random.h"
 
@@ -116,6 +119,63 @@ TEST(TopKTest, FindOnEmptyReturnsNull) {
   TopK<int> top(4);
   EXPECT_EQ(top.Find(99), nullptr);
   EXPECT_TRUE(top.empty());
+}
+
+TEST(TopKTest, FuzzAgainstExactReference) {
+  // With continuous random scores (no ties), TopK's retained set is fully
+  // determined: an upsert against a full list evicts the current minimum
+  // iff the new score beats it, erases shrink the set, and a monotonic
+  // transform preserves membership. Replay a random workload against that
+  // naive model and check the full state after every operation.
+  Rng rng(2016);
+  constexpr std::size_t kK = 8;
+  TopK<std::uint64_t> top(kK);
+  std::unordered_map<std::uint64_t, double> ref;
+  for (int step = 0; step < 5000; ++step) {
+    const std::uint64_t op = rng.NextUint64(10);
+    if (op < 7) {  // Upsert.
+      const std::uint64_t key = rng.NextUint64(40);
+      const double score = rng.NextDouble();
+      const bool kept = top.Upsert(key, score);
+      if (ref.contains(key) || ref.size() < kK) {
+        ref[key] = score;
+        EXPECT_TRUE(kept);
+      } else {
+        auto min_it = std::min_element(
+            ref.begin(), ref.end(), [](const auto& a, const auto& b) {
+              return a.second < b.second;
+            });
+        if (score > min_it->second) {
+          ref.erase(min_it);
+          ref[key] = score;
+          EXPECT_TRUE(kept);
+        } else {
+          EXPECT_FALSE(kept);
+        }
+      }
+    } else if (op < 9) {  // Erase.
+      const std::uint64_t key = rng.NextUint64(40);
+      EXPECT_EQ(top.Erase(key), ref.erase(key) > 0);
+    } else {  // Monotonic rescale (time decay shape).
+      const double scale = rng.NextDouble(0.5, 1.5);
+      top.TransformScores([scale](double s) { return s * scale; });
+      for (auto& [key, value] : ref) value *= scale;
+    }
+    ASSERT_EQ(top.size(), ref.size()) << "step " << step;
+    double prev = std::numeric_limits<double>::infinity();
+    for (const auto& entry : top.entries()) {
+      ASSERT_LE(entry.score, prev) << "step " << step;
+      prev = entry.score;
+      auto it = ref.find(entry.key);
+      ASSERT_NE(it, ref.end()) << "step " << step << " key " << entry.key;
+      // Both sides applied bit-identical arithmetic, so exact equality.
+      ASSERT_EQ(entry.score, it->second) << "step " << step;
+      const double* found = top.Find(entry.key);
+      ASSERT_NE(found, nullptr) << "step " << step;
+      ASSERT_EQ(*found, entry.score) << "step " << step;
+    }
+  }
+  EXPECT_EQ(top.Find(999999), nullptr);
 }
 
 }  // namespace

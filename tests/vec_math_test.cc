@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <vector>
+
 #include "common/clock.h"
 #include "common/types.h"
 
@@ -12,6 +15,23 @@ TEST(VecMathTest, DotProduct) {
   EXPECT_DOUBLE_EQ(Dot({1.0f, 2.0f, 3.0f}, {4.0f, 5.0f, 6.0f}), 32.0);
   EXPECT_DOUBLE_EQ(Dot({}, {}), 0.0);
   EXPECT_DOUBLE_EQ(Dot({1.0f, -1.0f}, {1.0f, 1.0f}), 0.0);
+}
+
+TEST(VecMathTest, UnrolledDotHandlesAllTailLengths) {
+  // The 4-way unrolled accumulator must agree with a plain loop for every
+  // remainder length (n mod 4) and for n < 4.
+  for (std::size_t n = 0; n <= 13; ++n) {
+    std::vector<float> a(n);
+    std::vector<float> b(n);
+    double expected = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<float>(i) + 0.5f;
+      b[i] = 2.0f - static_cast<float>(i) * 0.25f;
+      expected += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+    }
+    EXPECT_DOUBLE_EQ(Dot(a, b), expected) << "n = " << n;
+    EXPECT_DOUBLE_EQ(Dot(a.data(), b.data(), n), expected) << "n = " << n;
+  }
 }
 
 TEST(VecMathTest, Norms) {
