@@ -1,4 +1,4 @@
-// Unified benchmark runner: one binary, three phases, one
+// Unified benchmark runner: one binary, four phases, one
 // machine-readable ledger.
 //
 //   ingest  — replays a seeded synthetic action stream through the
@@ -10,18 +10,23 @@
 //             reports QPS, client/server percentiles, and a Stats-RPC
 //             scrape pair (verifying counters are monotone);
 //   recall  — offline recall@N / average-rank of the CombineModel
-//             engine under the Section 6.1 protocol.
+//             engine under the Section 6.1 protocol;
+//   quality — drives a deterministic co-watch workload through a
+//             service with the quality monitor attached and reports the
+//             live signals (progressive logloss, online recall@10, the
+//             CTR join segments, drift gauges, alert counters).
 //
 // Everything is seeded (WorldConfig seed 2016), so two runs on the same
 // machine produce the same workload; timings of course vary.
 //
-//   $ ./bench_runner [--smoke] [--out=BENCH_PR4.json]
+//   $ ./bench_runner [--smoke] [--out=BENCH_PR5.json]
 //                    [--connections=N] [--seconds=N]
 //
 // --smoke shrinks every phase for CI (a few seconds total). The ledger
-// is written to --out (default BENCH_PR4.json in the working
+// is written to --out (default BENCH_PR5.json in the working
 // directory); scripts/bench.sh wraps the build + run + validate cycle.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -445,11 +450,131 @@ bool RunRecall(Json& json, bool smoke) {
   return true;
 }
 
+// --- Phase 4: quality ------------------------------------------------------
+
+bool RunQuality(Json& json, bool smoke) {
+  rtrec::MetricsRegistry metrics;
+  rtrec::RecommendationService::Options service_options;
+  service_options.metrics = &metrics;
+  service_options.engine.model.num_factors = 16;
+  service_options.quality.holdout_every_n = 5;
+  service_options.quality.num_arms = 2;
+  rtrec::RecommendationService service(
+      [](rtrec::VideoId v) -> rtrec::VideoType { return v < 100 ? 0 : 1; },
+      service_options);
+
+  // Deterministic co-watch workload: every user cycles the same small
+  // catalog slice, so the 1-in-5 held-out actions are predictable from
+  // the co-watch structure and online recall comes out > 0.
+  const int rounds = smoke ? 20 : 60;
+  const int num_users = 12;
+  const int num_videos = 4;
+  rtrec::Timestamp t = 0;
+  const auto t0 = Clock::now();
+  for (int round = 0; round < rounds; ++round) {
+    for (rtrec::UserId user = 1; user <= num_users; ++user) {
+      for (int v = 0; v < num_videos; ++v) {
+        service.Observe(
+            Watch(user, 10 + static_cast<rtrec::VideoId>(v), t += 1000));
+      }
+    }
+  }
+
+  // Serving + click simulation for the CTR join: every user gets a page
+  // and every third user "clicks" its top slot; a couple of users take
+  // the degraded (hot-video fallback) path instead.
+  for (rtrec::UserId user = 1; user <= num_users; ++user) {
+    rtrec::RecRequest request;
+    request.user = user;
+    request.top_n = 5;
+    request.now = t;
+    std::vector<rtrec::ScoredVideo> page;
+    if (user % 6 == 0) {
+      page = service.FallbackRecommend(request);
+    } else {
+      auto served = service.Recommend(request);
+      if (served.ok()) page = std::move(served).value();
+    }
+    if (!page.empty() && user % 3 == 0) {
+      rtrec::UserAction click;
+      click.user = user;
+      click.video = page[0].video;
+      click.type = rtrec::ActionType::kClick;
+      click.time = t + 10;
+      service.Observe(click);
+    }
+  }
+  const double elapsed = Seconds(t0, Clock::now());
+
+  auto counter = [&metrics](const char* name) {
+    return metrics.GetCounter(name)->value();
+  };
+  auto gauge = [&metrics](const char* name) {
+    return metrics.GetDoubleGauge(name)->value();
+  };
+
+  const std::int64_t evaluated = counter("quality.holdout.evaluated");
+  const std::int64_t hits = counter("quality.holdout.hits");
+  const double recall = gauge("quality.online_recall@10");
+  const double logloss = gauge("quality.progressive.logloss");
+
+  json.OpenObject("quality");
+  json.Field("elapsed_s", elapsed);
+  json.OpenObject("progressive");
+  json.Field("samples", counter("quality.progressive.samples"));
+  json.Field("logloss", logloss);
+  json.Field("bias", gauge("quality.progressive.bias"));
+  json.Close();
+  json.OpenObject("holdout");
+  json.Field("evaluated", evaluated);
+  json.Field("hits", hits);
+  json.Field("online_recall_at_10", recall);
+  json.Close();
+  json.OpenObject("ctr");
+  json.Field("impressions", counter("quality.ctr.impressions"));
+  json.Field("clicks", counter("quality.ctr.clicks"));
+  json.Field("overall", gauge("quality.ctr.overall"));
+  json.Field("position_weighted", gauge("quality.ctr.position_weighted"));
+  json.Field("primary", gauge("quality.ctr.primary"));
+  json.Field("degraded", gauge("quality.ctr.degraded"));
+  json.Field("arm_0", gauge("quality.ctr.arm.0"));
+  json.Field("arm_1", gauge("quality.ctr.arm.1"));
+  json.Field("duplicate_clicks", counter("quality.ctr.duplicate_clicks"));
+  json.Field("unmatched_engagements",
+             counter("quality.ctr.unmatched_engagements"));
+  json.Close();
+  json.OpenObject("drift");
+  json.Field("embedding_norm", gauge("quality.drift.embedding_norm"));
+  json.Field("global_bias", gauge("quality.drift.global_bias"));
+  json.Field("sim_staleness_ms",
+             metrics.GetGauge("quality.drift.sim_staleness_ms")->value());
+  json.Field("served_coverage", gauge("quality.drift.served_coverage"));
+  json.Close();
+  json.OpenObject("alerts");
+  json.Field("logloss", counter("quality.alerts.logloss"));
+  json.Field("calibration", counter("quality.alerts.calibration"));
+  json.Field("embedding_norm", counter("quality.alerts.embedding_norm"));
+  json.Field("bias_drift", counter("quality.alerts.bias_drift"));
+  json.Field("staleness", counter("quality.alerts.staleness"));
+  json.Field("coverage", counter("quality.alerts.coverage"));
+  json.Close();
+  json.Close();
+
+  std::printf("quality  logloss %.4f, online recall@10 %.4f "
+              "(%lld/%lld holdouts), ctr %.3f\n",
+              logloss, recall, static_cast<long long>(hits),
+              static_cast<long long>(evaluated),
+              gauge("quality.ctr.overall"));
+  // The signals the ledger validation gates on: a model that trained on
+  // a co-watch workload must be able to predict some of it.
+  return evaluated > 0 && hits > 0 && std::isfinite(logloss) && logloss > 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
-  std::string out_path = "BENCH_PR4.json";
+  std::string out_path = "BENCH_PR5.json";
   int connections = 8;
   int seconds = 3;
   for (int i = 1; i < argc; ++i) {
@@ -482,6 +607,7 @@ int main(int argc, char** argv) {
   bool ok = RunIngest(json, smoke);
   ok = RunServe(json, smoke, connections, seconds) && ok;
   ok = RunRecall(json, smoke) && ok;
+  ok = RunQuality(json, smoke) && ok;
   json.Close();
 
   std::ofstream out(out_path, std::ios::trunc);

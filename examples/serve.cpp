@@ -6,16 +6,26 @@
 //   $ ./serve [port] [workers] [--checkpoint-dir=DIR]
 //             [--checkpoint-interval-ms=N] [--deadline-ms=N]
 //             [--stats-port=N] [--trace-sample-every-n=N]
+//             [--quality-holdout-every-n=N] [--quality-arms=N]
 //
 // Defaults: port 7471, 4 workers, no checkpointing, no deadline, no
-// stats endpoint, trace sampling 1-in-64.
+// stats endpoint, trace sampling 1-in-64, quality holdout 1-in-100,
+// 2 A/B arms.
 //
 // With --stats-port the server also exposes its metrics registry over
 // plain HTTP in Prometheus text format (curl http://127.0.0.1:N/metrics
-// or point a scraper at it); the same text is always available in-band
+// or point a scraper at it; /quality narrows the scrape to the
+// model-quality section); the same text is always available in-band
 // via the wire protocol's Stats RPC (RecClient::Stats). Request tracing
 // is on by default: 1 in --trace-sample-every-n requests records
 // per-stage latencies under "trace.*" (0 disables tracing).
+//
+// Model-quality monitoring is always on (the service has a metrics
+// registry): progressive-validation logloss, online recall@N over a
+// deterministic 1-in---quality-holdout-every-n held-out slice (0
+// disables the holdout), live CTR joined from served impressions
+// segmented over --quality-arms A/B arms, and the drift watchdog — all
+// under "quality.*". See docs/OPERATIONS.md, "Reading model quality".
 //
 // With --checkpoint-dir the server restores the model from the last
 // snapshot on boot (fresh warm-up if none exists) and a background
@@ -83,6 +93,8 @@ int main(int argc, char** argv) {
   int deadline_ms = 0;
   int stats_port = -1;  // -1 = no HTTP stats endpoint.
   int trace_sample_every_n = 64;
+  int quality_holdout_every_n = 100;
+  int quality_arms = 2;
 
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
@@ -97,6 +109,10 @@ int main(int argc, char** argv) {
       stats_port = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "--trace-sample-every-n", &value)) {
       trace_sample_every_n = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--quality-holdout-every-n", &value)) {
+      quality_holdout_every_n = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--quality-arms", &value)) {
+      quality_arms = std::atoi(value.c_str());
     } else {
       positional.push_back(argv[i]);
     }
@@ -110,6 +126,12 @@ int main(int argc, char** argv) {
   // as the quickstart.
   rtrec::RecommendationService::Options service_options;
   service_options.metrics = &rtrec::MetricsRegistry::Default();
+  service_options.quality.holdout_every_n =
+      quality_holdout_every_n < 0
+          ? 0u
+          : static_cast<std::size_t>(quality_holdout_every_n);
+  service_options.quality.num_arms =
+      quality_arms < 1 ? 1u : static_cast<std::size_t>(quality_arms);
   rtrec::RecommendationService service(
       [](rtrec::VideoId v) -> rtrec::VideoType { return v < 100 ? 0 : 1; },
       service_options);

@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
 # Build-and-run wrapper for the unified benchmark runner: runs the
-# ingest / serve / recall phases with fixed seeds and writes the
-# machine-readable ledger (BENCH_PR4.json), then validates it.
+# ingest / serve / recall / quality phases with fixed seeds and writes
+# the machine-readable ledger (BENCH_PR5.json), then validates it.
 #
 #   scripts/bench.sh [--smoke] [--build-dir=DIR] [--out=PATH]
 #
-# Defaults: full mode, ./build, BENCH_PR4.json in the repo root.
+# Defaults: full mode, ./build, BENCH_PR5.json in the repo root.
 # --smoke shrinks every phase to a few seconds — what CI runs. Exits
 # non-zero if the runner fails or the ledger is missing or malformed.
 
@@ -13,7 +13,7 @@ set -u
 
 smoke=""
 build_dir="build"
-out="BENCH_PR4.json"
+out="BENCH_PR5.json"
 for arg in "$@"; do
   case "${arg}" in
     --smoke) smoke="--smoke" ;;
@@ -42,7 +42,7 @@ fi
 # Validate the ledger: well-formed JSON carrying every promised metric.
 if command -v python3 >/dev/null 2>&1; then
   python3 - "${out}" <<'EOF' || exit 1
-import json, sys
+import json, math, sys
 with open(sys.argv[1]) as f:
     ledger = json.load(f)
 assert ledger["schema"] == "rtrec-bench/1", "unexpected schema tag"
@@ -55,13 +55,32 @@ assert ledger["serve"]["stats_scrape"]["counters_monotone"], \
 assert 0.0 <= ledger["recall"]["recall_at_10"] <= 1.0, "recall out of range"
 for key in ("p50_us", "p95_us", "p99_us"):
     assert key in ledger["serve"]["client_latency"], f"missing {key}"
+# Model-quality section: the live signals must be present and sane. The
+# co-watch workload is predictable by construction, so a zero held-out
+# recall or a non-finite logloss means the monitor (or its wiring into
+# the train/serve paths) is broken.
+quality = ledger["quality"]
+assert quality["progressive"]["samples"] > 0, "no progressive samples"
+logloss = quality["progressive"]["logloss"]
+assert isinstance(logloss, (int, float)) and math.isfinite(logloss) \
+    and logloss > 0, f"progressive logloss not finite-positive: {logloss}"
+assert quality["holdout"]["evaluated"] > 0, "no held-out actions evaluated"
+assert quality["holdout"]["hits"] > 0, "held-out recall is zero"
+assert 0.0 < quality["holdout"]["online_recall_at_10"] <= 1.0, \
+    "online recall out of range"
+assert 0.0 <= quality["ctr"]["overall"] <= 1.0, "CTR out of range"
+assert quality["ctr"]["impressions"] > 0, "CTR join saw no impressions"
+for key in ("logloss", "calibration", "embedding_norm", "bias_drift",
+            "staleness", "coverage"):
+    assert quality["alerts"][key] >= 0, f"missing alert counter {key}"
 print(f"ledger OK: {sys.argv[1]}")
 EOF
 else
   # No python3: fall back to a structural grep so the script still
   # catches an empty or truncated ledger.
   for field in '"schema": "rtrec-bench/1"' '"qps"' '"actions_per_sec"' \
-               '"recall_at_10"' '"p99_us"'; do
+               '"recall_at_10"' '"p99_us"' '"quality"' \
+               '"online_recall_at_10"' '"logloss"'; do
     if ! grep -q "${field}" "${out}"; then
       echo "bench.sh: ledger ${out} is missing ${field}" >&2
       exit 1

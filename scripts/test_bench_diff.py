@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Plain-python tests for scripts/bench_diff.py (no pytest dependency).
+
+Covers the warn-only contract: regressions print ::warning:: annotations
+but the exit code is always 0; missing/malformed ledgers degrade to a
+warning; recall is only compared when both ledgers ran the same mode.
+
+    python3 scripts/test_bench_diff.py
+"""
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_diff  # noqa: E402
+
+
+def ledger(qps=50000.0, p99=300.0, smoke=True,
+           recall=(0.5, 0.8, 0.9), schema="rtrec-bench/1"):
+    return {
+        "schema": schema,
+        "smoke": smoke,
+        "serve": {"qps": qps, "client_latency": {"p99_us": p99}},
+        "recall": {
+            "recall_at_1": recall[0],
+            "recall_at_5": recall[1],
+            "recall_at_10": recall[2],
+        },
+    }
+
+
+def run(baseline, fresh, extra_args=()):
+    """Runs bench_diff.main on two ledger dicts (or raw strings / None
+    for a missing file); returns (exit_code, captured_stdout)."""
+    paths = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for i, obj in enumerate((baseline, fresh)):
+            path = os.path.join(tmp, f"ledger{i}.json")
+            if obj is None:
+                pass  # Missing file: never written.
+            elif isinstance(obj, str):
+                with open(path, "w") as f:
+                    f.write(obj)
+            else:
+                with open(path, "w") as f:
+                    json.dump(obj, f)
+            paths.append(path)
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = bench_diff.main(["bench_diff.py"] + paths +
+                                   list(extra_args))
+    return code, out.getvalue()
+
+
+def check(name, condition, output):
+    if not condition:
+        print(f"FAIL: {name}\n--- captured output ---\n{output}")
+        sys.exit(1)
+    print(f"ok: {name}")
+
+
+def main():
+    # No regression: no warnings, exit 0.
+    code, out = run(ledger(), ledger())
+    check("clean diff exits 0", code == 0, out)
+    check("clean diff prints no warnings", "::warning::" not in out, out)
+
+    # QPS regression beyond the default 20% threshold is annotated.
+    code, out = run(ledger(qps=50000), ledger(qps=30000))
+    check("qps regression detected",
+          "::warning::serve QPS regressed" in out, out)
+    check("qps regression still exits 0 (warn-only)", code == 0, out)
+
+    # p99 regression beyond the threshold is annotated.
+    code, out = run(ledger(p99=300), ledger(p99=500))
+    check("p99 regression detected",
+          "::warning::serve p99 regressed" in out, out)
+    check("p99 regression still exits 0", code == 0, out)
+
+    # A custom threshold loosens the gate: 40% drop passes at 50%.
+    code, out = run(ledger(qps=50000), ledger(qps=30000),
+                    extra_args=["--threshold=0.5"])
+    check("custom threshold suppresses the warning",
+          "::warning::" not in out, out)
+    check("custom threshold exits 0", code == 0, out)
+
+    # Missing fresh ledger: warning, exit 0 (CI must not hard-fail here).
+    code, out = run(ledger(), None)
+    check("missing ledger warns", "::warning::bench_diff: cannot read"
+          in out, out)
+    check("missing ledger exits 0", code == 0, out)
+
+    # Malformed JSON and wrong schema both degrade to warnings.
+    code, out = run(ledger(), "{not json")
+    check("malformed ledger warns", "::warning::" in out, out)
+    check("malformed ledger exits 0", code == 0, out)
+    code, out = run(ledger(), ledger(schema="rtrec-bench/999"))
+    check("schema mismatch warns", "unexpected schema" in out, out)
+    check("schema mismatch exits 0", code == 0, out)
+
+    # Mode mismatch (smoke vs full): recall must NOT be compared, since
+    # the workloads differ by design.
+    code, out = run(ledger(smoke=False, recall=(0.5, 0.8, 0.9)),
+                    ledger(smoke=True, recall=(0.1, 0.2, 0.3)))
+    check("mode mismatch skips recall comparison",
+          "drifted" not in out, out)
+    check("mode mismatch exits 0", code == 0, out)
+
+    # Same mode: recall drift is a behaviour change and is annotated.
+    code, out = run(ledger(recall=(0.5, 0.8, 0.9)),
+                    ledger(recall=(0.5, 0.8, 0.95)))
+    check("recall drift detected in same mode",
+          "::warning::recall_at_10 drifted" in out, out)
+    check("recall drift still exits 0", code == 0, out)
+
+    # Bad usage (wrong arg count) keeps the warn-only contract.
+    code_out = io.StringIO()
+    with contextlib.redirect_stdout(code_out):
+        code = bench_diff.main(["bench_diff.py", "only-one.json"])
+    check("bad usage exits 0", code == 0, code_out.getvalue())
+    check("bad usage prints usage", "usage:" in code_out.getvalue(),
+          code_out.getvalue())
+
+    print("all bench_diff tests passed")
+
+
+if __name__ == "__main__":
+    main()

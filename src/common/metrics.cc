@@ -18,6 +18,13 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
   return slot.get();
 }
 
+DoubleGauge* MetricsRegistry::GetDoubleGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = double_gauges_[name];
+  if (!slot) slot = std::make_unique<DoubleGauge>();
+  return slot.get();
+}
+
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
@@ -36,6 +43,10 @@ MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
   for (const auto& [name, gauge] : gauges_) {
     snap.gauges.emplace_back(name, gauge.get());
   }
+  snap.double_gauges.reserve(double_gauges_.size());
+  for (const auto& [name, gauge] : double_gauges_) {
+    snap.double_gauges.emplace_back(name, gauge.get());
+  }
   snap.histograms.reserve(histograms_.size());
   for (const auto& [name, hist] : histograms_) {
     snap.histograms.emplace_back(name, hist.get());
@@ -53,6 +64,9 @@ std::string MetricsRegistry::Report() const {
     out << name << " = " << counter->value() << "\n";
   }
   for (const auto& [name, gauge] : snap.gauges) {
+    out << name << " = " << gauge->value() << "\n";
+  }
+  for (const auto& [name, gauge] : snap.double_gauges) {
     out << name << " = " << gauge->value() << "\n";
   }
   for (const auto& [name, hist] : snap.histograms) {
@@ -101,6 +115,11 @@ std::string MetricsRegistry::PrometheusText() const {
     out << prom << " " << counter->value() << "\n";
   }
   for (const auto& [name, gauge] : snap.gauges) {
+    const std::string prom = PrometheusName(name);
+    out << "# TYPE " << prom << " gauge\n";
+    out << prom << " " << gauge->value() << "\n";
+  }
+  for (const auto& [name, gauge] : snap.double_gauges) {
     const std::string prom = PrometheusName(name);
     out << "# TYPE " << prom << " gauge\n";
     out << prom << " " << gauge->value() << "\n";

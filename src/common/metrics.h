@@ -40,6 +40,17 @@ class Gauge {
   std::atomic<std::int64_t> value_{0};
 };
 
+/// A settable thread-safe gauge holding a double — for ratios, losses,
+/// and other values an integer gauge cannot represent.
+class DoubleGauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
 /// A named registry of counters, gauges, and histograms, shared by the
 /// stream engine, KV store, and model components. Lookup creates on first
 /// use. Returned pointers stay valid for the registry's lifetime.
@@ -51,6 +62,7 @@ class MetricsRegistry {
 
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
+  DoubleGauge* GetDoubleGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
 
   /// Snapshot of all metric names and scalar values (histograms render via
@@ -76,6 +88,7 @@ class MetricsRegistry {
   struct Snapshot {
     std::vector<std::pair<std::string, const Counter*>> counters;
     std::vector<std::pair<std::string, const Gauge*>> gauges;
+    std::vector<std::pair<std::string, const DoubleGauge*>> double_gauges;
     std::vector<std::pair<std::string, const Histogram*>> histograms;
   };
   Snapshot Snap() const;
@@ -83,6 +96,7 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<DoubleGauge>> double_gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 

@@ -39,6 +39,7 @@ RecEngine::RecEngine(VideoTypeResolver type_resolver, Options options)
   sim_table_ = std::make_unique<SimTableStore>(table_options);
 
   model_ = std::make_unique<OnlineMf>(factors_.get(), options_.model);
+  model_->set_validation_hook(options_.validation_hook);
   updater_ = std::make_unique<SimTableUpdater>(
       factors_.get(), history_.get(), sim_table_.get(),
       std::move(type_resolver), options_.similarity,

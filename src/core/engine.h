@@ -35,6 +35,10 @@ class RecEngine : public Recommender {
     /// recommender's factor cache registers `service.factor_cache.*`.
     /// Not owned; must outlive the engine.
     MetricsRegistry* metrics = nullptr;
+    /// When set, installed on the MF model: every training action is
+    /// scored before its SGD step (progressive validation). Not owned;
+    /// must outlive the engine.
+    MfValidationHook* validation_hook = nullptr;
 
     Status Validate() const;
   };

@@ -1,11 +1,37 @@
 #include "core/online_mf.h"
 
 #include <cassert>
+#include <cmath>
 #include <cstddef>
+#include <utility>
 
 #include "common/vec_math.h"
 
 namespace rtrec {
+
+namespace {
+
+/// Fills the pre-step (progressive validation) fields of an MfSample from
+/// entries the upcoming SGD step has not touched yet.
+MfSample MakeSample(const UserAction& action, const FactorEntry& user,
+                    const FactorEntry& video, double rating,
+                    double confidence, double global_mean) {
+  MfSample sample;
+  sample.action = action;
+  sample.rating = rating;
+  sample.confidence = confidence;
+  sample.global_mean = global_mean;
+  sample.user_bias = user.bias;
+  sample.video_bias = video.bias;
+  sample.user_norm = std::sqrt(NormSquared(user.vec));
+  sample.video_norm = std::sqrt(NormSquared(video.vec));
+  // Eq. 2 on the pre-step entries: an honest out-of-sample prediction.
+  sample.prediction =
+      global_mean + user.bias + video.bias + Dot(user.vec, video.vec);
+  return sample;
+}
+
+}  // namespace
 
 OnlineMf::OnlineMf(FactorStore* store, MfModelConfig config)
     : store_(store), config_(std::move(config)) {
@@ -74,7 +100,24 @@ OnlineMf::UpdateResult OnlineMf::Update(const UserAction& action) {
   result.learning_rate = eta;
   if (rating <= 0.0) {
     // Impression records (r_ui = 0) do not influence the model
-    // (Section 3.3).
+    // (Section 3.3) — but they are the negatives of progressive
+    // validation, so a hooked model still scores them (read-only: ids
+    // are not initialized by a mere impression).
+    if (hook_ != nullptr) {
+      StatusOr<FactorEntry> user = store_->GetUser(action.user);
+      StatusOr<FactorEntry> video = store_->GetVideo(action.video);
+      const FactorEntry user_entry =
+          user.ok() ? std::move(user).value()
+                    : store_->MakeInitialEntry(action.user, /*is_user=*/true);
+      const FactorEntry video_entry =
+          video.ok()
+              ? std::move(video).value()
+              : store_->MakeInitialEntry(action.video, /*is_user=*/false);
+      const double mean =
+          config_.use_global_mean ? store_->GlobalMean() : 0.0;
+      hook_->OnMfSample(MakeSample(action, user_entry, video_entry,
+                                   /*rating=*/0.0, result.confidence, mean));
+    }
     return result;
   }
 
@@ -85,6 +128,12 @@ OnlineMf::UpdateResult OnlineMf::Update(const UserAction& action) {
 
   const double mean =
       config_.use_global_mean ? store_->GlobalMean() : 0.0;
+  if (hook_ != nullptr) {
+    // Progressive validation (predict-then-train): sample before the
+    // step below mutates the entries.
+    hook_->OnMfSample(
+        MakeSample(action, user, video, rating, result.confidence, mean));
+  }
   result.error =
       ApplySgdStep(user, video, rating, eta, config_.lambda, mean);
   result.updated = true;

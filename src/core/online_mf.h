@@ -14,6 +14,36 @@ namespace rtrec {
 void ResolveUpdateStep(const MfModelConfig& config, double confidence,
                        double* rating, double* learning_rate);
 
+/// One progressively-validated training sample: everything the model
+/// knew about an action *before* the SGD step consumed it. Since the
+/// action has not influenced the model yet, `prediction` is an honest
+/// out-of-sample score (progressive validation), and the norms/biases
+/// describe the pre-step parameter state.
+struct MfSample {
+  UserAction action;
+  /// r̂_ui (Eq. 2) before the step.
+  double prediction = 0.0;
+  /// r_ui the step will train toward; 0 for impressions (no step taken).
+  double rating = 0.0;
+  /// Confidence weight w_ui (Table 1 / Eq. 6).
+  double confidence = 0.0;
+  /// L2 norms of x_u and y_i before the step.
+  double user_norm = 0.0;
+  double video_norm = 0.0;
+  double user_bias = 0.0;
+  double video_bias = 0.0;
+  double global_mean = 0.0;
+};
+
+/// Observer of the online training stream. Implementations must be
+/// thread-safe (Update may run on many bolt threads) and cheap — the
+/// callback sits on the training hot path.
+class MfValidationHook {
+ public:
+  virtual ~MfValidationHook() = default;
+  virtual void OnMfSample(const MfSample& sample) = 0;
+};
+
 /// The online adjustable matrix-factorization model of Section 3 —
 /// Algorithm 1. Each user action is processed exactly once, in a single
 /// SGD step, with a learning rate scaled by the action's confidence level
@@ -87,9 +117,17 @@ class OnlineMf {
   FactorStore& store() { return *store_; }
   const FactorStore& store() const { return *store_; }
 
+  /// Installs a progressive-validation observer (nullptr to remove).
+  /// The hook sees every action — impressions included, with rating 0 —
+  /// scored by the model state *before* that action's step. Must be set
+  /// before concurrent Update calls begin; not synchronized against them.
+  void set_validation_hook(MfValidationHook* hook) { hook_ = hook; }
+  MfValidationHook* validation_hook() const { return hook_; }
+
  private:
   FactorStore* store_;
   MfModelConfig config_;
+  MfValidationHook* hook_ = nullptr;
 };
 
 }  // namespace rtrec

@@ -19,6 +19,11 @@ DemographicTrainer::DemographicTrainer(const DemographicGrouper* grouper,
   assert(type_resolver_ != nullptr);
   if (options_.train_global) {
     global_ = std::make_unique<RecEngine>(type_resolver_, options_.engine);
+    // Observe() feeds every action to both its group engine and the
+    // global one; a validation hook must see each action once, so only
+    // the global engine keeps it. (Without a global engine, the group
+    // engines are the only trainers and retain the hook.)
+    options_.engine.validation_hook = nullptr;
   }
 }
 

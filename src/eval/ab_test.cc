@@ -25,7 +25,7 @@ std::vector<ArmResult> AbTestHarness::Run(
   }
 
   auto arm_of = [num_arms](UserId user) -> std::size_t {
-    return static_cast<std::size_t>(MixHash64(user ^ 0xAB7E57ull) % num_arms);
+    return AbArmOf(user, num_arms);
   };
 
   const int total_days = options_.warmup_days + options_.num_days;

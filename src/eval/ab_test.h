@@ -9,6 +9,15 @@
 
 namespace rtrec {
 
+/// The A/B arm a user is hashed into. This is THE arm identity for the
+/// whole system: the offline harness below and the live QualityMonitor
+/// CTR join both call it, so a user lands in the same arm offline and
+/// online. Header-only so non-eval code can use it without linking the
+/// harness.
+inline std::size_t AbArmOf(UserId user, std::size_t num_arms) {
+  return static_cast<std::size_t>(MixHash64(user ^ 0xAB7E57ull) % num_arms);
+}
+
 /// Daily CTR series of one A/B arm (one line of Figure 7).
 struct ArmResult {
   std::string name;

@@ -5,6 +5,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <string_view>
+
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -64,16 +66,58 @@ void StatsServer::AcceptLoop() {
   }
 }
 
-void StatsServer::ServeOne(int fd) {
-  // Read whatever request line/headers arrive in the first chunk and
-  // ignore them: every request is treated as GET /metrics. A collector
-  // that pipelines or sends a huge request gets the scrape anyway.
-  char buf[4096];
-  if (WaitReady(fd, /*for_read=*/true, options_.io_timeout_ms).ok()) {
-    [[maybe_unused]] ssize_t ignored = read(fd, buf, sizeof(buf));
+namespace {
+
+/// Path of the request line ("GET /quality HTTP/1.1" → "/quality"), or
+/// "/" when the first chunk does not parse as one.
+std::string RequestPath(const char* buf, std::size_t len) {
+  const std::string_view request(buf, len);
+  const std::size_t sp = request.find(' ');
+  if (sp == std::string_view::npos) return "/";
+  const std::size_t start = sp + 1;
+  const std::size_t end = request.find_first_of(" \r\n", start);
+  if (end == std::string_view::npos || end == start) return "/";
+  return std::string(request.substr(start, end - start));
+}
+
+/// Keeps only the metrics of the `quality.` namespace: every exposition
+/// line (including its # TYPE header) whose metric name starts with
+/// "quality_" after Prometheus name sanitization.
+std::string FilterQualitySection(const std::string& text) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size() - 1;
+    const std::string_view line(text.data() + pos, eol - pos + 1);
+    const bool comment = line.rfind("# TYPE ", 0) == 0;
+    const std::string_view name =
+        comment ? line.substr(7) : line;
+    if (name.rfind("quality_", 0) == 0) out.append(line);
+    pos = eol + 1;
   }
+  return out;
+}
+
+}  // namespace
+
+void StatsServer::ServeOne(int fd) {
+  // Read whatever arrives in the first chunk and parse just the request
+  // path out of it: "/quality" narrows the scrape to the model-quality
+  // section, anything else gets the full registry. A collector that
+  // pipelines or sends a huge request still gets a scrape.
+  char buf[4096];
+  ssize_t got = 0;
+  if (WaitReady(fd, /*for_read=*/true, options_.io_timeout_ms).ok()) {
+    got = read(fd, buf, sizeof(buf));
+  }
+  const std::string path =
+      got > 0 ? RequestPath(buf, static_cast<std::size_t>(got)) : "/";
   scrapes_->Increment();
-  const std::string body = registry_->PrometheusText();
+  std::string body = registry_->PrometheusText();
+  if (path == "/quality" || path.rfind("/quality?", 0) == 0) {
+    body = FilterQualitySection(body);
+  }
   std::string response =
       StringPrintf("HTTP/1.0 200 OK\r\n"
                    "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"

@@ -18,9 +18,11 @@ namespace rtrec {
 /// speaking the rtrec wire protocol.
 ///
 /// Deliberately tiny: one accept-loop thread, one connection at a time,
-/// request line ignored (every request gets the full scrape),
-/// Connection: close. Scrapes arrive every few seconds from one
-/// collector; this is not a web server and does not try to be one.
+/// Connection: close. Only the request path is looked at: "/quality"
+/// narrows the scrape to the model-quality (`quality_*`) section, any
+/// other path gets the full registry. Scrapes arrive every few seconds
+/// from one collector; this is not a web server and does not try to be
+/// one.
 class StatsServer {
  public:
   struct Options {

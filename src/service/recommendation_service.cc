@@ -17,6 +17,23 @@ RecommendationService::RecommendationService(VideoTypeResolver type_resolver,
   // The engines register their own metrics (kvstore.multiget.*,
   // service.factor_cache.*) against the service's registry.
   options_.engine.metrics = options_.metrics;
+  if (options_.metrics != nullptr) {
+    QualityMonitor::Options quality_options = options_.quality;
+    if (!quality_options.group_of) {
+      quality_options.group_of = [this](UserId user) {
+        return grouper_.GroupOf(user);
+      };
+    }
+    if (!quality_options.group_name) {
+      quality_options.group_name = &DemographicGrouper::GroupName;
+    }
+    quality_ = std::make_unique<QualityMonitor>(options_.metrics,
+                                                std::move(quality_options));
+    // Progressive validation: the engines built below score every action
+    // before training on it. DemographicTrainer keeps the hook on its
+    // global engine only, so each action is sampled exactly once.
+    options_.engine.validation_hook = quality_.get();
+  }
   Recommender* primary = nullptr;
   if (options_.demographic_training) {
     DemographicTrainer::Options trainer_options;
@@ -77,6 +94,31 @@ void RecommendationService::RegisterProfile(UserId user,
 void RecommendationService::Observe(const UserAction& action) {
   TraceSpan span(observe_span_);
   if (actions_ != nullptr) actions_->Increment();
+  if (quality_ != nullptr) {
+    // CTR join first: this engagement may answer an impression we served.
+    quality_->OnEngagement(action);
+    if (quality_->ShouldHoldOut(action)) {
+      // Online recall@N: score the user's current top-N before the model
+      // trains on the held-out action. The probe goes straight to the
+      // filter so it is not counted as a request or recorded as served
+      // impressions.
+      RecRequest probe;
+      probe.user = action.user;
+      probe.top_n = quality_->options().recall_top_n;
+      probe.now = action.time;
+      StatusOr<std::vector<ScoredVideo>> page = filter_->Recommend(probe);
+      bool hit = false;
+      if (page.ok()) {
+        for (const ScoredVideo& v : *page) {
+          if (v.video == action.video) {
+            hit = true;
+            break;
+          }
+        }
+      }
+      quality_->OnHoldoutResult(action, hit);
+    }
+  }
   // The filter fans out to the primary model and the hot trackers.
   filter_->Observe(action);
 }
@@ -87,7 +129,11 @@ StatusOr<std::vector<ScoredVideo>> RecommendationService::Recommend(
   TraceSpan span(recommend_span_);
   if (requests_ != nullptr) requests_->Increment();
   RTREC_RETURN_IF_ERROR(RTREC_FAULT_POINT("service.recommend"));
-  return filter_->Recommend(request);
+  StatusOr<std::vector<ScoredVideo>> page = filter_->Recommend(request);
+  if (page.ok() && quality_ != nullptr) {
+    quality_->OnServed(request.user, *page, /*degraded=*/false, request.now);
+  }
+  return page;
 }
 
 std::vector<ScoredVideo> RecommendationService::FallbackRecommend(
@@ -129,6 +175,14 @@ std::vector<ScoredVideo> RecommendationService::FallbackRecommend(
     });
   }
   if (hot.size() > n) hot.resize(n);
+  if (quality_ != nullptr) {
+    // Degraded answers are impressions too: a fallback page the user
+    // never clicks is exactly the regression the CTR segmentation is
+    // there to show. (If RecServer later discards a raced primary
+    // answer, its impressions still count — an accepted small skew,
+    // noted in the runbook.)
+    quality_->OnServed(request.user, hot, /*degraded=*/true, request.now);
+  }
   return hot;
 }
 

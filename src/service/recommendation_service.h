@@ -13,6 +13,7 @@
 #include "demographic/demographic_trainer.h"
 #include "demographic/grouper.h"
 #include "demographic/hot_videos.h"
+#include "quality/quality_monitor.h"
 
 namespace rtrec {
 
@@ -43,6 +44,11 @@ class RecommendationService : public Recommender {
     bool demographic_training = true;
     /// Optional registry for service counters; null disables.
     MetricsRegistry* metrics = nullptr;
+    /// Model-quality monitoring (progressive validation, online recall,
+    /// live CTR join, drift watchdog). Active only when `metrics` is set;
+    /// the demographic/arm identity functions are filled in by the
+    /// service unless provided.
+    QualityMonitor::Options quality;
   };
 
   /// Constructs with default options.
@@ -82,11 +88,14 @@ class RecommendationService : public Recommender {
   DemographicGrouper& grouper() { return grouper_; }
   DemographicTrainer* trainer() { return trainer_.get(); }
   HotVideoTracker& hot_tracker() { return hot_; }
+  /// Null when the service was built without a metrics registry.
+  QualityMonitor* quality() { return quality_.get(); }
 
  private:
   Options options_;
   DemographicGrouper grouper_;
   HotVideoTracker hot_;
+  std::unique_ptr<QualityMonitor> quality_;  // When options_.metrics set.
   std::unique_ptr<DemographicTrainer> trainer_;  // When demographic_training.
   std::unique_ptr<RecEngine> global_engine_;     // Otherwise.
   std::unique_ptr<DemographicFilter> filter_;

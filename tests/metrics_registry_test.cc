@@ -40,6 +40,34 @@ TEST(GaugeTest, SetAndAdd) {
   EXPECT_EQ(g.value(), 7);
 }
 
+TEST(DoubleGaugeTest, SetAndValue) {
+  DoubleGauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.Set(0.6931);
+  EXPECT_EQ(g.value(), 0.6931);
+  g.Set(-1.5);
+  EXPECT_EQ(g.value(), -1.5);
+}
+
+TEST(DoubleGaugeTest, RegistryReportAndPrometheusRendering) {
+  MetricsRegistry registry;
+  registry.GetDoubleGauge("quality.progressive.logloss")->Set(0.25);
+  // Same name returns the same object, in its own namespace.
+  EXPECT_EQ(registry.GetDoubleGauge("quality.progressive.logloss")->value(),
+            0.25);
+  registry.GetGauge("quality.progressive.logloss")->Set(9);
+
+  const std::string report = registry.Report();
+  EXPECT_NE(report.find("quality.progressive.logloss = 0.25"),
+            std::string::npos);
+
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("# TYPE quality_progressive_logloss gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("quality_progressive_logloss 0.25\n"),
+            std::string::npos);
+}
+
 TEST(MetricsRegistryTest, LookupCreatesOnFirstUse) {
   MetricsRegistry registry;
   Counter* c = registry.GetCounter("foo");

@@ -45,10 +45,17 @@ RecommendationService::Options FastService() {
   return options;
 }
 
-/// A service + running server on an ephemeral loopback port.
+RecommendationService::Options WithMetrics(RecommendationService::Options o,
+                                           MetricsRegistry* metrics) {
+  o.metrics = metrics;
+  return o;
+}
+
+/// A service + running server on an ephemeral loopback port. The service
+/// shares the server's registry, so quality.* metrics are live too.
 struct LiveServer {
   explicit LiveServer(RecServer::Options options = {})
-      : service(OneType(), FastService()) {
+      : service(OneType(), WithMetrics(FastService(), &metrics)) {
     options.port = 0;
     options.metrics = &metrics;
     server = std::make_unique<RecServer>(&service, options);
@@ -572,6 +579,93 @@ TEST(RecServerTest, StatsRpcBypassesAdmissionControl) {
   StatusOr<std::string> stats = client.Stats();
   EXPECT_TRUE(stats.ok()) << stats.status().ToString();
   slow.join();
+}
+
+TEST(RecServerTest, StatsRpcRoundTripsPayloadLargerThanSocketBuffer) {
+  LiveServer live;
+  // Inflate the registry well past the 64 KiB socket read buffers used
+  // by both client and server: ~1500 counters with ~130-byte names give
+  // a scrape of several hundred KiB (still under the 1 MiB frame cap).
+  const std::string padding(100, 'x');
+  for (int i = 0; i < 1500; ++i) {
+    live.metrics
+        .GetCounter("bulk.metric." + padding + "." + std::to_string(i))
+        ->Increment(i);
+  }
+
+  RecClient client(live.ClientOptions());
+  StatusOr<std::string> stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(stats->size(), 128u * 1024u);
+  // The frame arrived whole: first and last bulk metrics present, and
+  // the text still ends on a full line.
+  EXPECT_NE(stats->find("bulk_metric_" + padding + "_0_total 0\n"),
+            std::string::npos);
+  EXPECT_NE(stats->find("bulk_metric_" + padding + "_1499_total 1499\n"),
+            std::string::npos);
+  EXPECT_EQ(stats->back(), '\n');
+}
+
+TEST(RecServerTest, QualityMetricsVisibleViaStatsRpc) {
+  LiveServer live;
+  // The service was built with a metrics registry, so the quality
+  // section is pre-registered even before any traffic.
+  RecClient client(live.ClientOptions());
+  StatusOr<std::string> stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_NE(stats->find("quality_progressive_logloss "), std::string::npos);
+  EXPECT_NE(stats->find("quality_online_recall_10 "), std::string::npos);
+  EXPECT_NE(stats->find("quality_ctr_overall "), std::string::npos);
+  EXPECT_NE(stats->find("quality_ctr_degraded "), std::string::npos);
+  EXPECT_NE(stats->find("quality_ctr_arm_0 "), std::string::npos);
+  EXPECT_NE(stats->find("quality_alerts_logloss_total "), std::string::npos);
+}
+
+/// One HTTP GET against a StatsServer; returns the whole response.
+std::string HttpGet(std::uint16_t port, const std::string& path) {
+  auto fd = ConnectTcp("127.0.0.1", port, 1000);
+  EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+  if (!fd.ok()) return "";
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  EXPECT_EQ(write(fd->get(), request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  while (true) {
+    Status ready = WaitReady(fd->get(), /*for_read=*/true, 2000);
+    if (!ready.ok()) break;
+    ssize_t n = read(fd->get(), buf, sizeof(buf));
+    if (n <= 0) break;  // Connection: close ends the response.
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  return response;
+}
+
+TEST(StatsServerTest, QualityPathServesOnlyTheQualitySection) {
+  MetricsRegistry metrics;
+  metrics.GetCounter("net.server.requests")->Increment(7);
+  metrics.GetDoubleGauge("quality.progressive.logloss")->Set(0.31);
+  metrics.GetCounter("quality.alerts.logloss")->Increment(2);
+  StatsServer stats_server(&metrics, {});
+  ASSERT_TRUE(stats_server.Start().ok());
+
+  const std::string quality = HttpGet(stats_server.port(), "/quality");
+  EXPECT_NE(quality.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(quality.find("# TYPE quality_progressive_logloss gauge"),
+            std::string::npos);
+  EXPECT_NE(quality.find("quality_progressive_logloss 0.31"),
+            std::string::npos);
+  EXPECT_NE(quality.find("quality_alerts_logloss_total 2"),
+            std::string::npos);
+  // Everything outside the quality namespace is filtered out.
+  EXPECT_EQ(quality.find("net_server_requests"), std::string::npos);
+
+  // Other paths still serve the full registry.
+  const std::string full = HttpGet(stats_server.port(), "/metrics");
+  EXPECT_NE(full.find("net_server_requests_total 7"), std::string::npos);
+  EXPECT_NE(full.find("quality_progressive_logloss 0.31"),
+            std::string::npos);
+  stats_server.Stop();
 }
 
 TEST(StatsServerTest, ServesPrometheusTextOverHttp) {
