@@ -2,9 +2,13 @@
 // machine-readable ledger.
 //
 //   ingest  — replays a seeded synthetic action stream through the
-//             Fig. 2 topology with tracing on and reports actions/sec
-//             plus per-stage latency percentiles derived from the
-//             propagated trace contexts (trace.stage.*, trace.e2e.*);
+//             Fig. 2 topology with tracing on and reports end-to-end
+//             actions/sec (first spout emission through the last
+//             terminal-bolt drain, via the topology.first_emit_us /
+//             final_done_us gauges) plus per-stage latency percentiles
+//             derived from the propagated trace contexts
+//             (trace.stage.*, trace.e2e.*) and the ring-queue counters
+//             (stream.queue.*);
 //   serve   — stands up a traced RecServer over a warmed service,
 //             drives it from concurrent RecClient loadgen threads, and
 //             reports QPS, client/server percentiles, and a Stats-RPC
@@ -19,12 +23,15 @@
 // Everything is seeded (WorldConfig seed 2016), so two runs on the same
 // machine produce the same workload; timings of course vary.
 //
-//   $ ./bench_runner [--smoke] [--out=BENCH_PR5.json]
+//   $ ./bench_runner [--smoke] [--out=BENCH_PR6.json]
 //                    [--connections=N] [--seconds=N]
+//                    [--queue-capacity=N] [--drain-batch=N] [--pin-cpus]
 //
-// --smoke shrinks every phase for CI (a few seconds total). The ledger
-// is written to --out (default BENCH_PR5.json in the working
-// directory); scripts/bench.sh wraps the build + run + validate cycle.
+// --smoke shrinks every phase for CI (a few seconds total).
+// --queue-capacity / --drain-batch / --pin-cpus tune the ingest
+// topology's ring queues (0 = engine defaults). The ledger is written
+// to --out (default BENCH_PR6.json in the working directory);
+// scripts/bench.sh wraps the build + run + validate cycle.
 
 #include <cmath>
 #include <cstdio>
@@ -153,7 +160,13 @@ bool ParseFlag(const char* arg, const char* name, std::string* out) {
 
 // --- Phase 1: ingest -------------------------------------------------------
 
-bool RunIngest(Json& json, bool smoke) {
+struct IngestConfig {
+  std::size_t queue_capacity = 0;  // 0 = engine default.
+  std::size_t drain_batch = 0;     // 0 = engine default.
+  bool pin_cpus = false;
+};
+
+bool RunIngest(Json& json, bool smoke, const IngestConfig& config) {
   const int days = smoke ? 1 : 4;
   const rtrec::SyntheticWorld world(rtrec::SmallWorldConfig());
   std::vector<rtrec::UserAction> actions = world.GenerateDays(0, days);
@@ -188,6 +201,9 @@ bool RunIngest(Json& json, bool smoke) {
   rtrec::stream::TopologyOptions topo_options;
   topo_options.metrics = &metrics;
   topo_options.tracer = &tracer;
+  topo_options.queue_capacity = config.queue_capacity;
+  topo_options.drain_batch = config.drain_batch;
+  topo_options.pin_cpus = config.pin_cpus;
   auto topo =
       rtrec::stream::Topology::Create(std::move(spec).value(), topo_options);
   if (!topo.ok()) {
@@ -201,14 +217,49 @@ bool RunIngest(Json& json, bool smoke) {
     std::fprintf(stderr, "ingest: topology run failed\n");
     return false;
   }
-  const double elapsed = Seconds(t0, Clock::now());
+  const double wall_elapsed = Seconds(t0, Clock::now());
+
+  // Honest end-to-end accounting: the topology stamps the first spout
+  // emission, the last spout finishing, and the last terminal bolt
+  // finishing its drain. actions_per_sec covers spout-emit through
+  // final-bolt-ack — thread spawn/join overhead excluded, queue drain
+  // included (the old wall-clock number hid neither).
+  const std::int64_t first_emit_us =
+      metrics.GetGauge("topology.first_emit_us")->value();
+  const std::int64_t spout_done_us =
+      metrics.GetGauge("topology.spout_done_us")->value();
+  const std::int64_t final_done_us =
+      metrics.GetGauge("topology.final_done_us")->value();
+  double e2e_elapsed = (final_done_us - first_emit_us) / 1e6;
+  double emit_elapsed = (spout_done_us - first_emit_us) / 1e6;
+  if (first_emit_us == 0 || e2e_elapsed <= 0) e2e_elapsed = wall_elapsed;
+  if (first_emit_us == 0 || emit_elapsed <= 0) emit_elapsed = wall_elapsed;
+  const double actions_per_sec =
+      e2e_elapsed > 0 ? static_cast<double>(num_actions) / e2e_elapsed : 0.0;
 
   json.OpenObject("ingest");
   json.Field("days", static_cast<std::int64_t>(days));
   json.Field("actions", static_cast<std::int64_t>(num_actions));
-  json.Field("elapsed_s", elapsed);
-  json.Field("actions_per_sec",
-             elapsed > 0 ? static_cast<double>(num_actions) / elapsed : 0.0);
+  json.Field("elapsed_s", wall_elapsed);
+  json.Field("e2e_elapsed_s", e2e_elapsed);
+  json.Field("actions_per_sec", actions_per_sec);
+  json.Field("spout_emit_per_sec",
+             emit_elapsed > 0
+                 ? static_cast<double>(num_actions) / emit_elapsed
+                 : 0.0);
+  json.OpenObject("queue");
+  json.Field("capacity",
+             static_cast<std::int64_t>(config.queue_capacity));
+  json.Field("drain_batch", static_cast<std::int64_t>(config.drain_batch));
+  json.Field("pinned_tasks", metrics.GetCounter("topology.pinned_tasks")
+                                 ->value());
+  json.Field("push_retries",
+             metrics.GetCounter("stream.queue.push_retries")->value());
+  json.Field("batch_drains",
+             metrics.GetCounter("stream.queue.batch_drains")->value());
+  json.Field("parked_wakeups",
+             metrics.GetCounter("stream.queue.parked_wakeups")->value());
+  json.Close();
   json.Field(
       "traces_sampled",
       static_cast<std::int64_t>(metrics.GetCounter("trace.sampled")->value()));
@@ -229,10 +280,13 @@ bool RunIngest(Json& json, bool smoke) {
   Percentiles(json, "e2e_us", *tracer.SinceRootHistogram("result_storage"));
   json.Close();
 
-  std::printf("ingest   %zu actions in %.2fs (%.0f actions/sec, %lld traces)\n",
-              num_actions, elapsed, num_actions / elapsed,
-              static_cast<long long>(
-                  metrics.GetCounter("trace.sampled")->value()));
+  std::printf(
+      "ingest   %zu actions in %.2fs e2e (%.0f actions/sec, %lld traces, "
+      "%lld drains)\n",
+      num_actions, e2e_elapsed, actions_per_sec,
+      static_cast<long long>(metrics.GetCounter("trace.sampled")->value()),
+      static_cast<long long>(
+          metrics.GetCounter("stream.queue.batch_drains")->value()));
   return true;
 }
 
@@ -574,23 +628,33 @@ bool RunQuality(Json& json, bool smoke) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
-  std::string out_path = "BENCH_PR5.json";
+  std::string out_path = "BENCH_PR6.json";
   int connections = 8;
   int seconds = 3;
+  IngestConfig ingest_config;
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--pin-cpus") == 0) {
+      ingest_config.pin_cpus = true;
     } else if (ParseFlag(argv[i], "--out", &value)) {
       out_path = value;
     } else if (ParseFlag(argv[i], "--connections", &value)) {
       connections = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "--seconds", &value)) {
       seconds = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--queue-capacity", &value)) {
+      ingest_config.queue_capacity =
+          static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(argv[i], "--drain-batch", &value)) {
+      ingest_config.drain_batch =
+          static_cast<std::size_t>(std::atoll(value.c_str()));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--smoke] [--out=PATH] [--connections=N] "
-                   "[--seconds=N]\n",
+                   "[--seconds=N] [--queue-capacity=N] [--drain-batch=N] "
+                   "[--pin-cpus]\n",
                    argv[0]);
       return 2;
     }
@@ -604,7 +668,7 @@ int main(int argc, char** argv) {
   json.Field("seed", std::int64_t{2016});
   json.Field("smoke", smoke);
 
-  bool ok = RunIngest(json, smoke);
+  bool ok = RunIngest(json, smoke, ingest_config);
   ok = RunServe(json, smoke, connections, seconds) && ok;
   ok = RunRecall(json, smoke) && ok;
   ok = RunQuality(json, smoke) && ok;

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Build-and-run wrapper for the unified benchmark runner: runs the
 # ingest / serve / recall / quality phases with fixed seeds and writes
-# the machine-readable ledger (BENCH_PR5.json), then validates it.
+# the machine-readable ledger (BENCH_PR6.json), then validates it.
 #
 #   scripts/bench.sh [--smoke] [--build-dir=DIR] [--out=PATH]
+#                    [--queue-capacity=N] [--drain-batch=N] [--pin-cpus]
 #
-# Defaults: full mode, ./build, BENCH_PR5.json in the repo root.
+# Defaults: full mode, ./build, BENCH_PR6.json in the repo root. The
+# queue flags are forwarded to the runner's ingest phase (0 = engine
+# defaults).
 # --smoke shrinks every phase to a few seconds — what CI runs. Exits
 # non-zero if the runner fails or the ledger is missing or malformed.
 
@@ -13,14 +16,17 @@ set -u
 
 smoke=""
 build_dir="build"
-out="BENCH_PR5.json"
+extra_flags=()
+out="BENCH_PR6.json"
 for arg in "$@"; do
   case "${arg}" in
     --smoke) smoke="--smoke" ;;
     --build-dir=*) build_dir="${arg#--build-dir=}" ;;
     --out=*) out="${arg#--out=}" ;;
+    --queue-capacity=*|--drain-batch=*|--pin-cpus) extra_flags+=("${arg}") ;;
     *)
-      echo "usage: scripts/bench.sh [--smoke] [--build-dir=DIR] [--out=PATH]" >&2
+      echo "usage: scripts/bench.sh [--smoke] [--build-dir=DIR] [--out=PATH]" \
+           "[--queue-capacity=N] [--drain-batch=N] [--pin-cpus]" >&2
       exit 2
       ;;
   esac
@@ -32,7 +38,7 @@ if [[ ! -x "${binary}" ]]; then
   cmake --build "${build_dir}" --target bench_runner -j "$(nproc)" || exit 2
 fi
 
-"${binary}" ${smoke} --out="${out}" || exit 1
+"${binary}" ${smoke} --out="${out}" ${extra_flags[@]+"${extra_flags[@]}"} || exit 1
 
 if [[ ! -s "${out}" ]]; then
   echo "bench.sh: ledger ${out} missing or empty" >&2
@@ -47,6 +53,11 @@ with open(sys.argv[1]) as f:
     ledger = json.load(f)
 assert ledger["schema"] == "rtrec-bench/1", "unexpected schema tag"
 assert ledger["ingest"]["actions_per_sec"] > 0, "no ingest throughput"
+assert ledger["ingest"]["e2e_elapsed_s"] > 0, "no e2e ingest window"
+queue = ledger["ingest"]["queue"]
+assert queue["batch_drains"] > 0, "ring queues recorded no batch drains"
+for key in ("push_retries", "parked_wakeups", "pinned_tasks"):
+    assert queue[key] >= 0, f"missing queue counter {key}"
 assert ledger["ingest"]["stages"]["compute_mf"]["process"]["count"] > 0, \
     "no propagated traces reached compute_mf"
 assert ledger["serve"]["qps"] > 0, "no serve throughput"

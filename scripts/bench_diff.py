@@ -3,18 +3,65 @@
 
     scripts/bench_diff.py BASELINE.json FRESH.json [--threshold=0.20]
 
-Compares serve QPS and client p99 of a fresh (usually --smoke) ledger
-against a committed baseline. Regressions beyond the threshold print
-GitHub `::warning::` annotations; the exit code is always 0 — CI bench
+Compares serve QPS, client p99, ingest actions/sec, and per-stage
+queue-wait percentiles of a fresh (usually --smoke) ledger against a
+committed baseline. Regressions beyond the threshold print GitHub
+`::warning::` annotations; the exit code is always 0 — CI bench
 hardware is too noisy for a hard gate, so this is an operator signal,
 not a merge blocker. Recall is also checked (it is deterministic, so a
 drift there is a real behaviour change, but smoke and full ledgers use
 different workload sizes — recall is only compared when both ledgers
-ran the same mode, per the ledger's `smoke` flag).
+ran the same mode, per the ledger's `smoke` flag). Queue-wait diffs
+additionally require the regression to clear an absolute floor
+(QUEUE_WAIT_FLOOR_US) so sub-50µs scheduler jitter never warns.
+Ledgers missing the ingest section (pre-PR6 baselines) skip those rows.
 """
 
 import json
 import sys
+
+# Queue-wait regressions below this absolute delta are scheduler noise,
+# not a pipeline change, regardless of the relative threshold.
+QUEUE_WAIT_FLOOR_US = 50.0
+
+# The Fig. 2 stages whose queue_wait percentiles the ingest phase
+# reports.
+STAGES = ("compute_mf", "mf_storage", "user_history", "get_item_pairs",
+          "item_pair_sim", "result_storage")
+
+
+def diff_ingest(baseline, fresh, threshold, paths):
+    """Ingest throughput + per-stage queue-wait rows; tolerates ledgers
+    that predate the ingest e2e accounting."""
+    base_ingest = baseline.get("ingest") or {}
+    fresh_ingest = fresh.get("ingest") or {}
+    base_aps = base_ingest.get("actions_per_sec")
+    fresh_aps = fresh_ingest.get("actions_per_sec")
+    if not base_aps or not fresh_aps:
+        print("bench_diff: ingest section missing from one ledger; "
+              "skipping ingest diff")
+        return
+    print(f"ingest a/s: {base_aps:12.1f} -> {fresh_aps:12.1f} "
+          f"({(fresh_aps / base_aps - 1) * 100:+.1f}%)")
+    if fresh_aps < base_aps * (1 - threshold):
+        print(f"::warning::ingest actions/sec regressed more than "
+              f"{threshold:.0%}: {base_aps:.0f} -> {fresh_aps:.0f} "
+              f"({paths[0]} vs {paths[1]})")
+
+    base_stages = base_ingest.get("stages") or {}
+    fresh_stages = fresh_ingest.get("stages") or {}
+    for stage in STAGES:
+        for pct in ("p50_us", "p95_us"):
+            b = (base_stages.get(stage) or {}).get("queue_wait", {}).get(pct)
+            f = (fresh_stages.get(stage) or {}).get("queue_wait", {}).get(pct)
+            if b is None or f is None:
+                continue
+            print(f"queue_wait {stage:>16} {pct}: {b:10.1f}us -> "
+                  f"{f:10.1f}us")
+            if f > b * (1 + threshold) and f - b > QUEUE_WAIT_FLOOR_US:
+                print(f"::warning::{stage} queue_wait {pct} regressed "
+                      f"more than {threshold:.0%}: {b:.0f}us -> {f:.0f}us "
+                      f"({paths[0]} vs {paths[1]})")
 
 
 def load(path):
@@ -65,6 +112,8 @@ def main(argv):
         print(f"::warning::serve p99 regressed more than "
               f"{threshold:.0%}: {base_p99:.0f}us -> {fresh_p99:.0f}us "
               f"({paths[0]} vs {paths[1]})")
+
+    diff_ingest(baseline, fresh, threshold, paths)
 
     if baseline.get("smoke") == fresh.get("smoke"):
         for k in ("recall_at_1", "recall_at_5", "recall_at_10"):

@@ -20,8 +20,10 @@ import bench_diff  # noqa: E402
 
 
 def ledger(qps=50000.0, p99=300.0, smoke=True,
-           recall=(0.5, 0.8, 0.9), schema="rtrec-bench/1"):
-    return {
+           recall=(0.5, 0.8, 0.9), schema="rtrec-bench/1",
+           actions_per_sec=40000.0, queue_wait_p50=30.0,
+           queue_wait_p95=80.0, with_ingest=True):
+    doc = {
         "schema": schema,
         "smoke": smoke,
         "serve": {"qps": qps, "client_latency": {"p99_us": p99}},
@@ -31,6 +33,16 @@ def ledger(qps=50000.0, p99=300.0, smoke=True,
             "recall_at_10": recall[2],
         },
     }
+    if with_ingest:
+        doc["ingest"] = {
+            "actions_per_sec": actions_per_sec,
+            "stages": {
+                stage: {"queue_wait": {"p50_us": queue_wait_p50,
+                                       "p95_us": queue_wait_p95}}
+                for stage in bench_diff.STAGES
+            },
+        }
+    return doc
 
 
 def run(baseline, fresh, extra_args=()):
@@ -116,6 +128,43 @@ def main():
     check("recall drift detected in same mode",
           "::warning::recall_at_10 drifted" in out, out)
     check("recall drift still exits 0", code == 0, out)
+
+    # Ingest throughput regression beyond the threshold is annotated.
+    code, out = run(ledger(actions_per_sec=400000),
+                    ledger(actions_per_sec=200000))
+    check("ingest throughput regression detected",
+          "::warning::ingest actions/sec regressed" in out, out)
+    check("ingest regression still exits 0", code == 0, out)
+
+    # Ingest improvement: a row is printed but nothing warns.
+    code, out = run(ledger(actions_per_sec=40000),
+                    ledger(actions_per_sec=400000))
+    check("ingest improvement prints the row", "ingest a/s" in out, out)
+    check("ingest improvement does not warn", "::warning::" not in out, out)
+
+    # Queue-wait regression: must clear BOTH the relative threshold and
+    # the absolute floor before warning.
+    code, out = run(ledger(queue_wait_p50=500.0),
+                    ledger(queue_wait_p50=2000.0))
+    check("queue_wait regression detected",
+          "queue_wait p50_us regressed" in out, out)
+    check("queue_wait regression exits 0", code == 0, out)
+
+    # Sub-floor jitter: 3µs -> 30µs is a 10x relative jump but below the
+    # 50µs absolute floor — scheduler noise, not a warning.
+    code, out = run(ledger(queue_wait_p50=3.0, queue_wait_p95=10.0),
+                    ledger(queue_wait_p50=30.0, queue_wait_p95=55.0))
+    check("sub-floor queue_wait jitter is silent",
+          "::warning::" not in out, out)
+
+    # Baseline that predates the ingest section (pre-PR6 ledger): the
+    # ingest rows are skipped, serve rows still compared, no crash.
+    code, out = run(ledger(with_ingest=False), ledger())
+    check("missing ingest section is tolerated",
+          "skipping ingest diff" in out, out)
+    check("missing ingest section still diffs serve",
+          "serve qps" in out, out)
+    check("missing ingest section exits 0", code == 0, out)
 
     # Bad usage (wrong arg count) keeps the warn-only contract.
     code_out = io.StringIO()

@@ -1,0 +1,52 @@
+#ifndef RTREC_CONCURRENT_LATENCY_STATS_H_
+#define RTREC_CONCURRENT_LATENCY_STATS_H_
+
+#include <cstdint>
+
+#include "common/histogram.h"
+
+namespace rtrec {
+namespace concurrent {
+
+/// Deterministic 1-in-N latency sampler for hot paths that cannot
+/// afford a clock read per event. The owner calls Tick() per event; a
+/// true return means "stamp this one", and the measured duration is
+/// later fed back through Record(). Tick is branch-plus-increment, so
+/// the unsampled cost is a couple of cycles.
+///
+/// Single-threaded by design: one instance lives inside one task (the
+/// stream engine keeps one per producer task for queue-wait stamping).
+/// The histogram itself is thread-safe, so many samplers may share one.
+class LatencyStats {
+ public:
+  LatencyStats() = default;
+  LatencyStats(Histogram* histogram, std::uint32_t sample_every_n)
+      : histogram_(histogram),
+        every_n_(sample_every_n == 0 ? 1 : sample_every_n) {}
+
+  /// True for exactly one call in every `sample_every_n`.
+  bool Tick() {
+    if (++tick_ < every_n_) return false;
+    tick_ = 0;
+    return true;
+  }
+
+  /// Feeds one sampled measurement (microseconds) into the histogram;
+  /// no-op when no histogram is attached.
+  void Record(std::int64_t value_us) {
+    if (histogram_ != nullptr) histogram_->Add(value_us);
+  }
+
+  Histogram* histogram() const { return histogram_; }
+  std::uint32_t sample_every_n() const { return every_n_; }
+
+ private:
+  Histogram* histogram_ = nullptr;
+  std::uint32_t every_n_ = 64;
+  std::uint32_t tick_ = 0;
+};
+
+}  // namespace concurrent
+}  // namespace rtrec
+
+#endif  // RTREC_CONCURRENT_LATENCY_STATS_H_

@@ -1,0 +1,142 @@
+#ifndef RTREC_CONCURRENT_MPSC_RING_H_
+#define RTREC_CONCURRENT_MPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "concurrent/spsc_ring.h"  // kCacheLineSize, CeilPow2
+
+namespace rtrec::concurrent {
+
+/// Bounded multi-producer single-consumer ring: the fan-in queue a
+/// fields-grouped bolt needs when several upstream tasks feed one task.
+///
+/// Design is the classic sequence-stamped bounded queue (Vyukov): every
+/// slot carries a sequence number producers claim with one CAS on the
+/// shared tail; the slot's own sequence then hands the finished write to
+/// the consumer, so a producer that stalls mid-write blocks only the
+/// slot it claimed, never the whole ring. Producers are lock-free
+/// (obstruction between producers is one CAS retry), the single consumer
+/// is wait-free per slot.
+///
+/// Per-producer FIFO holds: one producer's pushes claim increasing slots
+/// and the consumer releases slots in order.
+///
+/// Thread contract: any number of threads may call TryPush; exactly one
+/// thread calls TryPop / TryPopBatch.
+template <typename T>
+class MpscRing {
+ public:
+  explicit MpscRing(std::size_t min_capacity)
+      : capacity_(CeilPow2(min_capacity < 2 ? 2 : min_capacity)),
+        mask_(capacity_ - 1),
+        slots_(std::make_unique<Slot[]>(capacity_)) {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  /// Moves `item` into the ring. Returns false (item untouched) when
+  /// full.
+  bool TryPush(T& item) {
+    std::size_t tail = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[tail & mask_];
+      const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(tail);
+      if (diff == 0) {
+        // Slot is free at our ticket; claim it.
+        if (tail_.compare_exchange_weak(tail, tail + 1,
+                                        std::memory_order_relaxed)) {
+          slot.value = std::move(item);
+          slot.seq.store(tail + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS lost: `tail` was reloaded, retry with the new ticket.
+      } else if (diff < 0) {
+        return false;  // Ring full: consumer has not recycled this slot.
+      } else {
+        tail = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Moves the oldest item into `out`. Returns false when empty (or the
+  /// next slot's producer has claimed but not yet published).
+  bool TryPop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    Slot& slot = slots_[head & mask_];
+    const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+    if (static_cast<std::intptr_t>(seq) -
+            static_cast<std::intptr_t>(head + 1) <
+        0) {
+      return false;
+    }
+    out = std::move(slot.value);
+    slot.value = T();  // Release payload resources eagerly.
+    slot.seq.store(head + capacity_, std::memory_order_release);
+    head_.store(head + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Appends up to `max_items` published items to `out` in slot order.
+  /// Stops early at the first unpublished slot. Returns the number
+  /// taken.
+  std::size_t TryPopBatch(std::vector<T>& out, std::size_t max_items) {
+    std::size_t n = 0;
+    std::size_t head = head_.load(std::memory_order_relaxed);
+    while (n < max_items) {
+      Slot& slot = slots_[head & mask_];
+      const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+      if (static_cast<std::intptr_t>(seq) -
+              static_cast<std::intptr_t>(head + 1) <
+          0) {
+        break;
+      }
+      out.push_back(std::move(slot.value));
+      slot.value = T();
+      slot.seq.store(head + capacity_, std::memory_order_release);
+      ++head;
+      ++n;
+    }
+    if (n > 0) head_.store(head, std::memory_order_relaxed);
+    return n;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Racy size estimate; counts slots claimed by producers even before
+  /// their writes are published (a parking consumer must treat an
+  /// in-flight claim as pending work).
+  std::size_t SizeApprox() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::size_t> seq{0};
+    T value;
+  };
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+
+  // Consumer index and producer ticket on separate cache lines.
+  alignas(kCacheLineSize) std::atomic<std::size_t> head_{0};
+  alignas(kCacheLineSize) std::atomic<std::size_t> tail_{0};
+  alignas(kCacheLineSize) char pad_end_[kCacheLineSize] = {};
+};
+
+}  // namespace rtrec::concurrent
+
+#endif  // RTREC_CONCURRENT_MPSC_RING_H_

@@ -10,8 +10,38 @@
 
 #include "common/fault_injection.h"
 #include "common/logging.h"
+#include "concurrent/latency_stats.h"
 
 namespace rtrec::stream {
+
+namespace {
+
+// Engine-wide queue defaults, used when neither TopologyOptions nor the
+// TopologySpec declare a preference.
+constexpr std::size_t kDefaultQueueCapacity = 1024;
+constexpr std::size_t kDefaultDrainBatch = 64;
+
+// Untraced queue-wait sampling rate: producers stamp 1 in N envelopes
+// so "<component>.queue_wait_us" stays populated when tracing is off,
+// at one clock read per N tuples.
+constexpr std::uint32_t kQueueWaitSampleEveryN = 64;
+
+// CAS-once (from zero) and monotonic-max stores for the ingest-window
+// stamps; contention is a handful of task threads at start/end of run.
+void StoreOnce(std::atomic<std::int64_t>& slot, std::int64_t value) {
+  std::int64_t expected = 0;
+  slot.compare_exchange_strong(expected, value, std::memory_order_relaxed);
+}
+
+void StoreMax(std::atomic<std::int64_t>& slot, std::int64_t value) {
+  std::int64_t current = slot.load(std::memory_order_relaxed);
+  while (current < value &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
 
 /// Routes one producer task's emissions to consumer queues. Owns the
 /// per-edge routers, so round-robin cursors are task-local (deterministic
@@ -88,8 +118,14 @@ class Topology::TaskCollector : public OutputCollector {
       return root;
     }
     component_->emitted->Increment();
-    const std::int64_t enqueue_us =
-        trace.sampled() ? Tracer::NowMicros() : 0;
+    // Traced envelopes always carry an enqueue timestamp (the tracer's
+    // queue histograms need it); untraced ones are stamped 1-in-N so the
+    // consumer can keep "<component>.queue_wait_us" live with tracing
+    // off, at one clock read per N tuples.
+    std::int64_t enqueue_us = 0;
+    if (trace.sampled() || queue_stamp_.Tick()) {
+      enqueue_us = Tracer::NowMicros();
+    }
     for (auto& [queue, depth] : destinations_) {
       // A fired "stream.queue.push" fault drops this copy on the floor
       // (a lost in-flight tuple); with acking on, its tree fails by
@@ -123,12 +159,16 @@ class Topology::TaskCollector : public OutputCollector {
   const std::uint64_t* current_root_;
   Tracer* tracer_;
   const TraceContext* current_trace_;
+  // Task-local (collectors are task-owned), so Tick() needs no sync.
+  concurrent::LatencyStats queue_stamp_{nullptr, kQueueWaitSampleEveryN};
   std::vector<std::size_t> scratch_;
   std::vector<std::pair<TaskQueue*, Gauge*>> destinations_;
 };
 
 Topology::Topology(TopologySpec spec, TopologyOptions options)
-    : spec_(std::move(spec)), options_(options) {
+    : spec_(std::move(spec)),
+      options_(options),
+      cpu_plan_(/*enabled=*/options.pin_cpus) {
   if (options_.metrics != nullptr) {
     metrics_ = options_.metrics;
   } else {
@@ -153,8 +193,25 @@ StatusOr<std::unique_ptr<Topology>> Topology::Create(TopologySpec spec,
 }
 
 Status Topology::Wire() {
+  // Resolve queue sizing: explicit TopologyOptions win, then the
+  // builder-declared spec defaults, then the engine-wide defaults.
+  resolved_queue_capacity_ = options_.queue_capacity != 0
+                                 ? options_.queue_capacity
+                             : spec_.default_queue_capacity != 0
+                                 ? spec_.default_queue_capacity
+                                 : kDefaultQueueCapacity;
+  resolved_drain_batch_ =
+      options_.drain_batch != 0       ? options_.drain_batch
+      : spec_.default_drain_batch != 0 ? spec_.default_drain_batch
+                                       : kDefaultDrainBatch;
+  queue_stats_.push_retries =
+      metrics_->GetCounter("stream.queue.push_retries");
+  queue_stats_.batch_drains =
+      metrics_->GetCounter("stream.queue.batch_drains");
+  queue_stats_.parked_wakeups =
+      metrics_->GetCounter("stream.queue.parked_wakeups");
   components_.resize(spec_.components.size());
-  // First pass: queues and metrics.
+  // Pass 1: metrics.
   for (std::size_t i = 0; i < spec_.components.size(); ++i) {
     ComponentRuntime& rt = components_[i];
     rt.spec = spec_.components[i];
@@ -164,15 +221,12 @@ Status Topology::Wire() {
     rt.dropped = metrics_->GetCounter(name + ".dropped");
     rt.process_us = metrics_->GetHistogram(name + ".process_us");
     rt.queue_depth = metrics_->GetGauge(name + ".queue_depth");
-    if (!rt.spec.is_spout()) {
-      rt.queues.reserve(rt.spec.parallelism);
-      for (std::size_t t = 0; t < rt.spec.parallelism; ++t) {
-        rt.queues.push_back(
-            std::make_unique<TaskQueue>(options_.queue_capacity));
-      }
-    }
+    rt.queue_wait_us = metrics_->GetHistogram(name + ".queue_wait_us");
   }
-  // Second pass: EOS bookkeeping from the consumer side.
+  // Pass 2: expected EOS counts (validating producer references). A
+  // consumer task's expected_eos is exactly the number of producer tasks
+  // that push into its queue — every upstream task pushes data then one
+  // EOS marker — so it doubles as the ring's producer count.
   for (std::size_t i = 0; i < components_.size(); ++i) {
     ComponentRuntime& consumer = components_[i];
     std::unordered_set<std::string> distinct_producers;
@@ -185,8 +239,33 @@ Status Topology::Wire() {
         return Status::InvalidArgument("unknown producer '" + producer_name +
                                        "'");
       }
-      ComponentRuntime& producer = components_[static_cast<std::size_t>(p)];
-      consumer.expected_eos += producer.spec.parallelism;
+      consumer.expected_eos +=
+          components_[static_cast<std::size_t>(p)].spec.parallelism;
+    }
+  }
+  // Pass 3: input queues — wait-free SPSC where exactly one upstream
+  // task feeds the consumer task, CAS-based MPSC where grouping fans
+  // several producer tasks into one queue.
+  for (ComponentRuntime& rt : components_) {
+    if (rt.spec.is_spout()) continue;
+    TaskQueue::Options queue_options;
+    queue_options.capacity = resolved_queue_capacity_;
+    queue_options.single_producer = rt.expected_eos <= 1;
+    queue_options.stats = queue_stats_;
+    rt.queues.reserve(rt.spec.parallelism);
+    for (std::size_t t = 0; t < rt.spec.parallelism; ++t) {
+      rt.queues.push_back(std::make_unique<TaskQueue>(queue_options));
+    }
+  }
+  // Pass 4: EOS broadcast targets from the producer side.
+  for (ComponentRuntime& consumer : components_) {
+    std::unordered_set<std::string> distinct_producers;
+    for (const EdgeSpec& edge : consumer.spec.inputs) {
+      distinct_producers.insert(edge.from_component);
+    }
+    for (const std::string& producer_name : distinct_producers) {
+      ComponentRuntime& producer =
+          components_[static_cast<std::size_t>(spec_.IndexOf(producer_name))];
       for (auto& queue : consumer.queues) {
         producer.eos_targets.push_back(queue.get());
       }
@@ -232,8 +311,31 @@ Status Topology::Join() {
       owner = 0;
     }
   }
+  // Publish the ingest-window stamps so harnesses (bench_runner) can
+  // compute honest end-to-end throughput: first spout emission through
+  // the last terminal bolt finishing its drain, excluding topology
+  // setup and thread teardown.
+  const std::int64_t first = first_emit_us_.load(std::memory_order_relaxed);
+  if (first != 0) {
+    metrics_->GetGauge("topology.first_emit_us")->Set(first);
+    metrics_->GetGauge("topology.spout_done_us")
+        ->Set(spout_done_us_.load(std::memory_order_relaxed));
+    metrics_->GetGauge("topology.final_done_us")
+        ->Set(final_done_us_.load(std::memory_order_relaxed));
+  }
   finished_.store(true, std::memory_order_release);
   return Status::OK();
+}
+
+void Topology::MaybePinTask() {
+  const int cpu = cpu_plan_.NextCpu();
+  if (cpu < 0) return;  // Pinning disabled or no CPUs discovered.
+  const Status status = concurrent::CpuBind::PinCurrentThread(cpu);
+  if (status.ok()) {
+    metrics_->GetCounter("topology.pinned_tasks")->Increment();
+  } else if (!pin_warned_.exchange(true, std::memory_order_relaxed)) {
+    RTREC_LOG(kWarn) << "task CPU pinning unavailable: " << status.ToString();
+  }
 }
 
 void Topology::RequestStop() {
@@ -264,6 +366,7 @@ void Topology::BroadcastEos(ComponentRuntime& component) {
 
 void Topology::RunSpoutTask(std::size_t component_index,
                             std::size_t task_index) {
+  MaybePinTask();
   ComponentRuntime& rt = components_[component_index];
 
   // Assemble this task's collector: edges from this component to all
@@ -330,6 +433,9 @@ void Topology::RunSpoutTask(std::size_t component_index,
   int consecutive_failures = 0;
   std::int64_t backoff_ms = options_.restart_backoff_initial_ms;
   bool alive = make_spout();
+  // The ingest window opens when the first spout task starts pulling
+  // (one clock read per task, not per tuple).
+  if (alive) StoreOnce(first_emit_us_, Tracer::NowMicros());
   while (alive && !stop_requested_.load(std::memory_order_acquire)) {
     bool call_ok = false;
     bool has_more = true;
@@ -386,10 +492,12 @@ void Topology::RunSpoutTask(std::size_t component_index,
     }
   }
   BroadcastEos(rt);
+  StoreMax(spout_done_us_, Tracer::NowMicros());
 }
 
 void Topology::RunBoltTask(std::size_t component_index,
                            std::size_t task_index) {
+  MaybePinTask();
   ComponentRuntime& rt = components_[component_index];
 
   std::unordered_map<std::string, std::vector<EdgeRuntime>> edges;
@@ -459,86 +567,101 @@ void Topology::RunBoltTask(std::size_t component_index,
 
   TaskQueue& queue = *rt.queues[task_index];
   std::size_t eos_seen = 0;
+  // Batched drain: one blocking PopBatch per wakeup amortizes the
+  // park/wake handshake over up to resolved_drain_batch_ tuples; the
+  // buffer is reused across wakeups so the steady state allocates
+  // nothing. Per-tuple semantics (supervision, tracing, acking, EOS
+  // counting) are identical to the old one-Pop-per-iteration loop.
+  std::vector<Envelope> batch;
+  batch.reserve(resolved_drain_batch_);
   while (eos_seen < rt.expected_eos) {
-    std::optional<Envelope> envelope = queue.Pop();
-    if (!envelope.has_value()) break;  // Queue force-closed.
-    if (envelope->eos) {
-      ++eos_seen;
-      continue;
+    batch.clear();
+    if (queue.PopBatch(batch, resolved_drain_batch_) == 0) {
+      break;  // Queue force-closed.
     }
-    rt.queue_depth->Add(-1);
-    current_root = envelope->root;
-    current_trace = envelope->trace;
-    const bool traced = tracer != nullptr && current_trace.sampled();
-    std::int64_t trace_start_us = 0;
-    if (traced) {
-      trace_start_us = Tracer::NowMicros();
-      trace_queue_us->Add(trace_start_us - envelope->enqueue_us);
-    }
-    bool processed_ok = false;
-    if (!degraded && RTREC_FAULT_POINT("stream.bolt.process").ok()) {
-      try {
-        ScopedLatencyTimer timer(rt.process_us);
-        // Install the tuple's trace as the thread-current one so spans
-        // in layers the bolt calls into (KV stores, models) attach.
-        std::optional<ScopedTraceContext> trace_scope;
-        if (traced) trace_scope.emplace(current_trace);
-        bolt->Process(envelope->tuple, collector);
-        processed_ok = true;
-      } catch (const std::exception& e) {
-        RTREC_LOG(kError) << rt.spec.name << " task " << task_index
-                          << " crashed in Process: " << e.what();
-      } catch (...) {
-        RTREC_LOG(kError) << rt.spec.name << " task " << task_index
-                          << " crashed in Process";
+    for (Envelope& envelope : batch) {
+      if (envelope.eos) {
+        ++eos_seen;
+        continue;
       }
-    }
-    if (processed_ok) {
-      consecutive_failures = 0;
-      backoff_ms = options_.restart_backoff_initial_ms;
-      rt.processed->Increment();
+      rt.queue_depth->Add(-1);
+      current_root = envelope.root;
+      current_trace = envelope.trace;
+      const bool traced = tracer != nullptr && current_trace.sampled();
+      std::int64_t trace_start_us = 0;
       if (traced) {
-        const std::int64_t end_us = Tracer::NowMicros();
-        trace_stage_us->Add(end_us - trace_start_us);
-        // At a terminal bolt (result_storage in Fig. 2) this is the
-        // pipeline's end-to-end latency for the traced action.
-        trace_e2e_us->Add(end_us - current_trace.start_us);
+        trace_start_us = Tracer::NowMicros();
+        trace_queue_us->Add(trace_start_us - envelope.enqueue_us);
+      } else if (envelope.enqueue_us != 0) {
+        // 1-in-N stamped untraced tuple (TaskCollector's LatencyStats):
+        // keeps queue-wait visible when tracing is off.
+        rt.queue_wait_us->Add(Tracer::NowMicros() - envelope.enqueue_us);
       }
-      if (acker_ != nullptr && current_root != 0) {
-        // This tuple's own contribution to the tree is done (any anchored
-        // emissions were added during Process).
-        acker_->Add(current_root, -1);
-      }
-    } else {
-      // The tuple is dropped, deliberately without acking its tree: with
-      // acking on it fails by timeout and the spout replays it.
-      rt.dropped->Increment();
-      if (!degraded) {
-        if (++consecutive_failures > options_.max_task_restarts) {
-          RTREC_LOG(kError)
-              << rt.spec.name << " task " << task_index
-              << " exceeded max_task_restarts=" << options_.max_task_restarts
-              << "; degrading to drain mode";
-          degraded = true;
-        } else {
-          restarts_total->Increment();
-          restarts_here->Increment();
-          if (bolt != nullptr) {
-            try {
-              bolt->Cleanup();
-            } catch (...) {
-            }
-          }
-          std::this_thread::sleep_for(
-              std::chrono::milliseconds(backoff_ms));
-          backoff_ms =
-              std::min(backoff_ms * 2, options_.restart_backoff_max_ms);
-          degraded = !make_bolt();
+      bool processed_ok = false;
+      if (!degraded && RTREC_FAULT_POINT("stream.bolt.process").ok()) {
+        try {
+          ScopedLatencyTimer timer(rt.process_us);
+          // Install the tuple's trace as the thread-current one so spans
+          // in layers the bolt calls into (KV stores, models) attach.
+          std::optional<ScopedTraceContext> trace_scope;
+          if (traced) trace_scope.emplace(current_trace);
+          bolt->Process(envelope.tuple, collector);
+          processed_ok = true;
+        } catch (const std::exception& e) {
+          RTREC_LOG(kError) << rt.spec.name << " task " << task_index
+                            << " crashed in Process: " << e.what();
+        } catch (...) {
+          RTREC_LOG(kError) << rt.spec.name << " task " << task_index
+                            << " crashed in Process";
         }
       }
+      if (processed_ok) {
+        consecutive_failures = 0;
+        backoff_ms = options_.restart_backoff_initial_ms;
+        rt.processed->Increment();
+        if (traced) {
+          const std::int64_t end_us = Tracer::NowMicros();
+          trace_stage_us->Add(end_us - trace_start_us);
+          // At a terminal bolt (result_storage in Fig. 2) this is the
+          // pipeline's end-to-end latency for the traced action.
+          trace_e2e_us->Add(end_us - current_trace.start_us);
+        }
+        if (acker_ != nullptr && current_root != 0) {
+          // This tuple's own contribution to the tree is done (any
+          // anchored emissions were added during Process).
+          acker_->Add(current_root, -1);
+        }
+      } else {
+        // The tuple is dropped, deliberately without acking its tree:
+        // with acking on it fails by timeout and the spout replays it.
+        rt.dropped->Increment();
+        if (!degraded) {
+          if (++consecutive_failures > options_.max_task_restarts) {
+            RTREC_LOG(kError)
+                << rt.spec.name << " task " << task_index
+                << " exceeded max_task_restarts="
+                << options_.max_task_restarts << "; degrading to drain mode";
+            degraded = true;
+          } else {
+            restarts_total->Increment();
+            restarts_here->Increment();
+            if (bolt != nullptr) {
+              try {
+                bolt->Cleanup();
+              } catch (...) {
+              }
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(backoff_ms));
+            backoff_ms =
+                std::min(backoff_ms * 2, options_.restart_backoff_max_ms);
+            degraded = !make_bolt();
+          }
+        }
+      }
+      current_root = 0;
+      current_trace = TraceContext{};
     }
-    current_root = 0;
-    current_trace = TraceContext{};
   }
   if (bolt != nullptr) {
     try {
@@ -549,6 +672,11 @@ void Topology::RunBoltTask(std::size_t component_index,
   // Every task broadcasts its own marker; consumers expect one marker per
   // upstream task, so the drain completes exactly once per edge.
   BroadcastEos(rt);
+  // A terminal bolt (no downstream subscribers) finishing its drain
+  // closes the ingest window.
+  if (rt.eos_targets.empty()) {
+    StoreMax(final_done_us_, Tracer::NowMicros());
+  }
 }
 
 }  // namespace rtrec::stream

@@ -8,10 +8,11 @@
 #include <unordered_map>
 #include <vector>
 
-#include "common/bounded_queue.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/trace.h"
+#include "concurrent/cpu_bind.h"
+#include "concurrent/ring_queue.h"
 #include "stream/acker.h"
 #include "stream/bolt.h"
 #include "stream/topology_builder.h"
@@ -20,9 +21,22 @@ namespace rtrec::stream {
 
 /// Execution options for a topology.
 struct TopologyOptions {
-  /// Capacity of each bolt task's input queue. Full queues block
-  /// producers, giving end-to-end backpressure (Storm's max pending).
-  std::size_t queue_capacity = 1024;
+  /// Capacity of each bolt task's input queue (rounded up to a power of
+  /// two). Full queues block producers, giving end-to-end backpressure
+  /// (Storm's max pending). 0 = use the TopologySpec's declared default
+  /// if any, else 1024.
+  std::size_t queue_capacity = 0;
+
+  /// Upper bound on tuples a bolt task drains from its ring per wakeup.
+  /// Batching amortizes the park/wake handshake (and, cross-core, the
+  /// cache-line bounce) over many tuples. 0 = spec default, else 64.
+  std::size_t drain_batch = 0;
+
+  /// Pin each task thread to a CPU, round-robin over the process's
+  /// affinity mask (concurrent::CpuBindPlan). Best-effort: failures are
+  /// logged once and counted, never fatal. Off by default — pinning
+  /// helps dedicated hosts and hurts shared ones.
+  bool pin_cpus = false;
 
   /// Metrics sink; if null the topology owns a private registry.
   MetricsRegistry* metrics = nullptr;
@@ -124,7 +138,10 @@ class Topology {
     Envelope(Tuple t, std::uint64_t r) : tuple(std::move(t)), root(r) {}
   };
 
-  using TaskQueue = BoundedQueue<Envelope>;
+  // Lock-free ring-backed task queue (concurrent::RingQueue): SPSC when
+  // exactly one upstream task feeds the consumer task, MPSC where
+  // grouping fans several producer tasks into one queue.
+  using TaskQueue = concurrent::RingQueue<Envelope>;
 
   // One (consumer, stream) subscription as seen from a producer task.
   struct EdgeRuntime {
@@ -160,6 +177,12 @@ class Topology {
     // Data tuples currently buffered across this component's input
     // queues ("<component>.queue_depth"); 0 after a clean drain.
     Gauge* queue_depth = nullptr;
+    // Sampled wait-in-queue of *untraced* tuples
+    // ("<component>.queue_wait_us"): producers stamp 1-in-N envelopes
+    // via concurrent::LatencyStats, so queue health is visible even
+    // with tracing disabled. Traced tuples keep feeding the tracer's
+    // queue histograms as before.
+    Histogram* queue_wait_us = nullptr;
   };
 
   Topology(TopologySpec spec, TopologyOptions options);
@@ -168,9 +191,26 @@ class Topology {
   void RunSpoutTask(std::size_t component_index, std::size_t task_index);
   void RunBoltTask(std::size_t component_index, std::size_t task_index);
   void BroadcastEos(ComponentRuntime& component);
+  void MaybePinTask();
 
   TopologySpec spec_;
   TopologyOptions options_;
+  // queue_capacity / drain_batch after the options → spec → engine
+  // default resolution.
+  std::size_t resolved_queue_capacity_ = 0;
+  std::size_t resolved_drain_batch_ = 0;
+  // Topology-wide ring counters ("stream.queue.*"), shared by every
+  // task queue.
+  TaskQueue::Stats queue_stats_;
+  concurrent::CpuBindPlan cpu_plan_;
+  std::atomic<bool> pin_warned_{false};
+  // Ingest-window stamps for honest end-to-end throughput accounting
+  // (published as gauges by Join): the first spout emission, the last
+  // spout finishing, and the last *terminal* bolt task (one with no
+  // downstream subscribers) finishing its drain.
+  std::atomic<std::int64_t> first_emit_us_{0};
+  std::atomic<std::int64_t> spout_done_us_{0};
+  std::atomic<std::int64_t> final_done_us_{0};
   std::unique_ptr<MetricsRegistry> owned_metrics_;
   MetricsRegistry* metrics_ = nullptr;
 
