@@ -18,28 +18,46 @@
 //   quality — drives a deterministic co-watch workload through a
 //             service with the quality monitor attached and reports the
 //             live signals (progressive logloss, online recall@10, the
-//             CTR join segments, drift gauges, alert counters).
+//             CTR join segments, drift gauges, alert counters);
+//   cluster — (only with --serve-binary=PATH) the sharded-deployment
+//             drill: forks real `serve` processes from a generated
+//             manifest, routes loadgen through ClusterClient, kill -9s
+//             a shard mid-traffic, and reports aggregate scaling vs one
+//             process, failover latency, the degraded-response fraction
+//             during the outage, and recovery time after the restart.
 //
 // Everything is seeded (WorldConfig seed 2016), so two runs on the same
 // machine produce the same workload; timings of course vary.
 //
-//   $ ./bench_runner [--smoke] [--out=BENCH_PR6.json]
+//   $ ./bench_runner [--smoke] [--out=BENCH_PR7.json]
 //                    [--connections=N] [--seconds=N]
 //                    [--queue-capacity=N] [--drain-batch=N] [--pin-cpus]
+//                    [--serve-binary=PATH] [--cluster-only]
 //
 // --smoke shrinks every phase for CI (a few seconds total).
 // --queue-capacity / --drain-batch / --pin-cpus tune the ingest
-// topology's ring queues (0 = engine defaults). The ledger is written
-// to --out (default BENCH_PR6.json in the working directory);
-// scripts/bench.sh wraps the build + run + validate cycle.
+// topology's ring queues (0 = engine defaults). --serve-binary points
+// at the examples/serve executable and enables the cluster phase;
+// --cluster-only skips the in-process phases (scripts/cluster.sh uses
+// it for the standalone drill). The ledger is written to --out (default
+// BENCH_PR7.json in the working directory); scripts/bench.sh wraps the
+// build + run + validate cycle.
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -47,6 +65,8 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/cluster_client.h"
+#include "cluster/manifest.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "core/engine.h"
@@ -624,20 +644,539 @@ bool RunQuality(Json& json, bool smoke) {
   return evaluated > 0 && hits > 0 && std::isfinite(logloss) && logloss > 0;
 }
 
+// --- Phase 5: cluster ------------------------------------------------------
+//
+// The sharded-deployment drill. Unlike the in-process phases this one
+// forks real `serve` processes (the production shape): a generated
+// manifest on ephemeral ports, per-shard checkpoint directories, loadgen
+// threads routing through ClusterClient. Mid-traffic it kill -9s the
+// shard owning a probe key and measures the numbers an operator asks
+// about a sharded deployment:
+//
+//  - aggregate QPS vs a 1-process baseline (scaling ratio — honest, not
+//    flattering, on a small host where all shards share cores);
+//  - failover latency: kill -9 to the first successful answer for a key
+//    the dead shard owned (served DEGRADED by the failover shard);
+//  - error/degraded fractions during the outage window;
+//  - recovery time: respawn to the restarted shard answering Ping,
+//    restored from its checkpoint slice;
+//  - a zero-error post-recovery window.
+
+struct ClusterConfig {
+  std::string serve_binary;  // Empty disables the phase.
+  int num_shards = 4;
+  int threads = 4;          // Loadgen threads (one ClusterClient each).
+  int window_seconds = 3;   // Steady / outage / post-recovery windows.
+  int workers_per_shard = 2;
+};
+
+/// Reserves an ephemeral loopback port by bind(0)/getsockname/close.
+/// There is an inherent race (someone could grab the port before serve
+/// binds it), but the bench owns the machine's rtrec processes and the
+/// readiness gate catches the losing case.
+int PickFreePort() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  int port = -1;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+      port = ntohs(addr.sin_port);
+    }
+  }
+  ::close(fd);
+  return port;
+}
+
+/// Everything a shard child process needs, prebuilt in the parent.
+/// fork() happens while loadgen threads run, so the child must not
+/// allocate between fork and exec (another thread could hold the malloc
+/// lock at fork time) — all strings exist before the fork.
+struct ShardSpec {
+  std::string binary;
+  std::string manifest_flag;
+  std::string shard_flag;
+  std::string checkpoint_flag;
+  std::string workers;
+  std::string log_path;
+};
+
+ShardSpec MakeShardSpec(const ClusterConfig& config,
+                        const std::string& manifest_path,
+                        const std::string& checkpoint_dir,
+                        const std::string& log_prefix, int shard) {
+  ShardSpec spec;
+  spec.binary = config.serve_binary;
+  spec.manifest_flag = "--cluster-manifest=" + manifest_path;
+  spec.shard_flag = "--shard-id=" + std::to_string(shard);
+  spec.checkpoint_flag = "--checkpoint-dir=" + checkpoint_dir;
+  spec.workers = std::to_string(config.workers_per_shard);
+  spec.log_path = log_prefix + std::to_string(shard) + ".log";
+  return spec;
+}
+
+pid_t SpawnShard(const ShardSpec& spec) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  // Child: per-shard log file, then exec serve. Positional "0" is the
+  // port, overridden by the manifest; tracing off to keep shards lean.
+  const int fd =
+      ::open(spec.log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd >= 0) {
+    ::dup2(fd, STDOUT_FILENO);
+    ::dup2(fd, STDERR_FILENO);
+    ::close(fd);
+  }
+  ::execl(spec.binary.c_str(), spec.binary.c_str(), spec.manifest_flag.c_str(),
+          spec.shard_flag.c_str(), spec.checkpoint_flag.c_str(),
+          "--checkpoint-interval-ms=500", "--trace-sample-every-n=0", "0",
+          spec.workers.c_str(), static_cast<char*>(nullptr));
+  ::_exit(127);  // exec failed; the readiness gate reports it.
+}
+
+/// Owns the shard processes: TERMs and reaps whatever is still alive on
+/// scope exit, so no drill path leaks serve processes.
+struct ProcessGroup {
+  std::vector<pid_t> pids;
+
+  ~ProcessGroup() {
+    for (pid_t pid : pids) {
+      if (pid > 0) ::kill(pid, SIGTERM);
+    }
+    ReapAll();
+  }
+  void ReapAll() {
+    for (pid_t& pid : pids) {
+      if (pid > 0) ::waitpid(pid, nullptr, 0);
+      pid = -1;
+    }
+  }
+};
+
+/// Removes the drill's scratch directory on scope exit.
+struct TempDir {
+  std::string path;
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+bool AwaitClusterHealthy(rtrec::ClusterClient& client, int deadline_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
+  while (Clock::now() < deadline) {
+    if (client.Healthy()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+/// Prints the tail of each shard log — the post-mortem when bring-up or
+/// the drill fails.
+void DumpShardLogs(const std::string& workdir) {
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(workdir, ec)) {
+    if (entry.path().extension() != ".log") continue;
+    std::ifstream in(entry.path());
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    if (text.size() > 2048) text = text.substr(text.size() - 2048);
+    std::fprintf(stderr, "---- %s ----\n%s\n",
+                 entry.path().filename().c_str(), text.c_str());
+  }
+}
+
+/// Per-window loadgen tallies (steady / outage / post-recovery).
+struct ClusterWindow {
+  std::atomic<std::int64_t> ok{0};
+  std::atomic<std::int64_t> errors{0};
+  std::atomic<std::int64_t> degraded{0};
+
+  std::int64_t total() const { return ok.load() + errors.load(); }
+  double ErrorFraction() const {
+    const std::int64_t n = total();
+    return n > 0 ? static_cast<double>(errors.load()) / n : 0.0;
+  }
+  double DegradedFraction() const {
+    const std::int64_t n = total();
+    return n > 0 ? static_cast<double>(degraded.load()) / n : 0.0;
+  }
+};
+
+enum ClusterPhase { kSteady = 0, kOutage = 1, kPost = 2 };
+
+/// One loadgen thread: its own ClusterClient (per the thread-safety
+/// guidance), read-dominated mix over 64 users so every shard owns
+/// traffic, tallies into whichever window is current.
+void ClusterLoadgenThread(const rtrec::ClusterManifest& manifest,
+                          rtrec::MetricsRegistry* metrics, int thread_index,
+                          const std::atomic<int>& phase,
+                          const std::atomic<bool>& stop,
+                          ClusterWindow* windows) {
+  rtrec::ClusterClient::Options options;
+  options.manifest = manifest;
+  options.metrics = metrics;
+  rtrec::ClusterClient client(std::move(options));
+  rtrec::RecRequest request;
+  request.top_n = 10;
+  rtrec::Timestamp t = 5'000'000 + thread_index;
+  int seq = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    ClusterWindow& window = windows[phase.load(std::memory_order_relaxed)];
+    const rtrec::UserId user = 1 + (seq * 7 + thread_index) % 64;
+    if (seq % 8 == 7) {
+      const rtrec::Status status =
+          client.Observe(Watch(user, 10 + seq % 5, t += 1000));
+      (status.ok() ? window.ok : window.errors)
+          .fetch_add(1, std::memory_order_relaxed);
+    } else {
+      request.user = user;
+      request.seed_videos = {10 + static_cast<rtrec::VideoId>(seq % 5)};
+      request.now = t;
+      auto reply = client.RecommendDetailed(request);
+      if (reply.ok()) {
+        window.ok.fetch_add(1, std::memory_order_relaxed);
+        if (reply->degraded()) {
+          window.degraded.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else {
+        window.errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    ++seq;
+  }
+}
+
+/// Steady-state loadgen against `manifest` for `seconds`; returns QPS.
+double MeasureClusterQps(const rtrec::ClusterManifest& manifest, int threads,
+                         int seconds, std::int64_t* requests_out) {
+  std::atomic<int> phase{kSteady};
+  std::atomic<bool> stop{false};
+  ClusterWindow windows[3];
+  std::vector<std::thread> loadgen;
+  loadgen.reserve(threads);
+  const auto t0 = Clock::now();
+  for (int i = 0; i < threads; ++i) {
+    loadgen.emplace_back([&, i] {
+      ClusterLoadgenThread(manifest, nullptr, i, phase, stop, windows);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  stop.store(true);
+  for (auto& thread : loadgen) thread.join();
+  const double elapsed = Seconds(t0, Clock::now());
+  if (requests_out != nullptr) *requests_out = windows[kSteady].total();
+  return elapsed > 0 ? windows[kSteady].total() / elapsed : 0.0;
+}
+
+/// Builds a loopback manifest over freshly reserved ephemeral ports and
+/// writes it to `path`.
+bool WriteManifest(int num_shards, const std::string& path,
+                   rtrec::ClusterManifest* manifest) {
+  std::string text = "# rtrec bench cluster manifest\n";
+  for (int shard = 0; shard < num_shards; ++shard) {
+    const int port = PickFreePort();
+    if (port <= 0) {
+      std::fprintf(stderr, "cluster: no free port for shard %d\n", shard);
+      return false;
+    }
+    text += "shard " + std::to_string(shard) + " 127.0.0.1 " +
+            std::to_string(port) + "\n";
+  }
+  auto parsed = rtrec::ClusterManifest::Parse(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "cluster: manifest build failed: %s\n",
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  if (!out.good()) {
+    std::fprintf(stderr, "cluster: cannot write %s\n", path.c_str());
+    return false;
+  }
+  *manifest = *std::move(parsed);
+  return true;
+}
+
+void EmitWindow(Json& json, const std::string& key,
+                const ClusterWindow& window, double elapsed) {
+  json.OpenObject(key);
+  json.Field("elapsed_s", elapsed);
+  json.Field("requests", window.total());
+  json.Field("ok", window.ok.load());
+  json.Field("errors", window.errors.load());
+  json.Field("degraded", window.degraded.load());
+  json.Field("qps", elapsed > 0 ? window.total() / elapsed : 0.0);
+  json.Field("error_fraction", window.ErrorFraction());
+  json.Field("degraded_fraction", window.DegradedFraction());
+  json.Close();
+}
+
+bool RunCluster(Json& json, bool smoke, ClusterConfig config) {
+  if (smoke) {
+    config.threads = 2;
+    config.window_seconds = 1;
+  }
+
+  char workdir_template[] = "rtrec-cluster-XXXXXX";
+  if (::mkdtemp(workdir_template) == nullptr) {
+    std::perror("cluster: mkdtemp");
+    return false;
+  }
+  TempDir workdir{workdir_template};
+
+  // 1-process baseline for the scaling ratio: same binary, same loadgen,
+  // a manifest of one.
+  double baseline_qps = 0.0;
+  std::int64_t baseline_requests = 0;
+  {
+    rtrec::ClusterManifest manifest;
+    const std::string manifest_path = workdir.path + "/manifest-baseline.txt";
+    if (!WriteManifest(1, manifest_path, &manifest)) return false;
+    ProcessGroup procs;
+    procs.pids.push_back(SpawnShard(MakeShardSpec(
+        config, manifest_path, workdir.path + "/baseline-checkpoints",
+        workdir.path + "/baseline-shard-", 0)));
+    rtrec::ClusterClient::Options ready_options;
+    ready_options.manifest = manifest;
+    rtrec::ClusterClient ready(std::move(ready_options));
+    if (!AwaitClusterHealthy(ready, 15'000)) {
+      std::fprintf(stderr, "cluster: baseline shard never became healthy\n");
+      DumpShardLogs(workdir.path);
+      return false;
+    }
+    baseline_qps = MeasureClusterQps(manifest, config.threads,
+                                     config.window_seconds,
+                                     &baseline_requests);
+  }  // ProcessGroup TERMs + reaps the baseline shard here.
+
+  // The real cluster.
+  rtrec::ClusterManifest manifest;
+  const std::string manifest_path = workdir.path + "/manifest.txt";
+  if (!WriteManifest(config.num_shards, manifest_path, &manifest)) {
+    return false;
+  }
+  std::vector<ShardSpec> specs;
+  ProcessGroup procs;
+  for (int shard = 0; shard < config.num_shards; ++shard) {
+    specs.push_back(MakeShardSpec(config, manifest_path,
+                                  workdir.path + "/checkpoints",
+                                  workdir.path + "/shard-", shard));
+    procs.pids.push_back(SpawnShard(specs.back()));
+  }
+
+  rtrec::ClusterClient::Options control_options;
+  control_options.manifest = manifest;
+  rtrec::ClusterClient control(std::move(control_options));
+  if (!AwaitClusterHealthy(control, 15'000)) {
+    std::fprintf(stderr, "cluster: %d-shard cluster never became healthy\n",
+                 config.num_shards);
+    DumpShardLogs(workdir.path);
+    return false;
+  }
+
+  rtrec::MetricsRegistry metrics;
+  std::atomic<int> phase{kSteady};
+  std::atomic<bool> stop{false};
+  ClusterWindow windows[3];
+  std::vector<std::thread> loadgen;
+  loadgen.reserve(config.threads);
+  for (int i = 0; i < config.threads; ++i) {
+    loadgen.emplace_back([&, i] {
+      ClusterLoadgenThread(manifest, &metrics, i, phase, stop, windows);
+    });
+  }
+
+  // Steady window.
+  const auto steady_t0 = Clock::now();
+  std::this_thread::sleep_for(std::chrono::seconds(config.window_seconds));
+  const double steady_elapsed = Seconds(steady_t0, Clock::now());
+
+  // kill -9 the shard owning the probe key, mid-traffic.
+  const rtrec::UserId probe_user = 7;
+  const rtrec::ShardId victim = control.OwnerOf(probe_user);
+  phase.store(kOutage);
+  const auto outage_t0 = Clock::now();
+  ::kill(procs.pids[victim], SIGKILL);
+  ::waitpid(procs.pids[victim], nullptr, 0);
+
+  // Failover latency: a fresh router (closed breakers, no warm
+  // connections — the worst case) asking for a key the dead shard owned,
+  // timed to the first successful answer.
+  double failover_ms = -1.0;
+  bool failover_degraded = false;
+  {
+    rtrec::ClusterClient::Options probe_options;
+    probe_options.manifest = manifest;
+    rtrec::ClusterClient probe(std::move(probe_options));
+    rtrec::RecRequest request;
+    request.user = probe_user;
+    request.top_n = 10;
+    request.now = 1;
+    const auto k0 = Clock::now();
+    const auto deadline = k0 + std::chrono::seconds(5);
+    while (Clock::now() < deadline) {
+      auto reply = probe.RecommendDetailed(request);
+      if (reply.ok()) {
+        failover_ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - k0)
+                .count();
+        failover_degraded = reply->degraded();
+        break;
+      }
+    }
+  }
+  std::this_thread::sleep_for(std::chrono::seconds(config.window_seconds));
+
+  // Restart the victim; recovery = respawn to answering Ping (it
+  // restores its checkpointed slice on boot).
+  const auto respawn_t0 = Clock::now();
+  procs.pids[victim] = SpawnShard(specs[victim]);
+  double recovery_ms = -1.0;
+  {
+    const auto deadline = respawn_t0 + std::chrono::seconds(20);
+    while (Clock::now() < deadline) {
+      if (control.ShardHealthy(victim)) {
+        recovery_ms =
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      respawn_t0)
+                .count();
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  const double outage_elapsed = Seconds(outage_t0, Clock::now());
+
+  // Post-recovery window: the cluster is whole again — zero errors
+  // expected (degraded responses decay as the loadgen breakers close).
+  phase.store(kPost);
+  const auto post_t0 = Clock::now();
+  std::this_thread::sleep_for(std::chrono::seconds(config.window_seconds));
+  stop.store(true);
+  for (auto& thread : loadgen) thread.join();
+  const double post_elapsed = Seconds(post_t0, Clock::now());
+
+  auto scrape = control.Stats();
+  const double shards_healthy =
+      scrape.ok() ? ScrapeValue(*scrape, "cluster_shards_healthy") : -1.0;
+
+  const double steady_qps =
+      steady_elapsed > 0 ? windows[kSteady].total() / steady_elapsed : 0.0;
+  const double total_elapsed = steady_elapsed + outage_elapsed + post_elapsed;
+  auto counter = [&metrics](const std::string& name) {
+    return metrics.GetCounter(name)->value();
+  };
+
+  json.OpenObject("cluster");
+  json.Field("shards", static_cast<std::int64_t>(config.num_shards));
+  json.Field("loadgen_threads", static_cast<std::int64_t>(config.threads));
+  json.Field("workers_per_shard",
+             static_cast<std::int64_t>(config.workers_per_shard));
+  json.OpenObject("baseline_one_shard");
+  json.Field("requests", baseline_requests);
+  json.Field("qps", baseline_qps);
+  json.Close();
+  EmitWindow(json, "steady", windows[kSteady], steady_elapsed);
+  json.Field("scaling_vs_one_shard",
+             baseline_qps > 0 ? steady_qps / baseline_qps : 0.0);
+  EmitWindow(json, "outage", windows[kOutage], outage_elapsed);
+  json.Field("victim_shard", static_cast<std::int64_t>(victim));
+  json.Field("failover_latency_ms", failover_ms);
+  json.Field("failover_reply_degraded", failover_degraded);
+  json.Field("recovery_ms", recovery_ms);
+  EmitWindow(json, "post_recovery", windows[kPost], post_elapsed);
+  json.OpenObject("router");
+  json.Field("requests", counter("cluster.router.requests"));
+  json.Field("failovers", counter("cluster.router.failovers"));
+  json.Field("degraded_responses",
+             counter("cluster.router.degraded_responses"));
+  json.Field("errors", counter("cluster.router.errors"));
+  json.Field("breaker_trips", counter("cluster.router.breaker_trips"));
+  json.Field("probe_success", counter("cluster.router.probe_success"));
+  json.Field("probe_failure", counter("cluster.router.probe_failure"));
+  json.Close();
+  json.OpenObject("per_shard");
+  for (int shard = 0; shard < config.num_shards; ++shard) {
+    const std::string prefix = "cluster.shard." + std::to_string(shard);
+    const std::int64_t requests = counter(prefix + ".requests");
+    json.OpenObject("shard_" + std::to_string(shard));
+    json.Field("requests", requests);
+    json.Field("failures", counter(prefix + ".failures"));
+    json.Field("qps", total_elapsed > 0 ? requests / total_elapsed : 0.0);
+    json.Close();
+  }
+  json.Close();
+  json.Field("merged_scrape_bytes",
+             scrape.ok() ? static_cast<std::int64_t>(scrape->size())
+                         : std::int64_t{-1});
+  json.Field("shards_healthy_at_end", shards_healthy);
+  json.Close();
+
+  std::printf(
+      "cluster  %d shards %.0f QPS (1 shard %.0f, x%.2f); kill -9 shard %u: "
+      "failover %.1fms%s, outage errors %.2f%% degraded %.1f%%, recovery "
+      "%.0fms, post errors %lld\n",
+      config.num_shards, steady_qps, baseline_qps,
+      baseline_qps > 0 ? steady_qps / baseline_qps : 0.0, victim, failover_ms,
+      failover_degraded ? " (DEGRADED)" : "",
+      windows[kOutage].ErrorFraction() * 100,
+      windows[kOutage].DegradedFraction() * 100, recovery_ms,
+      static_cast<long long>(windows[kPost].errors.load()));
+
+  // The drill's contract: the kill is survivable (bounded errors, the
+  // failover answer arrives and is DEGRADED), the restart heals
+  // (recovery measured, post window error-free).
+  bool ok = true;
+  if (steady_qps <= 0) {
+    std::fprintf(stderr, "cluster: no steady throughput\n");
+    ok = false;
+  }
+  if (failover_ms < 0 || !failover_degraded) {
+    std::fprintf(stderr, "cluster: failover answer missing or not DEGRADED\n");
+    ok = false;
+  }
+  if (windows[kOutage].ErrorFraction() > 0.2) {
+    std::fprintf(stderr, "cluster: outage error fraction above 20%%\n");
+    ok = false;
+  }
+  if (recovery_ms < 0) {
+    std::fprintf(stderr, "cluster: victim never recovered\n");
+    ok = false;
+  }
+  if (windows[kPost].errors.load() != 0) {
+    std::fprintf(stderr, "cluster: errors after recovery\n");
+    ok = false;
+  }
+  if (!ok) DumpShardLogs(workdir.path);
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
-  std::string out_path = "BENCH_PR6.json";
+  std::string out_path = "BENCH_PR7.json";
   int connections = 8;
   int seconds = 3;
   IngestConfig ingest_config;
+  ClusterConfig cluster_config;
+  bool cluster_only = false;
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--pin-cpus") == 0) {
       ingest_config.pin_cpus = true;
+    } else if (std::strcmp(argv[i], "--cluster-only") == 0) {
+      cluster_only = true;
+    } else if (ParseFlag(argv[i], "--serve-binary", &value)) {
+      cluster_config.serve_binary = value;
     } else if (ParseFlag(argv[i], "--out", &value)) {
       out_path = value;
     } else if (ParseFlag(argv[i], "--connections", &value)) {
@@ -654,10 +1193,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--smoke] [--out=PATH] [--connections=N] "
                    "[--seconds=N] [--queue-capacity=N] [--drain-batch=N] "
-                   "[--pin-cpus]\n",
+                   "[--pin-cpus] [--serve-binary=PATH] [--cluster-only]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (cluster_only && cluster_config.serve_binary.empty()) {
+    std::fprintf(stderr, "--cluster-only requires --serve-binary=PATH\n");
+    return 2;
   }
 
   std::printf("== bench_runner (%s mode, seed 2016) ==\n",
@@ -668,10 +1211,16 @@ int main(int argc, char** argv) {
   json.Field("seed", std::int64_t{2016});
   json.Field("smoke", smoke);
 
-  bool ok = RunIngest(json, smoke, ingest_config);
-  ok = RunServe(json, smoke, connections, seconds) && ok;
-  ok = RunRecall(json, smoke) && ok;
-  ok = RunQuality(json, smoke) && ok;
+  bool ok = true;
+  if (!cluster_only) {
+    ok = RunIngest(json, smoke, ingest_config);
+    ok = RunServe(json, smoke, connections, seconds) && ok;
+    ok = RunRecall(json, smoke) && ok;
+    ok = RunQuality(json, smoke) && ok;
+  }
+  if (!cluster_config.serve_binary.empty()) {
+    ok = RunCluster(json, smoke, cluster_config) && ok;
+  }
   json.Close();
 
   std::ofstream out(out_path, std::ios::trunc);

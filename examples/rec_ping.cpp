@@ -1,0 +1,44 @@
+// rec_ping: bounded-time liveness probe for an rtrec server — the CLI
+// face of RecClient::Healthy(). scripts/cluster.sh readiness-gates shard
+// bring-up on it instead of sleeping, and operators use it to check a
+// shard from the shell.
+//
+//   $ ./rec_ping PORT            # 127.0.0.1, 250ms deadline
+//   $ ./rec_ping HOST PORT [TIMEOUT_MS]
+//
+// Exit 0 if the server answers a Ping within the deadline (connect and
+// round-trip each bounded by it), 1 if not, 2 on usage error. Prints
+// nothing on success (it runs in tight readiness loops).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "net/rec_client.h"
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int timeout_ms = 250;
+  if (argc == 2) {
+    port = std::atoi(argv[1]);
+  } else if (argc == 3 || argc == 4) {
+    host = argv[1];
+    port = std::atoi(argv[2]);
+    if (argc == 4) timeout_ms = std::atoi(argv[3]);
+  }
+  if (port <= 0 || port > 65535 || timeout_ms <= 0) {
+    std::fprintf(stderr, "usage: rec_ping PORT | rec_ping HOST PORT "
+                         "[TIMEOUT_MS]\n");
+    return 2;
+  }
+
+  rtrec::RecClient::Options options;
+  options.host = host;
+  options.port = static_cast<std::uint16_t>(port);
+  options.auto_reconnect = false;
+  rtrec::RecClient client(options);
+  if (client.Healthy(timeout_ms)) return 0;
+  std::fprintf(stderr, "rec_ping: %s:%d not healthy within %dms\n",
+               host.c_str(), port, timeout_ms);
+  return 1;
+}

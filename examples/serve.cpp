@@ -7,10 +7,27 @@
 //             [--checkpoint-interval-ms=N] [--deadline-ms=N]
 //             [--stats-port=N] [--trace-sample-every-n=N]
 //             [--quality-holdout-every-n=N] [--quality-arms=N]
+//             [--host=ADDR] [--cluster-manifest=FILE] [--shard-id=I]
+//             [--num-shards=N]
 //
 // Defaults: port 7471, 4 workers, no checkpointing, no deadline, no
 // stats endpoint, trace sampling 1-in-64, quality holdout 1-in-100,
-// 2 A/B arms.
+// 2 A/B arms, standalone (unsharded).
+//
+// Sharded deployment: with --cluster-manifest and --shard-id this
+// process is one shard of a multi-process cluster (docs/OPERATIONS.md,
+// "Running a cluster"). The manifest supplies this shard's host:port
+// (the positional port is ignored) and the shard count; routing clients
+// (cluster/ClusterClient) send each user key to its owning shard via
+// the shared consistent-hash ring, so this process only ever trains its
+// own key slice. --shard-id/--num-shards without a manifest set up the
+// same slice-awareness for hand-wired deployments. Sharded processes:
+//  - checkpoint into <checkpoint-dir>/shard-<id>, so a restarted shard
+//    restores exactly its slice and rejoins (shard handoff);
+//  - warm up only the users they own (per-key single-writer holds from
+//    the first action);
+//  - export cluster.shard_id / cluster.num_shards gauges so scrapes
+//    identify the shard.
 //
 // With --stats-port the server also exposes its metrics registry over
 // plain HTTP in Prometheus text format (curl http://127.0.0.1:N/metrics
@@ -53,6 +70,8 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/hash_ring.h"
+#include "cluster/manifest.h"
 #include "common/trace.h"
 #include "net/rec_server.h"
 #include "net/stats_server.h"
@@ -87,6 +106,7 @@ bool ParseFlag(const char* arg, const char* name, std::string* out) {
 
 int main(int argc, char** argv) {
   std::uint16_t port = 7471;
+  std::string host = "127.0.0.1";
   int workers = 4;
   std::string checkpoint_dir;
   int checkpoint_interval_ms = 30'000;
@@ -95,6 +115,9 @@ int main(int argc, char** argv) {
   int trace_sample_every_n = 64;
   int quality_holdout_every_n = 100;
   int quality_arms = 2;
+  std::string manifest_path;
+  int shard_id = -1;    // -1 = standalone.
+  int num_shards = 0;   // 0 = derive (manifest size, or 1).
 
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
@@ -113,6 +136,14 @@ int main(int argc, char** argv) {
       quality_holdout_every_n = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "--quality-arms", &value)) {
       quality_arms = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--host", &value)) {
+      host = value;
+    } else if (ParseFlag(argv[i], "--cluster-manifest", &value)) {
+      manifest_path = value;
+    } else if (ParseFlag(argv[i], "--shard-id", &value)) {
+      shard_id = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--num-shards", &value)) {
+      num_shards = std::atoi(value.c_str());
     } else {
       positional.push_back(argv[i]);
     }
@@ -121,6 +152,45 @@ int main(int argc, char** argv) {
     port = static_cast<std::uint16_t>(std::atoi(positional[0]));
   }
   if (positional.size() > 1) workers = std::atoi(positional[1]);
+
+  // Sharded mode: the manifest is authoritative for this shard's
+  // address and the cluster size — every process must derive the same
+  // ring as the routers.
+  if (!manifest_path.empty()) {
+    if (shard_id < 0) {
+      std::fprintf(stderr, "--cluster-manifest requires --shard-id\n");
+      return 1;
+    }
+    auto manifest = rtrec::ClusterManifest::Load(manifest_path);
+    if (!manifest.ok()) {
+      std::fprintf(stderr, "cluster manifest: %s\n",
+                   manifest.status().ToString().c_str());
+      return 1;
+    }
+    const rtrec::ShardAddress* self =
+        manifest->Find(static_cast<rtrec::ShardId>(shard_id));
+    if (self == nullptr) {
+      std::fprintf(stderr, "shard %d not in manifest %s\n", shard_id,
+                   manifest_path.c_str());
+      return 1;
+    }
+    host = self->host;
+    port = self->port;
+    num_shards = static_cast<int>(manifest->num_shards());
+  }
+  if (shard_id >= 0 && num_shards <= 0) num_shards = shard_id + 1;
+  if (shard_id >= num_shards && shard_id >= 0) {
+    std::fprintf(stderr, "--shard-id=%d out of range (num shards %d)\n",
+                 shard_id, num_shards);
+    return 1;
+  }
+  const bool sharded = shard_id >= 0;
+  rtrec::HashRing ring(sharded ? static_cast<std::size_t>(num_shards) : 1);
+  if (sharded && !checkpoint_dir.empty()) {
+    // Per-shard snapshot directory: a restarted shard restores exactly
+    // its own slice, and shards never clobber each other's manifests.
+    checkpoint_dir += "/shard-" + std::to_string(shard_id);
+  }
 
   // Videos 1-99 are "drama", 100+ are "sports" — same toy type system
   // as the quickstart.
@@ -155,10 +225,20 @@ int main(int argc, char** argv) {
   // Warm the model: a few users co-watching makes the similar-video
   // tables and hot lists non-empty from the first request. A restored
   // model is already warm, but the hot lists are rebuilt from traffic,
-  // so replay the warm-up either way — it's idempotent enough.
+  // so replay the warm-up either way — it's idempotent enough. Sharded
+  // processes warm only the users they own: every key has exactly one
+  // writer from the first action, the same invariant the router keeps
+  // for live traffic.
   rtrec::Timestamp t = 0;
   for (int round = 0; round < 10; ++round) {
     for (rtrec::UserId user = 1; user <= 8; ++user) {
+      if (sharded) {
+        auto owner = ring.OwnerOfUser(user);
+        if (!owner.ok() ||
+            *owner != static_cast<rtrec::ShardId>(shard_id)) {
+          continue;
+        }
+      }
       service.Observe(Watch(user, 10 + user % 3, t += 1000));
       service.Observe(Watch(user, 11 + user % 3, t += 1000));
     }
@@ -189,6 +269,7 @@ int main(int argc, char** argv) {
   rtrec::Tracer tracer(tracer_options);
 
   rtrec::RecServer::Options options;
+  options.host = host;
   options.port = port;
   options.num_workers = workers;
   options.metrics = &rtrec::MetricsRegistry::Default();
@@ -201,8 +282,20 @@ int main(int argc, char** argv) {
                  started.ToString().c_str());
     return 1;
   }
-  std::printf("serving on 127.0.0.1:%u with %d workers (Ctrl-C to stop)\n",
-              server.port(), workers);
+  if (sharded) {
+    // Scrapes must identify the shard — the merged cluster scrape and
+    // the per-shard dashboards key on these.
+    rtrec::MetricsRegistry::Default().GetGauge("cluster.shard_id")
+        ->Set(shard_id);
+    rtrec::MetricsRegistry::Default().GetGauge("cluster.num_shards")
+        ->Set(num_shards);
+    std::printf("serving shard %d/%d on %s:%u with %d workers "
+                "(Ctrl-C to stop)\n",
+                shard_id, num_shards, host.c_str(), server.port(), workers);
+  } else {
+    std::printf("serving on %s:%u with %d workers (Ctrl-C to stop)\n",
+                host.c_str(), server.port(), workers);
+  }
 
   rtrec::StatsServer::Options stats_options;
   stats_options.port = static_cast<std::uint16_t>(stats_port);

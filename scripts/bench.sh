@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
 # Build-and-run wrapper for the unified benchmark runner: runs the
-# ingest / serve / recall / quality phases with fixed seeds and writes
-# the machine-readable ledger (BENCH_PR6.json), then validates it.
+# ingest / serve / recall / quality phases plus the multi-process
+# cluster drill with fixed seeds and writes the machine-readable ledger
+# (BENCH_PR7.json), then validates it.
 #
 #   scripts/bench.sh [--smoke] [--build-dir=DIR] [--out=PATH]
 #                    [--queue-capacity=N] [--drain-batch=N] [--pin-cpus]
+#                    [--no-cluster]
 #
-# Defaults: full mode, ./build, BENCH_PR6.json in the repo root. The
+# Defaults: full mode, ./build, BENCH_PR7.json in the repo root. The
 # queue flags are forwarded to the runner's ingest phase (0 = engine
-# defaults).
+# defaults). The cluster phase forks real serve processes from
+# examples/serve; --no-cluster skips it (scripts/cluster.sh runs the
+# drill standalone).
 # --smoke shrinks every phase to a few seconds — what CI runs. Exits
 # non-zero if the runner fails or the ledger is missing or malformed.
 
@@ -17,16 +21,19 @@ set -u
 smoke=""
 build_dir="build"
 extra_flags=()
-out="BENCH_PR6.json"
+out="BENCH_PR7.json"
+cluster="yes"
 for arg in "$@"; do
   case "${arg}" in
     --smoke) smoke="--smoke" ;;
     --build-dir=*) build_dir="${arg#--build-dir=}" ;;
     --out=*) out="${arg#--out=}" ;;
+    --no-cluster) cluster="" ;;
     --queue-capacity=*|--drain-batch=*|--pin-cpus) extra_flags+=("${arg}") ;;
     *)
       echo "usage: scripts/bench.sh [--smoke] [--build-dir=DIR] [--out=PATH]" \
-           "[--queue-capacity=N] [--drain-batch=N] [--pin-cpus]" >&2
+           "[--queue-capacity=N] [--drain-batch=N] [--pin-cpus]" \
+           "[--no-cluster]" >&2
       exit 2
       ;;
   esac
@@ -36,6 +43,14 @@ binary="${build_dir}/bench/bench_runner"
 if [[ ! -x "${binary}" ]]; then
   echo "bench.sh: ${binary} not found — building it" >&2
   cmake --build "${build_dir}" --target bench_runner -j "$(nproc)" || exit 2
+fi
+if [[ -n "${cluster}" ]]; then
+  serve_binary="${build_dir}/examples/serve"
+  if [[ ! -x "${serve_binary}" ]]; then
+    echo "bench.sh: ${serve_binary} not found — building it" >&2
+    cmake --build "${build_dir}" --target serve -j "$(nproc)" || exit 2
+  fi
+  extra_flags+=("--serve-binary=${serve_binary}")
 fi
 
 "${binary}" ${smoke} --out="${out}" ${extra_flags[@]+"${extra_flags[@]}"} || exit 1
@@ -84,6 +99,21 @@ assert quality["ctr"]["impressions"] > 0, "CTR join saw no impressions"
 for key in ("logloss", "calibration", "embedding_norm", "bias_drift",
             "staleness", "coverage"):
     assert quality["alerts"][key] >= 0, f"missing alert counter {key}"
+# Cluster section (present when the drill ran): the kill -9 must be
+# survivable and the restart must heal — the same contract
+# scripts/cluster.sh enforces for the standalone drill.
+if "cluster" in ledger:
+    cluster = ledger["cluster"]
+    assert cluster["steady"]["qps"] > 0, "no steady cluster throughput"
+    assert cluster["baseline_one_shard"]["qps"] > 0, "no 1-process baseline"
+    assert cluster["outage"]["error_fraction"] <= 0.2, \
+        "outage error rate not bounded"
+    assert cluster["failover_latency_ms"] >= 0, \
+        "failover latency not measured"
+    assert cluster["failover_reply_degraded"], \
+        "failover answer was not flagged DEGRADED"
+    assert cluster["recovery_ms"] >= 0, "victim never recovered"
+    assert cluster["post_recovery"]["errors"] == 0, "errors after recovery"
 print(f"ledger OK: {sys.argv[1]}")
 EOF
 else

@@ -14,7 +14,11 @@ different workload sizes — recall is only compared when both ledgers
 ran the same mode, per the ledger's `smoke` flag). Queue-wait diffs
 additionally require the regression to clear an absolute floor
 (QUEUE_WAIT_FLOOR_US) so sub-50µs scheduler jitter never warns.
-Ledgers missing the ingest section (pre-PR6 baselines) skip those rows.
+Ledgers missing the ingest section (pre-PR6 baselines) skip those rows;
+likewise the cluster section (pre-PR7, or runs without the drill) —
+when both ledgers carry it, steady cluster QPS, failover latency, and
+recovery time are compared (the latencies carry their own absolute
+floors, since tens of milliseconds ride on scheduler noise).
 """
 
 import json
@@ -62,6 +66,38 @@ def diff_ingest(baseline, fresh, threshold, paths):
                 print(f"::warning::{stage} queue_wait {pct} regressed "
                       f"more than {threshold:.0%}: {b:.0f}us -> {f:.0f}us "
                       f"({paths[0]} vs {paths[1]})")
+
+
+def diff_cluster(baseline, fresh, threshold, paths):
+    """Cluster drill rows: aggregate QPS, failover latency, recovery
+    time. Ledgers that never ran the drill (pre-PR7, or --no-cluster)
+    skip the section."""
+    base_cluster = baseline.get("cluster") or {}
+    fresh_cluster = fresh.get("cluster") or {}
+    base_qps = (base_cluster.get("steady") or {}).get("qps")
+    fresh_qps = (fresh_cluster.get("steady") or {}).get("qps")
+    if not base_qps or not fresh_qps:
+        print("bench_diff: cluster section missing from one ledger; "
+              "skipping cluster diff")
+        return
+    print(f"cluster qps: {base_qps:11.1f} -> {fresh_qps:11.1f} "
+          f"({(fresh_qps / base_qps - 1) * 100:+.1f}%)")
+    if fresh_qps < base_qps * (1 - threshold):
+        print(f"::warning::cluster steady QPS regressed more than "
+              f"{threshold:.0%}: {base_qps:.0f} -> {fresh_qps:.0f} "
+              f"({paths[0]} vs {paths[1]})")
+    for key, floor_ms in (("failover_latency_ms", 50.0),
+                          ("recovery_ms", 250.0)):
+        b, f = base_cluster.get(key), fresh_cluster.get(key)
+        if b is None or f is None:
+            continue
+        print(f"cluster {key}: {b:8.1f}ms -> {f:8.1f}ms")
+        # Latencies this small ride on scheduler noise; warn only past
+        # both the relative threshold and an absolute floor.
+        if f > b * (1 + threshold) and f - b > floor_ms:
+            print(f"::warning::cluster {key} regressed more than "
+                  f"{threshold:.0%}: {b:.0f}ms -> {f:.0f}ms "
+                  f"({paths[0]} vs {paths[1]})")
 
 
 def load(path):
@@ -114,6 +150,7 @@ def main(argv):
               f"({paths[0]} vs {paths[1]})")
 
     diff_ingest(baseline, fresh, threshold, paths)
+    diff_cluster(baseline, fresh, threshold, paths)
 
     if baseline.get("smoke") == fresh.get("smoke"):
         for k in ("recall_at_1", "recall_at_5", "recall_at_10"):

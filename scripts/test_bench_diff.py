@@ -22,7 +22,8 @@ import bench_diff  # noqa: E402
 def ledger(qps=50000.0, p99=300.0, smoke=True,
            recall=(0.5, 0.8, 0.9), schema="rtrec-bench/1",
            actions_per_sec=40000.0, queue_wait_p50=30.0,
-           queue_wait_p95=80.0, with_ingest=True):
+           queue_wait_p95=80.0, with_ingest=True, with_cluster=True,
+           cluster_qps=40000.0, failover_ms=10.0, recovery_ms=15.0):
     doc = {
         "schema": schema,
         "smoke": smoke,
@@ -41,6 +42,12 @@ def ledger(qps=50000.0, p99=300.0, smoke=True,
                                        "p95_us": queue_wait_p95}}
                 for stage in bench_diff.STAGES
             },
+        }
+    if with_cluster:
+        doc["cluster"] = {
+            "steady": {"qps": cluster_qps},
+            "failover_latency_ms": failover_ms,
+            "recovery_ms": recovery_ms,
         }
     return doc
 
@@ -165,6 +172,31 @@ def main():
     check("missing ingest section still diffs serve",
           "serve qps" in out, out)
     check("missing ingest section exits 0", code == 0, out)
+
+    # Cluster steady-QPS regression beyond the threshold is annotated.
+    code, out = run(ledger(cluster_qps=40000), ledger(cluster_qps=20000))
+    check("cluster qps regression detected",
+          "::warning::cluster steady QPS regressed" in out, out)
+    check("cluster qps regression still exits 0", code == 0, out)
+
+    # Failover latency: must clear both the relative threshold and the
+    # 50ms absolute floor. 10ms -> 30ms is 3x but sub-floor — silent.
+    code, out = run(ledger(failover_ms=10.0), ledger(failover_ms=30.0))
+    check("sub-floor failover jitter is silent",
+          "::warning::" not in out, out)
+    code, out = run(ledger(failover_ms=40.0), ledger(failover_ms=200.0))
+    check("failover latency regression detected",
+          "::warning::cluster failover_latency_ms regressed" in out, out)
+    check("failover regression still exits 0", code == 0, out)
+
+    # Baseline that predates the cluster drill (pre-PR7 ledger): cluster
+    # rows skipped, everything else still compared, no crash.
+    code, out = run(ledger(with_cluster=False), ledger())
+    check("missing cluster section is tolerated",
+          "skipping cluster diff" in out, out)
+    check("missing cluster section still diffs serve",
+          "serve qps" in out, out)
+    check("missing cluster section exits 0", code == 0, out)
 
     # Bad usage (wrong arg count) keeps the warn-only contract.
     code_out = io.StringIO()

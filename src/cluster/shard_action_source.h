@@ -1,0 +1,53 @@
+#ifndef RTREC_CLUSTER_SHARD_ACTION_SOURCE_H_
+#define RTREC_CLUSTER_SHARD_ACTION_SOURCE_H_
+
+#include <atomic>
+#include <memory>
+
+#include "cluster/hash_ring.h"
+#include "core/topology_factory.h"
+
+namespace rtrec {
+
+/// Partitioned ingest: the cross-process extension of the topology's
+/// fields grouping. Each shard process wraps its raw action feed in a
+/// ShardActionSource over the shared ring, so it emits only the actions
+/// whose user key it owns — across the cluster every action is consumed
+/// by exactly one process, which is what keeps per-key single-writer
+/// true once the Fig. 2 topology spans processes (cluster_test pins the
+/// exactly-once union property).
+class ShardActionSource : public ActionSource {
+ public:
+  /// `inner` must be this shard's own replay of the feed (each process
+  /// replays the full log and keeps its slice) — wrapping one shared
+  /// cursor would make shards consume-and-drop each other's actions.
+  /// The ring is copied: membership is fixed for the source's lifetime.
+  ShardActionSource(std::shared_ptr<ActionSource> inner, HashRing ring,
+                    ShardId shard)
+      : inner_(std::move(inner)), ring_(std::move(ring)), shard_(shard) {}
+
+  std::optional<UserAction> Next() override {
+    while (true) {
+      std::optional<UserAction> action = inner_->Next();
+      if (!action.has_value()) return std::nullopt;
+      StatusOr<ShardId> owner = ring_.OwnerOfUser(action->user);
+      if (owner.ok() && *owner == shard_) return action;
+      skipped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Actions passed over because another shard owns them.
+  std::size_t skipped() const {
+    return skipped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<ActionSource> inner_;
+  const HashRing ring_;
+  const ShardId shard_;
+  std::atomic<std::size_t> skipped_{0};
+};
+
+}  // namespace rtrec
+
+#endif  // RTREC_CLUSTER_SHARD_ACTION_SOURCE_H_

@@ -45,7 +45,43 @@ RecClient::~RecClient() { Disconnect(); }
 
 Status RecClient::Connect() {
   std::lock_guard<std::mutex> lock(mu_);
-  return ConnectLocked();
+  // The connect path gets the same retry treatment as requests: a
+  // refused connect while the server restarts backs off and tries again
+  // until the deadline, instead of surfacing the first ECONNREFUSED.
+  const std::int64_t give_up_ms = SteadyMillis() + options_.total_deadline_ms;
+  Status status = ConnectLocked();
+  std::int64_t backoff_ms =
+      std::max<std::int64_t>(1, options_.retry_backoff_initial_ms);
+  for (int attempt = 0;
+       !status.ok() && options_.auto_reconnect &&
+       (options_.max_retries < 0 || attempt < options_.max_retries);
+       ++attempt) {
+    const std::int64_t remaining_ms = give_up_ms - SteadyMillis();
+    if (remaining_ms <= 0) break;
+    const std::int64_t sleep_ms = std::min<std::int64_t>(
+        remaining_ms,
+        backoff_ms + static_cast<std::int64_t>(JitterMillis(backoff_ms)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    backoff_ms = std::min<std::int64_t>(
+        backoff_ms * 2,
+        std::max<std::int64_t>(1, options_.retry_backoff_max_ms));
+    if (retries_ != nullptr) retries_->Increment();
+    status = ConnectLocked();
+  }
+  return status;
+}
+
+bool RecClient::Healthy(int deadline_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (deadline_ms <= 0) deadline_ms = 1;
+  const std::uint64_t id = next_request_id_++;
+  // Single attempt, hard budget: a probe's job is a bounded-time
+  // verdict, so the retry policy and the Options timeouts deliberately
+  // do not apply. Connect and round-trip are each bounded by
+  // deadline_ms (so a cold probe is bounded by 2x).
+  StatusOr<Frame> frame =
+      CallOnce(EncodePingRequest(id), id, deadline_ms, deadline_ms);
+  return frame.ok() && frame->type == MessageType::kPongResponse;
 }
 
 void RecClient::Disconnect() {
@@ -58,10 +94,9 @@ bool RecClient::connected() const {
   return fd_.valid();
 }
 
-Status RecClient::ConnectLocked() {
+Status RecClient::ConnectLocked(int timeout_ms) {
   if (fd_.valid()) return Status::OK();
-  auto fd =
-      ConnectTcp(options_.host, options_.port, options_.connect_timeout_ms);
+  auto fd = ConnectTcp(options_.host, options_.port, timeout_ms);
   if (!fd.ok()) return fd.status();
   fd_ = std::move(*fd);
   decoder_ = FrameDecoder(options_.max_frame_bytes);
@@ -160,12 +195,14 @@ StatusOr<Frame> RecClient::Call(const std::string& encoded,
   // socket layer); typed server errors — OVERLOADED included — arrive
   // as OK frames and are never retried here.
   const std::int64_t give_up_ms = SteadyMillis() + options_.total_deadline_ms;
-  StatusOr<Frame> result = CallOnce(encoded, request_id);
+  StatusOr<Frame> result = CallOnce(encoded, request_id,
+                                    options_.connect_timeout_ms,
+                                    options_.request_timeout_ms);
   std::int64_t backoff_ms =
       std::max<std::int64_t>(1, options_.retry_backoff_initial_ms);
   for (int attempt = 0;
        !result.ok() && options_.auto_reconnect &&
-       attempt < options_.max_retries;
+       (options_.max_retries < 0 || attempt < options_.max_retries);
        ++attempt) {
     const std::int64_t remaining_ms = give_up_ms - SteadyMillis();
     if (remaining_ms <= 0) break;
@@ -177,17 +214,19 @@ StatusOr<Frame> RecClient::Call(const std::string& encoded,
         backoff_ms * 2, std::max<std::int64_t>(1, options_.retry_backoff_max_ms));
     if (retries_ != nullptr) retries_->Increment();
     DisconnectLocked();
-    result = CallOnce(encoded, request_id);
+    result = CallOnce(encoded, request_id, options_.connect_timeout_ms,
+                      options_.request_timeout_ms);
   }
   if (!result.ok()) DisconnectLocked();
   return result;
 }
 
 StatusOr<Frame> RecClient::CallOnce(const std::string& encoded,
-                                    std::uint64_t request_id) {
-  RTREC_RETURN_IF_ERROR(ConnectLocked());
-  const std::int64_t deadline_ms =
-      SteadyMillis() + options_.request_timeout_ms;
+                                    std::uint64_t request_id,
+                                    int connect_timeout_ms,
+                                    int request_timeout_ms) {
+  RTREC_RETURN_IF_ERROR(ConnectLocked(connect_timeout_ms));
+  const std::int64_t deadline_ms = SteadyMillis() + request_timeout_ms;
   Status sent = SendAll(encoded, deadline_ms);
   if (!sent.ok()) {
     DisconnectLocked();

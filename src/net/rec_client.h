@@ -23,7 +23,11 @@ namespace rtrec {
 /// Unavailable; if Options::auto_reconnect is set, the client retries
 /// the call over a fresh connection with exponential backoff + jitter,
 /// up to Options::max_retries attempts and never past
-/// Options::total_deadline_ms. Typed server errors (net/wire.h
+/// Options::total_deadline_ms. The *connect* path retries under the
+/// same policy — both the lazy connect inside a call and the eager
+/// Connect() — so a connection refused while a server restarts rides
+/// out the recovery window instead of surfacing immediately.
+/// Typed server errors (net/wire.h
 /// WireError) are mapped through WireErrorToStatus — notably OVERLOADED
 /// becomes Unavailable and is never retried automatically, since
 /// retrying into an overloaded server makes the overload worse.
@@ -43,6 +47,9 @@ class RecClient {
     /// Master switch for transport-level retries.
     bool auto_reconnect = true;
     /// Retries after the first attempt (so max_retries + 1 attempts).
+    /// Negative means "no attempt cap": keep retrying with backoff until
+    /// total_deadline_ms runs out — the right shape for riding out a
+    /// supervised shard restart.
     int max_retries = 3;
     /// First backoff; doubles per retry up to retry_backoff_max_ms, with
     /// up to 100% uniform jitter added to decorrelate retry storms.
@@ -60,8 +67,12 @@ class RecClient {
   RecClient(const RecClient&) = delete;
   RecClient& operator=(const RecClient&) = delete;
 
-  /// Establishes the connection eagerly. Calls connect lazily, so this
-  /// is optional — useful to fail fast at startup.
+  /// Establishes the connection eagerly (calls connect lazily, so this
+  /// is optional). Under Options::auto_reconnect a refused or timed-out
+  /// connect retries with exponential backoff + jitter per the retry
+  /// policy, so connecting to a server that is still coming up (or
+  /// restarting) succeeds as soon as it binds. Set auto_reconnect false
+  /// to fail fast at startup instead.
   Status Connect();
 
   /// Closes the connection; the next call reconnects.
@@ -71,6 +82,15 @@ class RecClient {
 
   /// Round-trip health check.
   Status Ping();
+
+  /// Ping-based liveness probe with a hard deadline: one attempt, no
+  /// retries, connect and round-trip each bounded by `deadline_ms` (so a
+  /// cold probe answers within 2x of it). True iff the server answered
+  /// in time. The building block for circuit-breaker
+  /// health probes (cluster/cluster_client.h) and readiness gating
+  /// (scripts/cluster.sh via examples/rec_ping) — a probe must answer
+  /// "dead or alive" in bounded time, never ride the retry policy.
+  bool Healthy(int deadline_ms = 250);
 
   /// Fetches the server's metrics as Prometheus text-format (0.0.4).
   /// Like Ping, answered even while the server is shedding load.
@@ -91,15 +111,19 @@ class RecClient {
   Status RegisterProfile(UserId user, const UserProfile& profile);
 
  private:
-  Status ConnectLocked();
+  Status ConnectLocked() { return ConnectLocked(options_.connect_timeout_ms); }
+  Status ConnectLocked(int timeout_ms);
   void DisconnectLocked();
 
   /// Sends `encoded` and waits for the frame answering `request_id`.
   /// On transport errors, retries over a fresh connection with
   /// exponential backoff + jitter per the Options retry policy.
   StatusOr<Frame> Call(const std::string& encoded, std::uint64_t request_id);
+  /// One attempt with explicit connect/request budgets (Healthy probes
+  /// pass a tight shared deadline; Call passes the Options timeouts).
   StatusOr<Frame> CallOnce(const std::string& encoded,
-                           std::uint64_t request_id);
+                           std::uint64_t request_id, int connect_timeout_ms,
+                           int request_timeout_ms);
   Status SendAll(const std::string& bytes, std::int64_t deadline_ms);
   StatusOr<Frame> ReadFrame(std::uint64_t request_id,
                             std::int64_t deadline_ms);

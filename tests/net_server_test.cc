@@ -521,6 +521,80 @@ TEST(RecServerTest, ClientReconnectsAcrossServerRestart) {
   }
 }
 
+TEST(RecServerTest, ConnectRetriesUntilTheServerAppears) {
+  // Reserve an address, then start the server on it only after the
+  // client has begun connecting: an eager Connect() under the retry
+  // policy must ride out the gap instead of surfacing the first refusal.
+  std::uint16_t port = 0;
+  {
+    RecServer::Options options;
+    LiveServer reserve(options);
+    port = reserve.server->port();
+    reserve.server->Stop();
+  }  // Port free but recently bound — reuse is near-certain and racy
+     // only against unrelated processes.
+
+  LiveServer live;  // Target service; re-bound below on the known port.
+  live.server->Stop();
+  RecServer late_server(&live.service, [&] {
+    RecServer::Options options;
+    options.port = port;
+    return options;
+  }());
+
+  std::thread starter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    Status started = late_server.Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+  });
+
+  RecClient::Options client_options;
+  client_options.port = port;
+  client_options.max_retries = -1;  // No attempt cap: deadline-bound.
+  client_options.retry_backoff_initial_ms = 10;
+  client_options.total_deadline_ms = 5'000;
+  RecClient client(client_options);
+  const Status connected = client.Connect();
+  starter.join();
+  EXPECT_TRUE(connected.ok()) << connected.ToString();
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST(RecServerTest, HealthyAnswersTrueOnALiveServer) {
+  LiveServer live;
+  RecClient::Options client_options = live.ClientOptions();
+  client_options.auto_reconnect = false;  // Probes never ride retries.
+  RecClient client(client_options);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(client.Healthy(500));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_LT(elapsed.count(), 1'000) << "cold probe must stay within 2x";
+  // Warm path: connection reused, same answer.
+  EXPECT_TRUE(client.Healthy(500));
+}
+
+TEST(RecServerTest, HealthyAnswersFalseWithinTheDeadlineOnADeadPort) {
+  // Bind-and-release an ephemeral port so nothing listens on it.
+  std::uint16_t dead_port = 0;
+  {
+    RecServer::Options options;
+    LiveServer reserve(options);
+    dead_port = reserve.server->port();
+    reserve.server->Stop();
+  }
+  RecClient::Options client_options;
+  client_options.port = dead_port;
+  RecClient client(client_options);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(client.Healthy(200));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  // One attempt, connect+request each bounded by the deadline: a dead
+  // target answers "dead" fast, never after a retry storm.
+  EXPECT_LT(elapsed.count(), 1'000);
+}
+
 TEST(RecServerTest, StatsRpcReturnsWellFormedPrometheusText) {
   LiveServer live;
   RecClient client(live.ClientOptions());
