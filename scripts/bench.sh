@@ -1,14 +1,14 @@
 #!/usr/bin/env bash
 # Build-and-run wrapper for the unified benchmark runner: runs the
-# ingest / serve / recall / quality phases plus the multi-process
-# cluster drill with fixed seeds and writes the machine-readable ledger
-# (BENCH_PR7.json), then validates it.
+# ingest / serve / transport / recall / quality phases plus the
+# multi-process cluster drill with fixed seeds and writes the
+# machine-readable ledger (BENCH_PR8.json), then validates it.
 #
 #   scripts/bench.sh [--smoke] [--build-dir=DIR] [--out=PATH]
 #                    [--queue-capacity=N] [--drain-batch=N] [--pin-cpus]
 #                    [--no-cluster]
 #
-# Defaults: full mode, ./build, BENCH_PR7.json in the repo root. The
+# Defaults: full mode, ./build, BENCH_PR8.json in the repo root. The
 # queue flags are forwarded to the runner's ingest phase (0 = engine
 # defaults). The cluster phase forks real serve processes from
 # examples/serve; --no-cluster skips it (scripts/cluster.sh runs the
@@ -21,7 +21,7 @@ set -u
 smoke=""
 build_dir="build"
 extra_flags=()
-out="BENCH_PR7.json"
+out="BENCH_PR8.json"
 cluster="yes"
 for arg in "$@"; do
   case "${arg}" in
@@ -81,6 +81,28 @@ assert ledger["serve"]["stats_scrape"]["counters_monotone"], \
 assert 0.0 <= ledger["recall"]["recall_at_10"] <= 1.0, "recall out of range"
 for key in ("p50_us", "p95_us", "p99_us"):
     assert key in ledger["serve"]["client_latency"], f"missing {key}"
+# Transport section: every leg of the wire-bound drill must have run
+# and pipelining must beat the v1 lock-step baseline on the same box.
+# The absolute 3x / 500k-QPS targets are NOT asserted here — a 1-CPU CI
+# host is scheduler-bound, and the ledger's host_cpus + note fields say
+# so — but a per-connection speedup below 1.0 means pipelining is
+# broken, whatever the hardware.
+transport = ledger["transport"]
+for leg in ("tcp_v1", "tcp_v2_pipelined", "tcp_v2_batched",
+            "shm_v2_pipelined", "shm_ping"):
+    assert transport[leg]["ok"], f"transport leg {leg} failed"
+    assert transport[leg]["qps"] > 0, f"transport leg {leg} has no QPS"
+    assert transport[leg]["latency"]["p99_us"] > 0, \
+        f"transport leg {leg} has no latency data"
+assert transport["v2_pipelined_speedup_vs_v1"] > 1.0, \
+    "v2 pipelining did not beat the v1 lock-step baseline"
+assert transport["shm_speedup_vs_v1"] > 1.0, \
+    "shm transport did not beat the v1 TCP baseline"
+assert transport["shm_ring"]["polls"] > 0, "shm rings recorded no polls"
+assert transport["shm_ring"]["attach_errors"] == 0, \
+    "shm attach errors during the drill"
+assert transport["host_cpus"] >= 1 and transport["note"], \
+    "transport section missing the honesty fields"
 # Model-quality section: the live signals must be present and sane. The
 # co-watch workload is predictable by construction, so a zero held-out
 # recall or a non-finite logloss means the monitor (or its wiring into
@@ -121,7 +143,8 @@ else
   # catches an empty or truncated ledger.
   for field in '"schema": "rtrec-bench/1"' '"qps"' '"actions_per_sec"' \
                '"recall_at_10"' '"p99_us"' '"quality"' \
-               '"online_recall_at_10"' '"logloss"'; do
+               '"online_recall_at_10"' '"logloss"' '"transport"' \
+               '"shm_v2_pipelined"' '"v2_pipelined_speedup_vs_v1"'; do
     if ! grep -q "${field}" "${out}"; then
       echo "bench.sh: ledger ${out} is missing ${field}" >&2
       exit 1

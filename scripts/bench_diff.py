@@ -18,7 +18,12 @@ Ledgers missing the ingest section (pre-PR6 baselines) skip those rows;
 likewise the cluster section (pre-PR7, or runs without the drill) —
 when both ledgers carry it, steady cluster QPS, failover latency, and
 recovery time are compared (the latencies carry their own absolute
-floors, since tens of milliseconds ride on scheduler noise).
+floors, since tens of milliseconds ride on scheduler noise). The
+transport section (PR8+) diffs per-leg QPS for every wire-bound drill
+leg plus the v2/shm speedup ratios; the ratios are the load-bearing
+numbers — absolute leg QPS depends on host CPU count, but a speedup
+ratio collapsing toward 1.0 means pipelining or the shm rings
+regressed regardless of hardware.
 """
 
 import json
@@ -100,6 +105,47 @@ def diff_cluster(baseline, fresh, threshold, paths):
                   f"({paths[0]} vs {paths[1]})")
 
 
+def diff_transport(baseline, fresh, threshold, paths):
+    """Wire-bound drill rows: per-leg QPS plus the speedup ratios.
+    Ledgers that predate the transport phase (pre-PR8) skip the
+    section."""
+    base_transport = baseline.get("transport") or {}
+    fresh_transport = fresh.get("transport") or {}
+    if not base_transport or not fresh_transport:
+        print("bench_diff: transport section missing from one ledger; "
+              "skipping transport diff")
+        return
+    for leg in ("tcp_v1", "tcp_v2_pipelined", "tcp_v2_batched",
+                "shm_v2_pipelined", "shm_ping"):
+        b = (base_transport.get(leg) or {}).get("qps")
+        f = (fresh_transport.get(leg) or {}).get("qps")
+        if not b or not f:
+            continue
+        print(f"transport {leg:>17} qps: {b:12.1f} -> {f:12.1f} "
+              f"({(f / b - 1) * 100:+.1f}%)")
+        if f < b * (1 - threshold):
+            print(f"::warning::transport {leg} QPS regressed more than "
+                  f"{threshold:.0%}: {b:.0f} -> {f:.0f} "
+                  f"({paths[0]} vs {paths[1]})")
+    # The ratios are host-independent: pipelining vs lock-step on the
+    # SAME box. A collapse here is a transport regression even if
+    # absolute QPS moved for hardware reasons.
+    for key in ("v2_pipelined_speedup_vs_v1", "v2_batched_speedup_vs_v1",
+                "shm_speedup_vs_v1"):
+        b, f = base_transport.get(key), fresh_transport.get(key)
+        if b is None or f is None:
+            continue
+        print(f"transport {key}: {b:6.2f}x -> {f:6.2f}x")
+        if f < b * (1 - threshold):
+            print(f"::warning::transport {key} collapsed more than "
+                  f"{threshold:.0%}: {b:.2f}x -> {f:.2f}x "
+                  f"({paths[0]} vs {paths[1]})")
+        if f is not None and f <= 1.0:
+            print(f"::warning::transport {key} is {f:.2f}x — pipelining "
+                  f"no longer beats the v1 lock-step baseline "
+                  f"({paths[1]})")
+
+
 def load(path):
     try:
         with open(path) as f:
@@ -150,6 +196,7 @@ def main(argv):
               f"({paths[0]} vs {paths[1]})")
 
     diff_ingest(baseline, fresh, threshold, paths)
+    diff_transport(baseline, fresh, threshold, paths)
     diff_cluster(baseline, fresh, threshold, paths)
 
     if baseline.get("smoke") == fresh.get("smoke"):

@@ -23,7 +23,9 @@ def ledger(qps=50000.0, p99=300.0, smoke=True,
            recall=(0.5, 0.8, 0.9), schema="rtrec-bench/1",
            actions_per_sec=40000.0, queue_wait_p50=30.0,
            queue_wait_p95=80.0, with_ingest=True, with_cluster=True,
-           cluster_qps=40000.0, failover_ms=10.0, recovery_ms=15.0):
+           cluster_qps=40000.0, failover_ms=10.0, recovery_ms=15.0,
+           with_transport=True, v1_qps=60000.0, v2_qps=200000.0,
+           shm_qps=400000.0):
     doc = {
         "schema": schema,
         "smoke": smoke,
@@ -48,6 +50,17 @@ def ledger(qps=50000.0, p99=300.0, smoke=True,
             "steady": {"qps": cluster_qps},
             "failover_latency_ms": failover_ms,
             "recovery_ms": recovery_ms,
+        }
+    if with_transport:
+        doc["transport"] = {
+            "tcp_v1": {"qps": v1_qps},
+            "tcp_v2_pipelined": {"qps": v2_qps},
+            "tcp_v2_batched": {"qps": v2_qps * 1.5},
+            "shm_v2_pipelined": {"qps": shm_qps},
+            "shm_ping": {"qps": shm_qps * 3},
+            "v2_pipelined_speedup_vs_v1": v2_qps / v1_qps,
+            "v2_batched_speedup_vs_v1": v2_qps * 1.5 / v1_qps,
+            "shm_speedup_vs_v1": shm_qps / v1_qps,
         }
     return doc
 
@@ -197,6 +210,45 @@ def main():
     check("missing cluster section still diffs serve",
           "serve qps" in out, out)
     check("missing cluster section exits 0", code == 0, out)
+
+    # Transport leg QPS regression beyond the threshold is annotated.
+    code, out = run(ledger(shm_qps=400000), ledger(shm_qps=100000))
+    check("transport leg qps regression detected",
+          "::warning::transport shm_v2_pipelined QPS regressed" in out, out)
+    check("transport leg regression still exits 0", code == 0, out)
+
+    # Speedup-ratio collapse: absolute QPS may shift with hardware, but
+    # the pipelined/lock-step ratio collapsing is always annotated.
+    code, out = run(ledger(v1_qps=60000, v2_qps=240000),
+                    ledger(v1_qps=60000, v2_qps=90000))
+    check("speedup ratio collapse detected",
+          "::warning::transport v2_pipelined_speedup_vs_v1 collapsed"
+          in out, out)
+    check("ratio collapse still exits 0", code == 0, out)
+
+    # A ratio at or below 1.0 warns even when it cleared the relative
+    # threshold against the baseline: pipelining must beat lock-step.
+    code, out = run(ledger(v1_qps=60000, v2_qps=66000),
+                    ledger(v1_qps=60000, v2_qps=57000))
+    check("sub-1.0 speedup ratio warns",
+          "no longer beats the v1 lock-step baseline" in out, out)
+    check("sub-1.0 ratio still exits 0", code == 0, out)
+
+    # Transport improvement: rows printed, nothing warns.
+    code, out = run(ledger(v2_qps=200000), ledger(v2_qps=400000))
+    check("transport improvement prints rows",
+          "transport" in out and "tcp_v2_pipelined" in out, out)
+    check("transport improvement does not warn",
+          "::warning::" not in out, out)
+
+    # Baseline that predates the transport phase (pre-PR8 ledger):
+    # transport rows skipped, everything else still compared, no crash.
+    code, out = run(ledger(with_transport=False), ledger())
+    check("missing transport section is tolerated",
+          "skipping transport diff" in out, out)
+    check("missing transport section still diffs serve",
+          "serve qps" in out, out)
+    check("missing transport section exits 0", code == 0, out)
 
     # Bad usage (wrong arg count) keeps the warn-only contract.
     code_out = io.StringIO()

@@ -2,12 +2,14 @@
 
 #include <errno.h>
 #include <string.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
+#include <optional>
 #include <thread>
+#include <utility>
 
 #include "common/random.h"
 #include "common/string_util.h"
@@ -19,6 +21,10 @@ std::int64_t SteadyMillis() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+std::chrono::steady_clock::time_point TimePointFromMillis(std::int64_t ms) {
+  return std::chrono::steady_clock::time_point(std::chrono::milliseconds(ms));
 }
 
 // Per-thread source for retry jitter, seeded distinctly per thread so
@@ -38,18 +44,22 @@ RecClient::RecClient(Options options)
     : options_(std::move(options)), decoder_(options_.max_frame_bytes) {
   if (options_.metrics != nullptr) {
     retries_ = options_.metrics->GetCounter("client.retries");
+    stale_counter_ = options_.metrics->GetCounter("client.stale_responses");
   }
 }
 
 RecClient::~RecClient() { Disconnect(); }
 
 Status RecClient::Connect() {
-  std::lock_guard<std::mutex> lock(mu_);
   // The connect path gets the same retry treatment as requests: a
   // refused connect while the server restarts backs off and tries again
   // until the deadline, instead of surfacing the first ECONNREFUSED.
   const std::int64_t give_up_ms = SteadyMillis() + options_.total_deadline_ms;
-  Status status = ConnectLocked();
+  Status status;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    status = EnsureConnectedLocked(lock, options_.connect_timeout_ms);
+  }
   std::int64_t backoff_ms =
       std::max<std::int64_t>(1, options_.retry_backoff_initial_ms);
   for (int attempt = 0;
@@ -66,52 +76,397 @@ Status RecClient::Connect() {
         backoff_ms * 2,
         std::max<std::int64_t>(1, options_.retry_backoff_max_ms));
     if (retries_ != nullptr) retries_->Increment();
-    status = ConnectLocked();
+    std::unique_lock<std::mutex> lock(mu_);
+    status = EnsureConnectedLocked(lock, options_.connect_timeout_ms);
   }
   return status;
 }
 
-bool RecClient::Healthy(int deadline_ms) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (deadline_ms <= 0) deadline_ms = 1;
-  const std::uint64_t id = next_request_id_++;
-  // Single attempt, hard budget: a probe's job is a bounded-time
-  // verdict, so the retry policy and the Options timeouts deliberately
-  // do not apply. Connect and round-trip are each bounded by
-  // deadline_ms (so a cold probe is bounded by 2x).
-  StatusOr<Frame> frame =
-      CallOnce(EncodePingRequest(id), id, deadline_ms, deadline_ms);
-  return frame.ok() && frame->type == MessageType::kPongResponse;
+void RecClient::Disconnect() {
+  std::unique_lock<std::mutex> lock(mu_);
+  DisconnectLocked(lock);
 }
 
-void RecClient::Disconnect() {
-  std::lock_guard<std::mutex> lock(mu_);
-  DisconnectLocked();
+void RecClient::DisconnectLocked(std::unique_lock<std::mutex>& lock) {
+  if (state_ == ConnState::kUp) {
+    FailPendingLocked(Status::Unavailable("client disconnected"));
+  }
+  CleanupBrokenLocked(lock);
 }
 
 bool RecClient::connected() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return fd_.valid();
+  return state_ == ConnState::kUp;
 }
 
-Status RecClient::ConnectLocked(int timeout_ms) {
-  if (fd_.valid()) return Status::OK();
-  auto fd = ConnectTcp(options_.host, options_.port, timeout_ms);
-  if (!fd.ok()) return fd.status();
-  fd_ = std::move(*fd);
+std::uint8_t RecClient::negotiated_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_ == ConnState::kUp ? negotiated_version_ : 0;
+}
+
+bool RecClient::Healthy(int deadline_ms) {
+  if (deadline_ms <= 0) deadline_ms = 1;
+  // Single attempt, hard budget: a probe's job is a bounded-time
+  // verdict, so the retry policy and the Options timeouts deliberately
+  // do not apply. Connect and round-trip are each bounded by
+  // deadline_ms (so a cold probe is bounded by 2x).
+  StatusOr<Frame> frame = CallOnce(
+      [](std::uint64_t id) { return EncodePingRequest(id); }, deadline_ms,
+      deadline_ms);
+  return frame.ok() && frame->type == MessageType::kPongResponse;
+}
+
+// ---------------------------------------------------------------------------
+// Connection lifecycle. state_ moves kDown -> kUp (OpenTransportLocked),
+// kUp -> kBroken (transport failure, reported by whichever side saw it
+// first), kBroken -> kDown (CleanupBrokenLocked joins the reader and
+// resets). All transitions happen under mu_.
+
+Status RecClient::EnsureConnectedLocked(std::unique_lock<std::mutex>& lock,
+                                        int connect_timeout_ms) {
+  while (true) {
+    switch (state_) {
+      case ConnState::kUp:
+        return Status::OK();
+      case ConnState::kBroken:
+        CleanupBrokenLocked(lock);
+        continue;  // Re-check: another thread may have reconnected.
+      case ConnState::kDown:
+        if (cleanup_in_progress_) {
+          cv_.wait(lock);
+          continue;
+        }
+        return OpenTransportLocked(connect_timeout_ms);
+    }
+  }
+}
+
+Status RecClient::OpenTransportLocked(int timeout_ms) {
+  const std::int64_t deadline_ms =
+      SteadyMillis() + std::max(1, timeout_ms);
+  std::optional<std::string> shm_name = ParseShmAddress(options_.host);
+  if (shm_name.has_value()) {
+    ShmClient::Options shm_options;
+    shm_options.max_frame_bytes = options_.max_frame_bytes;
+    shm_options.metrics = options_.metrics;
+    auto attached = ShmClient::Attach(*shm_name, shm_options);
+    if (!attached.ok()) return attached.status();
+    shm_ = std::move(*attached);
+  } else {
+    auto fd = ConnectTcp(options_.host, options_.port, timeout_ms);
+    if (!fd.ok()) return fd.status();
+    fd_ = std::move(*fd);
+  }
   decoder_ = FrameDecoder(options_.max_frame_bytes);
+  Status handshake = HandshakeLocked(deadline_ms);
+  if (!handshake.ok()) {
+    fd_.Reset();
+    shm_.reset();
+    return handshake;
+  }
+  ++conn_epoch_;
+  reader_stop_.store(false, std::memory_order_release);
+  const std::uint64_t epoch = conn_epoch_;
+  reader_ = std::thread([this, epoch] { ReaderLoop(epoch); });
+  state_ = ConnState::kUp;
   return Status::OK();
 }
 
-void RecClient::DisconnectLocked() {
-  fd_.Reset();
-  decoder_ = FrameDecoder(options_.max_frame_bytes);
+Status RecClient::HandshakeLocked(std::int64_t deadline_ms) {
+  negotiated_version_ = kWireVersion;
+  const int offer = std::clamp(options_.max_wire_version, 1,
+                               static_cast<int>(kMaxWireVersion));
+  if (offer < kWireVersionV2) return Status::OK();  // Pure v1 by choice.
+  const std::uint64_t id = next_request_id_++;
+  HelloRequest hello;
+  hello.min_version = kWireVersion;
+  hello.max_version = static_cast<std::uint8_t>(offer);
+  RTREC_RETURN_IF_ERROR(SendLocked(EncodeHelloRequest(id, hello), deadline_ms));
+  StatusOr<Frame> frame = ReadFrameLocked(deadline_ms);
+  if (!frame.ok()) return frame.status();
+  if (frame->request_id != id) {
+    // A fresh stream owes us exactly one response; anything else means
+    // the peer is not speaking this protocol.
+    return Status::Internal("out-of-order response during hello handshake");
+  }
+  if (frame->type == MessageType::kHelloResponse) {
+    auto reply = DecodeHelloResponse(*frame);
+    if (!reply.ok()) return reply.status();
+    if (reply->version > offer) {
+      return Status::Internal(
+          StringPrintf("server negotiated v%u above our offer v%d",
+                       reply->version, offer));
+    }
+    negotiated_version_ = reply->version;
+    return Status::OK();
+  }
+  if (frame->type == MessageType::kErrorResponse) {
+    auto error = DecodeErrorResponse(*frame);
+    if (!error.ok()) return error.status();
+    if (error->code == WireError::kUnknownType ||
+        error->code == WireError::kBadVersion) {
+      // A v1 server does not know Hello and says so; that IS the
+      // negotiation result (docs/WIRE_PROTOCOL.md §5): stay on v1.
+      negotiated_version_ = kWireVersion;
+      return Status::OK();
+    }
+    return WireErrorToStatus(*error);
+  }
+  return Status::Internal(StringPrintf("unexpected response %s to hello",
+                                       MessageTypeToString(frame->type)));
 }
 
-Status RecClient::Ping() {
+void RecClient::CleanupBrokenLocked(std::unique_lock<std::mutex>& lock) {
+  while (state_ == ConnState::kBroken) {
+    if (cleanup_in_progress_) {
+      cv_.wait(lock);
+      continue;
+    }
+    cleanup_in_progress_ = true;
+    reader_stop_.store(true, std::memory_order_release);
+    // Wake the reader out of its poll so the join below is prompt.
+    if (shm_ != nullptr) {
+      shm_->ShutdownRead();
+    } else if (fd_.valid()) {
+      ::shutdown(fd_.get(), SHUT_RDWR);
+    }
+    std::thread dead = std::move(reader_);
+    lock.unlock();  // Never join while holding mu_ — the reader takes it.
+    if (dead.joinable()) dead.join();
+    lock.lock();
+    fd_.Reset();
+    shm_.reset();
+    decoder_ = FrameDecoder(options_.max_frame_bytes);
+    for (auto& [id, waiter] : pending_) {
+      waiter->result = Status::Unavailable("connection closed");
+      waiter->done = true;
+    }
+    pending_.clear();
+    negotiated_version_ = kWireVersion;
+    v1_slot_busy_ = false;
+    state_ = ConnState::kDown;
+    cleanup_in_progress_ = false;
+    cv_.notify_all();
+  }
+}
+
+void RecClient::FailPendingLocked(const Status& status) {
+  for (auto& [id, waiter] : pending_) {
+    waiter->result = status;
+    waiter->done = true;
+  }
+  pending_.clear();
+  if (state_ == ConnState::kUp) state_ = ConnState::kBroken;
+  reader_stop_.store(true, std::memory_order_release);
+  if (shm_ != nullptr) {
+    shm_->ShutdownRead();
+  } else if (fd_.valid()) {
+    ::shutdown(fd_.get(), SHUT_RDWR);
+  }
+  cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Reader: one background thread per live connection. It owns the
+// receive side of the transport (decoder_/fd_/shm_ reads) and touches
+// shared state only through mu_-guarded completion calls.
+
+void RecClient::ReaderLoop(std::uint64_t epoch) {
+  while (!reader_stop_.load(std::memory_order_acquire)) {
+    StatusOr<Frame> frame = ReadPoll(/*timeout_ms=*/250);
+    if (frame.status().IsNotFound()) continue;  // Nothing yet; poll again.
+    if (!frame.ok()) {
+      FailPending(frame.status(), epoch);
+      return;
+    }
+    CompletePending(std::move(*frame));
+  }
+  FailPending(Status::Unavailable("client disconnected"), epoch);
+}
+
+StatusOr<Frame> RecClient::ReadPoll(int timeout_ms) {
+  if (shm_ != nullptr) return shm_->NextFrame(SteadyMillis() + timeout_ms);
+  StatusOr<Frame> frame = decoder_.Next();
+  if (frame.ok() || !frame.status().IsNotFound()) return frame;
+  Status ready = WaitReady(fd_.get(), /*for_read=*/true, timeout_ms);
+  if (!ready.ok()) {
+    // WaitReady reports a poll timeout as Unavailable; for the reader
+    // that just means "nothing yet".
+    if (ready.IsUnavailable()) return Status::NotFound("no data yet");
+    return ready;
+  }
+  char buf[64 * 1024];
+  ssize_t n = ::read(fd_.get(), buf, sizeof(buf));
+  if (n == 0) return Status::Unavailable("server closed the connection");
+  if (n < 0) {
+    if (errno == EINTR) return Status::NotFound("interrupted");
+    return Status::Unavailable(StringPrintf("recv: %s", strerror(errno)));
+  }
+  decoder_.Append(std::string_view(buf, static_cast<std::size_t>(n)));
+  return decoder_.Next();  // NotFound if the frame is still partial.
+}
+
+void RecClient::CompletePending(Frame frame) {
   std::lock_guard<std::mutex> lock(mu_);
+  auto it = pending_.find(frame.request_id);
+  if (it == pending_.end()) {
+    // Late answer to a timed-out (and possibly retried) request:
+    // dropping it is the whole point of retrying under a fresh id.
+    stale_responses_.fetch_add(1, std::memory_order_relaxed);
+    if (stale_counter_ != nullptr) stale_counter_->Increment();
+    return;
+  }
+  it->second->result = std::move(frame);
+  it->second->done = true;
+  pending_.erase(it);
+  cv_.notify_all();
+}
+
+void RecClient::FailPending(const Status& status, std::uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch != conn_epoch_) return;  // A newer connection owns pending_.
+  FailPendingLocked(status);
+}
+
+// ---------------------------------------------------------------------------
+// Call machinery.
+
+StatusOr<Frame> RecClient::Call(const EncodeFn& encode) {
+  // Only transport failures are retried (Unavailable/Internal from the
+  // socket layer); typed server errors — OVERLOADED included — arrive
+  // as OK frames and are never retried here.
+  const std::int64_t give_up_ms = SteadyMillis() + options_.total_deadline_ms;
+  StatusOr<Frame> result = CallOnce(encode, options_.connect_timeout_ms,
+                                    options_.request_timeout_ms);
+  std::int64_t backoff_ms =
+      std::max<std::int64_t>(1, options_.retry_backoff_initial_ms);
+  for (int attempt = 0;
+       !result.ok() && options_.auto_reconnect &&
+       (options_.max_retries < 0 || attempt < options_.max_retries);
+       ++attempt) {
+    const std::int64_t remaining_ms = give_up_ms - SteadyMillis();
+    if (remaining_ms <= 0) break;
+    const std::int64_t sleep_ms = std::min<std::int64_t>(
+        remaining_ms,
+        backoff_ms + static_cast<std::int64_t>(JitterMillis(backoff_ms)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    backoff_ms = std::min<std::int64_t>(
+        backoff_ms * 2,
+        std::max<std::int64_t>(1, options_.retry_backoff_max_ms));
+    if (retries_ != nullptr) retries_->Increment();
+    result = CallOnce(encode, options_.connect_timeout_ms,
+                      options_.request_timeout_ms);
+  }
+  return result;
+}
+
+StatusOr<Frame> RecClient::CallOnce(const EncodeFn& encode,
+                                    int connect_timeout_ms,
+                                    int request_timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  RTREC_RETURN_IF_ERROR(EnsureConnectedLocked(lock, connect_timeout_ms));
+  const std::int64_t deadline_ms = SteadyMillis() + request_timeout_ms;
+  const std::uint64_t epoch = conn_epoch_;
+  bool hold_v1_slot = false;
+  if (negotiated_version_ < kWireVersionV2) {
+    // v1 contract: one outstanding request per connection
+    // (docs/WIRE_PROTOCOL.md §6). Later callers queue here.
+    while (v1_slot_busy_ && state_ == ConnState::kUp &&
+           conn_epoch_ == epoch) {
+      if (cv_.wait_until(lock, TimePointFromMillis(deadline_ms)) ==
+          std::cv_status::timeout) {
+        break;
+      }
+    }
+    if (state_ != ConnState::kUp || conn_epoch_ != epoch) {
+      return Status::Unavailable("connection lost while queued");
+    }
+    if (v1_slot_busy_) {
+      return Status::Unavailable(
+          StringPrintf("request timed out after %dms queued behind the "
+                       "v1 in-flight slot",
+                       request_timeout_ms));
+    }
+    v1_slot_busy_ = true;
+    hold_v1_slot = true;
+  }
+
   const std::uint64_t id = next_request_id_++;
-  StatusOr<Frame> frame = Call(EncodePingRequest(id), id);
+  const std::string encoded = encode(id);
+  auto waiter = std::make_shared<Waiter>();
+  pending_.emplace(id, waiter);
+
+  StatusOr<Frame> result = Status::Unavailable("request not sent");
+  const Status sent = SendLocked(encoded, deadline_ms);
+  if (!sent.ok()) {
+    pending_.erase(id);
+    if (state_ == ConnState::kUp && conn_epoch_ == epoch) {
+      // The write side is gone; the whole connection is. Fail fast for
+      // everyone rather than letting them ride out their timeouts.
+      FailPendingLocked(sent);
+    }
+    result = sent;
+  } else {
+    while (!waiter->done) {
+      if (cv_.wait_until(lock, TimePointFromMillis(deadline_ms)) ==
+              std::cv_status::timeout &&
+          !waiter->done) {
+        break;
+      }
+    }
+    if (waiter->done) {
+      result = std::move(waiter->result);
+    } else {
+      // Abandon the id: the reader drops the late response as stale.
+      // The connection stays up — other callers are still on it.
+      pending_.erase(id);
+      result = Status::Unavailable(StringPrintf(
+          "request timed out after %dms", request_timeout_ms));
+    }
+  }
+  if (hold_v1_slot) {
+    v1_slot_busy_ = false;
+    cv_.notify_all();
+  }
+  return result;
+}
+
+Status RecClient::SendLocked(const std::string& bytes,
+                             std::int64_t deadline_ms) {
+  if (shm_ != nullptr) return shm_->Send(bytes, deadline_ms);
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const std::int64_t remaining = deadline_ms - SteadyMillis();
+    if (remaining <= 0) return Status::Unavailable("request send timed out");
+    RTREC_RETURN_IF_ERROR(WaitReady(fd_.get(), /*for_read=*/false,
+                                    static_cast<int>(remaining)));
+    ssize_t n = write(fd_.get(), bytes.data() + sent, bytes.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(StringPrintf("send: %s", strerror(errno)));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+StatusOr<Frame> RecClient::ReadFrameLocked(std::int64_t deadline_ms) {
+  while (true) {
+    const std::int64_t remaining = deadline_ms - SteadyMillis();
+    if (remaining <= 0) return Status::Unavailable("handshake timed out");
+    StatusOr<Frame> frame =
+        ReadPoll(static_cast<int>(std::min<std::int64_t>(remaining, 250)));
+    if (frame.status().IsNotFound()) continue;
+    return frame;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RPC surface.
+
+Status RecClient::Ping() {
+  StatusOr<Frame> frame =
+      Call([](std::uint64_t id) { return EncodePingRequest(id); });
   if (!frame.ok()) return frame.status();
   if (frame->type == MessageType::kPongResponse) return Status::OK();
   if (frame->type == MessageType::kErrorResponse) {
@@ -124,9 +479,8 @@ Status RecClient::Ping() {
 }
 
 StatusOr<std::string> RecClient::Stats() {
-  std::lock_guard<std::mutex> lock(mu_);
-  const std::uint64_t id = next_request_id_++;
-  StatusOr<Frame> frame = Call(EncodeStatsRequest(id), id);
+  StatusOr<Frame> frame =
+      Call([](std::uint64_t id) { return EncodeStatsRequest(id); });
   if (!frame.ok()) return frame.status();
   if (frame->type == MessageType::kStatsResponse) {
     return DecodeStatsResponse(*frame);
@@ -149,9 +503,9 @@ StatusOr<std::vector<ScoredVideo>> RecClient::Recommend(
 
 StatusOr<RecommendReply> RecClient::RecommendDetailed(
     const RecRequest& request) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const std::uint64_t id = next_request_id_++;
-  StatusOr<Frame> frame = Call(EncodeRecommendRequest(id, request), id);
+  StatusOr<Frame> frame = Call([&request](std::uint64_t id) {
+    return EncodeRecommendRequest(id, request);
+  });
   if (!frame.ok()) return frame.status();
   if (frame->type == MessageType::kRecommendResponse) {
     return DecodeRecommendReply(*frame);
@@ -165,16 +519,104 @@ StatusOr<RecommendReply> RecClient::RecommendDetailed(
                                        MessageTypeToString(frame->type)));
 }
 
+StatusOr<std::vector<RecClient::BatchItem>> RecClient::RecommendBatch(
+    const std::vector<RecRequest>& requests) {
+  std::vector<BatchItem> out(requests.size());
+  if (requests.empty()) return out;
+  bool use_v2;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    RTREC_RETURN_IF_ERROR(
+        EnsureConnectedLocked(lock, options_.connect_timeout_ms));
+    use_v2 = negotiated_version_ >= kWireVersionV2;
+  }
+  std::size_t pos = 0;
+  while (pos < requests.size()) {
+    const std::size_t chunk_len =
+        use_v2 ? std::min(kMaxBatchedRequests, requests.size() - pos) : 1;
+    bool chunk_done = false;
+    if (use_v2) {
+      const std::vector<RecRequest> chunk(
+          requests.begin() + static_cast<std::ptrdiff_t>(pos),
+          requests.begin() + static_cast<std::ptrdiff_t>(pos + chunk_len));
+      StatusOr<Frame> frame = Call([&chunk](std::uint64_t id) {
+        return EncodeBatchRecommendRequest(id, chunk);
+      });
+      if (!frame.ok()) {
+        for (std::size_t i = 0; i < chunk_len; ++i) {
+          out[pos + i].status = frame.status();
+        }
+        chunk_done = true;
+      } else if (frame->type == MessageType::kBatchRecommendResponse) {
+        auto items = DecodeBatchRecommendResponse(*frame);
+        for (std::size_t i = 0; i < chunk_len; ++i) {
+          if (!items.ok()) {
+            out[pos + i].status = items.status();
+          } else if (i >= items->size()) {
+            out[pos + i].status = Status::Internal(
+                "batch response shorter than the request batch");
+          } else {
+            BatchRecommendItem& item = (*items)[i];
+            if (item.ok()) {
+              out[pos + i].status = Status::OK();
+              out[pos + i].reply = std::move(item.reply);
+            } else {
+              WireErrorInfo info;
+              info.code = static_cast<WireError>(item.error);
+              info.message = "batched recommend item failed";
+              out[pos + i].status = WireErrorToStatus(info);
+            }
+          }
+        }
+        chunk_done = true;
+      } else if (frame->type == MessageType::kErrorResponse) {
+        auto error = DecodeErrorResponse(*frame);
+        if (error.ok() && error->code == WireError::kUnknownType) {
+          // We reconnected to a v1 server mid-batch: finish this and
+          // every remaining request sequentially.
+          use_v2 = false;
+        } else {
+          const Status mapped =
+              error.ok() ? WireErrorToStatus(*error) : error.status();
+          for (std::size_t i = 0; i < chunk_len; ++i) {
+            out[pos + i].status = mapped;
+          }
+          chunk_done = true;
+        }
+      } else {
+        const Status unexpected = Status::Internal(
+            StringPrintf("unexpected response %s to batch recommend",
+                         MessageTypeToString(frame->type)));
+        for (std::size_t i = 0; i < chunk_len; ++i) {
+          out[pos + i].status = unexpected;
+        }
+        chunk_done = true;
+      }
+    } else {
+      StatusOr<RecommendReply> reply = RecommendDetailed(requests[pos]);
+      if (reply.ok()) {
+        out[pos].status = Status::OK();
+        out[pos].reply = std::move(*reply);
+      } else {
+        out[pos].status = reply.status();
+      }
+      chunk_done = true;
+    }
+    if (chunk_done) pos += chunk_len;  // else: retry the chunk as v1
+  }
+  return out;
+}
+
 Status RecClient::Observe(const UserAction& action) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const std::uint64_t id = next_request_id_++;
-  return ExpectAck(Call(EncodeObserveRequest(id, action), id));
+  return ExpectAck(Call([&action](std::uint64_t id) {
+    return EncodeObserveRequest(id, action);
+  }));
 }
 
 Status RecClient::RegisterProfile(UserId user, const UserProfile& profile) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const std::uint64_t id = next_request_id_++;
-  return ExpectAck(Call(EncodeRegisterProfileRequest(id, user, profile), id));
+  return ExpectAck(Call([&user, &profile](std::uint64_t id) {
+    return EncodeRegisterProfileRequest(id, user, profile);
+  }));
 }
 
 Status RecClient::ExpectAck(const StatusOr<Frame>& frame) {
@@ -187,108 +629,6 @@ Status RecClient::ExpectAck(const StatusOr<Frame>& frame) {
   }
   return Status::Internal(StringPrintf("unexpected response %s, wanted ack",
                                        MessageTypeToString(frame->type)));
-}
-
-StatusOr<Frame> RecClient::Call(const std::string& encoded,
-                                std::uint64_t request_id) {
-  // Only transport failures are retried (Unavailable/Internal from the
-  // socket layer); typed server errors — OVERLOADED included — arrive
-  // as OK frames and are never retried here.
-  const std::int64_t give_up_ms = SteadyMillis() + options_.total_deadline_ms;
-  StatusOr<Frame> result = CallOnce(encoded, request_id,
-                                    options_.connect_timeout_ms,
-                                    options_.request_timeout_ms);
-  std::int64_t backoff_ms =
-      std::max<std::int64_t>(1, options_.retry_backoff_initial_ms);
-  for (int attempt = 0;
-       !result.ok() && options_.auto_reconnect &&
-       (options_.max_retries < 0 || attempt < options_.max_retries);
-       ++attempt) {
-    const std::int64_t remaining_ms = give_up_ms - SteadyMillis();
-    if (remaining_ms <= 0) break;
-    const std::int64_t sleep_ms = std::min<std::int64_t>(
-        remaining_ms,
-        backoff_ms + static_cast<std::int64_t>(JitterMillis(backoff_ms)));
-    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
-    backoff_ms = std::min<std::int64_t>(
-        backoff_ms * 2, std::max<std::int64_t>(1, options_.retry_backoff_max_ms));
-    if (retries_ != nullptr) retries_->Increment();
-    DisconnectLocked();
-    result = CallOnce(encoded, request_id, options_.connect_timeout_ms,
-                      options_.request_timeout_ms);
-  }
-  if (!result.ok()) DisconnectLocked();
-  return result;
-}
-
-StatusOr<Frame> RecClient::CallOnce(const std::string& encoded,
-                                    std::uint64_t request_id,
-                                    int connect_timeout_ms,
-                                    int request_timeout_ms) {
-  RTREC_RETURN_IF_ERROR(ConnectLocked(connect_timeout_ms));
-  const std::int64_t deadline_ms = SteadyMillis() + request_timeout_ms;
-  Status sent = SendAll(encoded, deadline_ms);
-  if (!sent.ok()) {
-    DisconnectLocked();
-    return sent;
-  }
-  StatusOr<Frame> frame = ReadFrame(request_id, deadline_ms);
-  if (!frame.ok()) DisconnectLocked();
-  return frame;
-}
-
-Status RecClient::SendAll(const std::string& bytes,
-                          std::int64_t deadline_ms) {
-  std::size_t sent = 0;
-  while (sent < bytes.size()) {
-    const std::int64_t remaining = deadline_ms - SteadyMillis();
-    if (remaining <= 0) return Status::Unavailable("request send timed out");
-    RTREC_RETURN_IF_ERROR(WaitReady(fd_.get(), /*for_read=*/false,
-                                    static_cast<int>(remaining)));
-    ssize_t n = write(fd_.get(), bytes.data() + sent, bytes.size() - sent);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::Unavailable(StringPrintf("send: %s", strerror(errno)));
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return Status::OK();
-}
-
-StatusOr<Frame> RecClient::ReadFrame(std::uint64_t request_id,
-                                     std::int64_t deadline_ms) {
-  char buf[64 * 1024];
-  while (true) {
-    StatusOr<Frame> frame = decoder_.Next();
-    if (frame.ok()) {
-      if (frame->request_id != request_id) {
-        // One request is in flight at a time, so an id mismatch means
-        // the stream is desynchronized (e.g. a stale response from
-        // before a timeout). Drop the connection rather than guess.
-        return Status::Internal(
-            StringPrintf("response id %llu does not match request id %llu",
-                         static_cast<unsigned long long>(frame->request_id),
-                         static_cast<unsigned long long>(request_id)));
-      }
-      return frame;
-    }
-    if (!frame.status().IsNotFound()) return frame.status();  // Corrupt.
-    const std::int64_t remaining = deadline_ms - SteadyMillis();
-    if (remaining <= 0) {
-      return Status::Unavailable(
-          StringPrintf("request timed out after %dms",
-                       options_.request_timeout_ms));
-    }
-    RTREC_RETURN_IF_ERROR(WaitReady(fd_.get(), /*for_read=*/true,
-                                    static_cast<int>(remaining)));
-    ssize_t n = read(fd_.get(), buf, sizeof(buf));
-    if (n == 0) return Status::Unavailable("server closed the connection");
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::Unavailable(StringPrintf("recv: %s", strerror(errno)));
-    }
-    decoder_.Append(std::string_view(buf, static_cast<std::size_t>(n)));
-  }
 }
 
 }  // namespace rtrec

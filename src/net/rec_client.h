@@ -1,29 +1,46 @@
 #ifndef RTREC_NET_REC_CLIENT_H_
 #define RTREC_NET_REC_CLIENT_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/metrics.h"
 #include "common/status.h"
+#include "net/shm_transport.h"
 #include "net/socket.h"
 #include "net/wire.h"
 
 namespace rtrec {
 
-/// Blocking client for the rtrec wire protocol: one TCP connection, one
-/// outstanding request at a time. Calls are serialized with an internal
-/// mutex, so a RecClient may be shared across threads, but callers that
-/// want parallelism should hold one client per thread (the loadgen in
-/// bench/bench_net_throughput.cc does exactly that).
+/// Client for the rtrec wire protocol over TCP or the same-host
+/// shared-memory transport (Options::host accepts "rec://shm/NAME",
+/// "shm:NAME", or a TCP hostname — see net/shm_transport.h).
+///
+/// Connections negotiate wire v2 at connect (docs/WIRE_PROTOCOL.md §5)
+/// and then PIPELINE: any number of threads may have calls in flight on
+/// the one connection at once; a background reader matches responses to
+/// callers by request id, out of order. Against a v1 server the client
+/// falls back transparently and serializes calls (one in flight), which
+/// is the v1 contract. The blocking per-call API is unchanged from the
+/// v1-only client — pipelining is purely a concurrency upgrade.
 ///
 /// Transport errors (connection refused/reset, timeout) surface as
 /// Unavailable; if Options::auto_reconnect is set, the client retries
-/// the call over a fresh connection with exponential backoff + jitter,
+/// the call — re-encoded under a FRESH request id, so a late response
+/// to the timed-out attempt is dropped as stale instead of being
+/// mistaken for the retry's answer — with exponential backoff + jitter,
 /// up to Options::max_retries attempts and never past
-/// Options::total_deadline_ms. The *connect* path retries under the
+/// Options::total_deadline_ms. A call timeout does NOT tear down the
+/// connection (other callers' requests are still in flight on it);
+/// only transport failures do. The *connect* path retries under the
 /// same policy — both the lazy connect inside a call and the eager
 /// Connect() — so a connection refused while a server restarts rides
 /// out the recovery window instead of surfacing immediately.
@@ -39,6 +56,8 @@ namespace rtrec {
 class RecClient {
  public:
   struct Options {
+    /// TCP hostname, or an shm address ("rec://shm/NAME" / "shm:NAME");
+    /// port is ignored for shm.
     std::string host = "127.0.0.1";
     std::uint16_t port = 0;
     int connect_timeout_ms = 1'000;
@@ -57,8 +76,20 @@ class RecClient {
     int retry_backoff_max_ms = 500;
     /// Budget across all attempts of one call, backoffs included.
     int total_deadline_ms = 10'000;
-    /// Counter sink for "client.retries"; null disables.
+    /// Counter sink for "client.retries" / "client.stale_responses";
+    /// null disables.
     MetricsRegistry* metrics = nullptr;
+    /// Highest wire version to offer in the Hello handshake. 1 skips
+    /// the handshake entirely and speaks pure v1 (interop tests).
+    /// Clamped to [1, kMaxWireVersion].
+    int max_wire_version = kMaxWireVersion;
+  };
+
+  /// Per-request result of RecommendBatch: the reply is meaningful only
+  /// when status is OK.
+  struct BatchItem {
+    Status status;
+    RecommendReply reply;
   };
 
   explicit RecClient(Options options);
@@ -75,10 +106,22 @@ class RecClient {
   /// to fail fast at startup instead.
   Status Connect();
 
-  /// Closes the connection; the next call reconnects.
+  /// Closes the connection; the next call reconnects. Fails every
+  /// request currently in flight with Unavailable.
   void Disconnect();
 
   bool connected() const;
+
+  /// Wire version negotiated on the live connection (kWireVersionV2
+  /// against a v2 server, kWireVersion against v1); 0 when not
+  /// connected.
+  std::uint8_t negotiated_version() const;
+
+  /// Responses that arrived for requests nobody was waiting on any more
+  /// (late answers to timed-out attempts). They are dropped by design.
+  std::uint64_t stale_responses_dropped() const {
+    return stale_responses_.load(std::memory_order_relaxed);
+  }
 
   /// Round-trip health check.
   Status Ping();
@@ -103,6 +146,15 @@ class RecClient {
   /// flag, so callers can tell a fallback answer from an engine answer.
   StatusOr<RecommendReply> RecommendDetailed(const RecRequest& request);
 
+  /// Many Recommends in one round trip (v2 BatchRecommend, §7). Chunks
+  /// of kMaxBatchedRequests per frame; per-item success/failure in the
+  /// returned vector (index-aligned with `requests`). Against a v1
+  /// server this degrades to sequential RecommendDetailed calls — same
+  /// results, v1 latency. A non-OK return means the whole batch failed
+  /// (e.g. could not connect).
+  StatusOr<std::vector<BatchItem>> RecommendBatch(
+      const std::vector<RecRequest>& requests);
+
   /// Remote RecommendationService::Observe. Acknowledged (the server
   /// replies after applying), so a returned OK means the action landed.
   Status Observe(const UserAction& action);
@@ -111,31 +163,71 @@ class RecClient {
   Status RegisterProfile(UserId user, const UserProfile& profile);
 
  private:
-  Status ConnectLocked() { return ConnectLocked(options_.connect_timeout_ms); }
-  Status ConnectLocked(int timeout_ms);
-  void DisconnectLocked();
+  /// Re-encodes one request under a fresh id (retries must not reuse
+  /// ids — a stale response would satisfy the wrong attempt).
+  using EncodeFn = std::function<std::string(std::uint64_t request_id)>;
 
-  /// Sends `encoded` and waits for the frame answering `request_id`.
-  /// On transport errors, retries over a fresh connection with
-  /// exponential backoff + jitter per the Options retry policy.
-  StatusOr<Frame> Call(const std::string& encoded, std::uint64_t request_id);
-  /// One attempt with explicit connect/request budgets (Healthy probes
-  /// pass a tight shared deadline; Call passes the Options timeouts).
-  StatusOr<Frame> CallOnce(const std::string& encoded,
-                           std::uint64_t request_id, int connect_timeout_ms,
+  enum class ConnState { kDown, kUp, kBroken };
+
+  /// A caller parked on the pending map waiting for its response.
+  struct Waiter {
+    bool done = false;
+    StatusOr<Frame> result = Status::Unavailable("response pending");
+  };
+
+  Status EnsureConnectedLocked(std::unique_lock<std::mutex>& lock,
+                               int connect_timeout_ms);
+  Status OpenTransportLocked(int timeout_ms);
+  /// Synchronous Hello negotiation, run before the reader starts
+  /// (docs/WIRE_PROTOCOL.md §5).
+  Status HandshakeLocked(std::int64_t deadline_ms);
+  /// kBroken -> kDown: joins the dead reader (outside the lock) and
+  /// resets transport state. Safe to race from several callers.
+  void CleanupBrokenLocked(std::unique_lock<std::mutex>& lock);
+  void DisconnectLocked(std::unique_lock<std::mutex>& lock);
+
+  /// Background reader: drains frames, completes waiters by request id.
+  void ReaderLoop(std::uint64_t epoch);
+  /// One poll step for the reader. NotFound = nothing yet; any other
+  /// error is fatal for the connection.
+  StatusOr<Frame> ReadPoll(int timeout_ms);
+  void CompletePending(Frame frame);
+  void FailPending(const Status& status, std::uint64_t epoch);
+  /// Fails every waiter and marks the connection broken. Caller holds
+  /// mu_ and has already checked the epoch.
+  void FailPendingLocked(const Status& status);
+
+  /// Retry wrapper (backoff + fresh ids) around CallOnce.
+  StatusOr<Frame> Call(const EncodeFn& encode);
+  StatusOr<Frame> CallOnce(const EncodeFn& encode, int connect_timeout_ms,
                            int request_timeout_ms);
-  Status SendAll(const std::string& bytes, std::int64_t deadline_ms);
-  StatusOr<Frame> ReadFrame(std::uint64_t request_id,
-                            std::int64_t deadline_ms);
+  /// Blocking raw-byte send on the live transport. Caller holds mu_.
+  Status SendLocked(const std::string& bytes, std::int64_t deadline_ms);
+  /// Blocking raw frame read; only legal while the reader is not
+  /// running (handshake). Caller holds mu_.
+  StatusOr<Frame> ReadFrameLocked(std::int64_t deadline_ms);
 
   /// Expects an Ack (or a typed error) for observe/register calls.
   Status ExpectAck(const StatusOr<Frame>& frame);
 
   Options options_;
   Counter* retries_ = nullptr;
+  Counter* stale_counter_ = nullptr;
+  std::atomic<std::uint64_t> stale_responses_{0};
+
   mutable std::mutex mu_;
-  UniqueFd fd_;
-  FrameDecoder decoder_;
+  std::condition_variable cv_;
+  ConnState state_ = ConnState::kDown;
+  bool cleanup_in_progress_ = false;
+  UniqueFd fd_;                      // TCP transport (exclusive with shm_)
+  std::unique_ptr<ShmClient> shm_;   // shm transport
+  FrameDecoder decoder_;             // TCP reader/handshake only
+  std::thread reader_;
+  std::atomic<bool> reader_stop_{false};
+  std::uint64_t conn_epoch_ = 0;     // bumped per successful connect
+  std::uint8_t negotiated_version_ = kWireVersion;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Waiter>> pending_;
+  bool v1_slot_busy_ = false;        // v1 = one request in flight
   std::uint64_t next_request_id_ = 1;
 };
 

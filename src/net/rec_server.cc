@@ -5,9 +5,11 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <chrono>
+#include <deque>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -15,6 +17,7 @@
 #include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "net/shm_transport.h"
 
 namespace rtrec {
 namespace {
@@ -87,9 +90,15 @@ class RecServer::Worker {
     explicit Connection(int raw_fd, std::size_t max_frame_bytes)
         : fd(raw_fd), decoder(max_frame_bytes) {}
 
+    bool HasPendingOutput() const { return !outq.empty(); }
+
     UniqueFd fd;
     FrameDecoder decoder;
-    std::string outbuf;
+    RequestContext ctx;
+    /// Encoded response frames awaiting the socket, flushed with writev
+    /// so a burst of pipelined replies leaves in one syscall. outpos is
+    /// the partially-written offset into outq.front().
+    std::deque<std::string> outq;
     std::size_t outpos = 0;
     std::int64_t last_active_ms = 0;
     bool close_after_flush = false;
@@ -170,7 +179,7 @@ class RecServer::Worker {
       CloseConnection(fd);
       return;
     }
-    if (conn->close_after_flush && conn->outpos >= conn->outbuf.size()) {
+    if (conn->close_after_flush && !conn->HasPendingOutput()) {
       CloseConnection(fd);
     }
   }
@@ -213,240 +222,56 @@ class RecServer::Worker {
   }
 
   void HandleFrame(Connection* conn, const Frame& frame) {
-    server_->metrics_->GetCounter("net.server.requests")->Increment();
-    if (frame.version != kWireVersion) {
-      server_->metrics_->GetCounter("net.server.protocol_errors")->Increment();
-      QueueResponse(conn, EncodeErrorResponse(
-                              frame.request_id, WireError::kBadVersion,
-                              StringPrintf("unsupported wire version %u; "
-                                           "server speaks %u",
-                                           frame.version, kWireVersion)));
-      conn->close_after_flush = true;  // Peer speaks a different dialect.
-      return;
-    }
-    switch (frame.type) {
-      case MessageType::kPingRequest: {
-        // Health checks bypass admission control by design.
-        ScopedLatencyTimer timer(
-            server_->metrics_->GetHistogram("net.server.rpc.ping.latency_us"));
-        QueueResponse(conn, EncodePongResponse(frame.request_id));
-        return;
-      }
-      case MessageType::kStatsRequest: {
-        // Observability bypasses admission control like ping does: a
-        // scrape must still answer while the server is shedding load.
-        ScopedLatencyTimer timer(server_->metrics_->GetHistogram(
-            "net.server.rpc.stats.latency_us"));
-        server_->metrics_->GetCounter("net.server.stats_scrapes")
-            ->Increment();
-        // Keep the whole frame under the peer's likely cap: leave room
-        // for the length prefix, header, and body length field.
-        const std::size_t max_text =
-            server_->options_.max_frame_bytes > 64
-                ? server_->options_.max_frame_bytes - 64
-                : 0;
-        QueueResponse(conn, EncodeStatsResponse(
-                                frame.request_id,
-                                server_->metrics_->PrometheusText(),
-                                max_text));
-        return;
-      }
-      case MessageType::kRecommendRequest:
-      case MessageType::kObserveRequest:
-      case MessageType::kRegisterProfileRequest:
-        HandleServiceRpc(conn, frame);
-        return;
-      default:
-        server_->metrics_->GetCounter("net.server.protocol_errors")
-            ->Increment();
-        QueueResponse(conn,
-                      EncodeErrorResponse(
-                          frame.request_id, WireError::kUnknownType,
-                          StringPrintf("server does not handle type 0x%02x",
-                                       static_cast<unsigned>(frame.type))));
-        return;
-    }
-  }
-
-  /// The three RPCs that reach the RecommendationService; all sit behind
-  /// the in-flight admission gate.
-  void HandleServiceRpc(Connection* conn, const Frame& frame) {
-    if (!server_->TryAcquireInFlight()) {
-      server_->metrics_->GetCounter("net.server.requests.shed")->Increment();
-      QueueResponse(conn,
-                    EncodeErrorResponse(
-                        frame.request_id, WireError::kOverloaded,
-                        StringPrintf("in-flight cap %d reached; retry later",
-                                     server_->options_.max_in_flight)));
-      return;
-    }
-    if (server_->options_.handler_delay_for_test_ms > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(
-          server_->options_.handler_delay_for_test_ms));
-    }
-    // Every admitted service RPC is a trace root; a sampled context is
-    // installed as the thread-current trace so spans recorded inside the
-    // service (and the KV stores under it) nest under this request.
-    Tracer* const tracer = server_->options_.tracer;
-    TraceContext trace;
-    if (tracer != nullptr) trace = tracer->StartTrace();
-    std::optional<ScopedTraceContext> trace_scope;
-    if (trace.sampled()) trace_scope.emplace(trace);
-    switch (frame.type) {
-      case MessageType::kRecommendRequest: {
-        ScopedLatencyTimer timer(server_->metrics_->GetHistogram(
-            "net.server.rpc.recommend.latency_us"));
-        StatusOr<RecRequest> request = DecodeRecommendRequest(frame);
-        if (!request.ok()) {
-          QueueDecodeError(conn, frame.request_id, request.status());
-          break;
-        }
-        HandleRecommend(conn, frame.request_id, *request);
-        break;
-      }
-      case MessageType::kObserveRequest: {
-        ScopedLatencyTimer timer(server_->metrics_->GetHistogram(
-            "net.server.rpc.observe.latency_us"));
-        StatusOr<UserAction> action = DecodeObserveRequest(frame);
-        if (!action.ok()) {
-          QueueDecodeError(conn, frame.request_id, action.status());
-          break;
-        }
-        server_->service_->Observe(*action);
-        QueueResponse(conn, EncodeAckResponse(frame.request_id));
-        break;
-      }
-      case MessageType::kRegisterProfileRequest: {
-        ScopedLatencyTimer timer(server_->metrics_->GetHistogram(
-            "net.server.rpc.register_profile.latency_us"));
-        StatusOr<ProfileUpdate> update = DecodeRegisterProfileRequest(frame);
-        if (!update.ok()) {
-          QueueDecodeError(conn, frame.request_id, update.status());
-          break;
-        }
-        server_->service_->RegisterProfile(update->user, update->profile);
-        QueueResponse(conn, EncodeAckResponse(frame.request_id));
-        break;
-      }
-      default:
-        break;  // Unreachable: caller dispatched on type.
-    }
-    if (trace.sampled()) {
-      const char* stage =
-          frame.type == MessageType::kRecommendRequest ? "wire.recommend"
-          : frame.type == MessageType::kObserveRequest ? "wire.observe"
-                                                       : "wire.register_profile";
-      tracer->RecordSinceRoot(trace, stage);
-    }
-    server_->ReleaseInFlight();
-  }
-
-  /// The Recommend serving ladder: breaker-open -> straight fallback;
-  /// engine OK within its deadline -> full answer; engine error or
-  /// deadline breach -> fallback with the DEGRADED flag (or, with the
-  /// fallback disabled, a typed error / the late answer).
-  void HandleRecommend(Connection* conn, std::uint64_t request_id,
-                       const RecRequest& request) {
-    const int deadline_ms = server_->options_.recommend_deadline_ms;
-    const bool fallback_on = server_->options_.degraded_fallback;
-    std::vector<ScoredVideo> results;
-    std::uint8_t flags = 0;
-    bool answered = false;
-    if (fallback_on && server_->InBreakerCooldown(SteadyMillis())) {
-      results = server_->service_->FallbackRecommend(request);
-      flags |= kRecommendFlagDegraded;
-      answered = true;
-    } else {
-      const std::int64_t start_ms = SteadyMillis();
-      StatusOr<std::vector<ScoredVideo>> recs =
-          server_->service_->Recommend(request);
-      const std::int64_t elapsed_ms = SteadyMillis() - start_ms;
-      if (!recs.ok() && recs.status().IsInvalidArgument()) {
-        // The client's fault, not the engine's: no breaker bookkeeping,
-        // no fallback masking.
-        QueueResponse(conn,
-                      EncodeErrorResponse(request_id, WireError::kBadRequest,
-                                          recs.status().message()));
-        return;
-      }
-      const bool late = deadline_ms > 0 && elapsed_ms > deadline_ms;
-      if (late) {
-        server_->metrics_->GetCounter("net.server.deadline_breaches")
-            ->Increment();
-      }
-      if (recs.ok() && !late) {
-        server_->RecordEngineSuccess();
-        results = std::move(*recs);
-        answered = true;
-      } else {
-        server_->RecordEngineFailure(SteadyMillis());
-        if (fallback_on) {
-          results = server_->service_->FallbackRecommend(request);
-          flags |= kRecommendFlagDegraded;
-          answered = true;
-        } else if (recs.ok()) {
-          // Late but the fallback is disabled: the stale answer is all
-          // we have.
-          results = std::move(*recs);
-          answered = true;
-        } else {
-          QueueResponse(conn,
-                        EncodeErrorResponse(request_id, WireError::kInternal,
-                                            recs.status().message()));
-        }
-      }
-    }
-    if (answered) {
-      if ((flags & kRecommendFlagDegraded) != 0) {
-        server_->metrics_->GetCounter("server.degraded_responses")
-            ->Increment();
-      }
-      QueueResponse(conn,
-                    EncodeRecommendResponse(request_id, results, flags));
-    }
-  }
-
-  /// A frame that parsed structurally but whose body would not decode:
-  /// the stream is still framed, so answer and keep the connection.
-  void QueueDecodeError(Connection* conn, std::uint64_t request_id,
-                        const Status& status) {
-    server_->metrics_->GetCounter("net.server.protocol_errors")->Increment();
-    QueueResponse(conn, EncodeErrorResponse(request_id,
-                                            WireError::kMalformedFrame,
-                                            status.message()));
+    server_->DispatchFrame(frame, &conn->ctx,
+                           [this, conn](std::string&& bytes) {
+                             QueueResponse(conn, std::move(bytes));
+                           });
+    if (conn->ctx.close_connection) conn->close_after_flush = true;
   }
 
   void QueueResponse(Connection* conn, std::string bytes) {
-    if (conn->outpos > 0 && conn->outpos == conn->outbuf.size()) {
-      conn->outbuf.clear();
-      conn->outpos = 0;
-    }
-    conn->outbuf.append(bytes);
+    conn->outq.push_back(std::move(bytes));
   }
 
-  /// Writes as much buffered output as the socket accepts. Returns false
-  /// on a fatal write error.
+  /// Writes as much buffered output as the socket accepts, gathering up
+  /// to kMaxIov queued response frames per writev call. Returns false on
+  /// a fatal write error.
   bool FlushWrites(Connection* conn) {
-    while (conn->outpos < conn->outbuf.size()) {
+    constexpr int kMaxIov = 64;
+    while (!conn->outq.empty()) {
       // An injected write fault plays as a connection reset under us.
       if (!RTREC_FAULT_POINT("net.socket.write").ok()) return false;
-      ssize_t n = write(conn->fd.get(), conn->outbuf.data() + conn->outpos,
-                        conn->outbuf.size() - conn->outpos);
+      struct iovec iov[kMaxIov];
+      int iovcnt = 0;
+      for (const std::string& chunk : conn->outq) {
+        const std::size_t skip = iovcnt == 0 ? conn->outpos : 0;
+        iov[iovcnt].iov_base = const_cast<char*>(chunk.data() + skip);
+        iov[iovcnt].iov_len = chunk.size() - skip;
+        if (++iovcnt == kMaxIov) break;
+      }
+      ssize_t n = writev(conn->fd.get(), iov, iovcnt);
       if (n < 0) {
         if (errno == EINTR) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) break;
         return false;
       }
-      conn->outpos += static_cast<std::size_t>(n);
       conn->last_active_ms = SteadyMillis();
       server_->metrics_->GetCounter("net.server.bytes.out")->Increment(n);
-    }
-    if (conn->outpos == conn->outbuf.size()) {
-      conn->outbuf.clear();
-      conn->outpos = 0;
+      std::size_t consumed = static_cast<std::size_t>(n);
+      while (consumed > 0) {
+        const std::size_t front_left = conn->outq.front().size() - conn->outpos;
+        if (consumed >= front_left) {
+          consumed -= front_left;
+          conn->outq.pop_front();
+          conn->outpos = 0;
+        } else {
+          conn->outpos += consumed;
+          consumed = 0;
+        }
+      }
     }
     // Arm EPOLLOUT only while output is pending.
-    const bool want_out = !conn->outbuf.empty();
+    const bool want_out = conn->HasPendingOutput();
     if (want_out != conn->epollout_armed) {
       epoll_event ev{};
       ev.events = EPOLLIN | (want_out ? EPOLLOUT : 0u);
@@ -510,6 +335,324 @@ RecServer::RecServer(RecommendationService* service, Options options)
   }
   if (options_.num_workers < 1) options_.num_workers = 1;
   if (options_.max_in_flight < 1) options_.max_in_flight = 1;
+  if (options_.max_wire_version < 1) options_.max_wire_version = 1;
+  if (options_.max_wire_version > kMaxWireVersion) {
+    options_.max_wire_version = kMaxWireVersion;
+  }
+}
+
+int RecServer::ServerMaxWireVersion() const {
+  return options_.max_wire_version;
+}
+
+namespace {
+
+/// Builds "<prefix>.<rpc>.latency_us" without StringPrintf's vararg trip.
+std::string RpcMetricName(const char* prefix, const char* rpc) {
+  std::string name(prefix);
+  name += '.';
+  name += rpc;
+  name += ".latency_us";
+  return name;
+}
+
+}  // namespace
+
+void RecServer::DispatchFrame(const Frame& frame, RequestContext* ctx,
+                              const SendFn& send) {
+  // Hello is connection setup, not traffic: keeping it out of
+  // net.server.requests preserves that counter's meaning (RPCs served)
+  // across the v1->v2 transition.
+  if (frame.type == MessageType::kHelloRequest) {
+    metrics_->GetCounter("net.v2.hellos")->Increment();
+  } else {
+    metrics_->GetCounter("net.server.requests")->Increment();
+  }
+  // Sampled by scrapes: how many decoded-but-unanswered requests exist
+  // right now across all connections and transports. With inline
+  // handling this tracks handler concurrency, and it spikes when
+  // pipelined batches queue up behind a slow RPC.
+  Gauge* inflight = metrics_->GetGauge("net.server.pipelined_inflight");
+  inflight->Add(1);
+
+  // Version gate (docs/WIRE_PROTOCOL.md §5): v1 frames are always
+  // legal; v2 frames only on a connection that negotiated v2 via Hello.
+  const bool version_ok =
+      frame.version == kWireVersion ||
+      (frame.version == kWireVersionV2 &&
+       ctx->negotiated_version >= kWireVersionV2);
+  if (!version_ok) {
+    metrics_->GetCounter("net.server.protocol_errors")->Increment();
+    send(EncodeErrorResponse(
+        frame.request_id, WireError::kBadVersion,
+        StringPrintf("frame version %u not allowed here (negotiated %u)",
+                     frame.version, ctx->negotiated_version)));
+    ctx->close_connection = true;  // Framing discipline is gone.
+    inflight->Add(-1);
+    return;
+  }
+  switch (frame.type) {
+    case MessageType::kPingRequest: {
+      // Health checks bypass admission control by design.
+      ScopedLatencyTimer timer(
+          metrics_->GetHistogram(RpcMetricName(ctx->rpc_prefix, "ping")));
+      send(EncodePongResponse(frame.request_id));
+      break;
+    }
+    case MessageType::kStatsRequest: {
+      // Observability bypasses admission control like ping does: a
+      // scrape must still answer while the server is shedding load.
+      ScopedLatencyTimer timer(
+          metrics_->GetHistogram(RpcMetricName(ctx->rpc_prefix, "stats")));
+      metrics_->GetCounter("net.server.stats_scrapes")->Increment();
+      // Keep the whole frame under the peer's likely cap: leave room
+      // for the length prefix, header, and body length field.
+      const std::size_t max_text = options_.max_frame_bytes > 64
+                                       ? options_.max_frame_bytes - 64
+                                       : 0;
+      send(EncodeStatsResponse(frame.request_id, metrics_->PrometheusText(),
+                               max_text));
+      break;
+    }
+    case MessageType::kHelloRequest:
+      if (ServerMaxWireVersion() < kWireVersionV2) {
+        // A v1-capped server predates Hello: answer UNKNOWN_TYPE, which
+        // is exactly what clients probe for when falling back (§5).
+        SendUnknownType(frame, send);
+        break;
+      }
+      HandleHello(frame, ctx, send);
+      break;
+    case MessageType::kBatchRecommendRequest:
+      if (ctx->negotiated_version < kWireVersionV2) {
+        // v2-only RPC on an un-negotiated connection. A genuine v1
+        // server would say UNKNOWN_TYPE; we do the same so a confused
+        // client learns the same lesson either way (§7).
+        SendUnknownType(frame, send);
+        break;
+      }
+      HandleServiceRpc(frame, ctx, send);
+      break;
+    case MessageType::kRecommendRequest:
+    case MessageType::kObserveRequest:
+    case MessageType::kRegisterProfileRequest:
+      HandleServiceRpc(frame, ctx, send);
+      break;
+    default:
+      SendUnknownType(frame, send);
+      break;
+  }
+  inflight->Add(-1);
+}
+
+void RecServer::SendUnknownType(const Frame& frame, const SendFn& send) {
+  metrics_->GetCounter("net.server.protocol_errors")->Increment();
+  send(EncodeErrorResponse(
+      frame.request_id, WireError::kUnknownType,
+      StringPrintf("server does not handle type 0x%02x",
+                   static_cast<unsigned>(frame.type))));
+}
+
+void RecServer::HandleHello(const Frame& frame, RequestContext* ctx,
+                            const SendFn& send) {
+  StatusOr<HelloRequest> hello = DecodeHelloRequest(frame);
+  if (!hello.ok()) {
+    metrics_->GetCounter("net.server.protocol_errors")->Increment();
+    send(EncodeErrorResponse(frame.request_id, WireError::kMalformedFrame,
+                             hello.status().message()));
+    return;
+  }
+  const int server_max = ServerMaxWireVersion();
+  if (hello->min_version > server_max) {
+    metrics_->GetCounter("net.server.protocol_errors")->Increment();
+    send(EncodeErrorResponse(
+        frame.request_id, WireError::kBadVersion,
+        StringPrintf("client requires wire version >= %u; server speaks "
+                     "up to %d",
+                     hello->min_version, server_max)));
+    ctx->close_connection = true;  // No dialect in common.
+    return;
+  }
+  const std::uint8_t negotiated =
+      static_cast<std::uint8_t>(std::min<int>(hello->max_version, server_max));
+  ctx->negotiated_version = negotiated;
+  HelloReply reply;
+  reply.version = negotiated;
+  reply.features = 0;
+  reply.max_in_flight_hint = static_cast<std::uint32_t>(options_.max_in_flight);
+  reply.max_batch = static_cast<std::uint32_t>(kMaxBatchedRequests);
+  send(EncodeHelloResponse(frame.request_id, reply));
+}
+
+/// The RPCs that reach the RecommendationService; all sit behind the
+/// in-flight admission gate (a batch holds one slot for its whole run).
+void RecServer::HandleServiceRpc(const Frame& frame, RequestContext* ctx,
+                                 const SendFn& send) {
+  if (!TryAcquireInFlight()) {
+    metrics_->GetCounter("net.server.requests.shed")->Increment();
+    send(EncodeErrorResponse(
+        frame.request_id, WireError::kOverloaded,
+        StringPrintf("in-flight cap %d reached; retry later",
+                     options_.max_in_flight)));
+    return;
+  }
+  if (options_.handler_delay_for_test_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.handler_delay_for_test_ms));
+  }
+  // Every admitted service RPC is a trace root; a sampled context is
+  // installed as the thread-current trace so spans recorded inside the
+  // service (and the KV stores under it) nest under this request.
+  Tracer* const tracer = options_.tracer;
+  TraceContext trace;
+  if (tracer != nullptr) trace = tracer->StartTrace();
+  std::optional<ScopedTraceContext> trace_scope;
+  if (trace.sampled()) trace_scope.emplace(trace);
+  const auto send_decode_error = [this, &frame, &send](const Status& status) {
+    // Parsed structurally but the body would not decode: the stream is
+    // still framed, so answer and keep the connection.
+    metrics_->GetCounter("net.server.protocol_errors")->Increment();
+    send(EncodeErrorResponse(frame.request_id, WireError::kMalformedFrame,
+                             status.message()));
+  };
+  switch (frame.type) {
+    case MessageType::kRecommendRequest: {
+      ScopedLatencyTimer timer(
+          metrics_->GetHistogram(RpcMetricName(ctx->rpc_prefix, "recommend")));
+      StatusOr<RecRequest> request = DecodeRecommendRequest(frame);
+      if (!request.ok()) {
+        send_decode_error(request.status());
+        break;
+      }
+      RecommendOutcome outcome = RecommendWithFallback(*request);
+      if (outcome.ok) {
+        send(EncodeRecommendResponse(frame.request_id, outcome.videos,
+                                     outcome.flags));
+      } else {
+        send(EncodeErrorResponse(frame.request_id, outcome.error,
+                                 outcome.message));
+      }
+      break;
+    }
+    case MessageType::kBatchRecommendRequest: {
+      ScopedLatencyTimer timer(metrics_->GetHistogram(
+          RpcMetricName(ctx->rpc_prefix, "batch_recommend")));
+      StatusOr<std::vector<RecRequest>> batch =
+          DecodeBatchRecommendRequest(frame);
+      if (!batch.ok()) {
+        send_decode_error(batch.status());
+        break;
+      }
+      metrics_->GetCounter("net.v2.batched_requests")
+          ->Increment(batch->size());
+      std::vector<BatchRecommendItem> items;
+      items.reserve(batch->size());
+      for (const RecRequest& request : *batch) {
+        RecommendOutcome outcome = RecommendWithFallback(request);
+        BatchRecommendItem item;
+        if (outcome.ok) {
+          item.reply.flags = outcome.flags;
+          item.reply.videos = std::move(outcome.videos);
+        } else {
+          item.error = static_cast<std::uint8_t>(outcome.error);
+        }
+        items.push_back(std::move(item));
+      }
+      send(EncodeBatchRecommendResponse(frame.request_id, items));
+      break;
+    }
+    case MessageType::kObserveRequest: {
+      ScopedLatencyTimer timer(
+          metrics_->GetHistogram(RpcMetricName(ctx->rpc_prefix, "observe")));
+      StatusOr<UserAction> action = DecodeObserveRequest(frame);
+      if (!action.ok()) {
+        send_decode_error(action.status());
+        break;
+      }
+      service_->Observe(*action);
+      send(EncodeAckResponse(frame.request_id));
+      break;
+    }
+    case MessageType::kRegisterProfileRequest: {
+      ScopedLatencyTimer timer(metrics_->GetHistogram(
+          RpcMetricName(ctx->rpc_prefix, "register_profile")));
+      StatusOr<ProfileUpdate> update = DecodeRegisterProfileRequest(frame);
+      if (!update.ok()) {
+        send_decode_error(update.status());
+        break;
+      }
+      service_->RegisterProfile(update->user, update->profile);
+      send(EncodeAckResponse(frame.request_id));
+      break;
+    }
+    default:
+      break;  // Unreachable: caller dispatched on type.
+  }
+  if (trace.sampled()) {
+    const char* stage =
+        frame.type == MessageType::kRecommendRequest ? "wire.recommend"
+        : frame.type == MessageType::kBatchRecommendRequest
+            ? "wire.batch_recommend"
+        : frame.type == MessageType::kObserveRequest ? "wire.observe"
+                                                     : "wire.register_profile";
+    tracer->RecordSinceRoot(trace, stage);
+  }
+  ReleaseInFlight();
+}
+
+/// The Recommend serving ladder: breaker-open -> straight fallback;
+/// engine OK within its deadline -> full answer; engine error or
+/// deadline breach -> fallback with the DEGRADED flag (or, with the
+/// fallback disabled, a typed error / the late answer).
+RecServer::RecommendOutcome RecServer::RecommendWithFallback(
+    const RecRequest& request) {
+  RecommendOutcome out;
+  const int deadline_ms = options_.recommend_deadline_ms;
+  const bool fallback_on = options_.degraded_fallback;
+  if (fallback_on && InBreakerCooldown(SteadyMillis())) {
+    out.videos = service_->FallbackRecommend(request);
+    out.flags |= kRecommendFlagDegraded;
+    out.ok = true;
+  } else {
+    const std::int64_t start_ms = SteadyMillis();
+    StatusOr<std::vector<ScoredVideo>> recs = service_->Recommend(request);
+    const std::int64_t elapsed_ms = SteadyMillis() - start_ms;
+    if (!recs.ok() && recs.status().IsInvalidArgument()) {
+      // The client's fault, not the engine's: no breaker bookkeeping,
+      // no fallback masking.
+      out.error = WireError::kBadRequest;
+      out.message = recs.status().message();
+      return out;
+    }
+    const bool late = deadline_ms > 0 && elapsed_ms > deadline_ms;
+    if (late) {
+      metrics_->GetCounter("net.server.deadline_breaches")->Increment();
+    }
+    if (recs.ok() && !late) {
+      RecordEngineSuccess();
+      out.videos = std::move(*recs);
+      out.ok = true;
+    } else {
+      RecordEngineFailure(SteadyMillis());
+      if (fallback_on) {
+        out.videos = service_->FallbackRecommend(request);
+        out.flags |= kRecommendFlagDegraded;
+        out.ok = true;
+      } else if (recs.ok()) {
+        // Late but the fallback is disabled: the stale answer is all we
+        // have.
+        out.videos = std::move(*recs);
+        out.ok = true;
+      } else {
+        out.error = WireError::kInternal;
+        out.message = recs.status().message();
+      }
+    }
+  }
+  if (out.ok && (out.flags & kRecommendFlagDegraded) != 0) {
+    metrics_->GetCounter("server.degraded_responses")->Increment();
+  }
+  return out;
 }
 
 RecServer::~RecServer() { Stop(); }
@@ -534,18 +677,51 @@ Status RecServer::Start() {
     RTREC_RETURN_IF_ERROR(worker->Init());
     workers_.push_back(std::move(worker));
   }
+
+  if (!options_.shm_name.empty()) {
+    ShmServer::Options shm_options;
+    shm_options.slot_count = options_.shm_slot_count;
+    shm_options.max_frame_bytes = options_.max_frame_bytes;
+    shm_options.metrics = metrics_;
+    auto shm = ShmServer::Create(
+        options_.shm_name, shm_options,
+        [this](const Frame& frame, ShmServer::ConnState* conn,
+               const ShmServer::SendFn& send) {
+          // Bridge the shm attachment's negotiation state into the
+          // shared dispatch path; "shm.rpc" keys the per-transport
+          // latency histograms.
+          RequestContext ctx;
+          ctx.negotiated_version = conn->negotiated_version;
+          ctx.rpc_prefix = "shm.rpc";
+          DispatchFrame(frame, &ctx,
+                        [&send](std::string&& bytes) { send(std::move(bytes)); });
+          conn->negotiated_version = ctx.negotiated_version;
+          if (ctx.close_connection) conn->close = true;
+        });
+    if (!shm.ok()) {
+      workers_.clear();
+      listen_fd_.Reset();
+      port_ = 0;
+      return shm.status();
+    }
+    shm_server_ = std::move(*shm);
+  }
+
   for (auto& worker : workers_) worker->StartThread();
   acceptor_ = std::thread([this] { AcceptLoop(); });
   running_.store(true, std::memory_order_release);
   RTREC_LOG(kInfo) << "RecServer listening on " << options_.host << ":"
                    << port_ << " (" << options_.num_workers << " workers, "
-                   << options_.max_in_flight << " in-flight cap)";
+                   << options_.max_in_flight << " in-flight cap"
+                   << (shm_server_ ? ", shm " + options_.shm_name : "")
+                   << ")";
   return Status::OK();
 }
 
 void RecServer::Stop() {
   stopping_.store(true, std::memory_order_release);
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  shm_server_.reset();  // Marks the segment down; clients see Unavailable.
   if (acceptor_.joinable()) acceptor_.join();
   for (auto& worker : workers_) worker->RequestStop();
   for (auto& worker : workers_) worker->Join();

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -17,9 +18,13 @@
 
 namespace rtrec {
 
+class ShmServer;
+
 /// The network front of the serving stack: an epoll-based TCP server
 /// speaking the rtrec wire protocol (net/wire.h) over a
-/// RecommendationService.
+/// RecommendationService, optionally doubled by a same-host
+/// shared-memory transport (Options::shm_name) that funnels into the
+/// same dispatch path.
 ///
 /// Threading model:
 ///  - one acceptor thread owns the listening socket and hands accepted
@@ -30,6 +35,12 @@ namespace rtrec {
 ///  - request handling runs inline on the worker: decode, call the
 ///    service, encode, flush. The service itself is thread-safe, so
 ///    workers call it concurrently.
+///
+/// Pipelining: every frame carries a request id and the server answers
+/// in whatever order handling completes, so a v2 client may keep many
+/// requests in flight per connection (docs/WIRE_PROTOCOL.md §6).
+/// Responses are gathered with writev from a queue of encoded frames —
+/// one syscall flushes many pipelined replies.
 ///
 /// Backpressure: a global in-flight gate caps concurrently handled
 /// service RPCs. When the cap is reached, the request is answered
@@ -98,7 +109,35 @@ class RecServer {
     /// disables the breaker.
     int breaker_failure_threshold = 8;
     int breaker_cooldown_ms = 2'000;
+
+    /// Highest wire version this server negotiates in the v2 Hello
+    /// handshake (docs/WIRE_PROTOCOL.md §5). Setting 1 makes the server
+    /// behave exactly like a pre-v2 build — Hello is answered with
+    /// UNKNOWN_TYPE and v2 frames are rejected — which the interop
+    /// tests use. Clamped to [1, kMaxWireVersion].
+    int max_wire_version = kMaxWireVersion;
+    /// When non-empty, also serve the same RPCs over the same-host
+    /// shared-memory transport (net/shm_transport.h) under this POSIX
+    /// shm object name (e.g. from ParseShmAddress). Empty disables.
+    std::string shm_name;
+    /// Concurrent same-host clients (slots) for the shm transport.
+    std::uint32_t shm_slot_count = 8;
   };
+
+  /// Per-connection protocol state shared by every transport. A
+  /// connection starts at v1 and is upgraded by a successful Hello.
+  struct RequestContext {
+    std::uint8_t negotiated_version = kWireVersion;
+    /// Metric prefix for per-RPC latency histograms; distinguishes
+    /// transports ("net.server.rpc" for TCP, "shm.rpc" for shm).
+    const char* rpc_prefix = "net.server.rpc";
+    /// Set by dispatch when the connection must be torn down after the
+    /// queued responses flush (framing lost, version violation).
+    bool close_connection = false;
+  };
+
+  /// Queues one encoded response frame on the originating connection.
+  using SendFn = std::function<void(std::string&&)>;
 
   RecServer(RecommendationService* service, Options options);
   ~RecServer();  ///< Stops the server if still running.
@@ -125,6 +164,35 @@ class RecServer {
   class Worker;
 
   void AcceptLoop();
+
+  /// Transport-independent RPC dispatch: decodes nothing about how the
+  /// frame arrived, only what it says. Both the TCP workers and the shm
+  /// poller funnel every decoded frame through here, so negotiation,
+  /// admission, batching, and the degraded ladder behave identically on
+  /// both transports. Thread-safe (workers + shm poller call it
+  /// concurrently).
+  void DispatchFrame(const Frame& frame, RequestContext* ctx,
+                     const SendFn& send);
+  void HandleHello(const Frame& frame, RequestContext* ctx,
+                   const SendFn& send);
+  void SendUnknownType(const Frame& frame, const SendFn& send);
+  void HandleServiceRpc(const Frame& frame, RequestContext* ctx,
+                        const SendFn& send);
+
+  /// Result of one Recommend through the breaker/deadline/fallback
+  /// ladder; shared by the single and batched RPC paths.
+  struct RecommendOutcome {
+    bool ok = false;
+    std::uint8_t flags = 0;
+    std::vector<ScoredVideo> videos;
+    WireError error = WireError::kInternal;
+    std::string message;
+  };
+  RecommendOutcome RecommendWithFallback(const RecRequest& request);
+
+  /// Highest version Hello may negotiate (Options::max_wire_version
+  /// clamped).
+  int ServerMaxWireVersion() const;
 
   /// Admission gate: true (and a slot held) if under max_in_flight.
   bool TryAcquireInFlight();
@@ -153,6 +221,7 @@ class RecServer {
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::thread acceptor_;
+  std::unique_ptr<ShmServer> shm_server_;  // When Options::shm_name set.
 };
 
 }  // namespace rtrec

@@ -1,0 +1,679 @@
+#include "net/shm_transport.h"
+
+#include <fcntl.h>
+#include <sched.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <new>
+
+#include "common/string_util.h"
+
+namespace rtrec {
+namespace {
+
+constexpr std::uint64_t kShmMagic = 0x72747265632e7368ULL;  // "rtrec.sh"
+constexpr std::uint32_t kShmLayoutVersion = 1;
+constexpr std::int64_t kLivenessCheckIntervalMs = 20;
+constexpr std::int64_t kClaimHandshakeTimeoutMs = 5000;
+
+std::int64_t SteadyMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// Segment layout (docs/WIRE_PROTOCOL.md §9.2). All structs live inside the
+// mapped segment, so they hold only trivially-layouted fields and
+// address-free atomics; the process-local handles below wrap raw offsets.
+
+struct SegHdr {
+  std::uint64_t magic;
+  std::uint32_t layout_version;
+  std::uint32_t slot_count;
+  std::uint64_t ring_bytes;        // per direction, power of two
+  std::uint64_t max_frame_bytes;   // FrameDecoder cap on both sides
+  std::atomic<std::uint32_t> server_state;  // 0 = down, 1 = serving
+  std::atomic<std::uint64_t> server_pid;
+};
+
+struct SlotHdr {
+  std::atomic<std::uint32_t> state;       // kSlotFree..kSlotClosing
+  std::atomic<std::uint32_t> generation;  // bumped by every reclaim
+  std::atomic<std::uint64_t> client_pid;
+};
+
+struct RingHdr {
+  alignas(64) std::atomic<std::uint64_t> head;  // consumer cursor
+  alignas(64) std::atomic<std::uint64_t> tail;  // producer cursor
+};
+
+constexpr std::size_t AlignUp(std::size_t n, std::size_t a) {
+  return (n + a - 1) & ~(a - 1);
+}
+
+constexpr std::size_t kSegHdrBytes = AlignUp(sizeof(SegHdr), 64);
+constexpr std::size_t kSlotHdrBytes = AlignUp(sizeof(SlotHdr), 64);
+constexpr std::size_t kRingHdrBytes = AlignUp(sizeof(RingHdr), 64);
+
+std::size_t RingStride(std::size_t ring_bytes) {
+  return kRingHdrBytes + AlignUp(ring_bytes, 64);
+}
+
+std::size_t SlotStride(std::size_t ring_bytes) {
+  return kSlotHdrBytes + 2 * RingStride(ring_bytes);
+}
+
+std::size_t SegmentBytes(std::uint32_t slot_count, std::size_t ring_bytes) {
+  return kSegHdrBytes + slot_count * SlotStride(ring_bytes);
+}
+
+// Process-local view of one SPSC byte ring. Positions are free-running
+// u64 cursors; (tail - head) is the byte count in flight, and the data
+// offset is cursor & (cap - 1). The producer owns `tail`, the consumer
+// owns `head`; each publishes with a release store the other acquires.
+struct RingView {
+  RingHdr* hdr = nullptr;
+  std::uint8_t* data = nullptr;
+  std::size_t cap = 0;
+
+  // Producer side: appends up to `len` bytes, returns how many fit.
+  std::size_t WriteSome(const char* src, std::size_t len, Counter* wraps) {
+    const std::uint64_t head = hdr->head.load(std::memory_order_acquire);
+    const std::uint64_t tail = hdr->tail.load(std::memory_order_relaxed);
+    const std::size_t free_bytes = cap - static_cast<std::size_t>(tail - head);
+    const std::size_t n = len < free_bytes ? len : free_bytes;
+    if (n == 0) return 0;
+    const std::size_t off = static_cast<std::size_t>(tail) & (cap - 1);
+    const std::size_t first = n < cap - off ? n : cap - off;
+    std::memcpy(data + off, src, first);
+    if (first < n) {
+      std::memcpy(data, src + first, n - first);
+      if (wraps != nullptr) wraps->Increment();
+    }
+    hdr->tail.store(tail + n, std::memory_order_release);
+    return n;
+  }
+
+  // Consumer side: moves up to `max` available bytes into `out`.
+  std::size_t ReadSome(std::string* out, std::size_t max, Counter* wraps) {
+    const std::uint64_t tail = hdr->tail.load(std::memory_order_acquire);
+    const std::uint64_t head = hdr->head.load(std::memory_order_relaxed);
+    const std::size_t avail = static_cast<std::size_t>(tail - head);
+    const std::size_t n = max < avail ? max : avail;
+    if (n == 0) return 0;
+    const std::size_t off = static_cast<std::size_t>(head) & (cap - 1);
+    const std::size_t first = n < cap - off ? n : cap - off;
+    out->append(reinterpret_cast<const char*>(data + off), first);
+    if (first < n) {
+      out->append(reinterpret_cast<const char*>(data), n - first);
+      if (wraps != nullptr) wraps->Increment();
+    }
+    hdr->head.store(head + n, std::memory_order_release);
+    return n;
+  }
+
+  void Reset() {
+    hdr->head.store(0, std::memory_order_relaxed);
+    hdr->tail.store(0, std::memory_order_release);
+  }
+};
+
+struct SlotView {
+  SlotHdr* hdr = nullptr;
+  RingView req;   // client → server
+  RingView resp;  // server → client
+};
+
+SegHdr* Header(void* base) { return static_cast<SegHdr*>(base); }
+
+SlotView Slot(void* base, std::uint32_t index) {
+  SegHdr* seg = Header(base);
+  const std::size_t ring_bytes = static_cast<std::size_t>(seg->ring_bytes);
+  std::uint8_t* p = static_cast<std::uint8_t*>(base) + kSegHdrBytes +
+                    index * SlotStride(ring_bytes);
+  SlotView view;
+  view.hdr = reinterpret_cast<SlotHdr*>(p);
+  std::uint8_t* req = p + kSlotHdrBytes;
+  view.req.hdr = reinterpret_cast<RingHdr*>(req);
+  view.req.data = req + kRingHdrBytes;
+  view.req.cap = ring_bytes;
+  std::uint8_t* resp = req + RingStride(ring_bytes);
+  view.resp.hdr = reinterpret_cast<RingHdr*>(resp);
+  view.resp.data = resp + kRingHdrBytes;
+  view.resp.cap = ring_bytes;
+  return view;
+}
+
+// Wait strategy for both pollers. A 1-CPU host (the bench box) makes
+// pure spinning counterproductive — the peer needs the core to make the
+// bytes we are waiting for — so escalate quickly to sched_yield and
+// only sleep once genuinely idle.
+class PollBackoff {
+ public:
+  void Pause() {
+    ++idle_;
+    if (idle_ <= 16) {
+      // brief busy spin — peer may be mid-publish on another core
+    } else if (idle_ <= 512) {
+      sched_yield();
+    } else {
+      ::usleep(idle_ <= 2048 ? 50 : 500);
+    }
+  }
+  void Reset() { idle_ = 0; }
+
+ private:
+  std::uint32_t idle_ = 0;
+};
+
+bool PidAlive(std::uint64_t pid) {
+  if (pid == 0) return true;  // handshake incomplete; covered by timeout
+  if (::kill(static_cast<pid_t>(pid), 0) == 0) return true;
+  return errno != ESRCH;
+}
+
+bool IsPowerOfTwo(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+Status ValidateShmName(const std::string& name) {
+  if (name.size() < 2 || name.size() > 255 || name[0] != '/' ||
+      name.find('/', 1) != std::string::npos) {
+    return Status::InvalidArgument(
+        StringPrintf("bad shm object name '%s'", name.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::optional<std::string> ParseShmAddress(std::string_view address) {
+  std::string_view name;
+  if (address.rfind("rec://shm/", 0) == 0) {
+    name = address.substr(10);
+  } else if (address.rfind("shm://", 0) == 0) {
+    name = address.substr(6);
+  } else if (address.rfind("shm:", 0) == 0) {
+    name = address.substr(4);
+  } else {
+    return std::nullopt;
+  }
+  if (name.empty() || name.size() > 63) return std::nullopt;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return std::nullopt;
+  }
+  return "/rtrec." + std::string(name);
+}
+
+// ---------------------------------------------------------------------------
+// ShmServer.
+
+struct ShmServer::SlotRuntime {
+  std::uint32_t generation = 0;    // attachment this runtime belongs to
+  bool live = false;               // runtime initialized for `generation`
+  std::int64_t claimed_since_ms = 0;
+  std::int64_t last_liveness_ms = 0;
+  FrameDecoder decoder;
+  ConnState conn;
+  std::string pending_out;         // responses awaiting ring space
+  std::size_t pending_pos = 0;
+
+  explicit SlotRuntime(std::size_t max_frame_bytes)
+      : decoder(max_frame_bytes) {}
+
+  void Restart(std::uint32_t gen, std::size_t max_frame_bytes) {
+    generation = gen;
+    live = true;
+    claimed_since_ms = 0;
+    last_liveness_ms = 0;
+    decoder = FrameDecoder(max_frame_bytes);
+    conn = ConnState();
+    pending_out.clear();
+    pending_pos = 0;
+  }
+};
+
+ShmServer::ShmServer(std::string shm_name, const Options& options,
+                     FrameHandler handler)
+    : shm_name_(std::move(shm_name)),
+      options_(options),
+      handler_(std::move(handler)) {
+  if (options_.metrics != nullptr) {
+    polls_ = options_.metrics->GetCounter("shm.ring.polls");
+    wraps_ = options_.metrics->GetCounter("shm.ring.wraps");
+    reclaims_ = options_.metrics->GetCounter("shm.slots.reclaimed");
+  }
+}
+
+StatusOr<std::unique_ptr<ShmServer>> ShmServer::Create(
+    const std::string& shm_name, const Options& options,
+    FrameHandler handler) {
+  RTREC_RETURN_IF_ERROR(ValidateShmName(shm_name));
+  if (options.slot_count == 0 || options.slot_count > 1024) {
+    return Status::InvalidArgument("shm slot_count must be in [1, 1024]");
+  }
+  if (!IsPowerOfTwo(options.ring_bytes) ||
+      options.ring_bytes < options.max_frame_bytes + kLengthPrefixBytes) {
+    return Status::InvalidArgument(
+        "shm ring_bytes must be a power of two >= max_frame_bytes + 4");
+  }
+  std::unique_ptr<ShmServer> server(
+      new ShmServer(shm_name, options, std::move(handler)));
+  RTREC_RETURN_IF_ERROR(server->Init());
+  return server;
+}
+
+Status ShmServer::Init() {
+  // Drop any stale segment from a crashed predecessor, then create
+  // fresh so every cursor starts zeroed (§9.6).
+  ::shm_unlink(shm_name_.c_str());
+  const int fd =
+      ::shm_open(shm_name_.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0) {
+    return Status::Unavailable(StringPrintf("shm_open(%s): %s",
+                                            shm_name_.c_str(),
+                                            std::strerror(errno)));
+  }
+  map_bytes_ = SegmentBytes(options_.slot_count, options_.ring_bytes);
+  if (::ftruncate(fd, static_cast<off_t>(map_bytes_)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::shm_unlink(shm_name_.c_str());
+    return Status::Unavailable(
+        StringPrintf("ftruncate(shm): %s", std::strerror(err)));
+  }
+  base_ = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE, MAP_SHARED, fd,
+                 0);
+  ::close(fd);
+  if (base_ == MAP_FAILED) {
+    base_ = nullptr;
+    ::shm_unlink(shm_name_.c_str());
+    return Status::Unavailable(
+        StringPrintf("mmap(shm): %s", std::strerror(errno)));
+  }
+
+  SegHdr* seg = new (base_) SegHdr();
+  seg->magic = kShmMagic;
+  seg->layout_version = kShmLayoutVersion;
+  seg->slot_count = options_.slot_count;
+  seg->ring_bytes = options_.ring_bytes;
+  seg->max_frame_bytes = options_.max_frame_bytes;
+  seg->server_pid.store(static_cast<std::uint64_t>(::getpid()),
+                        std::memory_order_relaxed);
+  runtime_.reserve(options_.slot_count);
+  for (std::uint32_t i = 0; i < options_.slot_count; ++i) {
+    SlotView slot = Slot(base_, i);
+    new (slot.hdr) SlotHdr();
+    new (slot.req.hdr) RingHdr();
+    new (slot.resp.hdr) RingHdr();
+    runtime_.push_back(
+        std::make_unique<SlotRuntime>(options_.max_frame_bytes));
+  }
+  // Publish last: a client that sees server_state == 1 is guaranteed a
+  // fully initialized layout.
+  seg->server_state.store(1, std::memory_order_release);
+  poller_ = std::thread([this] { PollLoop(); });
+  return Status::OK();
+}
+
+ShmServer::~ShmServer() {
+  stop_.store(true, std::memory_order_release);
+  if (poller_.joinable()) poller_.join();
+  if (base_ != nullptr) {
+    Header(base_)->server_state.store(0, std::memory_order_release);
+    ::munmap(base_, map_bytes_);
+    ::shm_unlink(shm_name_.c_str());
+  }
+}
+
+void ShmServer::PollLoop() {
+  PollBackoff backoff;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (polls_ != nullptr) polls_->Increment();
+    if (SweepOnce()) {
+      backoff.Reset();
+    } else {
+      backoff.Pause();
+    }
+  }
+}
+
+bool ShmServer::SweepOnce() {
+  bool progress = false;
+  const std::int64_t now_ms = SteadyMillis();
+  for (std::uint32_t i = 0; i < options_.slot_count; ++i) {
+    SlotView slot = Slot(base_, i);
+    SlotRuntime& rt = *runtime_[i];
+    const std::uint32_t state = slot.hdr->state.load(std::memory_order_acquire);
+    switch (state) {
+      case kSlotFree:
+        rt.live = false;
+        break;
+      case kSlotClaimed: {
+        // A claimer that died before finishing the handshake leaves the
+        // slot stuck here; its pid may not even be published yet, so a
+        // wall-clock timeout backstops the pid check.
+        if (rt.claimed_since_ms == 0) rt.claimed_since_ms = now_ms;
+        const std::uint64_t pid =
+            slot.hdr->client_pid.load(std::memory_order_acquire);
+        if (!PidAlive(pid) ||
+            now_ms - rt.claimed_since_ms > kClaimHandshakeTimeoutMs) {
+          ReclaimSlot(i, /*client_died=*/true);
+          progress = true;
+        }
+        break;
+      }
+      case kSlotActive: {
+        const std::uint32_t gen =
+            slot.hdr->generation.load(std::memory_order_acquire);
+        if (!rt.live || rt.generation != gen) {
+          rt.Restart(gen, options_.max_frame_bytes);
+          rt.last_liveness_ms = now_ms;
+          progress = true;
+        }
+        if (ServiceSlot(i)) {
+          rt.last_liveness_ms = now_ms;
+          progress = true;
+        } else if (now_ms - rt.last_liveness_ms > kLivenessCheckIntervalMs) {
+          rt.last_liveness_ms = now_ms;
+          if (!ClientAlive(i)) {
+            ReclaimSlot(i, /*client_died=*/true);
+            progress = true;
+          }
+        }
+        break;
+      }
+      case kSlotClosing:
+        ReclaimSlot(i, /*client_died=*/false);
+        progress = true;
+        break;
+      default:
+        // Unknown state can only come from a corrupted segment; retire
+        // the slot rather than wedging the sweep.
+        ReclaimSlot(i, /*client_died=*/true);
+        progress = true;
+        break;
+    }
+  }
+  return progress;
+}
+
+bool ShmServer::ServiceSlot(std::uint32_t index) {
+  SlotView slot = Slot(base_, index);
+  SlotRuntime& rt = *runtime_[index];
+  bool progress = false;
+
+  // Flush buffered responses first so ring space frees before we decode
+  // more requests (otherwise a pipelining client could deadlock us).
+  if (rt.pending_pos < rt.pending_out.size()) {
+    const std::size_t wrote = slot.resp.WriteSome(
+        rt.pending_out.data() + rt.pending_pos,
+        rt.pending_out.size() - rt.pending_pos, wraps_);
+    rt.pending_pos += wrote;
+    if (wrote > 0) progress = true;
+    if (rt.pending_pos == rt.pending_out.size()) {
+      rt.pending_out.clear();
+      rt.pending_pos = 0;
+    }
+  }
+
+  std::string chunk;
+  if (slot.req.ReadSome(&chunk, 64 << 10, wraps_) > 0) {
+    rt.decoder.Append(chunk);
+    progress = true;
+  }
+
+  while (true) {
+    StatusOr<Frame> frame = rt.decoder.Next();
+    if (frame.status().IsNotFound()) break;  // partial frame; wait for bytes
+    if (!frame.ok()) {
+      // Framing lost — same as a TCP connection gone bad: evict.
+      rt.conn.close = true;
+      break;
+    }
+    const SendFn send = [&rt](std::string&& encoded) {
+      rt.pending_out.append(encoded);
+    };
+    handler_(*frame, &rt.conn, send);
+    progress = true;
+    if (rt.conn.close) break;
+
+    // Opportunistic flush between frames keeps the client's reader fed
+    // while long pipelines drain.
+    if (rt.pending_pos < rt.pending_out.size()) {
+      rt.pending_pos += slot.resp.WriteSome(
+          rt.pending_out.data() + rt.pending_pos,
+          rt.pending_out.size() - rt.pending_pos, wraps_);
+      if (rt.pending_pos == rt.pending_out.size()) {
+        rt.pending_out.clear();
+        rt.pending_pos = 0;
+      }
+    }
+  }
+
+  const std::size_t backlog = rt.pending_out.size() - rt.pending_pos;
+  if (rt.conn.close || backlog > options_.max_pending_response_bytes) {
+    // Protocol violation or a client that stopped draining: take the
+    // slot back. If the client is alive it notices via the generation
+    // check on its next call (§9.5).
+    ReclaimSlot(index, !ClientAlive(index));
+    return true;
+  }
+  return progress;
+}
+
+void ShmServer::ReclaimSlot(std::uint32_t index, bool client_died) {
+  SlotView slot = Slot(base_, index);
+  SlotRuntime& rt = *runtime_[index];
+  slot.req.Reset();
+  slot.resp.Reset();
+  slot.hdr->client_pid.store(0, std::memory_order_relaxed);
+  slot.hdr->generation.fetch_add(1, std::memory_order_acq_rel);
+  slot.hdr->state.store(kSlotFree, std::memory_order_release);
+  rt.live = false;
+  rt.claimed_since_ms = 0;
+  rt.pending_out.clear();
+  rt.pending_pos = 0;
+  if (client_died) {
+    slots_reclaimed_.fetch_add(1, std::memory_order_relaxed);
+    if (reclaims_ != nullptr) reclaims_->Increment();
+  }
+}
+
+bool ShmServer::ClientAlive(std::uint32_t index) const {
+  return PidAlive(
+      Slot(base_, index).hdr->client_pid.load(std::memory_order_acquire));
+}
+
+// ---------------------------------------------------------------------------
+// ShmClient.
+
+ShmClient::ShmClient(std::string shm_name, const Options& options)
+    : shm_name_(std::move(shm_name)),
+      options_(options),
+      decoder_(options.max_frame_bytes) {
+  if (options_.metrics != nullptr) {
+    polls_ = options_.metrics->GetCounter("shm.ring.polls");
+    wraps_ = options_.metrics->GetCounter("shm.ring.wraps");
+  }
+}
+
+StatusOr<std::unique_ptr<ShmClient>> ShmClient::Attach(
+    const std::string& shm_name, const Options& options) {
+  RTREC_RETURN_IF_ERROR(ValidateShmName(shm_name));
+  std::unique_ptr<ShmClient> client(new ShmClient(shm_name, options));
+  Status attached = client->AttachLocked();
+  if (!attached.ok()) {
+    if (options.metrics != nullptr) {
+      options.metrics->GetCounter("shm.ring.attach_errors")->Increment();
+    }
+    return attached;
+  }
+  return client;
+}
+
+Status ShmClient::AttachLocked() {
+  const int fd = ::shm_open(shm_name_.c_str(), O_RDWR, 0);
+  if (fd < 0) {
+    return Status::Unavailable(StringPrintf("shm_open(%s): %s",
+                                            shm_name_.c_str(),
+                                            std::strerror(errno)));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 ||
+      static_cast<std::size_t>(st.st_size) < kSegHdrBytes) {
+    ::close(fd);
+    return Status::Unavailable("shm segment truncated");
+  }
+  map_bytes_ = static_cast<std::size_t>(st.st_size);
+  base_ = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE, MAP_SHARED, fd,
+                 0);
+  ::close(fd);
+  if (base_ == MAP_FAILED) {
+    base_ = nullptr;
+    return Status::Unavailable(
+        StringPrintf("mmap(shm): %s", std::strerror(errno)));
+  }
+  SegHdr* seg = Header(base_);
+  if (seg->server_state.load(std::memory_order_acquire) != 1 ||
+      seg->magic != kShmMagic || seg->layout_version != kShmLayoutVersion) {
+    return Status::Unavailable("shm segment not serving (or wrong layout)");
+  }
+  if (SegmentBytes(seg->slot_count,
+                   static_cast<std::size_t>(seg->ring_bytes)) > map_bytes_) {
+    return Status::Corruption("shm segment smaller than its header claims");
+  }
+  // The segment's frame cap is authoritative for both directions.
+  options_.max_frame_bytes = static_cast<std::size_t>(seg->max_frame_bytes);
+  decoder_ = FrameDecoder(options_.max_frame_bytes);
+
+  for (std::uint32_t i = 0; i < seg->slot_count; ++i) {
+    SlotView slot = Slot(base_, i);
+    std::uint32_t expected = kSlotFree;
+    if (slot.hdr->state.compare_exchange_strong(expected, kSlotClaimed,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_relaxed)) {
+      slot_index_ = i;
+      generation_ = slot.hdr->generation.load(std::memory_order_acquire);
+      slot.hdr->client_pid.store(static_cast<std::uint64_t>(::getpid()),
+                                 std::memory_order_release);
+      slot.hdr->state.store(kSlotActive, std::memory_order_release);
+      claimed_ = true;
+      return Status::OK();
+    }
+  }
+  return Status::ResourceExhausted(
+      StringPrintf("all %u shm slots busy on %s", seg->slot_count,
+                   shm_name_.c_str()));
+}
+
+ShmClient::~ShmClient() {
+  if (base_ == nullptr) return;
+  if (claimed_ && !abandoned_ && SlotStillMine()) {
+    // Announce a clean close; the server resets the rings and frees the
+    // slot on its next sweep (§9.4).
+    Slot(base_, slot_index_)
+        .hdr->state.store(kSlotClosing, std::memory_order_release);
+  }
+  ::munmap(base_, map_bytes_);
+  base_ = nullptr;
+}
+
+bool ShmClient::SlotStillMine() const {
+  SlotView slot = Slot(base_, slot_index_);
+  return slot.hdr->state.load(std::memory_order_acquire) == kSlotActive &&
+         slot.hdr->generation.load(std::memory_order_acquire) == generation_;
+}
+
+Status ShmClient::Send(std::string_view bytes, std::int64_t deadline_ms) {
+  if (base_ == nullptr) return Status::Unavailable("shm client detached");
+  SlotView slot = Slot(base_, slot_index_);
+  std::size_t sent = 0;
+  PollBackoff backoff;
+  while (sent < bytes.size()) {
+    if (Header(base_)->server_state.load(std::memory_order_acquire) != 1) {
+      return Status::Unavailable("shm server is down");
+    }
+    if (!SlotStillMine()) {
+      return Status::Unavailable("shm slot reclaimed by server");
+    }
+    const std::size_t wrote = slot.req.WriteSome(
+        bytes.data() + sent, bytes.size() - sent, wraps_);
+    sent += wrote;
+    if (wrote > 0) {
+      backoff.Reset();
+      continue;
+    }
+    if (SteadyMillis() >= deadline_ms) {
+      return Status::Unavailable("shm send timed out (request ring full)");
+    }
+    backoff.Pause();
+  }
+  return Status::OK();
+}
+
+StatusOr<Frame> ShmClient::NextFrame(std::int64_t deadline_ms) {
+  if (base_ == nullptr) return Status::Unavailable("shm client detached");
+  SlotView slot = Slot(base_, slot_index_);
+  PollBackoff backoff;
+  std::string chunk;
+  while (true) {
+    StatusOr<Frame> frame = decoder_.Next();
+    if (frame.ok()) return frame;
+    if (!frame.status().IsNotFound()) return frame;  // framing lost
+
+    chunk.clear();
+    if (polls_ != nullptr) polls_->Increment();
+    if (slot.resp.ReadSome(&chunk, 64 << 10, wraps_) > 0) {
+      decoder_.Append(chunk);
+      backoff.Reset();
+      continue;
+    }
+    if (shutdown_.load(std::memory_order_acquire)) {
+      return Status::Unavailable("shm read shut down");
+    }
+    if (Header(base_)->server_state.load(std::memory_order_acquire) != 1) {
+      return Status::Unavailable("shm server is down");
+    }
+    if (!SlotStillMine()) {
+      return Status::Unavailable("shm slot reclaimed by server");
+    }
+    if (SteadyMillis() >= deadline_ms) {
+      return Status::NotFound("no shm frame before deadline");
+    }
+    backoff.Pause();
+  }
+}
+
+void ShmClient::ShutdownRead() {
+  shutdown_.store(true, std::memory_order_release);
+}
+
+void ShmClient::TestOnlySetSlotPid(std::uint64_t pid) {
+  Slot(base_, slot_index_)
+      .hdr->client_pid.store(pid, std::memory_order_release);
+}
+
+bool ShmClient::TestOnlyWriteRaw(const char* data, std::size_t len) {
+  SlotView slot = Slot(base_, slot_index_);
+  return slot.req.WriteSome(data, len, nullptr) == len;
+}
+
+void ShmClient::TestOnlyAbandon() {
+  // Drop the mapping without announcing a close — observationally the
+  // same slot state a SIGKILL leaves behind.
+  abandoned_ = true;
+  if (base_ != nullptr) {
+    ::munmap(base_, map_bytes_);
+    base_ = nullptr;
+  }
+}
+
+}  // namespace rtrec

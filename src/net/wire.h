@@ -15,14 +15,15 @@
 
 namespace rtrec {
 
-/// The rtrec binary wire protocol, version 1.
+/// The rtrec binary wire protocol, versions 1 and 2. The normative spec
+/// lives in docs/WIRE_PROTOCOL.md; this header is its implementation.
 ///
 /// Every message travels in one length-prefixed frame:
 ///
 ///   offset  size  field
 ///   ------  ----  -----------------------------------------------
 ///        0     4  payload length N, big-endian (bytes after this field)
-///        4     1  protocol version (kWireVersion)
+///        4     1  protocol version (1 or 2; see below)
 ///        5     1  message type (MessageType)
 ///        6     8  request id, big-endian (echoed back in the response)
 ///       14   N-10 message body (layout depends on the type)
@@ -34,9 +35,31 @@ namespace rtrec {
 /// (Options::max_frame_bytes; kDefaultMaxFrameBytes by default). A peer
 /// that sends a length outside those bounds is structurally corrupt and
 /// gets disconnected after a typed ErrorResponse.
+///
+/// Version 2 keeps the frame layout bit-identical and adds semantics:
+///
+///  - negotiation: a client that wants v2 sends a Hello frame (carried
+///    with version byte 1 so any server can parse it) naming the version
+///    range it speaks; a v2 server answers HelloResponse with the chosen
+///    version, a v1 server answers a typed UNKNOWN_TYPE error — the
+///    client then falls back to v1. A connection on which no Hello
+///    succeeded is a v1 connection and version-2 frames on it are
+///    rejected with BAD_VERSION (WIRE_PROTOCOL.md §5);
+///  - pipelining: on a negotiated v2 connection any number of requests
+///    may be in flight; responses correlate by request id and MAY arrive
+///    in any order (§6);
+///  - batching: BatchRecommend carries up to kMaxBatchedRequests
+///    Recommend bodies in one frame and is answered by one
+///    BatchRecommendResponse with per-item status (§7).
 
-/// Protocol version carried in every frame.
+/// Version-1 protocol tag; also the version every Hello frame carries.
 inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Version-2 protocol tag: pipelined, out-of-order responses, batching.
+inline constexpr std::uint8_t kWireVersionV2 = 2;
+
+/// Highest version this implementation speaks.
+inline constexpr std::uint8_t kMaxWireVersion = kWireVersionV2;
 
 /// Bytes of payload occupied by version + type + request id.
 inline constexpr std::size_t kFrameHeaderBytes = 10;
@@ -51,6 +74,11 @@ inline constexpr std::size_t kDefaultMaxFrameBytes = 1 << 20;  // 1 MiB
 /// RecommendResponse; a peer exceeding it is sending garbage.
 inline constexpr std::size_t kMaxListedVideos = 4096;
 
+/// Cap on Recommend bodies per BatchRecommendRequest (v2). One batch
+/// frame occupies one admission-control slot on the server, so the cap
+/// bounds the work a single slot can demand.
+inline constexpr std::size_t kMaxBatchedRequests = 64;
+
 /// Message discriminator. Requests have the high bit clear, responses set.
 enum class MessageType : std::uint8_t {
   kPingRequest = 0x01,
@@ -58,12 +86,16 @@ enum class MessageType : std::uint8_t {
   kObserveRequest = 0x03,
   kRegisterProfileRequest = 0x04,
   kStatsRequest = 0x05,
+  kHelloRequest = 0x06,           ///< v2 negotiation (frame version is 1).
+  kBatchRecommendRequest = 0x07,  ///< v2 only.
 
   kPongResponse = 0x81,
   kRecommendResponse = 0x82,
   kAckResponse = 0x83,
   kErrorResponse = 0x84,
   kStatsResponse = 0x85,
+  kHelloResponse = 0x86,
+  kBatchRecommendResponse = 0x87,
 };
 
 /// Stable name for logs ("recommend_request", ...); "unknown" if invalid.
@@ -72,7 +104,7 @@ const char* MessageTypeToString(MessageType type);
 /// Typed error codes carried by ErrorResponse.
 enum class WireError : std::uint8_t {
   kMalformedFrame = 1,  ///< Structurally bad frame or undecodable body.
-  kBadVersion = 2,      ///< Frame version != kWireVersion.
+  kBadVersion = 2,      ///< Frame version the connection may not use.
   kUnknownType = 3,     ///< Message type the server does not handle.
   kBadRequest = 4,      ///< Decoded, but semantically invalid.
   kOverloaded = 5,      ///< Shed by admission control; retry later.
@@ -144,6 +176,28 @@ StatusOr<UserAction> DecodeObserveRequest(const Frame& frame);
 /// keep working while the server is shedding load.
 std::string EncodeStatsRequest(std::uint64_t request_id);
 
+/// Hello body (request): u8 min_version, u8 max_version, u32 feature
+/// bits (0; receivers ignore unknown bits). Always framed with version
+/// byte kWireVersion (1) so a v1 server parses the header and answers a
+/// typed UNKNOWN_TYPE error instead of dropping the connection.
+struct HelloRequest {
+  std::uint8_t min_version = kWireVersion;
+  std::uint8_t max_version = kMaxWireVersion;
+  std::uint32_t features = 0;
+};
+std::string EncodeHelloRequest(std::uint64_t request_id,
+                               const HelloRequest& hello);
+StatusOr<HelloRequest> DecodeHelloRequest(const Frame& frame);
+
+/// BatchRecommend body (v2): u32 count, then `count` Recommend bodies
+/// (u64 user, i64 now, u32 top_n, u32 seed count, u64 seeds...). The
+/// whole batch shares one request id; per-item outcomes travel in the
+/// BatchRecommendResponse.
+std::string EncodeBatchRecommendRequest(std::uint64_t request_id,
+                                        const std::vector<RecRequest>& batch);
+StatusOr<std::vector<RecRequest>> DecodeBatchRecommendRequest(
+    const Frame& frame);
+
 /// RegisterProfile body: u64 user, u8 registered, u8 gender, u8 age
 /// bucket, u8 education.
 struct ProfileUpdate {
@@ -184,6 +238,41 @@ std::string EncodeRecommendResponse(std::uint64_t request_id,
 StatusOr<RecommendReply> DecodeRecommendReply(const Frame& frame);
 /// Flag-discarding convenience wrapper around DecodeRecommendReply.
 StatusOr<std::vector<ScoredVideo>> DecodeRecommendResponse(const Frame& frame);
+
+/// Hello body (response): u8 negotiated version, u32 feature bits (0),
+/// u32 max in-flight hint (the server's admission cap; 0 = no hint),
+/// u32 batch cap (kMaxBatchedRequests of the server). The negotiated
+/// version is min(client max, server max) and the server rejects a
+/// Hello whose min_version is above what it speaks with BAD_VERSION.
+struct HelloReply {
+  std::uint8_t version = kWireVersion;
+  std::uint32_t features = 0;
+  std::uint32_t max_in_flight_hint = 0;
+  std::uint32_t max_batch = 0;
+};
+std::string EncodeHelloResponse(std::uint64_t request_id,
+                                const HelloReply& reply);
+StatusOr<HelloReply> DecodeHelloResponse(const Frame& frame);
+
+/// One item of a BatchRecommendResponse: a typed wire error (kNone for
+/// success) plus, on success, the flags byte and ranked videos of a
+/// plain RecommendResponse.
+struct BatchRecommendItem {
+  /// 0 = OK; otherwise a WireError value scoped to this item only.
+  std::uint8_t error = 0;
+  RecommendReply reply;
+
+  bool ok() const { return error == 0; }
+};
+
+/// BatchRecommendResponse body (v2): u32 count, then per item: u8 error
+/// code (0 = OK), u8 flags, u32 video count, (u64 video, f64 score)
+/// pairs. Failed items carry zero videos. Item order matches the
+/// request; count always equals the request's count.
+std::string EncodeBatchRecommendResponse(
+    std::uint64_t request_id, const std::vector<BatchRecommendItem>& items);
+StatusOr<std::vector<BatchRecommendItem>> DecodeBatchRecommendResponse(
+    const Frame& frame);
 
 /// StatsResponse body: u32 text length, then that many bytes of
 /// Prometheus text-format (0.0.4) metrics. The encoder truncates at the

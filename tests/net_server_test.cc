@@ -1,6 +1,7 @@
 #include "net/rec_server.h"
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -693,6 +694,325 @@ TEST(RecServerTest, QualityMetricsVisibleViaStatsRpc) {
   EXPECT_NE(stats->find("quality_ctr_degraded "), std::string::npos);
   EXPECT_NE(stats->find("quality_ctr_arm_0 "), std::string::npos);
   EXPECT_NE(stats->find("quality_alerts_logloss_total "), std::string::npos);
+}
+
+// --- Wire v2: negotiation, interop, pipelining (docs/WIRE_PROTOCOL.md) -----
+
+TEST(RecServerTest, V2NegotiatedAtConnect) {
+  LiveServer live;
+  RecClient client(live.ClientOptions());
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_EQ(client.negotiated_version(), kWireVersionV2);
+  EXPECT_EQ(live.metrics.GetCounter("net.v2.hellos")->value(), 1);
+  // The handshake is connection setup, not traffic (§5).
+  EXPECT_EQ(live.metrics.GetCounter("net.server.requests")->value(), 1);
+}
+
+TEST(RecServerTest, V1CappedClientInteropsWithV2Server) {
+  // A client configured for pure v1 (max_wire_version = 1) skips the
+  // handshake entirely; the v2 server must serve it exactly as before.
+  LiveServer live;
+  RecClient::Options options = live.ClientOptions();
+  options.max_wire_version = 1;
+  RecClient client(options);
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_EQ(client.negotiated_version(), kWireVersion);
+  EXPECT_EQ(live.metrics.GetCounter("net.v2.hellos")->value(), 0);
+
+  RecRequest request;
+  request.user = 1;
+  request.top_n = 3;
+  EXPECT_TRUE(client.RecommendDetailed(request).ok());
+}
+
+TEST(RecServerTest, GenuineV1PeerNeedsNoHandshake) {
+  // A peer that has never heard of Hello sends v1 frames cold (§5.4).
+  LiveServer live;
+  RawPeer peer(live.server->port());
+  peer.Send(EncodePingRequest(42));
+  StatusOr<Frame> frame = peer.ReadFrame();
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->type, MessageType::kPongResponse);
+  EXPECT_EQ(frame->request_id, 42u);
+}
+
+TEST(RecServerTest, V2ClientFallsBackAgainstV1CappedServer) {
+  // Server capped at v1 answers Hello with UNKNOWN_TYPE — exactly what
+  // a pre-v2 binary would do — and the client must settle on v1 and
+  // keep working (§5.4).
+  RecServer::Options options;
+  options.max_wire_version = 1;
+  LiveServer live(options);
+  RecClient client(live.ClientOptions());
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_EQ(client.negotiated_version(), kWireVersion);
+
+  RecRequest request;
+  request.user = 7;
+  request.top_n = 3;
+  EXPECT_TRUE(client.RecommendDetailed(request).ok());
+}
+
+TEST(RecServerTest, BatchOnUnnegotiatedConnectionMimicsV1Server) {
+  // A v2 frame without a prior Hello gets BAD_VERSION + disconnect —
+  // byte-for-byte what a genuine v1 server does with version 2 (§7.3).
+  LiveServer live;
+  {
+    RawPeer peer(live.server->port());
+    std::vector<RecRequest> batch(2);
+    peer.Send(EncodeBatchRecommendRequest(9, batch));
+    StatusOr<Frame> frame = peer.ReadFrame();
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    ASSERT_EQ(frame->type, MessageType::kErrorResponse);
+    auto error = DecodeErrorResponse(*frame);
+    ASSERT_TRUE(error.ok());
+    EXPECT_EQ(error->code, WireError::kBadVersion);
+    EXPECT_TRUE(peer.WaitForClose());
+  }
+  {
+    // The same batch hand-framed as v1 is merely an unknown type to a
+    // v1 connection: typed error, connection survives.
+    RawPeer peer(live.server->port());
+    std::vector<RecRequest> batch(2);
+    std::string bytes = EncodeBatchRecommendRequest(9, batch);
+    bytes[4] = static_cast<char>(kWireVersion);  // Version byte.
+    peer.Send(bytes);
+    StatusOr<Frame> frame = peer.ReadFrame();
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    ASSERT_EQ(frame->type, MessageType::kErrorResponse);
+    auto error = DecodeErrorResponse(*frame);
+    ASSERT_TRUE(error.ok());
+    EXPECT_EQ(error->code, WireError::kUnknownType);
+
+    peer.Send(EncodePingRequest(10));
+    StatusOr<Frame> pong = peer.ReadFrame();
+    ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+    EXPECT_EQ(pong->type, MessageType::kPongResponse);
+  }
+}
+
+TEST(RecServerTest, BatchRecommendRoundTripsAndChunks) {
+  LiveServer live;
+  Timestamp t = 0;
+  for (UserId user = 1; user <= 5; ++user) {
+    live.service.Observe(Play(user, 100, t += 1000));
+  }
+  RecClient client(live.ClientOptions());
+  // 70 requests > kMaxBatchedRequests forces two wire batches.
+  std::vector<RecRequest> requests(70);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    requests[i].user = 999;
+    requests[i].top_n = 3;
+    requests[i].now = t;
+  }
+  auto items = client.RecommendBatch(requests);
+  ASSERT_TRUE(items.ok()) << items.status().ToString();
+  ASSERT_EQ(items->size(), requests.size());
+  for (const auto& item : *items) {
+    ASSERT_TRUE(item.status.ok()) << item.status.ToString();
+    ASSERT_FALSE(item.reply.videos.empty());
+    EXPECT_EQ(item.reply.videos[0].video, 100u);
+  }
+  EXPECT_EQ(live.metrics.GetCounter("net.v2.batched_requests")->value(), 70);
+}
+
+TEST(RecServerTest, PipelinedThreadsShareOneConnection) {
+  LiveServer live;
+  Timestamp t = 0;
+  for (UserId user = 1; user <= 5; ++user) {
+    live.service.Observe(Play(user, 100, t += 1000));
+  }
+  RecClient client(live.ClientOptions());
+  ASSERT_TRUE(client.Connect().ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kCallsPerThread = 25;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&client, &ok_count, t] {
+      for (int call = 0; call < kCallsPerThread; ++call) {
+        RecRequest request;
+        request.user = 999;
+        request.top_n = 3;
+        request.now = t;
+        auto recs = client.Recommend(request);
+        if (recs.ok() && !recs->empty() && (*recs)[0].video == 100) {
+          ok_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(ok_count.load(), kThreads * kCallsPerThread);
+  // The whole fleet of threads rode ONE pipelined connection (§6).
+  EXPECT_EQ(live.metrics.GetCounter("net.server.connections.accepted")->value(),
+            1);
+}
+
+TEST(RecServerTest, PipelinedCallsSurviveInjectedLatency) {
+  // Slow RPCs + concurrent callers: every response must reach the
+  // caller that asked for it even when replies queue up (§6).
+  FaultGuard guard;
+  LiveServer live;
+  Timestamp t = 0;
+  for (UserId user = 1; user <= 5; ++user) {
+    live.service.Observe(Play(user, 100, t += 1000));
+  }
+  FaultInjector::Instance().Arm(
+      "service.recommend", FaultSpec::Latency(5).WithProbability(0.5));
+  RecClient client(live.ClientOptions());
+  constexpr int kThreads = 4;
+  constexpr int kCallsPerThread = 10;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&client, &ok_count, t] {
+      for (int call = 0; call < kCallsPerThread; ++call) {
+        RecRequest request;
+        request.user = 999;
+        request.top_n = 3;
+        request.now = t;
+        auto recs = client.Recommend(request);
+        if (recs.ok() && !recs->empty() && (*recs)[0].video == 100) {
+          ok_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(ok_count.load(), kThreads * kCallsPerThread);
+}
+
+/// Minimal v2-speaking fake server for client-side tests the real
+/// server cannot drive (it answers in request order by construction):
+/// accepts one connection, answers Hello, then reorders responses.
+struct ReorderingFakeServer {
+  ReorderingFakeServer() {
+    auto listener = ListenTcp("127.0.0.1", 0, /*backlog=*/1);
+    EXPECT_TRUE(listener.ok()) << listener.status().ToString();
+    listen_fd = std::move(*listener);
+    auto bound = LocalPort(listen_fd.get());
+    EXPECT_TRUE(bound.ok());
+    port = bound.ok() ? *bound : 0;
+    serve = std::thread([this] { Serve(); });
+  }
+
+  ~ReorderingFakeServer() {
+    if (serve.joinable()) serve.join();
+  }
+
+  void Serve() {
+    ASSERT_TRUE(WaitReady(listen_fd.get(), /*for_read=*/true, 5000).ok());
+    UniqueFd conn(accept(listen_fd.get(), nullptr, nullptr));
+    ASSERT_TRUE(conn.valid());
+    FrameDecoder decoder;
+    std::vector<Frame> held;  // Recommend requests answered in reverse.
+    char buf[4096];
+    while (true) {
+      StatusOr<Frame> frame = decoder.Next();
+      if (!frame.ok()) {
+        if (!frame.status().IsNotFound()) return;
+        if (!WaitReady(conn.get(), /*for_read=*/true, 5000).ok()) return;
+        ssize_t n = read(conn.get(), buf, sizeof(buf));
+        if (n <= 0) return;
+        decoder.Append(std::string_view(buf, static_cast<std::size_t>(n)));
+        continue;
+      }
+      if (frame->type == MessageType::kHelloRequest) {
+        HelloReply reply;
+        reply.version = kWireVersionV2;
+        const std::string out = EncodeHelloResponse(frame->request_id, reply);
+        ASSERT_EQ(write(conn.get(), out.data(), out.size()),
+                  static_cast<ssize_t>(out.size()));
+        continue;
+      }
+      if (frame->type != MessageType::kRecommendRequest) continue;
+      held.push_back(*frame);
+      if (held.size() < 2) continue;  // Hold until both are in.
+      // Answer LAST-in first: the client must match by id, not order.
+      std::string out;
+      for (auto it = held.rbegin(); it != held.rend(); ++it) {
+        auto request = DecodeRecommendRequest(*it);
+        ASSERT_TRUE(request.ok());
+        // Echo the user back as the video id so each caller can check
+        // it got ITS answer.
+        const std::vector<ScoredVideo> echo = {
+            {static_cast<VideoId>(request->user), 1.0}};
+        out += EncodeRecommendResponse(it->request_id, echo);
+      }
+      ASSERT_EQ(write(conn.get(), out.data(), out.size()),
+                static_cast<ssize_t>(out.size()));
+      return;  // Both responses flushed; done.
+    }
+  }
+
+  UniqueFd listen_fd;
+  std::uint16_t port = 0;
+  std::thread serve;
+};
+
+TEST(RecClientTest, OutOfOrderResponsesReachTheRightCallers) {
+  ReorderingFakeServer fake;
+  RecClient::Options options;
+  options.port = fake.port;
+  options.request_timeout_ms = 5000;
+  RecClient client(options);
+  ASSERT_TRUE(client.Connect().ok());
+  ASSERT_EQ(client.negotiated_version(), kWireVersionV2);
+
+  std::atomic<int> correct{0};
+  std::vector<std::thread> callers;
+  for (UserId user = 1; user <= 2; ++user) {
+    callers.emplace_back([&client, &correct, user] {
+      RecRequest request;
+      request.user = user;
+      request.top_n = 1;
+      auto recs = client.Recommend(request);
+      if (recs.ok() && recs->size() == 1 && (*recs)[0].video == user) {
+        correct.fetch_add(1);
+      }
+    });
+  }
+  for (auto& caller : callers) caller.join();
+  EXPECT_EQ(correct.load(), 2);
+}
+
+TEST(RecServerTest, CallTimeoutKeepsConnectionAndDropsStaleResponse) {
+  // A timed-out call must NOT tear down the pipelined connection other
+  // callers share; the late response is dropped as stale (§6.2).
+  FaultGuard guard;
+  LiveServer live;
+  Timestamp t = 0;
+  for (UserId user = 1; user <= 5; ++user) {
+    live.service.Observe(Play(user, 100, t += 1000));
+  }
+  RecClient::Options options = live.ClientOptions();
+  options.request_timeout_ms = 100;
+  options.auto_reconnect = false;  // Surface the timeout, no retry.
+  RecClient client(options);
+  ASSERT_TRUE(client.Connect().ok());
+
+  FaultInjector::Instance().Arm("service.recommend", FaultSpec::Latency(400));
+  RecRequest request;
+  request.user = 999;
+  request.top_n = 3;
+  request.now = t;
+  auto timed_out = client.Recommend(request);
+  EXPECT_TRUE(timed_out.status().IsUnavailable());
+  EXPECT_TRUE(client.connected());
+  FaultInjector::Instance().DisarmAll();
+
+  // The abandoned response drains as stale.
+  for (int i = 0; i < 100 && client.stale_responses_dropped() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(client.stale_responses_dropped(), 1u);
+
+  // Same connection still serves traffic.
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_EQ(live.metrics.GetCounter("net.server.connections.accepted")->value(),
+            1);
 }
 
 /// One HTTP GET against a StatsServer; returns the whole response.
