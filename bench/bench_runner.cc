@@ -30,6 +30,16 @@
 //             service with the quality monitor attached and reports the
 //             live signals (progressive logloss, online recall@10, the
 //             CTR join segments, drift gauges, alert counters);
+//   workload — the million-scale + quantized-storage leg: bytes-per-
+//             entry across factor precisions (float32/float16/int8,
+//             with RSS deltas), then the production-shaped stream —
+//             evening-peaked diurnal sessions, a day-1 flash crowd,
+//             staggered cold-start catalog churn, and a day-2
+//             demographic drift that must trip the quality watchdog —
+//             through an fp16-quantized engine, and the recall
+//             guardrail proving fp16 storage costs <1% recall@10. Full
+//             mode runs the real 1M-user / 100k-video world; smoke
+//             keeps the scenario shape at CI size;
 //   cluster — (only with --serve-binary=PATH) the sharded-deployment
 //             drill: forks real `serve` processes from a generated
 //             manifest, routes loadgen through ClusterClient, kill -9s
@@ -40,7 +50,7 @@
 // Everything is seeded (WorldConfig seed 2016), so two runs on the same
 // machine produce the same workload; timings of course vary.
 //
-//   $ ./bench_runner [--smoke] [--out=BENCH_PR8.json]
+//   $ ./bench_runner [--smoke] [--out=BENCH_PR9.json]
 //                    [--connections=N] [--seconds=N]
 //                    [--queue-capacity=N] [--drain-batch=N] [--pin-cpus]
 //                    [--serve-binary=PATH] [--cluster-only]
@@ -51,7 +61,7 @@
 // at the examples/serve executable and enables the cluster phase;
 // --cluster-only skips the in-process phases (scripts/cluster.sh uses
 // it for the standalone drill). The ledger is written to --out (default
-// BENCH_PR8.json in the working directory); scripts/bench.sh wraps the
+// BENCH_PR9.json in the working directory); scripts/bench.sh wraps the
 // build + run + validate cycle.
 
 #include <fcntl.h>
@@ -94,6 +104,9 @@
 #include "net/shm_transport.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "kvstore/factor_store.h"
+#include "kvstore/quantization.h"
+#include "quality/quality_monitor.h"
 #include "service/recommendation_service.h"
 #include "stream/topology.h"
 
@@ -1063,6 +1076,7 @@ bool RunQuality(Json& json, bool smoke) {
   json.Field("calibration", counter("quality.alerts.calibration"));
   json.Field("embedding_norm", counter("quality.alerts.embedding_norm"));
   json.Field("bias_drift", counter("quality.alerts.bias_drift"));
+  json.Field("label_shift", counter("quality.alerts.label_shift"));
   json.Field("staleness", counter("quality.alerts.staleness"));
   json.Field("coverage", counter("quality.alerts.coverage"));
   json.Close();
@@ -1076,6 +1090,364 @@ bool RunQuality(Json& json, bool smoke) {
   // The signals the ledger validation gates on: a model that trained on
   // a co-watch workload must be able to predict some of it.
   return evaluated > 0 && hits > 0 && std::isfinite(logloss) && logloss > 0;
+}
+
+// --- Phase 6: workload (million-scale + quantized storage) -----------------
+//
+// The ROADMAP item 4 leg: memory accounting of the quantized factor
+// store across precisions, then the production-shaped million-scale
+// stream (diurnal load, a day-1 flash crowd, catalog churn, a day-2
+// demographic drift that must trip the quality watchdog), and the
+// recall guardrail proving fp16 storage costs <1% recall@10.
+
+/// One "Key:   123 kB" value from /proc/self/status, or 0 off-Linux.
+std::int64_t ReadProcStatusKb(const char* key) {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  const std::size_t len = std::strlen(key);
+  while (std::getline(in, line)) {
+    if (line.compare(0, len, key) == 0) {
+      return std::atoll(line.c_str() + len);
+    }
+  }
+  return 0;
+}
+
+double RssMb() {
+  return static_cast<double>(ReadProcStatusKb("VmRSS:")) / 1024.0;
+}
+
+bool RunWorkload(Json& json, bool smoke) {
+  bool all_ok = true;
+  const auto phase_t0 = Clock::now();
+  json.OpenObject("workload");
+
+  // --- Leg 1: bytes-per-entry across storage precisions. The three
+  // stores stay alive together so each RSS delta is fresh pages, not
+  // allocator reuse of the previous leg's freed arena.
+  const std::size_t mem_entries = smoke ? 20000 : 200000;
+  constexpr int kMemFactors = 32;
+  json.OpenObject("memory");
+  json.Field("entries", static_cast<std::int64_t>(mem_entries));
+  json.Field("num_factors", std::int64_t{kMemFactors});
+  std::vector<std::unique_ptr<rtrec::FactorStore>> keep_alive;
+  double fp32_bytes_per_entry = 0.0;
+  double fp16_reduction = 0.0;
+  for (rtrec::FactorPrecision precision :
+       {rtrec::FactorPrecision::kFloat32, rtrec::FactorPrecision::kFloat16,
+        rtrec::FactorPrecision::kInt8}) {
+    rtrec::FactorStore::Options options;
+    options.num_factors = kMemFactors;
+    options.precision = precision;
+    options.seed = 2016;
+    const double rss_before = RssMb();
+    const auto t0 = Clock::now();
+    auto store = std::make_unique<rtrec::FactorStore>(options);
+    for (std::size_t id = 1; id <= mem_entries; ++id) {
+      (void)store->GetOrInitUser(id);
+    }
+    const double fill_s = Seconds(t0, Clock::now());
+    const double rss_after = RssMb();
+    const double bytes_per_entry =
+        static_cast<double>(store->BytesPerEntry());
+    json.OpenObject(rtrec::FactorPrecisionToString(precision));
+    json.Field("bytes_per_entry", bytes_per_entry);
+    json.Field("approx_factor_mb",
+               static_cast<double>(store->ApproxFactorBytes()) /
+                   (1024.0 * 1024.0));
+    json.Field("rss_delta_mb", rss_after - rss_before);
+    json.Field("fill_s", fill_s);
+    if (precision == rtrec::FactorPrecision::kFloat32) {
+      fp32_bytes_per_entry = bytes_per_entry;
+    } else {
+      const double reduction = 1.0 - bytes_per_entry / fp32_bytes_per_entry;
+      json.Field("reduction_vs_float32", reduction);
+      if (precision == rtrec::FactorPrecision::kFloat16) {
+        fp16_reduction = reduction;
+      }
+    }
+    json.Close();
+    keep_alive.push_back(std::move(store));
+  }
+  // The ISSUE guardrail: quantized entries must be >=40% smaller.
+  const bool fp16_reduction_ok = fp16_reduction >= 0.40;
+  json.Field("fp16_reduction_ok", fp16_reduction_ok);
+  all_ok = all_ok && fp16_reduction_ok;
+  json.Close();
+  keep_alive.clear();
+  std::printf("workload memory: fp16 %.1f%% smaller per entry than fp32\n",
+              fp16_reduction * 100.0);
+
+  // --- Leg 2: the million-scale stream. Full mode runs the real 1M-user
+  // / 100k-video world; smoke keeps the exact scenario shape (diurnal +
+  // flash crowd + drift) at CI size.
+  rtrec::WorldConfig config = rtrec::MillionScaleWorldConfig();
+  int days = 3;  // Days 0-1 pre-drift (flash crowd on 1), day 2 drifted.
+  if (smoke) {
+    config.population.num_users = 20000;
+    config.catalog.num_videos = 5000;
+    config.population.mean_activity = 0.2;
+  }
+  const double rss_start_mb = RssMb();
+  const auto world_t0 = Clock::now();
+  const rtrec::SyntheticWorld world(config);
+  const double world_build_s = Seconds(world_t0, Clock::now());
+
+  rtrec::MetricsRegistry metrics;
+  rtrec::QualityMonitor::Options quality_options;
+  rtrec::QualityMonitor monitor(&metrics, quality_options);
+  rtrec::RecEngine::Options engine_options =
+      rtrec::DefaultEngineOptions(rtrec::UpdatePolicy::kCombine);
+  engine_options.model.precision = rtrec::FactorPrecision::kFloat16;
+  engine_options.validation_hook = &monitor;
+  rtrec::RecEngine engine(world.TypeResolver(), engine_options);
+
+  auto alert_total = [&metrics]() {
+    std::int64_t total = 0;
+    for (const char* name :
+         {"quality.alerts.logloss", "quality.alerts.calibration",
+          "quality.alerts.embedding_norm", "quality.alerts.bias_drift",
+          "quality.alerts.label_shift", "quality.alerts.staleness",
+          "quality.alerts.coverage"}) {
+      total += metrics.GetCounter(name)->value();
+    }
+    return total;
+  };
+
+  const rtrec::VideoId flash_video =
+      config.scenario.flash_crowds.empty()
+          ? 0
+          : config.scenario.flash_crowds.front().video;
+  std::int64_t actions = 0;
+  std::int64_t flash_day_impressions = 0;
+  std::int64_t flash_day_on_video = 0;
+  std::int64_t alerts_before_drift = 0;
+  struct DaySignals {
+    std::int64_t actions = 0;
+    std::int64_t impressions = 0;
+    std::int64_t engagements = 0;
+    double logloss = 0.0;
+    double calibration = 0.0;
+    double prediction_drift = 0.0;
+    // Within-day peaks of the EWMAs (sampled alongside the stream): an
+    // online model re-adapts within the drift day, so the transient is
+    // what the watchdog sees, not the end-of-day steady state.
+    double max_logloss = 0.0;
+    double max_abs_calibration = 0.0;
+    double max_abs_prediction_drift = 0.0;
+    double max_abs_label_shift = 0.0;
+    std::int64_t alerts = 0;              // All watchdog alerts this day.
+    std::int64_t label_shift_alerts = 0;  // The drift-detection channel.
+  };
+  std::vector<DaySignals> day_signals;
+  const auto stream_t0 = Clock::now();
+  for (int day = 0; day < days; ++day) {
+    if (day == config.scenario.drift_start_day) {
+      alerts_before_drift = alert_total();
+    }
+    const std::int64_t day_start_actions = actions;
+    const std::int64_t day_start_alerts = alert_total();
+    const std::int64_t day_start_label_alerts =
+        metrics.GetCounter("quality.alerts.label_shift")->value();
+    DaySignals signals;
+    world.GenerateDayChunked(
+        day, /*chunk_users=*/8192,
+        [&](std::vector<rtrec::UserAction>&& chunk) {
+          for (const rtrec::UserAction& action : chunk) {
+            engine.Observe(action);
+            ++actions;
+            if (action.type == rtrec::ActionType::kImpress) {
+              ++signals.impressions;
+              if (day == 1) {
+                ++flash_day_impressions;
+                if (action.video == flash_video) ++flash_day_on_video;
+              }
+            } else {
+              ++signals.engagements;
+            }
+            if (actions % 512 == 0) {
+              signals.max_logloss = std::max(
+                  signals.max_logloss,
+                  metrics.GetDoubleGauge("quality.progressive.logloss")
+                      ->value());
+              signals.max_abs_calibration = std::max(
+                  signals.max_abs_calibration,
+                  std::fabs(
+                      metrics.GetDoubleGauge("quality.progressive.bias")
+                          ->value()));
+              signals.max_abs_prediction_drift = std::max(
+                  signals.max_abs_prediction_drift,
+                  std::fabs(
+                      metrics.GetDoubleGauge("quality.drift.global_bias")
+                          ->value()));
+              signals.max_abs_label_shift = std::max(
+                  signals.max_abs_label_shift,
+                  std::fabs(
+                      metrics.GetDoubleGauge("quality.drift.label_shift")
+                          ->value()));
+            }
+          }
+        });
+    signals.actions = actions - day_start_actions;
+    signals.alerts = alert_total() - day_start_alerts;
+    signals.label_shift_alerts =
+        metrics.GetCounter("quality.alerts.label_shift")->value() -
+        day_start_label_alerts;
+    signals.logloss =
+        metrics.GetDoubleGauge("quality.progressive.logloss")->value();
+    signals.calibration =
+        metrics.GetDoubleGauge("quality.progressive.bias")->value();
+    signals.prediction_drift =
+        metrics.GetDoubleGauge("quality.drift.global_bias")->value();
+    day_signals.push_back(signals);
+  }
+  const double stream_s = Seconds(stream_t0, Clock::now());
+  const std::int64_t alerts_after_drift = alert_total();
+  // The planted demographic drift must be noticed: the watchdog has to
+  // fire more after the drift day than before it.
+  const bool drift_tripped = alerts_after_drift > alerts_before_drift;
+  all_ok = all_ok && drift_tripped;
+
+  rtrec::FactorStore& factors = engine.factors();
+  const double rss_end_mb = RssMb();
+  json.OpenObject("million_scale");
+  json.Field("users",
+             static_cast<std::int64_t>(config.population.num_users));
+  json.Field("videos",
+             static_cast<std::int64_t>(config.catalog.num_videos));
+  json.Field("days", std::int64_t{3});
+  json.Field("precision",
+             std::string(rtrec::FactorPrecisionToString(
+                 engine_options.model.precision)));
+  json.Field("actions", actions);
+  json.Field("actions_per_sec",
+             stream_s > 0 ? static_cast<double>(actions) / stream_s : 0.0);
+  json.Field("elapsed_s", stream_s);
+  json.Field("world_build_s", world_build_s);
+  json.Field("rss_start_mb", rss_start_mb);
+  json.Field("rss_end_mb", rss_end_mb);
+  json.Field("rss_peak_mb",
+             static_cast<double>(ReadProcStatusKb("VmHWM:")) / 1024.0);
+  json.Field("factor_entries",
+             static_cast<std::int64_t>(factors.NumUsers() +
+                                       factors.NumVideos()));
+  json.Field("bytes_per_factor_entry",
+             static_cast<std::int64_t>(factors.BytesPerEntry()));
+  json.Field("approx_factor_mb",
+             static_cast<double>(factors.ApproxFactorBytes()) /
+                 (1024.0 * 1024.0));
+  json.Field("sim_arena_mb",
+             static_cast<double>(engine.sim_table().ArenaBytes()) /
+                 (1024.0 * 1024.0));
+  json.Field("flash_crowd_impression_share",
+             flash_day_impressions > 0
+                 ? static_cast<double>(flash_day_on_video) /
+                       static_cast<double>(flash_day_impressions)
+                 : 0.0);
+  for (std::size_t day = 0; day < day_signals.size(); ++day) {
+    json.OpenObject("day_" + std::to_string(day));
+    json.Field("actions", day_signals[day].actions);
+    json.Field("impressions", day_signals[day].impressions);
+    json.Field("engagements", day_signals[day].engagements);
+    json.Field("engagement_rate",
+               day_signals[day].impressions > 0
+                   ? static_cast<double>(day_signals[day].engagements) /
+                         static_cast<double>(day_signals[day].impressions)
+                   : 0.0);
+    json.Field("logloss", day_signals[day].logloss);
+    json.Field("calibration", day_signals[day].calibration);
+    json.Field("prediction_drift", day_signals[day].prediction_drift);
+    json.Field("max_logloss", day_signals[day].max_logloss);
+    json.Field("max_abs_calibration",
+               day_signals[day].max_abs_calibration);
+    json.Field("max_abs_prediction_drift",
+               day_signals[day].max_abs_prediction_drift);
+    json.Field("max_abs_label_shift", day_signals[day].max_abs_label_shift);
+    json.Field("alerts", day_signals[day].alerts);
+    json.Field("label_shift_alerts", day_signals[day].label_shift_alerts);
+    json.Close();
+  }
+  json.OpenObject("drift");
+  json.Field("start_day",
+             static_cast<std::int64_t>(config.scenario.drift_start_day));
+  json.Field("alerts_before", alerts_before_drift);
+  json.Field("alerts_after", alerts_after_drift);
+  json.Field("tripped", drift_tripped);
+  json.Close();
+  json.Close();
+  std::printf("workload stream: %lld actions over %d days, %.0f/s, "
+              "RSS %.0f MB, drift alerts %lld -> %lld\n",
+              static_cast<long long>(actions), days,
+              static_cast<double>(actions) / stream_s, rss_end_mb,
+              static_cast<long long>(alerts_before_drift),
+              static_cast<long long>(alerts_after_drift));
+  for (std::size_t day = 0; day < day_signals.size(); ++day) {
+    std::printf("  day %zu: %lld actions (eng/imp %.3f), logloss %.4f "
+                "(max %.4f), calibration %+.4f (max |%.4f|), drift %+.4f "
+                "(max |%.4f|), label shift max |%.4f|, alerts %lld "
+                "(%lld label)\n",
+                day, static_cast<long long>(day_signals[day].actions),
+                day_signals[day].impressions > 0
+                    ? static_cast<double>(day_signals[day].engagements) /
+                          static_cast<double>(day_signals[day].impressions)
+                    : 0.0,
+                day_signals[day].logloss, day_signals[day].max_logloss,
+                day_signals[day].calibration,
+                day_signals[day].max_abs_calibration,
+                day_signals[day].prediction_drift,
+                day_signals[day].max_abs_prediction_drift,
+                day_signals[day].max_abs_label_shift,
+                static_cast<long long>(day_signals[day].alerts),
+                static_cast<long long>(day_signals[day].label_shift_alerts));
+  }
+
+  // --- Leg 3: the recall guardrail. Same world, same split, same seed;
+  // the engines differ only in factor storage precision.
+  const rtrec::SyntheticWorld recall_world(rtrec::SmallWorldConfig());
+  const rtrec::Dataset cleaned =
+      rtrec::Dataset(recall_world.GenerateDays(0, 7))
+          .FilterMinActivity(smoke ? 5 : 10, smoke ? 3 : 5);
+  const auto [train, test] = cleaned.SplitAtTime(6 * rtrec::kMillisPerDay);
+  const rtrec::OfflineEvaluator evaluator;
+  double recall10[3] = {0.0, 0.0, 0.0};
+  const rtrec::FactorPrecision precisions[3] = {
+      rtrec::FactorPrecision::kFloat32, rtrec::FactorPrecision::kFloat16,
+      rtrec::FactorPrecision::kInt8};
+  for (int i = 0; i < 3; ++i) {
+    rtrec::RecEngine::Options options =
+        rtrec::DefaultEngineOptions(rtrec::UpdatePolicy::kCombine);
+    options.model.precision = precisions[i];
+    rtrec::RecEngine recall_engine(recall_world.TypeResolver(), options);
+    recall10[i] = evaluator.Evaluate(recall_engine, train, test).recall(10);
+  }
+  const double fp16_delta =
+      recall10[0] > 0 ? std::fabs(recall10[1] - recall10[0]) / recall10[0]
+                      : 1.0;
+  const double int8_delta =
+      recall10[0] > 0 ? std::fabs(recall10[2] - recall10[0]) / recall10[0]
+                      : 1.0;
+  // The committed claim: fp16 storage costs <1% recall@10. int8 is
+  // reported (its resolution can round SGD steps away) but not gated.
+  const bool fp16_within_1pct = recall10[0] > 0 && fp16_delta < 0.01;
+  all_ok = all_ok && fp16_within_1pct;
+  json.OpenObject("recall_guardrail");
+  json.Field("train_actions", static_cast<std::int64_t>(train.size()));
+  json.Field("test_actions", static_cast<std::int64_t>(test.size()));
+  json.Field("recall_at_10_float32", recall10[0]);
+  json.Field("recall_at_10_float16", recall10[1]);
+  json.Field("recall_at_10_int8", recall10[2]);
+  json.Field("fp16_rel_delta", fp16_delta);
+  json.Field("int8_rel_delta", int8_delta);
+  json.Field("fp16_within_1pct", fp16_within_1pct);
+  json.Close();
+  std::printf("workload recall@10: fp32 %.4f, fp16 %.4f (%.2f%% delta), "
+              "int8 %.4f (%.2f%% delta)\n",
+              recall10[0], recall10[1], fp16_delta * 100.0, recall10[2],
+              int8_delta * 100.0);
+
+  json.Field("elapsed_s", Seconds(phase_t0, Clock::now()));
+  json.Close();
+  return all_ok;
 }
 
 // --- Phase 5: cluster ------------------------------------------------------
@@ -1595,7 +1967,7 @@ bool RunCluster(Json& json, bool smoke, ClusterConfig config) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
-  std::string out_path = "BENCH_PR8.json";
+  std::string out_path = "BENCH_PR9.json";
   int connections = 8;
   int seconds = 3;
   IngestConfig ingest_config;
@@ -1652,6 +2024,7 @@ int main(int argc, char** argv) {
     ok = RunTransport(json, smoke, seconds) && ok;
     ok = RunRecall(json, smoke) && ok;
     ok = RunQuality(json, smoke) && ok;
+    ok = RunWorkload(json, smoke) && ok;
   }
   if (!cluster_config.serve_binary.empty()) {
     ok = RunCluster(json, smoke, cluster_config) && ok;

@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # Build-and-run wrapper for the unified benchmark runner: runs the
-# ingest / serve / transport / recall / quality phases plus the
-# multi-process cluster drill with fixed seeds and writes the
-# machine-readable ledger (BENCH_PR8.json), then validates it.
+# ingest / serve / transport / recall / quality phases, the
+# multi-process cluster drill, and the million-scale workload leg
+# (quantized factor memory + scenario stream + recall guardrail) with
+# fixed seeds and writes the machine-readable ledger (BENCH_PR9.json),
+# then validates it.
 #
 #   scripts/bench.sh [--smoke] [--build-dir=DIR] [--out=PATH]
 #                    [--queue-capacity=N] [--drain-batch=N] [--pin-cpus]
 #                    [--no-cluster]
 #
-# Defaults: full mode, ./build, BENCH_PR8.json in the repo root. The
+# Defaults: full mode, ./build, BENCH_PR9.json in the repo root. The
 # queue flags are forwarded to the runner's ingest phase (0 = engine
 # defaults). The cluster phase forks real serve processes from
 # examples/serve; --no-cluster skips it (scripts/cluster.sh runs the
@@ -21,7 +23,7 @@ set -u
 smoke=""
 build_dir="build"
 extra_flags=()
-out="BENCH_PR8.json"
+out="BENCH_PR9.json"
 cluster="yes"
 for arg in "$@"; do
   case "${arg}" in
@@ -119,8 +121,40 @@ assert 0.0 < quality["holdout"]["online_recall_at_10"] <= 1.0, \
 assert 0.0 <= quality["ctr"]["overall"] <= 1.0, "CTR out of range"
 assert quality["ctr"]["impressions"] > 0, "CTR join saw no impressions"
 for key in ("logloss", "calibration", "embedding_norm", "bias_drift",
-            "staleness", "coverage"):
+            "label_shift", "staleness", "coverage"):
     assert quality["alerts"][key] >= 0, f"missing alert counter {key}"
+# Workload section: quantized factor memory, the million-scale scenario
+# stream, and the recall guardrail. The memory reduction and the recall
+# delta are the PR's headline claims, so their gates are hard asserts;
+# the RSS ceiling catches the memory-accounting regressions this leg
+# exists to guard against (smoke streams a toy world, hence the much
+# tighter ceiling).
+workload = ledger["workload"]
+mem = workload["memory"]
+assert mem["fp16_reduction_ok"], "fp16 did not shrink entries >= 40%"
+assert mem["float16"]["reduction_vs_float32"] >= 0.40, \
+    "fp16 bytes-per-entry reduction below the 40% floor"
+assert mem["float32"]["bytes_per_entry"] > mem["float16"]["bytes_per_entry"] \
+    > mem["int8"]["bytes_per_entry"], "precision ladder out of order"
+million = workload["million_scale"]
+assert million["actions"] > 0, "workload stream processed no actions"
+assert million["actions_per_sec"] > 0, "no workload throughput"
+rss_ceiling_mb = 2048 if ledger["smoke"] else 24576
+assert 0 < million["rss_peak_mb"] <= rss_ceiling_mb, \
+    f"workload RSS {million['rss_peak_mb']} MB breaches the " \
+    f"{rss_ceiling_mb} MB ceiling"
+assert million["drift"]["tripped"], \
+    "planted demographic drift did not trip the quality watchdog"
+assert million["drift"]["alerts_after"] > million["drift"]["alerts_before"], \
+    "no new quality alerts after the drift day"
+assert million["flash_crowd_impression_share"] > 0.1, \
+    "flash crowd left no impression-share signature"
+guardrail = workload["recall_guardrail"]
+assert guardrail["fp16_within_1pct"], \
+    "fp16 recall@10 drifted >= 1% from fp32"
+assert guardrail["fp16_rel_delta"] < 0.01, \
+    f"fp16 recall delta {guardrail['fp16_rel_delta']} over budget"
+assert guardrail["recall_at_10_float32"] > 0, "fp32 recall baseline is zero"
 # Cluster section (present when the drill ran): the kill -9 must be
 # survivable and the restart must heal — the same contract
 # scripts/cluster.sh enforces for the standalone drill.
@@ -144,7 +178,9 @@ else
   for field in '"schema": "rtrec-bench/1"' '"qps"' '"actions_per_sec"' \
                '"recall_at_10"' '"p99_us"' '"quality"' \
                '"online_recall_at_10"' '"logloss"' '"transport"' \
-               '"shm_v2_pipelined"' '"v2_pipelined_speedup_vs_v1"'; do
+               '"shm_v2_pipelined"' '"v2_pipelined_speedup_vs_v1"' \
+               '"workload"' '"million_scale"' '"fp16_reduction_ok"' \
+               '"recall_guardrail"'; do
     if ! grep -q "${field}" "${out}"; then
       echo "bench.sh: ledger ${out} is missing ${field}" >&2
       exit 1

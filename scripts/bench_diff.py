@@ -23,7 +23,11 @@ transport section (PR8+) diffs per-leg QPS for every wire-bound drill
 leg plus the v2/shm speedup ratios; the ratios are the load-bearing
 numbers — absolute leg QPS depends on host CPU count, but a speedup
 ratio collapsing toward 1.0 means pipelining or the shm rings
-regressed regardless of hardware.
+regressed regardless of hardware. The workload section (PR9+) diffs
+quantized bytes-per-entry (any change warns — packed layout is a format
+fact, not noise), the fp16/int8 recall deltas (same-mode only, like
+recall), stream throughput, peak RSS, and whether the planted
+demographic drift still trips the quality watchdog.
 """
 
 import json
@@ -146,6 +150,89 @@ def diff_transport(baseline, fresh, threshold, paths):
                   f"({paths[1]})")
 
 
+def diff_workload(baseline, fresh, threshold, paths):
+    """Workload rows (PR9+): quantized bytes-per-entry, the fp16/int8
+    recall deltas, stream throughput, and RSS. Bytes-per-entry and the
+    recall deltas are deterministic layout/algorithm facts, so they get
+    drift warnings at tight absolute floors; throughput and RSS are
+    hardware-bound and use the relative threshold."""
+    base_workload = baseline.get("workload") or {}
+    fresh_workload = fresh.get("workload") or {}
+    if not base_workload or not fresh_workload:
+        print("bench_diff: workload section missing from one ledger; "
+              "skipping workload diff")
+        return
+    base_mem = base_workload.get("memory") or {}
+    fresh_mem = fresh_workload.get("memory") or {}
+    for precision in ("float32", "float16", "int8"):
+        b = (base_mem.get(precision) or {}).get("bytes_per_entry")
+        f = (fresh_mem.get(precision) or {}).get("bytes_per_entry")
+        if b is None or f is None:
+            continue
+        print(f"workload {precision:>7} bytes/entry: {b:6.0f} -> {f:6.0f}")
+        if f != b:
+            print(f"::warning::{precision} bytes_per_entry changed: "
+                  f"{b:.0f} -> {f:.0f} — packed layout drift is a "
+                  f"deliberate format change or a bug, never noise "
+                  f"({paths[0]} vs {paths[1]})")
+    b = (base_mem.get("float16") or {}).get("reduction_vs_float32")
+    f = (fresh_mem.get("float16") or {}).get("reduction_vs_float32")
+    if b is not None and f is not None:
+        print(f"workload fp16 reduction: {b:.1%} -> {f:.1%}")
+        if f < 0.40:
+            print(f"::warning::fp16 reduction fell below the 40% floor: "
+                  f"{f:.1%} ({paths[1]})")
+
+    base_million = base_workload.get("million_scale") or {}
+    fresh_million = fresh_workload.get("million_scale") or {}
+    b = base_million.get("actions_per_sec")
+    f = fresh_million.get("actions_per_sec")
+    if b and f:
+        print(f"workload stream a/s: {b:12.1f} -> {f:12.1f} "
+              f"({(f / b - 1) * 100:+.1f}%)")
+        if f < b * (1 - threshold):
+            print(f"::warning::workload stream throughput regressed more "
+                  f"than {threshold:.0%}: {b:.0f} -> {f:.0f} "
+                  f"({paths[0]} vs {paths[1]})")
+    b = base_million.get("rss_peak_mb")
+    f = fresh_million.get("rss_peak_mb")
+    if b and f:
+        print(f"workload rss peak: {b:8.1f}MB -> {f:8.1f}MB "
+              f"({(f / b - 1) * 100:+.1f}%)")
+        if f > b * (1 + threshold) and f - b > 64.0:
+            print(f"::warning::workload peak RSS regressed more than "
+                  f"{threshold:.0%}: {b:.0f}MB -> {f:.0f}MB "
+                  f"({paths[0]} vs {paths[1]})")
+    for key in ("tripped",):
+        b = (base_million.get("drift") or {}).get(key)
+        f = (fresh_million.get("drift") or {}).get(key)
+        if b is None or f is None:
+            continue
+        print(f"workload drift tripped: {b} -> {f}")
+        if b and not f:
+            print(f"::warning::the planted demographic drift no longer "
+                  f"trips the quality watchdog ({paths[1]})")
+
+    # Recall deltas are same-seed deterministic within a mode, like the
+    # offline recall rows — compare only across same-mode ledgers.
+    if baseline.get("smoke") == fresh.get("smoke"):
+        base_guard = base_workload.get("recall_guardrail") or {}
+        fresh_guard = fresh_workload.get("recall_guardrail") or {}
+        for key in ("fp16_rel_delta", "int8_rel_delta"):
+            b, f = base_guard.get(key), fresh_guard.get(key)
+            if b is None or f is None:
+                continue
+            print(f"workload {key}: {b:.6f} -> {f:.6f}")
+            if abs(b - f) > 0.001:
+                print(f"::warning::{key} drifted: {b:.6f} -> {f:.6f} — "
+                      f"quantized recall is deterministic, this is a "
+                      f"behaviour change, not noise")
+        f = fresh_guard.get("fp16_rel_delta")
+        if f is not None and f >= 0.01:
+            print(f"::warning::fp16 recall@10 delta {f:.4f} breaches the "
+                  f"1% guardrail ({paths[1]})")
+
+
 def load(path):
     try:
         with open(path) as f:
@@ -198,6 +285,7 @@ def main(argv):
     diff_ingest(baseline, fresh, threshold, paths)
     diff_transport(baseline, fresh, threshold, paths)
     diff_cluster(baseline, fresh, threshold, paths)
+    diff_workload(baseline, fresh, threshold, paths)
 
     if baseline.get("smoke") == fresh.get("smoke"):
         for k in ("recall_at_1", "recall_at_5", "recall_at_10"):

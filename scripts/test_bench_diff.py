@@ -25,7 +25,9 @@ def ledger(qps=50000.0, p99=300.0, smoke=True,
            queue_wait_p95=80.0, with_ingest=True, with_cluster=True,
            cluster_qps=40000.0, failover_ms=10.0, recovery_ms=15.0,
            with_transport=True, v1_qps=60000.0, v2_qps=200000.0,
-           shm_qps=400000.0):
+           shm_qps=400000.0, with_workload=True, fp16_bytes=80.0,
+           stream_aps=150000.0, rss_peak_mb=2000.0, drift_tripped=True,
+           fp16_delta=0.0, int8_delta=0.02):
     doc = {
         "schema": schema,
         "smoke": smoke,
@@ -61,6 +63,25 @@ def ledger(qps=50000.0, p99=300.0, smoke=True,
             "v2_pipelined_speedup_vs_v1": v2_qps / v1_qps,
             "v2_batched_speedup_vs_v1": v2_qps * 1.5 / v1_qps,
             "shm_speedup_vs_v1": shm_qps / v1_qps,
+        }
+    if with_workload:
+        doc["workload"] = {
+            "memory": {
+                "float32": {"bytes_per_entry": 144.0},
+                "float16": {"bytes_per_entry": fp16_bytes,
+                            "reduction_vs_float32": 1 - fp16_bytes / 144.0},
+                "int8": {"bytes_per_entry": 48.0},
+                "fp16_reduction_ok": fp16_bytes <= 0.6 * 144.0,
+            },
+            "million_scale": {
+                "actions_per_sec": stream_aps,
+                "rss_peak_mb": rss_peak_mb,
+                "drift": {"tripped": drift_tripped},
+            },
+            "recall_guardrail": {
+                "fp16_rel_delta": fp16_delta,
+                "int8_rel_delta": int8_delta,
+            },
         }
     return doc
 
@@ -249,6 +270,71 @@ def main():
     check("missing transport section still diffs serve",
           "serve qps" in out, out)
     check("missing transport section exits 0", code == 0, out)
+
+    # Workload: any bytes-per-entry change is annotated — packed layout
+    # is deterministic, so a shift is a format change or a bug.
+    code, out = run(ledger(fp16_bytes=80.0), ledger(fp16_bytes=96.0))
+    check("bytes_per_entry change detected",
+          "::warning::float16 bytes_per_entry changed" in out, out)
+    check("bytes_per_entry change still exits 0", code == 0, out)
+
+    # fp16 reduction falling below the 40% floor is annotated even when
+    # the bytes warning already fired (96/144 = 33% reduction).
+    code, out = run(ledger(fp16_bytes=96.0), ledger(fp16_bytes=96.0))
+    check("fp16 reduction floor breach detected",
+          "fp16 reduction fell below the 40% floor" in out, out)
+    check("reduction floor breach still exits 0", code == 0, out)
+
+    # Stream throughput regression beyond the threshold is annotated.
+    code, out = run(ledger(stream_aps=200000), ledger(stream_aps=100000))
+    check("workload stream regression detected",
+          "::warning::workload stream throughput regressed" in out, out)
+    check("workload stream regression still exits 0", code == 0, out)
+
+    # RSS: must clear BOTH the relative threshold and the 64MB absolute
+    # floor. 30MB -> 50MB is +67% but sub-floor — allocator noise.
+    code, out = run(ledger(rss_peak_mb=30.0), ledger(rss_peak_mb=50.0))
+    check("sub-floor RSS jitter is silent", "::warning::" not in out, out)
+    code, out = run(ledger(rss_peak_mb=2000.0), ledger(rss_peak_mb=3000.0))
+    check("RSS regression detected",
+          "::warning::workload peak RSS regressed" in out, out)
+    check("RSS regression still exits 0", code == 0, out)
+
+    # The planted demographic drift going quiet means the watchdog (or
+    # the scenario) broke — always annotated.
+    code, out = run(ledger(drift_tripped=True), ledger(drift_tripped=False))
+    check("drift no longer tripping detected",
+          "no longer trips the quality watchdog" in out, out)
+    check("drift regression still exits 0", code == 0, out)
+
+    # Same-mode quantized recall deltas are deterministic: drift warns.
+    code, out = run(ledger(int8_delta=0.02), ledger(int8_delta=0.05))
+    check("int8 recall delta drift detected",
+          "::warning::int8_rel_delta drifted" in out, out)
+    check("int8 delta drift still exits 0", code == 0, out)
+
+    # Mode mismatch: the quantized-recall rows are skipped (different
+    # worlds), but the memory/layout rows still compare.
+    code, out = run(ledger(smoke=False, int8_delta=0.02),
+                    ledger(smoke=True, int8_delta=0.05))
+    check("mode mismatch skips quantized recall deltas",
+          "int8_rel_delta drifted" not in out, out)
+
+    # A fresh fp16 delta at or over 1% breaches the guardrail even when
+    # it matched the (also-broken) baseline.
+    code, out = run(ledger(fp16_delta=0.02), ledger(fp16_delta=0.02))
+    check("fp16 guardrail breach detected",
+          "breaches the 1% guardrail" in out, out)
+    check("fp16 guardrail breach still exits 0", code == 0, out)
+
+    # Baseline that predates the workload leg (pre-PR9 ledger): workload
+    # rows skipped, everything else still compared, no crash.
+    code, out = run(ledger(with_workload=False), ledger())
+    check("missing workload section is tolerated",
+          "skipping workload diff" in out, out)
+    check("missing workload section still diffs serve",
+          "serve qps" in out, out)
+    check("missing workload section exits 0", code == 0, out)
 
     # Bad usage (wrong arg count) keeps the warn-only contract.
     code_out = io.StringIO()

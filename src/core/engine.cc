@@ -26,6 +26,7 @@ RecEngine::RecEngine(VideoTypeResolver type_resolver, Options options)
   factor_options.num_factors = options_.model.num_factors;
   factor_options.init_scale = options_.model.init_scale;
   factor_options.seed = options_.model.seed;
+  factor_options.precision = options_.model.precision;
   factor_options.metrics = options_.metrics;
   factors_ = std::make_unique<FactorStore>(factor_options);
 

@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "core/implicit_feedback.h"
+#include "kvstore/quantization.h"
 
 namespace rtrec {
 
@@ -53,6 +54,14 @@ struct MfModelConfig {
   double init_scale = 0.05;
   /// Seed for deterministic initialization.
   std::uint64_t seed = 1;
+  /// Storage precision of factor vectors in the FactorStore. Training
+  /// and serving always see float32; this controls the at-rest format
+  /// (quantize on write, dequantize on read). kFloat16 halves factor
+  /// memory for <1% recall cost (the bench ledger's workload section
+  /// proves it per run); kInt8 quarters it but its per-step resolution
+  /// (max|x|/127) can round away small SGD updates — check the recall
+  /// guardrail before trusting it on a new workload.
+  FactorPrecision precision = FactorPrecision::kFloat32;
   /// Action-to-confidence mapping (Table 1, Eq. 6).
   FeedbackConfig feedback;
 

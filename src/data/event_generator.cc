@@ -32,10 +32,95 @@ double SyntheticWorld::TrueAffinity(UserId user, VideoId video) const {
       video > catalog_.size()) {
     return 0.0;
   }
+  return AffinityFor(population_.Get(user).taste, video);
+}
+
+double SyntheticWorld::TrueAffinity(UserId user, VideoId video,
+                                    int day) const {
+  if (user == 0 || user > population_.size() || video == 0 ||
+      video > catalog_.size()) {
+    return 0.0;
+  }
+  const ScenarioConfig& sc = config_.scenario;
   const SimUser& u = population_.Get(user);
+  if (sc.drift_strength <= 0.0 || sc.drift_start_day < 0 ||
+      day < sc.drift_start_day) {
+    return AffinityFor(u.taste, video);
+  }
+  return AffinityFor(DriftedTaste(u.taste, sc.drift_strength), video);
+}
+
+double SyntheticWorld::AffinityFor(const std::vector<float>& taste,
+                                   VideoId video) const {
   const VideoInfo& v = catalog_.Get(video);
-  return Sigmoid(config_.behavior.affinity_sharpness *
-                 Dot(u.taste, v.genre));
+  return Sigmoid(config_.behavior.affinity_sharpness * Dot(taste, v.genre));
+}
+
+std::vector<float> SyntheticWorld::DriftedTaste(
+    const std::vector<float>& taste, double s) const {
+  // Blend toward the shared target-genre axis: preference mass migrates
+  // to one genre population-wide (a trend shift), which reshapes the
+  // item-side engagement distribution — a per-user rotation would only
+  // re-pair users with videos and leave every aggregate statistic the
+  // model observes unchanged. Deterministic (no RNG), so any day can
+  // still be regenerated independently.
+  const std::size_t n = taste.size();
+  const std::size_t target = config_.scenario.drift_target_genre % n;
+  std::vector<float> out(n);
+  double norm_sq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<float>((1.0 - s) * taste[i] +
+                                (i == target ? s : 0.0));
+    norm_sq += static_cast<double>(out[i]) * out[i];
+  }
+  if (norm_sq > 0.0) {
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+    for (float& v : out) v *= inv;
+  }
+  return out;
+}
+
+std::int64_t SyntheticWorld::SessionStartOffset(Rng& rng) const {
+  const ScenarioConfig& sc = config_.scenario;
+  if (sc.diurnal_amplitude <= 0.0) {
+    return rng.NextInt64(0, kMillisPerDay - 1);
+  }
+  // Rejection sampling against the sinusoidal intensity. Acceptance is
+  // at least (1-A)/(1+A) per try, so the loop terminates fast for any
+  // A < 1.
+  const double a = std::min(sc.diurnal_amplitude, 0.99);
+  constexpr double kTwoPi = 6.283185307179586;
+  for (;;) {
+    const std::int64_t offset = rng.NextInt64(0, kMillisPerDay - 1);
+    const double hour = static_cast<double>(offset) / (3600.0 * 1000.0);
+    const double intensity =
+        1.0 + a * std::cos(kTwoPi * (hour - sc.diurnal_peak_hour) / 24.0);
+    if (rng.NextDouble() * (1.0 + a) <= intensity) return offset;
+  }
+}
+
+VideoId SyntheticWorld::FlashVideoFor(int day, Rng& rng) const {
+  for (const FlashCrowdEvent& event : config_.scenario.flash_crowds) {
+    if (event.day != day || event.video == 0) continue;
+    if (rng.NextBool(event.browse_share)) return event.video;
+  }
+  return 0;
+}
+
+std::size_t SyntheticWorld::EstimateActions(std::size_t first,
+                                            std::size_t end) const {
+  // Per impression: 1 impress + P(engage)·(click, play, playtime and an
+  // occasional comment/like) ≈ 2.5 actions with the default behaviour.
+  // An estimate, not a bound — the vector still grows geometrically if
+  // a chunk runs hot.
+  const auto& users = population_.users();
+  double sessions = 0.0;
+  for (std::size_t i = first; i < end && i < users.size(); ++i) {
+    sessions += users[i].activity;
+  }
+  const double per_session =
+      static_cast<double>(config_.behavior.impressions_per_session) * 2.5;
+  return static_cast<std::size_t>(sessions * per_session) + 16;
 }
 
 void SyntheticWorld::SimulateUserDay(int day, const SimUser& user,
@@ -55,12 +140,29 @@ void SyntheticWorld::SimulateUserDay(int day, const SimUser& user,
     }
   }
   const BehaviorConfig& b = config_.behavior;
+  const ScenarioConfig& sc = config_.scenario;
   const Timestamp day_start =
       config_.start_millis + static_cast<Timestamp>(day) * kMillisPerDay;
 
+  // Demographic drift: past the drift day the user's effective taste is
+  // the blended rotation, computed once per (user, day).
+  const std::vector<float>* taste = &user.taste;
+  std::vector<float> drifted;
+  const bool drift_active = sc.drift_strength > 0.0 &&
+                            sc.drift_start_day >= 0 &&
+                            day >= sc.drift_start_day;
+  if (drift_active) {
+    drifted = DriftedTaste(user.taste, sc.drift_strength);
+    taste = &drifted;
+  }
+  const std::size_t drift_genre =
+      drift_active && !user.taste.empty()
+          ? sc.drift_target_genre % user.taste.size()
+          : 0;
+
   const Timestamp day_end = day_start + kMillisPerDay;
   for (int s = 0; s < sessions; ++s) {
-    Timestamp t = day_start + rng.NextInt64(0, kMillisPerDay - 1);
+    Timestamp t = day_start + SessionStartOffset(rng);
 
     // The user browses a popularity-sampled pool and gravitates to the
     // highest-affinity items: impressions for everything shown, clicks
@@ -68,21 +170,23 @@ void SyntheticWorld::SimulateUserDay(int day, const SimUser& user,
     // so the day-based train/test splits stay clean.
     for (std::size_t imp = 0;
          imp < b.impressions_per_session && t < day_end; ++imp) {
-      // Taste-biased choice: best of a small popular pool of videos
-      // already released by this day. Promoted slots show a same-day
-      // release instead.
+      // Slot priority: flash-crowd takeover, then same-day-release
+      // promotion, then the taste-biased choice over a small popular
+      // pool of videos already released by this day.
       const std::vector<VideoId>& todays_releases = catalog_.ReleasedOn(day);
-      VideoId video;
-      if (!todays_releases.empty() &&
-          rng.NextBool(b.new_release_browse_rate)) {
+      VideoId video = FlashVideoFor(day, rng);
+      if (video != 0) {
+        // Takeover slot: everyone sees the same video, taste unseen.
+      } else if (!todays_releases.empty() &&
+                 rng.NextBool(b.new_release_browse_rate)) {
         video = todays_releases[static_cast<std::size_t>(
             rng.NextUint64(todays_releases.size()))];
       } else {
         video = catalog_.SamplePopularReleased(rng, day);
-        double affinity = TrueAffinity(user.id, video);
+        double affinity = AffinityFor(*taste, video);
         for (std::size_t c = 1; c < b.choice_pool; ++c) {
           const VideoId other = catalog_.SamplePopularReleased(rng, day);
-          const double other_affinity = TrueAffinity(user.id, other);
+          const double other_affinity = AffinityFor(*taste, other);
           // Keep the better item with high probability (imperfect choice).
           if (other_affinity > affinity && rng.NextBool(0.7)) {
             video = other;
@@ -90,7 +194,7 @@ void SyntheticWorld::SimulateUserDay(int day, const SimUser& user,
           }
         }
       }
-      const double affinity = TrueAffinity(user.id, video);
+      const double affinity = AffinityFor(*taste, video);
       t += rng.NextInt64(1000, 60 * 1000);  // Browse pacing.
 
       out.push_back(UserAction{user.id, video, ActionType::kImpress, 0.0, t});
@@ -98,7 +202,20 @@ void SyntheticWorld::SimulateUserDay(int day, const SimUser& user,
       // Accidental clicks: engagement with no preference behind it —
       // abandoned within the first few percent of the video.
       const bool accidental = rng.NextBool(b.accidental_click_rate);
-      const double p_click = b.click_floor + b.click_gain * affinity;
+      double p_click = b.click_floor + b.click_gain * affinity;
+      if (drift_active) {
+        // Herd engagement: trend-aligned content earns clicks beyond
+        // personal fit (the same low-signal traffic as a flash crowd,
+        // diffused over the trending genre). This is what makes the
+        // drift *observable*: a pure taste rotation over an isotropic
+        // catalog only re-pairs users with videos and leaves P(engage |
+        // impression) untouched, so nothing bias-driven could notice it.
+        const float align = catalog_.Get(video).genre[drift_genre];
+        if (align > 0.0f) {
+          p_click = std::min(
+              1.0, p_click + sc.drift_strength * static_cast<double>(align));
+        }
+      }
       if (!accidental && !rng.NextBool(p_click)) continue;
       t += rng.NextInt64(500, 5000);
       out.push_back(UserAction{user.id, video, ActionType::kClick, 0.0, t});
@@ -152,8 +269,12 @@ void SyntheticWorld::SimulateUserDay(int day, const SimUser& user,
 
 std::vector<UserAction> SyntheticWorld::GenerateDay(int day) const {
   std::vector<UserAction> out;
-  // Rough reservation: activity * (impressions + ~2 engaged actions).
-  out.reserve(population_.size() * 8);
+  // Reserve from the activity-weighted expectation, not a flat per-user
+  // constant: a session emits up to impressions_per_session impressions
+  // *each* trailing click/play/playtime/comment/like, so the old
+  // population×8 guess under-reserved by the activity factor and
+  // realloc-churned multi-GB days.
+  out.reserve(EstimateActions(0, population_.size()));
   for (const SimUser& user : population_.users()) {
     SimulateUserDay(day, user, out);
   }
@@ -162,6 +283,26 @@ std::vector<UserAction> SyntheticWorld::GenerateDay(int day) const {
                      return a.time < b.time;
                    });
   return out;
+}
+
+void SyntheticWorld::GenerateDayChunked(
+    int day, std::size_t chunk_users,
+    const std::function<void(std::vector<UserAction>&&)>& sink) const {
+  if (chunk_users == 0) chunk_users = 4096;
+  const auto& users = population_.users();
+  for (std::size_t first = 0; first < users.size(); first += chunk_users) {
+    const std::size_t end = std::min(first + chunk_users, users.size());
+    std::vector<UserAction> chunk;
+    chunk.reserve(EstimateActions(first, end));
+    for (std::size_t i = first; i < end; ++i) {
+      SimulateUserDay(day, users[i], chunk);
+    }
+    std::stable_sort(chunk.begin(), chunk.end(),
+                     [](const UserAction& a, const UserAction& b) {
+                       return a.time < b.time;
+                     });
+    sink(std::move(chunk));
+  }
 }
 
 std::vector<UserAction> SyntheticWorld::GenerateDays(int first_day,

@@ -1,9 +1,12 @@
 #ifndef RTREC_DATA_EVENT_GENERATOR_H_
 #define RTREC_DATA_EVENT_GENERATOR_H_
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
+#include "common/random.h"
 #include "core/action.h"
 #include "data/catalog.h"
 #include "data/user_population.h"
@@ -49,9 +52,56 @@ struct BehaviorConfig {
   /// Probability that a browse slot shows a same-day release instead of
   /// a popularity-sampled video — front-page promotion of new content,
   /// the mechanism that gives fresh videos their first co-watches.
-  double new_release_browse_rate = 0.0;
+  /// Without it, popularity sampling (seeded at generation time) never
+  /// surfaces a cold-start video, so a catalog-churn world silently
+  /// produces zero traffic on its arrivals. Defaults to a small
+  /// positive share; only consulted on days that actually have
+  /// releases (worlds without staggered releases are unaffected).
+  double new_release_browse_rate = 0.05;
   /// Sharpness of the affinity sigmoid; larger → more deterministic taste.
   double affinity_sharpness = 3.0;
+};
+
+/// A flash-crowd takeover: on `day`, every browse slot shows `video`
+/// with probability `browse_share`, bypassing both promotion and the
+/// taste-biased pool — breaking news / viral-hit traffic whose clicks
+/// carry little preference signal but whose volume hammers one key.
+struct FlashCrowdEvent {
+  int day = 0;
+  VideoId video = 0;
+  double browse_share = 0.3;
+};
+
+/// Production-shaped stress layered over the base behaviour. Every knob
+/// defaults off, in which case generation is bit-identical to the
+/// legacy generator (enabling any knob consumes extra RNG draws and
+/// therefore reshuffles the streams — scenarios are worlds of their
+/// own, not overlays on an existing trace).
+struct ScenarioConfig {
+  /// Diurnal load: amplitude A in [0,1) of a sinusoidal session-start
+  /// intensity 1 + A·cos(2π·(hour − peak)/24), sampled by rejection.
+  /// 0 keeps the legacy uniform session times.
+  double diurnal_amplitude = 0.0;
+  /// Peak hour of the diurnal cycle, in [0, 24).
+  double diurnal_peak_hour = 21.0;
+  /// Flash-crowd takeovers, checked in order per browse slot.
+  std::vector<FlashCrowdEvent> flash_crowds;
+  /// Demographic drift: from `drift_start_day` (inclusive) every user's
+  /// hidden taste blends toward the `drift_target_genre` axis with
+  /// strength `drift_strength` in [0,1] — the population-wide trend
+  /// shift ("everyone suddenly wants genre g") the PR 5 watchdog must
+  /// notice. A shared target matters: a per-user rotation would only
+  /// re-pair users with videos, leaving every aggregate engagement
+  /// statistic invariant and therefore invisible to a bias-driven
+  /// monitor; a common target reshapes the item-side engagement
+  /// distribution itself. On drift days, trend-aligned videos also earn
+  /// herd clicks beyond personal fit (click probability gains
+  /// drift_strength · genre-alignment), so the engagement rate itself
+  /// jumps at the drift boundary — the P(engage | impression) shift a
+  /// calibration watchdog exists to catch. -1 / 0.0 disables.
+  int drift_start_day = -1;
+  double drift_strength = 0.0;
+  std::size_t drift_target_genre = 0;
 };
 
 /// Configuration of a full synthetic world: the stand-in for the one-week
@@ -60,6 +110,7 @@ struct WorldConfig {
   VideoCatalog::Options catalog;
   UserPopulation::Options population;
   BehaviorConfig behavior;
+  ScenarioConfig scenario;
   /// Epoch of day 0, milliseconds.
   Timestamp start_millis = 0;
   std::uint64_t seed = 2016;
@@ -77,14 +128,31 @@ class SyntheticWorld {
 
   /// Hidden ground-truth probability-like affinity of user u for video v
   /// in [0, 1]: sigmoid(sharpness · 〈taste_u, genre_v〉). Drives both
-  /// generation and the A/B click simulator; models never see it.
+  /// generation and the A/B click simulator; models never see it. This
+  /// overload uses the *pre-drift* taste.
   double TrueAffinity(UserId user, VideoId video) const;
+
+  /// Day-aware affinity: applies the scenario's demographic drift when
+  /// `day` is at or past drift_start_day. Equal to the 2-arg overload
+  /// before the drift day (or when drift is off).
+  double TrueAffinity(UserId user, VideoId video, int day) const;
 
   /// All actions of `day` (0-based), time-ordered.
   std::vector<UserAction> GenerateDay(int day) const;
 
   /// Actions of days [first_day, first_day + num_days), time-ordered.
   std::vector<UserAction> GenerateDays(int first_day, int num_days) const;
+
+  /// Streaming day generation: simulates users in groups of
+  /// `chunk_users` and hands each group's actions to `sink`, so a
+  /// million-user day never materializes as one multi-GB vector. Each
+  /// chunk is time-sorted internally, but chunks arrive in user order —
+  /// consumers needing global time order must merge (the training
+  /// pipeline doesn't: the stream engine re-orders by bolt anyway).
+  /// chunk_users == 0 picks a default (4096).
+  void GenerateDayChunked(
+      int day, std::size_t chunk_users,
+      const std::function<void(std::vector<UserAction>&&)>& sink) const;
 
   const VideoCatalog& catalog() const { return catalog_; }
   const UserPopulation& population() const { return population_; }
@@ -100,6 +168,25 @@ class SyntheticWorld {
  private:
   void SimulateUserDay(int day, const SimUser& user,
                        std::vector<UserAction>& out) const;
+
+  /// Affinity from an explicit taste vector (drifted or not).
+  double AffinityFor(const std::vector<float>& taste, VideoId video) const;
+
+  /// Taste blended toward its one-genre rotation with strength s.
+  std::vector<float> DriftedTaste(const std::vector<float>& taste,
+                                  double s) const;
+
+  /// Session start offset within the day: uniform, or diurnal-shaped by
+  /// rejection sampling when the scenario enables it.
+  std::int64_t SessionStartOffset(Rng& rng) const;
+
+  /// The flash-crowd video a browse slot lands on, or 0 for none.
+  VideoId FlashVideoFor(int day, Rng& rng) const;
+
+  /// Expected action count for users [first, end) on one day, for
+  /// vector reservations: sessions × impressions × expected actions per
+  /// impression (impression + engagement tail).
+  std::size_t EstimateActions(std::size_t first, std::size_t end) const;
 
   WorldConfig config_;
   VideoCatalog catalog_;

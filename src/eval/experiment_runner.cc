@@ -43,6 +43,38 @@ WorldConfig SparseWorldConfig(std::uint64_t seed) {
   return config;
 }
 
+WorldConfig MillionScaleWorldConfig(std::uint64_t seed) {
+  WorldConfig config;
+  config.seed = seed;
+  config.catalog.num_videos = 100000;
+  config.catalog.num_types = 40;
+  config.catalog.num_genres = 8;
+  config.catalog.zipf_exponent = 0.9;
+  // Catalog churn: 20% of the catalog arrives cold, staggered over the
+  // first week, surfaced by the promotion slots (new_release_browse_rate
+  // defaults on).
+  config.catalog.staggered_release_fraction = 0.2;
+  config.catalog.release_window_days = 7;
+  config.population.num_users = 1000000;
+  // Per-user activity is tiny: a million-user site's daily actives are a
+  // sliver of registrations. ~0.05 expected sessions/user/day is ~50k
+  // sessions (~300k+ actions) per generated day — heavy traffic on this
+  // hardware without a week-long bench.
+  config.population.mean_activity = 0.05;
+  config.population.activity_sigma = 1.2;
+  // Production-shaped stress, all on: evening-peaked diurnal load, a
+  // flash crowd on day 1, and a population-wide trend shift from day 2
+  // (taste mass and herd clicks move to one genre) that the quality
+  // watchdog's label-shift channel must notice.
+  config.scenario.diurnal_amplitude = 0.6;
+  config.scenario.diurnal_peak_hour = 21.0;
+  config.scenario.flash_crowds.push_back(FlashCrowdEvent{
+      /*day=*/1, /*video=*/1, /*browse_share=*/0.25});
+  config.scenario.drift_start_day = 2;
+  config.scenario.drift_strength = 0.8;
+  return config;
+}
+
 RecEngine::Options DefaultEngineOptions(UpdatePolicy policy) {
   // Per-policy learning rates from the grid search of
   // bench_table2_gridsearch, chosen so all three policies run at the

@@ -25,6 +25,15 @@ WorldConfig BenchWorldConfig(std::uint64_t seed = 2016);
 /// >=N-action cleaning actually filters.
 WorldConfig SparseWorldConfig(std::uint64_t seed = 2016);
 
+/// The million-scale stress world (ROADMAP item 4): 1M users, 100k
+/// videos, production-shaped load — evening-peaked diurnal sessions, a
+/// day-1 flash crowd, 20% staggered cold-start catalog churn, and a
+/// day-2 demographic drift sized to trip the quality watchdog. Per-user
+/// activity is low (daily actives ≪ registrations), so one generated
+/// day is a few hundred thousand actions. Use GenerateDayChunked to
+/// stream it.
+WorldConfig MillionScaleWorldConfig(std::uint64_t seed = 2016);
+
 /// Engine options mirroring Table 2, with the given update policy.
 RecEngine::Options DefaultEngineOptions(UpdatePolicy policy);
 

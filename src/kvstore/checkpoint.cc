@@ -20,7 +20,11 @@ namespace rtrec {
 
 namespace {
 
-constexpr char kMagic[8] = {'R', 'T', 'R', 'E', 'C', 'C', 'P', '2'};
+// v2 stores factor vectors as float32; v3 stores the quantized payload
+// raw (precision tag + per-entry scale), so a quantized store
+// round-trips bit-exactly. The loader accepts both.
+constexpr char kMagicV2[8] = {'R', 'T', 'R', 'E', 'C', 'C', 'P', '2'};
+constexpr char kMagicV3[8] = {'R', 'T', 'R', 'E', 'C', 'C', 'P', '3'};
 
 // Little-endian raw encoding; the library targets little-endian hosts
 // (all supported platforms), so memcpy-based IO is portable enough and
@@ -67,15 +71,6 @@ class SectionReader {
   std::size_t pos_ = 0;
 };
 
-void WriteEntry(SectionWriter& out, std::uint64_t id,
-                const FactorEntry& entry) {
-  out.Write(id);
-  out.Write(entry.bias);
-  const std::uint32_t n = static_cast<std::uint32_t>(entry.vec.size());
-  out.Write(n);
-  out.WriteBytes(entry.vec.data(), n * sizeof(float));
-}
-
 bool ReadEntry(SectionReader& in, std::uint64_t* id, FactorEntry* entry,
                std::uint32_t expected_factors) {
   if (!in.Read(id)) return false;
@@ -85,6 +80,17 @@ bool ReadEntry(SectionReader& in, std::uint64_t* id, FactorEntry* entry,
   if (n != expected_factors) return false;
   entry->vec.resize(n);
   return in.ReadBytes(entry->vec.data(), n * sizeof(float));
+}
+
+/// v3 per-entry frame: id, bias, int8 scale, payload length, raw
+/// quantized payload.
+void WritePackedEntry(SectionWriter& out, std::uint64_t id,
+                      const FactorStore::PackedView& view) {
+  out.Write(id);
+  out.Write(view.bias);
+  out.Write(view.scale);
+  out.Write(static_cast<std::uint32_t>(view.size));
+  out.WriteBytes(view.data, view.size);
 }
 
 /// Appends one `u64 len | bytes | u32 crc` framed section to `file`.
@@ -126,12 +132,26 @@ Status NextSection(std::string_view file, std::size_t* pos,
 
 // --- Staging: everything parsed from the file before anything is applied.
 
+/// One v3 entry staged verbatim: the quantized payload as stored.
+struct RawFactorEntry {
+  std::uint64_t id = 0;
+  float bias = 0.0f;
+  float scale = 0.0f;
+  std::vector<std::byte> data;
+};
+
 struct FactorStaging {
   std::uint32_t num_factors = 0;
+  /// Precision the file's payloads are encoded in (v3; v2 is float32).
+  /// v2 files stage float entries in users/videos; v3 files stage raw
+  /// payloads in raw_users/raw_videos.
+  FactorPrecision precision = FactorPrecision::kFloat32;
   double rating_sum = 0.0;
   std::uint64_t rating_count = 0;
   std::vector<std::pair<std::uint64_t, FactorEntry>> users;
   std::vector<std::pair<std::uint64_t, FactorEntry>> videos;
+  std::vector<RawFactorEntry> raw_users;
+  std::vector<RawFactorEntry> raw_videos;
 };
 
 struct SimStaging {
@@ -170,6 +190,79 @@ Status ParseFactorSection(std::string_view bytes, FactorStaging* out) {
   }
   if (!in.AtEnd()) return Status::Corruption("trailing bytes after factors");
   return Status::OK();
+}
+
+bool ReadPackedEntry(SectionReader& in, RawFactorEntry* entry,
+                     std::size_t expected_bytes) {
+  if (!in.Read(&entry->id)) return false;
+  if (!in.Read(&entry->bias)) return false;
+  if (!in.Read(&entry->scale)) return false;
+  std::uint32_t n = 0;
+  if (!in.Read(&n)) return false;
+  if (n != expected_bytes) return false;
+  entry->data.resize(n);
+  return in.ReadBytes(entry->data.data(), n);
+}
+
+Status ParseFactorSectionV3(std::string_view bytes, FactorStaging* out) {
+  SectionReader in(bytes);
+  std::uint8_t precision_tag = 0;
+  std::uint64_t num_users = 0, num_videos = 0;
+  if (!in.Read(&out->num_factors) || !in.Read(&precision_tag) ||
+      !in.Read(&out->rating_sum) || !in.Read(&out->rating_count) ||
+      !in.Read(&num_users) || !in.Read(&num_videos)) {
+    return Status::Corruption("truncated factor header");
+  }
+  if (precision_tag > static_cast<std::uint8_t>(FactorPrecision::kInt8)) {
+    return Status::Corruption("unknown factor precision tag " +
+                              std::to_string(precision_tag));
+  }
+  out->precision = static_cast<FactorPrecision>(precision_tag);
+  const std::size_t expected_bytes =
+      out->num_factors * FactorWidthBytes(out->precision);
+  out->raw_users.reserve(num_users);
+  for (std::uint64_t i = 0; i < num_users; ++i) {
+    RawFactorEntry entry;
+    if (!ReadPackedEntry(in, &entry, expected_bytes)) {
+      return Status::Corruption("truncated user entry");
+    }
+    out->raw_users.push_back(std::move(entry));
+  }
+  out->raw_videos.reserve(num_videos);
+  for (std::uint64_t i = 0; i < num_videos; ++i) {
+    RawFactorEntry entry;
+    if (!ReadPackedEntry(in, &entry, expected_bytes)) {
+      return Status::Corruption("truncated video entry");
+    }
+    out->raw_videos.push_back(std::move(entry));
+  }
+  if (!in.AtEnd()) return Status::Corruption("trailing bytes after factors");
+  return Status::OK();
+}
+
+/// Installs one staged v3 entry. Same precision: raw install, bit-exact.
+/// Cross-precision (e.g. an fp16 checkpoint into an int8 store):
+/// dequantize with the file's codec, requantize through the Put path.
+void ApplyRawEntry(FactorStore* factors, bool is_user, RawFactorEntry& e,
+                   FactorPrecision file_precision) {
+  if (file_precision == factors->precision()) {
+    const bool ok =
+        is_user ? factors->PutUserPacked(e.id, e.bias, e.scale,
+                                         e.data.data(), e.data.size())
+                : factors->PutVideoPacked(e.id, e.bias, e.scale,
+                                          e.data.data(), e.data.size());
+    if (ok) return;
+  }
+  FactorEntry entry;
+  entry.bias = e.bias;
+  entry.vec.resize(static_cast<std::size_t>(factors->num_factors()));
+  DequantizeVector(file_precision, e.data.data(), entry.vec.size(), e.scale,
+                   entry.vec.data());
+  if (is_user) {
+    factors->PutUser(e.id, std::move(entry));
+  } else {
+    factors->PutVideo(e.id, std::move(entry));
+  }
 }
 
 Status ParseSimSection(std::string_view bytes, SimStaging* out) {
@@ -291,12 +384,18 @@ Status SaveCheckpoint(const std::string& path, const FactorStore* factors,
                       const HistoryStore* history) {
   RTREC_RETURN_IF_ERROR(RTREC_FAULT_POINT("kvstore.checkpoint.write"));
 
-  // --- Factor section.
+  // --- Factor section (v3: precision tag + raw quantized payloads, so
+  // a quantized store round-trips without a dequantize/requantize hop).
   SectionWriter factor_section;
   const std::uint32_t num_factors =
       factors == nullptr ? 0
                          : static_cast<std::uint32_t>(factors->num_factors());
   factor_section.Write(num_factors);
+  const std::uint8_t precision_tag =
+      factors == nullptr
+          ? 0
+          : static_cast<std::uint8_t>(factors->precision());
+  factor_section.Write(precision_tag);
   double rating_sum = 0.0;
   std::uint64_t rating_count = 0;
   if (factors != nullptr) factors->GetRatingStats(&rating_sum, &rating_count);
@@ -307,13 +406,13 @@ Status SaveCheckpoint(const std::string& path, const FactorStore* factors,
   factor_section.Write(num_users);
   factor_section.Write(num_videos);
   if (factors != nullptr) {
-    factors->ForEachUser(
-        [&factor_section](UserId id, const FactorEntry& entry) {
-          WriteEntry(factor_section, id, entry);
+    factors->ForEachUserPacked(
+        [&factor_section](UserId id, const FactorStore::PackedView& view) {
+          WritePackedEntry(factor_section, id, view);
         });
-    factors->ForEachVideo(
-        [&factor_section](VideoId id, const FactorEntry& entry) {
-          WriteEntry(factor_section, id, entry);
+    factors->ForEachVideoPacked(
+        [&factor_section](VideoId id, const FactorStore::PackedView& view) {
+          WritePackedEntry(factor_section, id, view);
         });
   }
 
@@ -322,14 +421,14 @@ Status SaveCheckpoint(const std::string& path, const FactorStore* factors,
   std::uint64_t num_lists = 0;
   if (sim_table != nullptr) {
     sim_table->ForEachList(
-        [&num_lists](VideoId, const std::vector<SimilarVideo>&) {
+        [&num_lists](VideoId, std::span<const SimilarVideo>) {
           ++num_lists;
         });
   }
   sim_section.Write(num_lists);
   if (sim_table != nullptr) {
     sim_table->ForEachList(
-        [&sim_section](VideoId id, const std::vector<SimilarVideo>& entries) {
+        [&sim_section](VideoId id, std::span<const SimilarVideo> entries) {
           sim_section.Write(static_cast<std::uint64_t>(id));
           sim_section.Write(static_cast<std::uint32_t>(entries.size()));
           for (const SimilarVideo& e : entries) {
@@ -360,7 +459,7 @@ Status SaveCheckpoint(const std::string& path, const FactorStore* factors,
   }
 
   std::string file;
-  file.append(kMagic, sizeof(kMagic));
+  file.append(kMagicV3, sizeof(kMagicV3));
   AppendSection(file, factor_section);
   AppendSection(file, sim_section);
   AppendSection(file, history_section);
@@ -380,14 +479,18 @@ Status LoadCheckpoint(const std::string& path, FactorStore* factors,
   }
   const std::string file = contents.str();
 
-  if (file.size() < sizeof(kMagic) ||
-      std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
+  bool is_v3 = false;
+  if (file.size() >= sizeof(kMagicV3) &&
+      std::memcmp(file.data(), kMagicV3, sizeof(kMagicV3)) == 0) {
+    is_v3 = true;
+  } else if (file.size() < sizeof(kMagicV2) ||
+             std::memcmp(file.data(), kMagicV2, sizeof(kMagicV2)) != 0) {
     return Status::Corruption("bad checkpoint magic in '" + path + "'");
   }
 
   // Phase 1: verify + parse every section into staging. Nothing below may
   // touch the target stores.
-  std::size_t pos = sizeof(kMagic);
+  std::size_t pos = sizeof(kMagicV2);
   std::string_view factor_bytes, sim_bytes, history_bytes;
   RTREC_RETURN_IF_ERROR(NextSection(file, &pos, &factor_bytes, "factor"));
   RTREC_RETURN_IF_ERROR(NextSection(file, &pos, &sim_bytes, "sim-table"));
@@ -399,7 +502,9 @@ Status LoadCheckpoint(const std::string& path, FactorStore* factors,
   FactorStaging factor_staging;
   SimStaging sim_staging;
   HistoryStaging history_staging;
-  RTREC_RETURN_IF_ERROR(ParseFactorSection(factor_bytes, &factor_staging));
+  RTREC_RETURN_IF_ERROR(
+      is_v3 ? ParseFactorSectionV3(factor_bytes, &factor_staging)
+            : ParseFactorSection(factor_bytes, &factor_staging));
   RTREC_RETURN_IF_ERROR(ParseSimSection(sim_bytes, &sim_staging));
   RTREC_RETURN_IF_ERROR(ParseHistorySection(history_bytes, &history_staging));
 
@@ -420,6 +525,14 @@ Status LoadCheckpoint(const std::string& path, FactorStore* factors,
     }
     for (auto& [id, entry] : factor_staging.videos) {
       factors->PutVideo(id, std::move(entry));
+    }
+    for (auto& entry : factor_staging.raw_users) {
+      ApplyRawEntry(factors, /*is_user=*/true, entry,
+                    factor_staging.precision);
+    }
+    for (auto& entry : factor_staging.raw_videos) {
+      ApplyRawEntry(factors, /*is_user=*/false, entry,
+                    factor_staging.precision);
     }
     factors->RestoreRatingStats(factor_staging.rating_sum,
                                 factor_staging.rating_count);

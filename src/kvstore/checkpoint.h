@@ -16,12 +16,20 @@ namespace rtrec {
 /// a production deployment of the paper's system needs since its model
 /// exists only as KV-store contents.
 ///
-/// Format: little-endian, magic "RTRECCP2", then three length-prefixed
-/// sections — factor (dimensionality, μ accumulator, user entries, video
-/// entries), similar-video (directed lists), and history — each framed as
+/// Format: little-endian, magic "RTRECCP3", then three length-prefixed
+/// sections — factor (dimensionality, storage precision, μ accumulator,
+/// user entries, video entries), similar-video (directed lists), and
+/// history — each framed as
 ///   u64 section_length | section bytes | u32 CRC-32 of the bytes
 /// so corruption anywhere in a section is detected before a single byte
 /// of it is interpreted.
+///
+/// v3 persists factor vectors as the store's *raw quantized payload*
+/// (precision tag in the header, per-entry int8 scale), so a quantized
+/// store round-trips bit-exactly instead of through a dequantize/
+/// requantize hop. The loader also accepts the older "RTRECCP2" float32
+/// format, and converts across precisions when a checkpoint written at
+/// one precision is loaded into a store configured with another.
 ///
 /// Crash safety: SaveCheckpoint serializes to memory, writes `path`.tmp,
 /// fsyncs it, and atomically renames it over `path` (then fsyncs the

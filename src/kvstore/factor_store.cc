@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
 #include <mutex>
 #include <utility>
 
@@ -23,6 +24,8 @@ void FactorStore::InitTable(Table<Id>& table, std::size_t num_shards) {
 FactorStore::FactorStore() : FactorStore(Options{}) {}
 
 FactorStore::FactorStore(Options options) : options_(std::move(options)) {
+  payload_bytes_ = static_cast<std::size_t>(options_.num_factors) *
+                   FactorWidthBytes(options_.precision);
   InitTable(users_, options_.num_shards);
   InitTable(videos_, options_.num_shards);
   if (options_.metrics != nullptr) {
@@ -37,6 +40,37 @@ FactorStore::FactorStore(Options options) : options_(std::move(options)) {
     multiget_span_ = options_.metrics->GetHistogram(
         "trace.stage." + options_.metrics_prefix + "multiget.us");
   }
+}
+
+FactorStore::PackedFactorEntry FactorStore::Pack(
+    const FactorEntry& entry) const {
+  PackedFactorEntry packed;
+  packed.bias = entry.bias;
+  packed.data = std::make_unique<std::byte[]>(payload_bytes_);
+  const std::size_t f = static_cast<std::size_t>(options_.num_factors);
+  if (entry.vec.size() == f) {
+    QuantizeVector(options_.precision, entry.vec.data(), f,
+                   packed.data.get(), &packed.scale);
+  } else {
+    // Off-size vectors are truncated / zero-padded to num_factors so the
+    // payload width stays fixed (every write path produces num_factors;
+    // this is belt-and-braces for hand-built entries).
+    std::vector<float> fixed(f, 0.0f);
+    std::memcpy(fixed.data(), entry.vec.data(),
+                std::min(entry.vec.size(), f) * sizeof(float));
+    QuantizeVector(options_.precision, fixed.data(), f, packed.data.get(),
+                   &packed.scale);
+  }
+  return packed;
+}
+
+FactorEntry FactorStore::Unpack(const PackedFactorEntry& packed) const {
+  FactorEntry entry;
+  entry.bias = packed.bias;
+  entry.vec.resize(static_cast<std::size_t>(options_.num_factors));
+  DequantizeVector(options_.precision, packed.data.get(), entry.vec.size(),
+                   packed.scale, entry.vec.data());
+  return entry;
 }
 
 FactorEntry FactorStore::MakeInitialEntry(std::uint64_t id,
@@ -60,12 +94,12 @@ FactorEntry FactorStore::GetOrInitUser(UserId u) {
   {
     std::shared_lock lock(stripe.mu);
     auto it = stripe.map.find(u);
-    if (it != stripe.map.end()) return it->second;
+    if (it != stripe.map.end()) return Unpack(it->second);
   }
   std::unique_lock lock(stripe.mu);
   auto [it, inserted] = stripe.map.try_emplace(u);
-  if (inserted) it->second = MakeInitialEntry(u, /*is_user=*/true);
-  return it->second;
+  if (inserted) it->second = Pack(MakeInitialEntry(u, /*is_user=*/true));
+  return Unpack(it->second);
 }
 
 FactorEntry FactorStore::GetOrInitVideo(VideoId i) {
@@ -73,15 +107,15 @@ FactorEntry FactorStore::GetOrInitVideo(VideoId i) {
   {
     std::shared_lock lock(stripe.mu);
     auto it = stripe.map.find(i);
-    if (it != stripe.map.end()) return it->second;
+    if (it != stripe.map.end()) return Unpack(it->second);
   }
   std::unique_lock lock(stripe.mu);
   auto [it, inserted] = stripe.map.try_emplace(i);
   if (inserted) {
-    it->second = MakeInitialEntry(i, /*is_user=*/false);
+    it->second = Pack(MakeInitialEntry(i, /*is_user=*/false));
     BumpVideoVersion(i);
   }
-  return it->second;
+  return Unpack(it->second);
 }
 
 StatusOr<FactorEntry> FactorStore::GetUser(UserId u) const {
@@ -89,7 +123,7 @@ StatusOr<FactorEntry> FactorStore::GetUser(UserId u) const {
   std::shared_lock lock(stripe.mu);
   auto it = stripe.map.find(u);
   if (it == stripe.map.end()) return Status::NotFound("user");
-  return it->second;
+  return Unpack(it->second);
 }
 
 StatusOr<FactorEntry> FactorStore::GetVideo(VideoId i) const {
@@ -97,7 +131,7 @@ StatusOr<FactorEntry> FactorStore::GetVideo(VideoId i) const {
   std::shared_lock lock(stripe.mu);
   auto it = stripe.map.find(i);
   if (it == stripe.map.end()) return Status::NotFound("video");
-  return it->second;
+  return Unpack(it->second);
 }
 
 std::vector<FactorStore::VideoBatchEntry> FactorStore::GetVideos(
@@ -139,7 +173,7 @@ std::vector<FactorStore::VideoBatchEntry> FactorStore::GetVideos(
       // Read under the stripe lock: writers bump inside the same lock,
       // so the (entry, version) pair is consistent.
       result.version = VideoVersion(id);
-      result.entry = it->second;
+      result.entry = Unpack(it->second);
       ++hits;
     }
   }
@@ -151,15 +185,17 @@ std::vector<FactorStore::VideoBatchEntry> FactorStore::GetVideos(
 }
 
 void FactorStore::PutUser(UserId u, FactorEntry entry) {
+  PackedFactorEntry packed = Pack(entry);
   auto& stripe = users_.StripeFor(u);
   std::unique_lock lock(stripe.mu);
-  stripe.map[u] = std::move(entry);
+  stripe.map[u] = std::move(packed);
 }
 
 void FactorStore::PutVideo(VideoId i, FactorEntry entry) {
+  PackedFactorEntry packed = Pack(entry);
   auto& stripe = videos_.StripeFor(i);
   std::unique_lock lock(stripe.mu);
-  stripe.map[i] = std::move(entry);
+  stripe.map[i] = std::move(packed);
   // Bumped under the stripe lock, so a GetVideos snapshot can never pair
   // the new entry with the old version (or vice versa).
   BumpVideoVersion(i);
@@ -170,8 +206,10 @@ void FactorStore::UpdateUser(UserId u,
   auto& stripe = users_.StripeFor(u);
   std::unique_lock lock(stripe.mu);
   auto [it, inserted] = stripe.map.try_emplace(u);
-  if (inserted) it->second = MakeInitialEntry(u, /*is_user=*/true);
-  fn(it->second);
+  FactorEntry entry = inserted ? MakeInitialEntry(u, /*is_user=*/true)
+                               : Unpack(it->second);
+  fn(entry);
+  it->second = Pack(entry);
 }
 
 void FactorStore::UpdateVideo(VideoId i,
@@ -179,30 +217,38 @@ void FactorStore::UpdateVideo(VideoId i,
   auto& stripe = videos_.StripeFor(i);
   std::unique_lock lock(stripe.mu);
   auto [it, inserted] = stripe.map.try_emplace(i);
-  if (inserted) it->second = MakeInitialEntry(i, /*is_user=*/false);
-  fn(it->second);
+  FactorEntry entry = inserted ? MakeInitialEntry(i, /*is_user=*/false)
+                               : Unpack(it->second);
+  fn(entry);
+  it->second = Pack(entry);
   BumpVideoVersion(i);
 }
 
 void FactorStore::ObserveRating(double rating) {
-  // Relaxed accumulation: μ tolerates benign races (it is a slowly-moving
-  // global average), but use CAS to avoid losing increments entirely.
-  double expected = rating_sum_.load(std::memory_order_relaxed);
-  while (!rating_sum_.compare_exchange_weak(expected, expected + rating,
-                                            std::memory_order_relaxed)) {
-  }
-  rating_count_.fetch_add(1, std::memory_order_relaxed);
+  // Seqlock write: serialize writers, mark the window odd, update both
+  // halves, mark it even. Readers that overlap the window retry.
+  std::lock_guard<std::mutex> lock(rating_mu_);
+  rating_seq_.fetch_add(1, std::memory_order_acq_rel);
+  rating_sum_.store(rating_sum_.load(std::memory_order_relaxed) + rating,
+                    std::memory_order_relaxed);
+  rating_count_.store(rating_count_.load(std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+  rating_seq_.fetch_add(1, std::memory_order_release);
 }
 
 double FactorStore::GlobalMean() const {
-  const std::uint64_t n = rating_count_.load(std::memory_order_relaxed);
-  if (n == 0) return 0.0;
-  return rating_sum_.load(std::memory_order_relaxed) /
-         static_cast<double>(n);
+  double sum = 0.0;
+  std::uint64_t count = 0;
+  GetRatingStats(&sum, &count);
+  if (count == 0) return 0.0;
+  return sum / static_cast<double>(count);
 }
 
 std::uint64_t FactorStore::RatingCount() const {
-  return rating_count_.load(std::memory_order_relaxed);
+  double sum = 0.0;
+  std::uint64_t count = 0;
+  GetRatingStats(&sum, &count);
+  return count;
 }
 
 std::size_t FactorStore::NumUsers() const {
@@ -227,7 +273,7 @@ void FactorStore::ForEachVideo(
     const std::function<void(VideoId, const FactorEntry&)>& fn) const {
   for (const auto& stripe : videos_.stripes) {
     std::shared_lock lock(stripe->mu);
-    for (const auto& [id, entry] : stripe->map) fn(id, entry);
+    for (const auto& [id, entry] : stripe->map) fn(id, Unpack(entry));
   }
 }
 
@@ -235,18 +281,83 @@ void FactorStore::ForEachUser(
     const std::function<void(UserId, const FactorEntry&)>& fn) const {
   for (const auto& stripe : users_.stripes) {
     std::shared_lock lock(stripe->mu);
-    for (const auto& [id, entry] : stripe->map) fn(id, entry);
+    for (const auto& [id, entry] : stripe->map) fn(id, Unpack(entry));
   }
 }
 
+void FactorStore::ForEachUserPacked(
+    const std::function<void(UserId, const PackedView&)>& fn) const {
+  for (const auto& stripe : users_.stripes) {
+    std::shared_lock lock(stripe->mu);
+    for (const auto& [id, entry] : stripe->map) {
+      fn(id, PackedView{entry.bias, entry.scale, entry.data.get(),
+                        payload_bytes_});
+    }
+  }
+}
+
+void FactorStore::ForEachVideoPacked(
+    const std::function<void(VideoId, const PackedView&)>& fn) const {
+  for (const auto& stripe : videos_.stripes) {
+    std::shared_lock lock(stripe->mu);
+    for (const auto& [id, entry] : stripe->map) {
+      fn(id, PackedView{entry.bias, entry.scale, entry.data.get(),
+                        payload_bytes_});
+    }
+  }
+}
+
+bool FactorStore::PutUserPacked(UserId u, float bias, float scale,
+                                const std::byte* data, std::size_t size) {
+  if (size != payload_bytes_) return false;
+  PackedFactorEntry packed;
+  packed.bias = bias;
+  packed.scale = scale;
+  packed.data = std::make_unique<std::byte[]>(payload_bytes_);
+  std::memcpy(packed.data.get(), data, payload_bytes_);
+  auto& stripe = users_.StripeFor(u);
+  std::unique_lock lock(stripe.mu);
+  stripe.map[u] = std::move(packed);
+  return true;
+}
+
+bool FactorStore::PutVideoPacked(VideoId i, float bias, float scale,
+                                 const std::byte* data, std::size_t size) {
+  if (size != payload_bytes_) return false;
+  PackedFactorEntry packed;
+  packed.bias = bias;
+  packed.scale = scale;
+  packed.data = std::make_unique<std::byte[]>(payload_bytes_);
+  std::memcpy(packed.data.get(), data, payload_bytes_);
+  auto& stripe = videos_.StripeFor(i);
+  std::unique_lock lock(stripe.mu);
+  stripe.map[i] = std::move(packed);
+  BumpVideoVersion(i);
+  return true;
+}
+
 void FactorStore::RestoreRatingStats(double sum, std::uint64_t count) {
+  std::lock_guard<std::mutex> lock(rating_mu_);
+  rating_seq_.fetch_add(1, std::memory_order_acq_rel);
   rating_sum_.store(sum, std::memory_order_relaxed);
   rating_count_.store(count, std::memory_order_relaxed);
+  rating_seq_.fetch_add(1, std::memory_order_release);
 }
 
 void FactorStore::GetRatingStats(double* sum, std::uint64_t* count) const {
-  *sum = rating_sum_.load(std::memory_order_relaxed);
-  *count = rating_count_.load(std::memory_order_relaxed);
+  // Seqlock read: retry until a stable even sequence brackets the loads.
+  for (;;) {
+    const std::uint32_t before = rating_seq_.load(std::memory_order_acquire);
+    if (before & 1u) continue;  // Write in progress.
+    const double s = rating_sum_.load(std::memory_order_relaxed);
+    const std::uint64_t c = rating_count_.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (rating_seq_.load(std::memory_order_relaxed) == before) {
+      *sum = s;
+      *count = c;
+      return;
+    }
+  }
 }
 
 }  // namespace rtrec

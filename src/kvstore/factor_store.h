@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <span>
 #include <unordered_map>
@@ -15,6 +16,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "kvstore/quantization.h"
 
 namespace rtrec {
 
@@ -31,6 +33,14 @@ struct FactorEntry {
 /// bolts read and write. Hash-sharded with striped reader-writer locks;
 /// operations on distinct keys proceed in parallel.
 ///
+/// Entries are stored packed: vectors are quantized on write to
+/// `Options::precision` (float32 / float16 / int8) and dequantized on
+/// read, so the whole training and serving stack keeps speaking float
+/// `FactorEntry`s while a million-entry store holds 80 bytes per entry
+/// at fp16 instead of 144 at fp32 (16-byte packed struct + payload; see
+/// BytesPerEntry). The FactorCache caches the dequantized form, so the
+/// serving hot path pays the decode once per fill, not per request.
+///
 /// New ids are lazily initialized with small random values drawn from a
 /// deterministic per-id stream, so "new users and items can be easily
 /// added" (Section 3.3) and initialization is reproducible regardless of
@@ -46,6 +56,10 @@ class FactorStore {
     std::uint64_t seed = 1;
     /// Lock-stripe count (rounded up to a power of two).
     std::size_t num_shards = 16;
+    /// Storage precision of factor vectors. Biases stay float32 (one
+    /// scalar per entry — quantizing it saves nothing and the bias
+    /// carries the per-item popularity signal).
+    FactorPrecision precision = FactorPrecision::kFloat32;
     /// Optional registry for batch-read counters (`<prefix>multiget.*`);
     /// nullptr disables.
     MetricsRegistry* metrics = nullptr;
@@ -62,6 +76,19 @@ class FactorStore {
   FactorStore& operator=(const FactorStore&) = delete;
 
   int num_factors() const { return options_.num_factors; }
+  FactorPrecision precision() const { return options_.precision; }
+
+  /// Fixed storage cost of one entry: the packed struct (pointer + bias
+  /// + scale) plus the quantized payload. Hash-map node and bucket
+  /// overhead is excluded — the bench's RSS rows carry the honest total.
+  std::size_t BytesPerEntry() const {
+    return sizeof(PackedFactorEntry) + payload_bytes_;
+  }
+
+  /// BytesPerEntry summed over every stored user and video entry.
+  std::size_t ApproxFactorBytes() const {
+    return (NumUsers() + NumVideos()) * BytesPerEntry();
+  }
 
   /// Returns the user entry, creating and initializing it if absent.
   FactorEntry GetOrInitUser(UserId u);
@@ -101,7 +128,10 @@ class FactorStore {
     return video_versions_[VersionBucket(i)].load(std::memory_order_acquire);
   }
 
-  /// Overwrites the user entry (MFStorage bolt write path).
+  /// Overwrites the user entry (MFStorage bolt write path). The vector
+  /// is quantized to the store's precision; reads return the quantized
+  /// value, and vectors longer/shorter than num_factors are
+  /// truncated/zero-padded to exactly num_factors.
   void PutUser(UserId u, FactorEntry entry);
 
   /// Overwrites the video entry (MFStorage bolt write path).
@@ -109,7 +139,8 @@ class FactorStore {
 
   /// Atomically read-modify-writes the user entry under its stripe lock,
   /// initializing it first if absent. Used by the single-process training
-  /// path where per-key atomicity substitutes for fields grouping.
+  /// path where per-key atomicity substitutes for fields grouping. The
+  /// callback sees the dequantized entry; the result is requantized.
   void UpdateUser(UserId u, const std::function<void(FactorEntry&)>& fn);
 
   /// Atomically read-modify-writes the video entry (see UpdateUser).
@@ -119,6 +150,7 @@ class FactorStore {
   void ObserveRating(double rating);
 
   /// Running global average rating μ of Eq. 2 (0 until first observation).
+  /// Reads (sum, count) as a consistent pair via the rating seqlock.
   double GlobalMean() const;
 
   /// Number of ratings folded into μ.
@@ -136,21 +168,66 @@ class FactorStore {
   void ForEachUser(
       const std::function<void(UserId, const FactorEntry&)>& fn) const;
 
+  /// Borrowed view of one packed (quantized) entry — valid only inside
+  /// the ForEach*Packed callback that produced it. Checkpoints persist
+  /// these raw bytes so a quantized store round-trips bit-exactly
+  /// (dequantize→requantize is stable for fp16/int8 but memcmp-identical
+  /// only via the raw payload).
+  struct PackedView {
+    float bias = 0.0f;
+    /// int8 dequantization scale; 0 for float32/float16.
+    float scale = 0.0f;
+    const std::byte* data = nullptr;
+    /// Payload size: num_factors * FactorWidthBytes(precision).
+    std::size_t size = 0;
+  };
+
+  /// Visits every user entry in packed form (checkpoint save path).
+  void ForEachUserPacked(
+      const std::function<void(UserId, const PackedView&)>& fn) const;
+
+  /// Visits every video entry in packed form (checkpoint save path).
+  void ForEachVideoPacked(
+      const std::function<void(VideoId, const PackedView&)>& fn) const;
+
+  /// Installs a raw packed payload (checkpoint load path). `size` must
+  /// equal num_factors * FactorWidthBytes(precision()); returns false
+  /// (and stores nothing) otherwise.
+  bool PutUserPacked(UserId u, float bias, float scale,
+                     const std::byte* data, std::size_t size);
+
+  /// Video-side PutUserPacked; bumps the video version.
+  bool PutVideoPacked(VideoId i, float bias, float scale,
+                      const std::byte* data, std::size_t size);
+
   /// Restores the running-mean accumulator (checkpoint load path).
   void RestoreRatingStats(double sum, std::uint64_t count);
 
-  /// Current running-mean accumulator (checkpoint save path).
+  /// Current running-mean accumulator (checkpoint save path), read as a
+  /// consistent pair.
   void GetRatingStats(double* sum, std::uint64_t* count) const;
 
   /// Deterministically initializes an entry for `id` without storing it.
   FactorEntry MakeInitialEntry(std::uint64_t id, bool is_user) const;
 
  private:
+  /// Quantized in-memory form of one entry: 16 bytes of struct plus the
+  /// payload the unique_ptr owns (num_factors * factor width).
+  struct PackedFactorEntry {
+    std::unique_ptr<std::byte[]> data;
+    float bias = 0.0f;
+    /// int8 dequantization scale; unused (0) for float32/float16.
+    float scale = 0.0f;
+  };
+
+  PackedFactorEntry Pack(const FactorEntry& entry) const;
+  FactorEntry Unpack(const PackedFactorEntry& packed) const;
+
   template <typename Id>
   struct Table {
     struct Stripe {
       mutable std::shared_mutex mu;
-      std::unordered_map<Id, FactorEntry> map;
+      std::unordered_map<Id, PackedFactorEntry> map;
     };
     std::vector<std::unique_ptr<Stripe>> stripes;
     std::size_t mask = 0;
@@ -175,6 +252,8 @@ class FactorStore {
   }
 
   Options options_;
+  /// num_factors * FactorWidthBytes(precision), cached at construction.
+  std::size_t payload_bytes_ = 0;
   Table<UserId> users_;
   Table<VideoId> videos_;
 
@@ -188,7 +267,15 @@ class FactorStore {
   Counter* multiget_shard_batches_ = nullptr;
   Histogram* multiget_span_ = nullptr;
 
-  // Running mean μ: sum and count, updated lock-free.
+  // Running mean μ. (sum, count) must be read as a pair — a sum from one
+  // rating and a count from another skews the mean every reader sees —
+  // so the pair sits behind a seqlock: writers serialize on rating_mu_
+  // and bracket their two stores with seq increments (odd = write in
+  // progress); readers retry until they see the same even sequence on
+  // both sides of the loads. The payload stays in atomics with relaxed
+  // ordering so the retry loop is race-free under TSan.
+  mutable std::mutex rating_mu_;
+  std::atomic<std::uint32_t> rating_seq_{0};
   std::atomic<double> rating_sum_{0.0};
   std::atomic<std::uint64_t> rating_count_{0};
 };

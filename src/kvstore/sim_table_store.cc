@@ -3,12 +3,20 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstring>
 
 namespace rtrec {
+
+namespace {
+/// Slab chunks target this size so the allocator amortizes to one malloc
+/// per ~64KB of table instead of one per video.
+constexpr std::size_t kChunkTargetBytes = 64 * 1024;
+}  // namespace
 
 SimTableStore::SimTableStore() : SimTableStore(Options{}) {}
 
 SimTableStore::SimTableStore(Options options) : options_(options) {
+  small_slots_ = std::min<std::size_t>(8, std::max<std::size_t>(1, options_.top_k));
   const std::size_t n =
       std::bit_ceil(std::max<std::size_t>(1, options_.num_shards));
   stripes_.reserve(n);
@@ -16,6 +24,45 @@ SimTableStore::SimTableStore(Options options) : options_(options) {
     stripes_.push_back(std::make_unique<Stripe>());
   }
   mask_ = n - 1;
+}
+
+SimilarVideo* SimTableStore::Arena::Alloc(std::size_t slots,
+                                          std::vector<SimilarVideo*>& free) {
+  if (!free.empty()) {
+    SimilarVideo* slab = free.back();
+    free.pop_back();
+    return slab;
+  }
+  const std::size_t slabs_per_chunk = std::max<std::size_t>(
+      1, kChunkTargetBytes / (slots * sizeof(SimilarVideo)));
+  auto chunk = std::make_unique<SimilarVideo[]>(slabs_per_chunk * slots);
+  SimilarVideo* base = chunk.get();
+  bytes += slabs_per_chunk * slots * sizeof(SimilarVideo);
+  chunks.push_back(std::move(chunk));
+  // Hand out slab 0; the rest start on the free list.
+  free.reserve(free.size() + slabs_per_chunk - 1);
+  for (std::size_t i = slabs_per_chunk; i-- > 1;) {
+    free.push_back(base + i * slots);
+  }
+  return base;
+}
+
+bool SimTableStore::EnsureRoom(Stripe& stripe, List& list) {
+  if (list.size < list.capacity) return true;
+  if (list.capacity >= options_.top_k) return false;
+  if (list.slots == nullptr) {
+    list.slots = stripe.arena.Alloc(small_slots_, stripe.arena.free_small);
+    list.capacity = static_cast<std::uint32_t>(small_slots_);
+    return true;
+  }
+  // Promote small → full: copy live entries, recycle the small slab.
+  SimilarVideo* full =
+      stripe.arena.Alloc(options_.top_k, stripe.arena.free_full);
+  std::memcpy(full, list.slots, list.size * sizeof(SimilarVideo));
+  stripe.arena.free_small.push_back(list.slots);
+  list.slots = full;
+  list.capacity = static_cast<std::uint32_t>(options_.top_k);
+  return true;
 }
 
 double SimTableStore::Decay(double sim, Timestamp update_time,
@@ -39,8 +86,8 @@ void SimTableStore::UpdateOneDirection(VideoId from, VideoId to, double sim,
 
   // Replace an existing entry for `to`, pruning dead entries on the way.
   bool replaced = false;
-  auto& entries = list.entries;
-  for (std::size_t i = 0; i < entries.size();) {
+  SimilarVideo* entries = list.slots;
+  for (std::uint32_t i = 0; i < list.size;) {
     if (entries[i].video == to) {
       entries[i].similarity = sim;
       entries[i].update_time = now;
@@ -48,23 +95,25 @@ void SimTableStore::UpdateOneDirection(VideoId from, VideoId to, double sim,
       ++i;
     } else if (Decay(entries[i].similarity, entries[i].update_time, now) <
                options_.prune_threshold) {
-      entries[i] = entries.back();
-      entries.pop_back();
+      entries[i] = entries[list.size - 1];
+      --list.size;
     } else {
       ++i;
     }
   }
   if (replaced) return;
 
-  if (entries.size() < options_.top_k) {
-    entries.push_back(SimilarVideo{to, sim, now});
+  if (EnsureRoom(stripe, list)) {
+    list.slots[list.size++] = SimilarVideo{to, sim, now};
     return;
   }
-  // Evict the weakest (by decayed similarity) if the newcomer beats it.
+  // At full capacity: evict the weakest (by decayed similarity) if the
+  // newcomer beats it.
+  entries = list.slots;
   std::size_t weakest = 0;
   double weakest_sim =
       Decay(entries[0].similarity, entries[0].update_time, now);
-  for (std::size_t i = 1; i < entries.size(); ++i) {
+  for (std::size_t i = 1; i < list.size; ++i) {
     const double s = Decay(entries[i].similarity, entries[i].update_time, now);
     if (s < weakest_sim) {
       weakest_sim = s;
@@ -84,8 +133,10 @@ std::vector<SimilarVideo> SimTableStore::Query(VideoId video, Timestamp now,
     std::lock_guard<std::mutex> lock(stripe.mu);
     auto it = stripe.map.find(video);
     if (it == stripe.map.end()) return {};
-    decayed.reserve(it->second.entries.size());
-    for (const SimilarVideo& e : it->second.entries) {
+    const List& list = it->second;
+    decayed.reserve(list.size);
+    for (std::uint32_t i = 0; i < list.size; ++i) {
+      const SimilarVideo& e = list.slots[i];
       const double s = Decay(e.similarity, e.update_time, now);
       if (s >= options_.prune_threshold) {
         decayed.push_back(SimilarVideo{e.video, s, e.update_time});
@@ -106,7 +157,9 @@ double SimTableStore::GetDecayedSimilarity(VideoId a, VideoId b,
   std::lock_guard<std::mutex> lock(stripe.mu);
   auto it = stripe.map.find(a);
   if (it == stripe.map.end()) return 0.0;
-  for (const SimilarVideo& e : it->second.entries) {
+  const List& list = it->second;
+  for (std::uint32_t i = 0; i < list.size; ++i) {
+    const SimilarVideo& e = list.slots[i];
     if (e.video == b) {
       const double s = Decay(e.similarity, e.update_time, now);
       return s < options_.prune_threshold ? 0.0 : s;
@@ -116,11 +169,13 @@ double SimTableStore::GetDecayedSimilarity(VideoId a, VideoId b,
 }
 
 void SimTableStore::ForEachList(
-    const std::function<void(VideoId, const std::vector<SimilarVideo>&)>& fn)
+    const std::function<void(VideoId, std::span<const SimilarVideo>)>& fn)
     const {
   for (const auto& stripe : stripes_) {
     std::lock_guard<std::mutex> lock(stripe->mu);
-    for (const auto& [id, list] : stripe->map) fn(id, list.entries);
+    for (const auto& [id, list] : stripe->map) {
+      fn(id, std::span<const SimilarVideo>(list.slots, list.size));
+    }
   }
 }
 
@@ -129,7 +184,29 @@ void SimTableStore::LoadList(VideoId video,
   if (entries.size() > options_.top_k) entries.resize(options_.top_k);
   Stripe& stripe = StripeFor(video);
   std::lock_guard<std::mutex> lock(stripe.mu);
-  stripe.map[video].entries = std::move(entries);
+  List& list = stripe.map[video];
+  list.size = 0;
+  while (list.capacity < entries.size()) {
+    if (!EnsureRoom(stripe, list)) break;
+    // EnsureRoom grows small→full in one promotion; loop covers the
+    // empty→small→full ladder.
+    list.size = list.capacity;  // Force the next promotion step if needed.
+  }
+  list.size = static_cast<std::uint32_t>(
+      std::min<std::size_t>(entries.size(), list.capacity));
+  if (list.size > 0) {
+    std::memcpy(list.slots, entries.data(),
+                list.size * sizeof(SimilarVideo));
+  }
+}
+
+std::size_t SimTableStore::ArenaBytes() const {
+  std::size_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    total += stripe->arena.bytes;
+  }
+  return total;
 }
 
 std::size_t SimTableStore::NumVideos() const {
@@ -137,7 +214,7 @@ std::size_t SimTableStore::NumVideos() const {
   for (const auto& stripe : stripes_) {
     std::lock_guard<std::mutex> lock(stripe->mu);
     for (const auto& [id, list] : stripe->map) {
-      if (!list.entries.empty()) ++total;
+      if (list.size > 0) ++total;
     }
   }
   return total;

@@ -2,8 +2,11 @@
 #define RTREC_KVSTORE_SIM_TABLE_STORE_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -26,6 +29,15 @@ struct SimilarVideo {
 /// relevant videos. Maintained incrementally by the ItemPairSim /
 /// ResultStorage bolts and queried on every recommendation request to
 /// select candidates. Hash-sharded; each per-video list is bounded.
+///
+/// Lists live in per-stripe slab arenas rather than one heap vector per
+/// video: a list occupies a fixed-capacity slab carved from 64KB-class
+/// chunks, starting in a small slab (8 slots) and promoted to a full
+/// top_k slab the first time it fills. Slabs are recycled through per-
+/// class free lists. At million-video scale this removes the per-list
+/// malloc plus the 1→2→4→… realloc ladder, keeps neighbours contiguous,
+/// and makes table memory a closed-form number (ArenaBytes) instead of
+/// allocator guesswork.
 class SimTableStore {
  public:
   struct Options {
@@ -67,25 +79,53 @@ class SimTableStore {
   std::size_t NumVideos() const;
 
   /// Visits every per-video directed list (checkpoint save path). Locks
-  /// one stripe at a time.
+  /// one stripe at a time; the span borrows the arena slab and is valid
+  /// only inside the callback.
   void ForEachList(const std::function<void(
-                       VideoId, const std::vector<SimilarVideo>&)>& fn) const;
+                       VideoId, std::span<const SimilarVideo>)>& fn) const;
 
   /// Replaces the directed list of `video` wholesale (checkpoint load
   /// path). Entries beyond top_k are dropped.
   void LoadList(VideoId video, std::vector<SimilarVideo> entries);
 
+  /// Bytes of slab-arena chunk memory across all stripes (allocated
+  /// capacity, including free-listed slabs; excludes the per-video hash
+  /// map itself).
+  std::size_t ArenaBytes() const;
+
   const Options& options() const { return options_; }
 
  private:
+  /// A list is a borrowed slab of `capacity` slots (small class first,
+  /// full top_k class after promotion) with `size` of them live. Entries
+  /// are unordered; ranking happens at query time.
   struct List {
-    std::vector<SimilarVideo> entries;  // Unordered; ranked at query time.
+    SimilarVideo* slots = nullptr;
+    std::uint32_t size = 0;
+    std::uint32_t capacity = 0;
+  };
+
+  /// Per-stripe slab allocator, guarded by the stripe mutex. Chunks are
+  /// never returned to the OS; released slabs recycle via free lists.
+  struct Arena {
+    std::vector<std::unique_ptr<SimilarVideo[]>> chunks;
+    std::vector<SimilarVideo*> free_small;
+    std::vector<SimilarVideo*> free_full;
+    std::size_t bytes = 0;
+
+    SimilarVideo* Alloc(std::size_t slots, std::vector<SimilarVideo*>& free);
   };
 
   struct Stripe {
     mutable std::mutex mu;
     std::unordered_map<VideoId, List> map;
+    Arena arena;
   };
+
+  /// Grows `list` to hold one more entry, allocating its first small
+  /// slab or promoting small→full as needed. Caller holds the stripe
+  /// lock. Returns false when the list is already at top_k capacity.
+  bool EnsureRoom(Stripe& stripe, List& list);
 
   void UpdateOneDirection(VideoId from, VideoId to, double sim,
                           Timestamp now);
@@ -97,6 +137,9 @@ class SimTableStore {
   }
 
   Options options_;
+  /// Small-class slab width: full lists are rare in sparse catalogs, so
+  /// new lists start at min(8, top_k) slots.
+  std::size_t small_slots_ = 0;
   std::vector<std::unique_ptr<Stripe>> stripes_;
   std::size_t mask_ = 0;
 };

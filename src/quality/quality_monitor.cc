@@ -61,6 +61,7 @@ QualityMonitor::QualityMonitor(MetricsRegistry* metrics, Options options)
   embedding_norm_gauge_ =
       metrics_->GetDoubleGauge("quality.drift.embedding_norm");
   global_bias_gauge_ = metrics_->GetDoubleGauge("quality.drift.global_bias");
+  label_shift_gauge_ = metrics_->GetDoubleGauge("quality.drift.label_shift");
 
   holdout_evaluated_ = metrics_->GetCounter("quality.holdout.evaluated");
   holdout_hits_ = metrics_->GetCounter("quality.holdout.hits");
@@ -95,6 +96,7 @@ QualityMonitor::QualityMonitor(MetricsRegistry* metrics, Options options)
   alert_embedding_norm_ =
       metrics_->GetCounter("quality.alerts.embedding_norm");
   alert_bias_drift_ = metrics_->GetCounter("quality.alerts.bias_drift");
+  alert_label_shift_ = metrics_->GetCounter("quality.alerts.label_shift");
   alert_staleness_ = metrics_->GetCounter("quality.alerts.staleness");
   alert_coverage_ = metrics_->GetCounter("quality.alerts.coverage");
 
@@ -157,6 +159,17 @@ void QualityMonitor::OnMfSample(const MfSample& sample) {
   // compared against by the watchdog.
   prediction_slow_.Update(sample.prediction, 0.1 * a);
   global_bias_gauge_->Set(prediction_fast_.value - prediction_slow_.value);
+  // Label-shift pair: the raw engagement rate on two timescales orders
+  // of magnitude slower than the loss EWMAs. The loss/calibration
+  // signals re-center within a day because every SGD step pulls the
+  // per-entity biases toward the new labels; the label mean itself has
+  // no such feedback, so a population-level shift stays visible here for
+  // the full fast-vs-slow horizon gap. The binary labels make this pair
+  // noisy at loss-EWMA timescales (σ ≈ √(α/2)·σ_y), which is why it
+  // runs 50× slower: a real shift is sustained, noise averages out.
+  label_fast_.Update(y, 0.02 * a);
+  label_slow_.Update(y, 0.002 * a);
+  label_shift_gauge_->Set(label_fast_.value - label_slow_.value);
 
   if (++progressive_count_ % std::max<std::size_t>(1, options_.watchdog_every_n)
       == 0) {
@@ -187,6 +200,20 @@ void QualityMonitor::CheckTrainingWatchdog() {
     Alert(alert_bias_drift_, "bias_drift",
           "drift=" + std::to_string(drift) +
               " threshold=" + std::to_string(options_.bias_drift_alert));
+  }
+  // The label-shift check waits for the slow EWMA to mature (five time
+  // constants of samples, residual < 1% of the seed offset): both EWMAs
+  // seed from the same first sample and converge toward the true rate at
+  // different speeds, so the warm-up gap is an artifact of cold start,
+  // not a shift.
+  const double label_shift = label_fast_.value - label_slow_.value;
+  const double slow_alpha = 0.002 * options_.ewma_alpha;
+  if (label_slow_.seeded &&
+      static_cast<double>(progressive_count_) * slow_alpha >= 5.0 &&
+      std::abs(label_shift) > options_.label_shift_alert) {
+    Alert(alert_label_shift_, "label_shift",
+          "shift=" + std::to_string(label_shift) +
+              " threshold=" + std::to_string(options_.label_shift_alert));
   }
 }
 

@@ -38,9 +38,10 @@ namespace rtrec {
 ///     degraded-vs-primary responses. Duplicate engagements on a slot
 ///     and engagements with no recorded impression are counted apart and
 ///     never inflate CTR.
-///  4. Drift watchdog — embedding-norm / prediction-drift EWMAs from the
-///     training stream plus serving-side staleness and served-catalog
-///     coverage, checked against thresholds on a fixed cadence;
+///  4. Drift watchdog — embedding-norm / prediction-drift /
+///     engagement-rate (label-shift) EWMAs from the training stream plus
+///     serving-side staleness and served-catalog coverage, checked
+///     against thresholds on a fixed cadence;
 ///     violations bump `quality.alerts.*` and emit sampled structured
 ///     "quality-event" warnings.
 ///
@@ -85,6 +86,17 @@ class QualityMonitor : public MfValidationHook {
     /// Alert when the fast and slow prediction EWMAs diverge by more
     /// than this (sudden shift of the model's operating point).
     double bias_drift_alert = 2.0;
+    /// Alert when the fast and slow *engagement-rate* EWMAs diverge by
+    /// more than this: label shift — P(engage | impression) moved. This
+    /// is how a population-wide preference (demographic) drift shows up
+    /// in the training stream even after per-entity SGD biases have
+    /// re-calibrated the loss signals away. The pair runs 50× slower
+    /// than the loss EWMAs (binary labels are noisy; a real shift is
+    /// sustained) and is checked only once the slow EWMA has matured
+    /// (5 / slow-alpha samples), so the cold-start warm-up, where the
+    /// two EWMAs converge at different speeds from the same seed,
+    /// cannot fire it.
+    double label_shift_alert = 0.04;
     /// Alert when serving time runs this far ahead of the newest trained
     /// action (stale model / stalled ingest).
     std::int64_t staleness_alert_ms = 24 * 60 * 60 * 1000;
@@ -178,6 +190,8 @@ class QualityMonitor : public MfValidationHook {
   Ewma embedding_norm_;   // Mean of pre-step ‖x_u‖, ‖y_i‖.
   Ewma prediction_fast_;  // Operating-point drift pair.
   Ewma prediction_slow_;
+  Ewma label_fast_;  // Engagement-rate (label-shift) drift pair.
+  Ewma label_slow_;
   std::size_t progressive_count_ = 0;
   Counter* samples_ = nullptr;
   DoubleGauge* logloss_gauge_ = nullptr;
@@ -185,6 +199,7 @@ class QualityMonitor : public MfValidationHook {
   std::array<DoubleGauge*, kNumActionTypes> logloss_type_gauges_{};
   DoubleGauge* embedding_norm_gauge_ = nullptr;
   DoubleGauge* global_bias_gauge_ = nullptr;
+  DoubleGauge* label_shift_gauge_ = nullptr;
   std::atomic<Timestamp> last_train_time_{0};
 
   // --- Holdout recall (holdout_mu_ only orders the gauge update).
@@ -218,6 +233,7 @@ class QualityMonitor : public MfValidationHook {
   Counter* alert_calibration_ = nullptr;
   Counter* alert_embedding_norm_ = nullptr;
   Counter* alert_bias_drift_ = nullptr;
+  Counter* alert_label_shift_ = nullptr;
   Counter* alert_staleness_ = nullptr;
   Counter* alert_coverage_ = nullptr;
 };

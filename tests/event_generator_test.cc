@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <set>
+#include <tuple>
+#include <vector>
 
 namespace rtrec {
 namespace {
@@ -177,6 +180,168 @@ TEST(SyntheticWorldTest, GenerateDaysConcatenatesInOrder) {
   EXPECT_EQ(days.size(), day0.size() + day1.size());
   EXPECT_EQ(days.front(), day0.front());
   EXPECT_EQ(days.back(), day1.back());
+}
+
+TEST(SyntheticWorldTest, ChunkedGenerationMatchesMonolithic) {
+  // Per-(user, day) RNG streams make chunking a pure partition: the
+  // chunked actions, re-sorted globally, must equal GenerateDay exactly.
+  const SyntheticWorld world(TinyWorld());
+  const auto whole = world.GenerateDay(1);
+  for (std::size_t chunk_users : {1u, 7u, 100u, 0u /* default */}) {
+    std::vector<UserAction> streamed;
+    std::size_t chunks = 0;
+    world.GenerateDayChunked(1, chunk_users,
+                             [&](std::vector<UserAction>&& chunk) {
+                               ++chunks;
+                               // Each chunk arrives time-sorted.
+                               EXPECT_TRUE(std::is_sorted(
+                                   chunk.begin(), chunk.end(),
+                                   [](const UserAction& a,
+                                      const UserAction& b) {
+                                     return a.time < b.time;
+                                   }));
+                               streamed.insert(streamed.end(), chunk.begin(),
+                                               chunk.end());
+                             });
+    const std::size_t effective = chunk_users == 0 ? 4096 : chunk_users;
+    EXPECT_EQ(chunks, (100 + effective - 1) / effective);
+    std::stable_sort(streamed.begin(), streamed.end(),
+                     [](const UserAction& a, const UserAction& b) {
+                       return a.time < b.time;
+                     });
+    ASSERT_EQ(streamed.size(), whole.size()) << "chunk " << chunk_users;
+    // stable_sort of a per-user partition can permute equal timestamps
+    // differently from the monolithic sort, so compare as multisets of
+    // (time, user, video, type).
+    auto key = [](const UserAction& a) {
+      return std::tuple(a.time, a.user, a.video, static_cast<int>(a.type),
+                        a.view_fraction);
+    };
+    std::vector<std::tuple<Timestamp, UserId, VideoId, int, double>> ka, kb;
+    for (const auto& a : whole) ka.push_back(key(a));
+    for (const auto& a : streamed) kb.push_back(key(a));
+    std::sort(ka.begin(), ka.end());
+    std::sort(kb.begin(), kb.end());
+    EXPECT_EQ(ka, kb) << "chunk " << chunk_users;
+  }
+}
+
+TEST(SyntheticWorldTest, ScenarioDefaultsKeepLegacyStream) {
+  // A default-constructed ScenarioConfig must be bit-identical to the
+  // pre-scenario generator — enabling nothing consumes no extra RNG.
+  WorldConfig with = TinyWorld();
+  with.scenario = ScenarioConfig{};
+  const auto base = SyntheticWorld(TinyWorld()).GenerateDay(0);
+  const auto scen = SyntheticWorld(with).GenerateDay(0);
+  ASSERT_EQ(base.size(), scen.size());
+  for (std::size_t i = 0; i < base.size(); ++i) EXPECT_EQ(base[i], scen[i]);
+}
+
+TEST(SyntheticWorldTest, DiurnalLoadPeaksAtConfiguredHour) {
+  WorldConfig config = TinyWorld();
+  config.population.num_users = 400;
+  config.scenario.diurnal_amplitude = 0.8;
+  config.scenario.diurnal_peak_hour = 21.0;
+  const SyntheticWorld world(config);
+  // Bucket impressions (one per browse slot ≈ session intensity) into
+  // peak-centred vs trough-centred half-days.
+  std::size_t near_peak = 0, near_trough = 0;
+  for (const UserAction& a : world.GenerateDay(0)) {
+    if (a.type != ActionType::kImpress) continue;
+    const double hour =
+        static_cast<double>(a.time % kMillisPerDay) / (3600.0 * 1000.0);
+    // Circular distance from the peak.
+    const double d = std::min(std::fabs(hour - 21.0),
+                              24.0 - std::fabs(hour - 21.0));
+    if (d <= 6.0) {
+      ++near_peak;
+    } else {
+      ++near_trough;
+    }
+  }
+  ASSERT_GT(near_peak + near_trough, 100u);
+  // With A=0.8 the peak half-day carries ~2.4x the trough half-day; even
+  // with browse-pacing smear a 1.5x margin is comfortable.
+  EXPECT_GT(static_cast<double>(near_peak),
+            1.5 * static_cast<double>(near_trough));
+}
+
+TEST(SyntheticWorldTest, FlashCrowdDominatesItsDayOnly) {
+  WorldConfig config = TinyWorld();
+  config.scenario.flash_crowds.push_back(
+      FlashCrowdEvent{/*day=*/1, /*video=*/5, /*browse_share=*/0.5});
+  const SyntheticWorld world(config);
+  auto impress_share = [&world](int day, VideoId video) {
+    std::size_t on_video = 0, total = 0;
+    for (const UserAction& a : world.GenerateDay(day)) {
+      if (a.type != ActionType::kImpress) continue;
+      ++total;
+      if (a.video == video) ++on_video;
+    }
+    return static_cast<double>(on_video) / static_cast<double>(total);
+  };
+  EXPECT_GT(impress_share(1, 5), 0.35);  // ~0.5 expected.
+  EXPECT_LT(impress_share(0, 5), 0.15);  // Organic popularity only.
+  EXPECT_LT(impress_share(2, 5), 0.15);  // Over the next day.
+}
+
+TEST(SyntheticWorldTest, DriftShiftsAffinityFromStartDay) {
+  WorldConfig config = TinyWorld();
+  config.scenario.drift_start_day = 3;
+  config.scenario.drift_strength = 0.7;
+  const SyntheticWorld world(config);
+  // Pre-drift days match the 2-arg (pre-drift) affinity; from the drift
+  // day the day-aware affinity moves for at least some pairs.
+  std::size_t moved = 0, checked = 0;
+  for (UserId u = 1; u <= 30; ++u) {
+    for (VideoId v = 1; v <= 10; ++v) {
+      EXPECT_DOUBLE_EQ(world.TrueAffinity(u, v, 2), world.TrueAffinity(u, v));
+      ++checked;
+      if (std::fabs(world.TrueAffinity(u, v, 3) - world.TrueAffinity(u, v)) >
+          0.02) {
+        ++moved;
+      }
+      // The drift is a stable regime, not a ramp.
+      EXPECT_DOUBLE_EQ(world.TrueAffinity(u, v, 3),
+                       world.TrueAffinity(u, v, 5));
+    }
+  }
+  EXPECT_GT(moved, checked / 4);
+}
+
+TEST(SyntheticWorldTest, DriftChangesGeneratedEngagement) {
+  // The drifted taste must actually reshape traffic: per-video engaged
+  // plays before vs after the drift day correlate imperfectly.
+  WorldConfig config = TinyWorld();
+  config.population.num_users = 300;
+  config.scenario.drift_start_day = 1;
+  config.scenario.drift_strength = 0.8;
+  const SyntheticWorld world(config);
+  std::map<VideoId, double> before, after;
+  for (const UserAction& a : world.GenerateDay(0)) {
+    if (a.type == ActionType::kClick) before[a.video] += 1.0;
+  }
+  for (const UserAction& a : world.GenerateDay(1)) {
+    if (a.type == ActionType::kClick) after[a.video] += 1.0;
+  }
+  // Some videos must change rank materially: count videos whose share
+  // doubles or halves.
+  double total_before = 0, total_after = 0;
+  for (const auto& [v, c] : before) total_before += c;
+  for (const auto& [v, c] : after) total_after += c;
+  ASSERT_GT(total_before, 0.0);
+  ASSERT_GT(total_after, 0.0);
+  std::size_t reshaped = 0;
+  for (const auto& [v, c] : before) {
+    const double share_before = c / total_before;
+    const double share_after =
+        (after.count(v) ? after.at(v) : 0.0) / total_after;
+    if (share_after > 2.0 * share_before ||
+        share_after < 0.5 * share_before) {
+      ++reshaped;
+    }
+  }
+  EXPECT_GT(reshaped, before.size() / 10);
 }
 
 }  // namespace

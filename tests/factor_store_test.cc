@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <thread>
 #include <vector>
@@ -225,6 +226,31 @@ TEST(FactorStoreTest, MultiGetMetricsRegistered) {
   EXPECT_EQ(registry.GetCounter("kvstore.multiget.hits")->value(), 3);
   EXPECT_GT(registry.GetCounter("kvstore.multiget.shard_batches")->value(),
             0);
+}
+
+TEST(FactorStoreTest, GlobalMeanNeverTearsUnderConcurrentWrites) {
+  // Regression for the torn sum/count pair: the old implementation read
+  // the rating sum and count as two independent relaxed loads, so a
+  // reader racing a writer could pair a new sum with an old count. With
+  // every observed rating equal to 5.0 the true mean is always exactly
+  // 5.0; under the seqlock any other value is a torn read. Run under
+  // TSan (build-tsan) to also catch the ordering bugs.
+  FactorStore store(SmallOptions());
+  store.ObserveRating(5.0);  // Readers never see the empty store.
+  std::atomic<bool> stop{false};
+  std::thread writer([&store, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) store.ObserveRating(5.0);
+  });
+  std::thread writer2([&store, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) store.ObserveRating(5.0);
+  });
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_DOUBLE_EQ(store.GlobalMean(), 5.0) << "torn read at i=" << i;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  writer2.join();
+  EXPECT_GE(store.RatingCount(), 1u);
 }
 
 TEST(FactorStoreTest, ForEachVideoVisitsAll) {

@@ -339,6 +339,41 @@ TEST(QualityMonitorTest, WatchdogFiresStalenessAndCoverageAlerts) {
   EXPECT_NEAR(Gauge(metrics, "quality.drift.served_coverage"), 0.25, 1e-12);
 }
 
+TEST(QualityMonitorTest, WatchdogFiresLabelShiftOnEngagementRateJump) {
+  MetricsRegistry metrics;
+  QualityMonitor::Options options;
+  // ewma_alpha 0.5 → label pair runs at α 0.01 (fast) / 0.001 (slow),
+  // warm-up guard 5 / 0.001 = 5000 samples.
+  options.ewma_alpha = 0.5;
+  options.watchdog_every_n = 1;
+  QualityMonitor monitor(&metrics, options);
+
+  // A stationary stream: engagement rate pinned at 0.5 by strict
+  // alternation. Covers the warm-up guard and then some — the label
+  // EWMAs sit within one ripple (α · 0.5) of each other, far under the
+  // alert threshold, so a steady stream never fires.
+  for (int i = 0; i < 12000; ++i) {
+    monitor.OnMfSample(i % 2 == 0
+                           ? Sample(1, ActionType::kClick, 0.0, 1.0)
+                           : Sample(1, ActionType::kImpress, 0.0, 0.0));
+  }
+  EXPECT_EQ(Count(metrics, "quality.alerts.label_shift"), 0);
+
+  // The planted shift: engagement rate jumps to 1.0. The fast EWMA
+  // races ahead of the slow one and the gap crosses the threshold while
+  // per-sample losses stay individually unremarkable — exactly the
+  // drift signature SGD re-calibration hides from the loss channels.
+  for (int i = 0; i < 3000; ++i) {
+    monitor.OnMfSample(Sample(1, ActionType::kClick, 0.0, 1.0));
+  }
+  EXPECT_GT(Count(metrics, "quality.alerts.label_shift"), 0);
+  EXPECT_GT(Gauge(metrics, "quality.drift.label_shift"), 0.0);
+  // Attribution: no other training-side alert explains the firing.
+  EXPECT_EQ(Count(metrics, "quality.alerts.logloss"), 0);
+  EXPECT_EQ(Count(metrics, "quality.alerts.calibration"), 0);
+  EXPECT_EQ(Count(metrics, "quality.alerts.bias_drift"), 0);
+}
+
 // ---------------------------------------------------------------------
 // End-to-end through RecommendationService.
 

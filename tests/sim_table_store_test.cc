@@ -125,5 +125,67 @@ TEST(SimTableStoreTest, NumVideosCountsNonEmptyLists) {
   EXPECT_EQ(table.NumVideos(), 4u);
 }
 
+TEST(SimTableStoreTest, ArenaBacksAllLists) {
+  SimTableStore table(SmallOptions(16, 1000.0));
+  EXPECT_EQ(table.ArenaBytes(), 0u);
+  table.Update(1, 2, 0.5, 0);
+  const std::size_t after_small = table.ArenaBytes();
+  EXPECT_GT(after_small, 0u);
+  // Lists start on the small size class; overflowing it promotes the
+  // list to a full top_k slab without losing entries.
+  for (VideoId v = 3; v <= 14; ++v) {
+    table.Update(1, v, 0.1 * static_cast<double>(v), 0);
+  }
+  EXPECT_GE(table.ArenaBytes(), after_small);
+  const auto similar = table.Query(1, 0, 100);
+  EXPECT_EQ(similar.size(), 13u);
+  // All original similarities survive the promotion copy.
+  EXPECT_DOUBLE_EQ(table.GetDecayedSimilarity(1, 2, 0), 0.5);
+  EXPECT_DOUBLE_EQ(table.GetDecayedSimilarity(1, 14, 0), 1.4);
+}
+
+TEST(SimTableStoreTest, ArenaRecyclesPromotedSlabs) {
+  // Promoting a list frees its small slab back to the arena, so arena
+  // growth is bounded by live slabs, not by promotion count: new small
+  // lists reuse the freed slabs and the arena does not grow. LoadList
+  // writes one directed list, which makes the slab accounting exact.
+  SimTableStore::Options o = SmallOptions(32, 1000.0);
+  o.num_shards = 1;  // One stripe so every list shares one arena.
+  SimTableStore table(o);
+  auto entries = [](std::size_t n) {
+    std::vector<SimilarVideo> out;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(SimilarVideo{1000000 + i, 0.5, 0});
+    }
+    return out;
+  };
+  // 64 small lists, then promote all of them to full slabs.
+  for (VideoId v = 1; v <= 64; ++v) table.LoadList(v, entries(1));
+  for (VideoId v = 1; v <= 64; ++v) table.LoadList(v, entries(12));
+  const std::size_t after_promotions = table.ArenaBytes();
+  EXPECT_GT(after_promotions, 0u);
+  // A second wave of small lists fits entirely in the recycled slabs.
+  for (VideoId v = 101; v <= 164; ++v) table.LoadList(v, entries(1));
+  EXPECT_EQ(table.ArenaBytes(), after_promotions);
+}
+
+TEST(SimTableStoreTest, LoadListRestoresThroughArena) {
+  SimTableStore source(SmallOptions(16, 1000.0));
+  for (VideoId v = 2; v <= 13; ++v) {
+    source.Update(1, v, 0.05 * static_cast<double>(v), 0);
+  }
+  SimTableStore restored(SmallOptions(16, 1000.0));
+  source.ForEachList([&restored](VideoId id,
+                                 std::span<const SimilarVideo> entries) {
+    restored.LoadList(id, {entries.begin(), entries.end()});
+  });
+  EXPECT_EQ(restored.NumVideos(), source.NumVideos());
+  EXPECT_GT(restored.ArenaBytes(), 0u);
+  for (VideoId v = 2; v <= 13; ++v) {
+    EXPECT_DOUBLE_EQ(restored.GetDecayedSimilarity(1, v, 0),
+                     source.GetDecayedSimilarity(1, v, 0));
+  }
+}
+
 }  // namespace
 }  // namespace rtrec
