@@ -13,6 +13,12 @@
 //             drives it from concurrent RecClient loadgen threads, and
 //             reports QPS, client/server percentiles, and a Stats-RPC
 //             scrape pair (verifying counters are monotone);
+//   tracing — the distributed-tracing drill: a span-collecting server
+//             (head sampling + tail capture armed) driven by a client
+//             that also propagates its own sampled contexts over the
+//             wire. Reports recording volume, wire adoption, slow
+//             captures, the Chrome trace-event export cost, and the
+//             traced-vs-untraced QPS delta on the same workload;
 //   transport — the wire-bound drill: the SAME warmed service behind
 //             one RecServer, driven through four transport legs over a
 //             single connection each — TCP v1 (one request in flight,
@@ -46,6 +52,10 @@
 //             a shard mid-traffic, and reports aggregate scaling vs one
 //             process, failover latency, the degraded-response fraction
 //             during the outage, and recovery time after the restart.
+//             The kill is also traced: a sampled context propagated
+//             through the router's failover retry must surface on the
+//             fallback shard's /traces with hop=1 — one stitched
+//             multi-shard trace of the outage.
 //
 // Everything is seeded (WorldConfig seed 2016), so two runs on the same
 // machine produce the same workload; timings of course vary.
@@ -61,7 +71,7 @@
 // at the examples/serve executable and enables the cluster phase;
 // --cluster-only skips the in-process phases (scripts/cluster.sh uses
 // it for the standalone drill). The ledger is written to --out (default
-// BENCH_PR9.json in the working directory); scripts/bench.sh wraps the
+// BENCH_PR10.json in the working directory); scripts/bench.sh wraps the
 // build + run + validate cycle.
 
 #include <fcntl.h>
@@ -104,6 +114,7 @@
 #include "net/shm_transport.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "obs/span_collector.h"
 #include "kvstore/factor_store.h"
 #include "kvstore/quantization.h"
 #include "quality/quality_monitor.h"
@@ -514,6 +525,216 @@ bool RunServe(Json& json, bool smoke, int connections, int seconds) {
               client_latency->Percentile(99),
               monotone ? "monotone" : "NOT MONOTONE");
   return monotone;
+}
+
+// --- Phase 2a: tracing -----------------------------------------------------
+// The distributed-tracing drill. One server with the full observability
+// stack attached (head sampler, span collector, tail capture armed at
+// 1µs so every request commits its span tree — the worst-case recording
+// load), one identically-warmed server with tracing off, and the same
+// single-connection loadgen against both. Every 4th call is issued
+// under a client-minted sampled context, so wire propagation and
+// server-side adoption are exercised, not just local sampling.
+
+std::string HexTraceId16(std::uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+/// Drives `seconds` of read-dominated traffic over one connection;
+/// every 4th request under a sampled context when `propagate`.
+std::int64_t TracingLoadgen(std::uint16_t port, double seconds,
+                            bool propagate, bool* negotiated) {
+  rtrec::RecClient::Options client_options;
+  client_options.port = port;
+  rtrec::RecClient client(client_options);
+  if (!client.Connect().ok()) return -1;
+  if (negotiated != nullptr) {
+    *negotiated = client.trace_propagation_negotiated();
+  }
+  std::int64_t requests = 0;
+  std::int64_t seq = 0;
+  const auto deadline = Clock::now() + std::chrono::duration<double>(seconds);
+  while (Clock::now() < deadline) {
+    rtrec::RecRequest request;
+    request.user = 1 + seq % 16;
+    request.seed_videos = {10 + static_cast<rtrec::VideoId>(seq % 5)};
+    request.top_n = 10;
+    request.now = 2'000'000 + seq;
+    bool ok;
+    if (propagate && seq % 4 == 0) {
+      rtrec::TraceContext trace;
+      trace.id = 0xC0FFEE0000000000ull + static_cast<std::uint64_t>(seq);
+      trace.start_us = rtrec::Tracer::NowMicros();
+      rtrec::ScopedTraceContext scope(trace);
+      ok = client.Recommend(request).ok();
+    } else if (seq % 8 == 7) {
+      ok = client.Observe(Watch(request.user, 10 + seq % 5, request.now))
+               .ok();
+    } else {
+      ok = client.Recommend(request).ok();
+    }
+    if (ok) ++requests;
+    ++seq;
+  }
+  return requests;
+}
+
+bool RunTracing(Json& json, bool smoke, const std::string& trace_dump) {
+  const double run_seconds = smoke ? 0.4 : 2.0;
+
+  rtrec::RecommendationService::Options service_options;
+  auto type_of = [](rtrec::VideoId v) -> rtrec::VideoType {
+    return v < 100 ? 0 : 1;
+  };
+  auto warm = [&](rtrec::RecommendationService& service) {
+    rtrec::Timestamp warm_t = 0;
+    for (int round = 0; round < 20; ++round) {
+      for (rtrec::UserId user = 1; user <= 16; ++user) {
+        service.Observe(Watch(user, 10 + user % 5, warm_t += 1000));
+        service.Observe(Watch(user, 11 + user % 5, warm_t += 1000));
+      }
+    }
+  };
+
+  // Traced leg.
+  rtrec::MetricsRegistry metrics;
+  rtrec::Tracer::Options tracer_options;
+  tracer_options.sample_every_n = 4;
+  tracer_options.metrics = &metrics;
+  rtrec::Tracer tracer(tracer_options);
+  rtrec::obs::SpanCollector::Options span_options;
+  span_options.metrics = &metrics;
+  rtrec::obs::SpanCollector spans(span_options);
+  rtrec::RecommendationService traced_service(type_of, service_options);
+  warm(traced_service);
+  rtrec::RecServer::Options traced_options;
+  traced_options.port = 0;
+  traced_options.num_workers = 2;
+  traced_options.metrics = &metrics;
+  traced_options.tracer = &tracer;
+  traced_options.spans = &spans;
+  traced_options.trace_slow_us = 1;  // Tail capture keeps everything.
+  rtrec::RecServer traced_server(&traced_service, traced_options);
+  if (!traced_server.Start().ok()) {
+    std::fprintf(stderr, "tracing: traced server failed to start\n");
+    return false;
+  }
+  bool negotiated = false;
+  const auto traced_t0 = Clock::now();
+  const std::int64_t traced_requests = TracingLoadgen(
+      traced_server.port(), run_seconds, /*propagate=*/true, &negotiated);
+  const double traced_elapsed = Seconds(traced_t0, Clock::now());
+  traced_server.Stop();
+  if (traced_requests <= 0) {
+    std::fprintf(stderr, "tracing: traced loadgen failed\n");
+    return false;
+  }
+
+  // Untraced baseline: same service shape, same loadgen, no recording.
+  rtrec::MetricsRegistry baseline_metrics;
+  rtrec::RecommendationService plain_service(type_of, service_options);
+  warm(plain_service);
+  rtrec::RecServer::Options plain_options;
+  plain_options.port = 0;
+  plain_options.num_workers = 2;
+  plain_options.metrics = &baseline_metrics;
+  rtrec::RecServer plain_server(&plain_service, plain_options);
+  if (!plain_server.Start().ok()) {
+    std::fprintf(stderr, "tracing: baseline server failed to start\n");
+    return false;
+  }
+  const auto plain_t0 = Clock::now();
+  const std::int64_t plain_requests = TracingLoadgen(
+      plain_server.port(), run_seconds, /*propagate=*/false, nullptr);
+  const double plain_elapsed = Seconds(plain_t0, Clock::now());
+  plain_server.Stop();
+
+  spans.Flush();
+  const rtrec::obs::SpanCollector::Stats stats = spans.GetStats();
+  const auto export_t0 = Clock::now();
+  const std::string chrome = spans.ExportChromeJson();
+  const double export_ms =
+      Seconds(export_t0, Clock::now()) * 1000.0;
+  const std::string slow = spans.ExportSlowJson();
+  const bool export_valid =
+      chrome.rfind("{", 0) == 0 &&
+      chrome.find("\"traceEvents\":[") != std::string::npos &&
+      !chrome.empty() && chrome.back() == '}' &&
+      slow.find("\"total_us\"") != std::string::npos;
+
+  const std::int64_t sampled = metrics.GetCounter("trace.sampled")->value();
+  const std::int64_t adopted = metrics.GetCounter("trace.adopted")->value();
+  const double traced_qps =
+      traced_elapsed > 0 ? traced_requests / traced_elapsed : 0.0;
+  const double plain_qps =
+      plain_elapsed > 0 && plain_requests > 0
+          ? plain_requests / plain_elapsed
+          : 0.0;
+
+  json.OpenObject("tracing");
+  json.Field("seconds", run_seconds);
+  json.Field("propagation_negotiated", negotiated);
+  json.Field("requests", traced_requests);
+  json.Field("qps_traced", traced_qps);
+  json.Field("qps_untraced", plain_qps);
+  json.Field("overhead_pct",
+             plain_qps > 0 ? (1.0 - traced_qps / plain_qps) * 100.0 : 0.0);
+  json.Field("sampled", sampled);
+  json.Field("adopted", adopted);
+  json.Field("spans_recorded",
+             static_cast<std::int64_t>(stats.spans_recorded));
+  json.Field("spans_dropped",
+             static_cast<std::int64_t>(stats.spans_dropped));
+  json.Field("traces_finished",
+             static_cast<std::int64_t>(stats.traces_finished));
+  json.Field("slow_captured",
+             static_cast<std::int64_t>(stats.slow_captured));
+  json.Field("spans_per_trace",
+             stats.traces_finished > 0
+                 ? static_cast<double>(stats.spans_recorded) /
+                       static_cast<double>(stats.traces_finished)
+                 : 0.0);
+  json.OpenObject("export");
+  json.Field("chrome_bytes", static_cast<std::int64_t>(chrome.size()));
+  json.Field("chrome_ms", export_ms);
+  json.Field("slow_bytes", static_cast<std::int64_t>(slow.size()));
+  json.Field("valid", export_valid);
+  json.Close();
+  json.Close();
+
+  // The Chrome trace-event artifact CI uploads (and validates as JSON).
+  if (!trace_dump.empty()) {
+    std::ofstream dump(trace_dump, std::ios::trunc);
+    dump << chrome;
+    if (!dump.good()) {
+      std::fprintf(stderr, "tracing: failed to write %s\n",
+                   trace_dump.c_str());
+      return false;
+    }
+    std::printf("tracing  dump %s (%zu bytes)\n", trace_dump.c_str(),
+                chrome.size());
+  }
+
+  std::printf(
+      "tracing  %lld requests (%.0f QPS traced vs %.0f untraced), "
+      "%llu spans / %llu traces, %lld adopted, %llu slow-captured, "
+      "export %zuB in %.1fms\n",
+      static_cast<long long>(traced_requests), traced_qps, plain_qps,
+      static_cast<unsigned long long>(stats.spans_recorded),
+      static_cast<unsigned long long>(stats.traces_finished),
+      static_cast<long long>(adopted),
+      static_cast<unsigned long long>(stats.slow_captured), chrome.size(),
+      export_ms);
+
+  // The gates the ledger validation repeats: propagation negotiated and
+  // adopted on the wire, span trees finished, tail capture fired, and
+  // the export is well-formed Chrome trace-event JSON.
+  return negotiated && adopted > 0 && sampled > 0 &&
+         stats.traces_finished > 0 && stats.slow_captured > 0 &&
+         export_valid;
 }
 
 // --- Phase 2b: transport ---------------------------------------------------
@@ -1507,6 +1728,7 @@ struct ShardSpec {
   std::string manifest_flag;
   std::string shard_flag;
   std::string checkpoint_flag;
+  std::string stats_flag;
   std::string workers;
   std::string log_path;
 };
@@ -1514,12 +1736,14 @@ struct ShardSpec {
 ShardSpec MakeShardSpec(const ClusterConfig& config,
                         const std::string& manifest_path,
                         const std::string& checkpoint_dir,
-                        const std::string& log_prefix, int shard) {
+                        const std::string& log_prefix, int shard,
+                        int stats_port) {
   ShardSpec spec;
   spec.binary = config.serve_binary;
   spec.manifest_flag = "--cluster-manifest=" + manifest_path;
   spec.shard_flag = "--shard-id=" + std::to_string(shard);
   spec.checkpoint_flag = "--checkpoint-dir=" + checkpoint_dir;
+  spec.stats_flag = "--stats-port=" + std::to_string(stats_port);
   spec.workers = std::to_string(config.workers_per_shard);
   spec.log_path = log_prefix + std::to_string(shard) + ".log";
   return spec;
@@ -1529,7 +1753,9 @@ pid_t SpawnShard(const ShardSpec& spec) {
   const pid_t pid = ::fork();
   if (pid != 0) return pid;
   // Child: per-shard log file, then exec serve. Positional "0" is the
-  // port, overridden by the manifest; tracing off to keep shards lean.
+  // port, overridden by the manifest. Head sampling off keeps shards
+  // lean; contexts adopted from the wire still record spans, which is
+  // what the stitched-trace drill scrapes off /traces.
   const int fd =
       ::open(spec.log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
   if (fd >= 0) {
@@ -1539,9 +1765,53 @@ pid_t SpawnShard(const ShardSpec& spec) {
   }
   ::execl(spec.binary.c_str(), spec.binary.c_str(), spec.manifest_flag.c_str(),
           spec.shard_flag.c_str(), spec.checkpoint_flag.c_str(),
-          "--checkpoint-interval-ms=500", "--trace-sample-every-n=0", "0",
-          spec.workers.c_str(), static_cast<char*>(nullptr));
+          spec.stats_flag.c_str(), "--checkpoint-interval-ms=500",
+          "--trace-sample-every-n=0", "0", spec.workers.c_str(),
+          static_cast<char*>(nullptr));
   ::_exit(127);  // exec failed; the readiness gate reports it.
+}
+
+/// Minimal HTTP/1.0 GET against a shard's stats port; whole response
+/// (headers + body) or "" on any failure.
+std::string HttpGet(int port, const std::string& path) {
+  auto conn =
+      rtrec::ConnectTcp("127.0.0.1", static_cast<std::uint16_t>(port), 2000);
+  if (!conn.ok()) return "";
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::write(conn->get(), request.data() + sent, request.size() - sent);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!rtrec::WaitReady(conn->get(), /*for_read=*/false, 2000).ok()) {
+        return "";
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return "";
+  }
+  std::string out;
+  char buf[8192];
+  while (true) {
+    const ssize_t n = ::read(conn->get(), buf, sizeof(buf));
+    if (n > 0) {
+      out.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) break;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!rtrec::WaitReady(conn->get(), /*for_read=*/true, 2000).ok()) break;
+      continue;
+    }
+    break;
+  }
+  return out;
 }
 
 /// Owns the shard processes: TERMs and reaps whatever is still alive on
@@ -1747,7 +2017,7 @@ bool RunCluster(Json& json, bool smoke, ClusterConfig config) {
     ProcessGroup procs;
     procs.pids.push_back(SpawnShard(MakeShardSpec(
         config, manifest_path, workdir.path + "/baseline-checkpoints",
-        workdir.path + "/baseline-shard-", 0)));
+        workdir.path + "/baseline-shard-", 0, PickFreePort())));
     rtrec::ClusterClient::Options ready_options;
     ready_options.manifest = manifest;
     rtrec::ClusterClient ready(std::move(ready_options));
@@ -1768,11 +2038,14 @@ bool RunCluster(Json& json, bool smoke, ClusterConfig config) {
     return false;
   }
   std::vector<ShardSpec> specs;
+  std::vector<int> stats_ports;
   ProcessGroup procs;
   for (int shard = 0; shard < config.num_shards; ++shard) {
+    stats_ports.push_back(PickFreePort());
     specs.push_back(MakeShardSpec(config, manifest_path,
                                   workdir.path + "/checkpoints",
-                                  workdir.path + "/shard-", shard));
+                                  workdir.path + "/shard-", shard,
+                                  stats_ports.back()));
     procs.pids.push_back(SpawnShard(specs.back()));
   }
 
@@ -1837,6 +2110,46 @@ bool RunCluster(Json& json, bool smoke, ClusterConfig config) {
       }
     }
   }
+
+  // One stitched multi-shard trace of the kill: the same dead-owner key
+  // asked for under a sampled context. The router re-stamps the context
+  // with the hop number on each failover attempt, the fallback shard
+  // adopts it off the wire, and its /traces must then show the span
+  // tree under our trace id, with hop=1 on /traces/slow. The shard
+  // processes head-sample nothing (--trace-sample-every-n=0), so this
+  // is the only trace the cluster records — pure wire propagation.
+  const std::uint64_t drill_trace_id = 0xD157CA11ull;
+  bool stitched_trace_found = false;
+  bool stitched_hop_found = false;
+  {
+    rtrec::ClusterClient::Options drill_options;
+    drill_options.manifest = manifest;
+    rtrec::ClusterClient drill(std::move(drill_options));
+    rtrec::TraceContext trace;
+    trace.id = drill_trace_id;
+    trace.start_us = rtrec::Tracer::NowMicros();
+    rtrec::ScopedTraceContext scope(trace);
+    rtrec::RecRequest request;
+    request.user = probe_user;
+    request.top_n = 10;
+    request.now = 2;
+    const auto deadline = Clock::now() + std::chrono::seconds(5);
+    while (Clock::now() < deadline) {
+      if (drill.RecommendDetailed(request).ok()) break;
+    }
+  }
+  const std::string drill_hex = HexTraceId16(drill_trace_id);
+  for (int shard = 0; shard < config.num_shards; ++shard) {
+    if (shard == static_cast<int>(victim)) continue;
+    const std::string traces = HttpGet(stats_ports[shard], "/traces");
+    if (traces.find(drill_hex) == std::string::npos) continue;
+    stitched_trace_found = true;
+    const std::string slow = HttpGet(stats_ports[shard], "/traces/slow");
+    if (slow.find(drill_hex) != std::string::npos &&
+        slow.find("\"hop\":1") != std::string::npos) {
+      stitched_hop_found = true;
+    }
+  }
   std::this_thread::sleep_for(std::chrono::seconds(config.window_seconds));
 
   // Restart the victim; recovery = respawn to answering Ping (it
@@ -1895,6 +2208,11 @@ bool RunCluster(Json& json, bool smoke, ClusterConfig config) {
   json.Field("victim_shard", static_cast<std::int64_t>(victim));
   json.Field("failover_latency_ms", failover_ms);
   json.Field("failover_reply_degraded", failover_degraded);
+  json.OpenObject("stitched_trace");
+  json.Field("trace_id", drill_hex);
+  json.Field("found_on_fallback_shard", stitched_trace_found);
+  json.Field("failover_hop_recorded", stitched_hop_found);
+  json.Close();
   json.Field("recovery_ms", recovery_ms);
   EmitWindow(json, "post_recovery", windows[kPost], post_elapsed);
   json.OpenObject("router");
@@ -1934,6 +2252,10 @@ bool RunCluster(Json& json, bool smoke, ClusterConfig config) {
       windows[kOutage].ErrorFraction() * 100,
       windows[kOutage].DegradedFraction() * 100, recovery_ms,
       static_cast<long long>(windows[kPost].errors.load()));
+  std::printf("cluster  stitched trace %s: %s on fallback /traces, hop=1 %s\n",
+              drill_hex.c_str(),
+              stitched_trace_found ? "found" : "MISSING",
+              stitched_hop_found ? "recorded" : "MISSING");
 
   // The drill's contract: the kill is survivable (bounded errors, the
   // failover answer arrives and is DEGRADED), the restart heals
@@ -1945,6 +2267,14 @@ bool RunCluster(Json& json, bool smoke, ClusterConfig config) {
   }
   if (failover_ms < 0 || !failover_degraded) {
     std::fprintf(stderr, "cluster: failover answer missing or not DEGRADED\n");
+    ok = false;
+  }
+  if (!stitched_trace_found || !stitched_hop_found) {
+    std::fprintf(stderr,
+                 "cluster: no stitched multi-shard trace — the propagated "
+                 "context %s did not surface on a fallback shard's /traces "
+                 "with hop=1\n",
+                 drill_hex.c_str());
     ok = false;
   }
   if (windows[kOutage].ErrorFraction() > 0.2) {
@@ -1967,7 +2297,8 @@ bool RunCluster(Json& json, bool smoke, ClusterConfig config) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
-  std::string out_path = "BENCH_PR9.json";
+  std::string out_path = "BENCH_PR10.json";
+  std::string trace_dump;
   int connections = 8;
   int seconds = 3;
   IngestConfig ingest_config;
@@ -1985,6 +2316,8 @@ int main(int argc, char** argv) {
       cluster_config.serve_binary = value;
     } else if (ParseFlag(argv[i], "--out", &value)) {
       out_path = value;
+    } else if (ParseFlag(argv[i], "--trace-dump", &value)) {
+      trace_dump = value;
     } else if (ParseFlag(argv[i], "--connections", &value)) {
       connections = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "--seconds", &value)) {
@@ -1997,9 +2330,10 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atoll(value.c_str()));
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--smoke] [--out=PATH] [--connections=N] "
-                   "[--seconds=N] [--queue-capacity=N] [--drain-batch=N] "
-                   "[--pin-cpus] [--serve-binary=PATH] [--cluster-only]\n",
+                   "usage: %s [--smoke] [--out=PATH] [--trace-dump=PATH] "
+                   "[--connections=N] [--seconds=N] [--queue-capacity=N] "
+                   "[--drain-batch=N] [--pin-cpus] [--serve-binary=PATH] "
+                   "[--cluster-only]\n",
                    argv[0]);
       return 2;
     }
@@ -2021,6 +2355,7 @@ int main(int argc, char** argv) {
   if (!cluster_only) {
     ok = RunIngest(json, smoke, ingest_config);
     ok = RunServe(json, smoke, connections, seconds) && ok;
+    ok = RunTracing(json, smoke, trace_dump) && ok;
     ok = RunTransport(json, smoke, seconds) && ok;
     ok = RunRecall(json, smoke) && ok;
     ok = RunQuality(json, smoke) && ok;

@@ -6,6 +6,8 @@
 //   $ ./serve [port] [workers] [--checkpoint-dir=DIR]
 //             [--checkpoint-interval-ms=N] [--deadline-ms=N]
 //             [--stats-port=N] [--trace-sample-every-n=N]
+//             [--trace-slow-us=N] [--trace-dump=FILE]
+//             [--native-histograms]
 //             [--quality-holdout-every-n=N] [--quality-arms=N]
 //             [--host=ADDR] [--cluster-manifest=FILE] [--shard-id=I]
 //             [--num-shards=N] [--shm=NAME] [--shm-slots=N]
@@ -43,6 +45,18 @@
 // via the wire protocol's Stats RPC (RecClient::Stats). Request tracing
 // is on by default: 1 in --trace-sample-every-n requests records
 // per-stage latencies under "trace.*" (0 disables tracing).
+// --native-histograms adds cumulative Prometheus histogram families to
+// the HTTP scrape.
+//
+// Distributed tracing (docs/OPERATIONS.md, "Reading a distributed
+// trace"): sampled requests — and, when an upstream router propagated a
+// sampled context over the wire, adopted ones — record per-stage spans
+// into an in-process collector. Finished traces are served as Chrome
+// trace-event JSON at /traces on the stats port (load in Perfetto) and
+// the slowest requests with per-stage breakdowns at /traces/slow.
+// --trace-slow-us=N retroactively keeps any request slower than N µs
+// even when it was not sampled (tail capture). --trace-dump=FILE writes
+// the trace-event JSON to FILE on shutdown.
 //
 // Model-quality monitoring is always on (the service has a metrics
 // registry): progressive-validation logloss, online recall@N over a
@@ -80,6 +94,7 @@
 #include "cluster/hash_ring.h"
 #include "cluster/manifest.h"
 #include "common/trace.h"
+#include "obs/span_collector.h"
 #include "net/rec_server.h"
 #include "net/shm_transport.h"
 #include "net/stats_server.h"
@@ -121,6 +136,9 @@ int main(int argc, char** argv) {
   int deadline_ms = 0;
   int stats_port = -1;  // -1 = no HTTP stats endpoint.
   int trace_sample_every_n = 64;
+  long trace_slow_us = 0;    // 0 = no tail capture.
+  std::string trace_dump;    // Empty = no shutdown dump.
+  bool native_histograms = false;
   int quality_holdout_every_n = 100;
   int quality_arms = 2;
   std::string manifest_path;
@@ -142,6 +160,12 @@ int main(int argc, char** argv) {
       stats_port = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "--trace-sample-every-n", &value)) {
       trace_sample_every_n = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--trace-slow-us", &value)) {
+      trace_slow_us = std::atol(value.c_str());
+    } else if (ParseFlag(argv[i], "--trace-dump", &value)) {
+      trace_dump = value;
+    } else if (std::strcmp(argv[i], "--native-histograms") == 0) {
+      native_histograms = true;
     } else if (ParseFlag(argv[i], "--quality-holdout-every-n", &value)) {
       quality_holdout_every_n = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "--quality-arms", &value)) {
@@ -282,6 +306,14 @@ int main(int argc, char** argv) {
   tracer_options.metrics = &rtrec::MetricsRegistry::Default();
   rtrec::Tracer tracer(tracer_options);
 
+  // Span collector: sampled (and adopted, and tail-captured) requests
+  // record per-stage spans here; /traces on the stats port and
+  // --trace-dump export them as Chrome trace-event JSON.
+  rtrec::obs::SpanCollector::Options span_options;
+  span_options.shard_id = shard_id >= 0 ? shard_id : 0;
+  span_options.metrics = &rtrec::MetricsRegistry::Default();
+  rtrec::obs::SpanCollector spans(span_options);
+
   rtrec::RecServer::Options options;
   options.host = host;
   options.port = port;
@@ -289,6 +321,8 @@ int main(int argc, char** argv) {
   options.metrics = &rtrec::MetricsRegistry::Default();
   options.recommend_deadline_ms = deadline_ms;
   options.tracer = &tracer;
+  options.spans = &spans;
+  options.trace_slow_us = trace_slow_us;
   if (!shm_address.empty()) {
     // Accept the client-side spelling ("rec://shm/NAME") or a bare NAME.
     auto parsed = rtrec::ParseShmAddress(shm_address);
@@ -333,6 +367,9 @@ int main(int argc, char** argv) {
 
   rtrec::StatsServer::Options stats_options;
   stats_options.port = static_cast<std::uint16_t>(stats_port);
+  stats_options.shard_id = shard_id >= 0 ? shard_id : 0;
+  stats_options.spans = &spans;
+  stats_options.native_histograms = native_histograms;
   rtrec::StatsServer stats_server(&rtrec::MetricsRegistry::Default(),
                                   stats_options);
   if (stats_port >= 0) {
@@ -355,6 +392,18 @@ int main(int argc, char** argv) {
   stats_server.Stop();
   server.Stop();
   checkpointer.Stop();  // Takes a final snapshot when checkpointing is on.
+  if (!trace_dump.empty()) {
+    spans.Flush();
+    const std::string json = spans.ExportChromeJson();
+    if (FILE* f = std::fopen(trace_dump.c_str(), "w")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("trace dump (%zu bytes) written to %s\n", json.size(),
+                  trace_dump.c_str());
+    } else {
+      std::fprintf(stderr, "trace dump: cannot open %s\n", trace_dump.c_str());
+    }
+  }
   std::printf("\n%s\n", rtrec::MetricsRegistry::Default().Report().c_str());
   return 0;
 }

@@ -1,16 +1,17 @@
 #!/usr/bin/env bash
 # Build-and-run wrapper for the unified benchmark runner: runs the
-# ingest / serve / transport / recall / quality phases, the
-# multi-process cluster drill, and the million-scale workload leg
-# (quantized factor memory + scenario stream + recall guardrail) with
-# fixed seeds and writes the machine-readable ledger (BENCH_PR9.json),
-# then validates it.
+# ingest / serve / tracing / transport / recall / quality phases, the
+# multi-process cluster drill (including the stitched multi-shard trace
+# assertion), and the million-scale workload leg (quantized factor
+# memory + scenario stream + recall guardrail) with fixed seeds and
+# writes the machine-readable ledger (BENCH_PR10.json), then validates
+# it.
 #
 #   scripts/bench.sh [--smoke] [--build-dir=DIR] [--out=PATH]
-#                    [--queue-capacity=N] [--drain-batch=N] [--pin-cpus]
-#                    [--no-cluster]
+#                    [--trace-dump=PATH] [--queue-capacity=N]
+#                    [--drain-batch=N] [--pin-cpus] [--no-cluster]
 #
-# Defaults: full mode, ./build, BENCH_PR9.json in the repo root. The
+# Defaults: full mode, ./build, BENCH_PR10.json in the repo root. The
 # queue flags are forwarded to the runner's ingest phase (0 = engine
 # defaults). The cluster phase forks real serve processes from
 # examples/serve; --no-cluster skips it (scripts/cluster.sh runs the
@@ -23,7 +24,7 @@ set -u
 smoke=""
 build_dir="build"
 extra_flags=()
-out="BENCH_PR9.json"
+out="BENCH_PR10.json"
 cluster="yes"
 for arg in "$@"; do
   case "${arg}" in
@@ -31,11 +32,12 @@ for arg in "$@"; do
     --build-dir=*) build_dir="${arg#--build-dir=}" ;;
     --out=*) out="${arg#--out=}" ;;
     --no-cluster) cluster="" ;;
-    --queue-capacity=*|--drain-batch=*|--pin-cpus) extra_flags+=("${arg}") ;;
+    --queue-capacity=*|--drain-batch=*|--pin-cpus|--trace-dump=*)
+      extra_flags+=("${arg}") ;;
     *)
       echo "usage: scripts/bench.sh [--smoke] [--build-dir=DIR] [--out=PATH]" \
-           "[--queue-capacity=N] [--drain-batch=N] [--pin-cpus]" \
-           "[--no-cluster]" >&2
+           "[--trace-dump=PATH] [--queue-capacity=N] [--drain-batch=N]" \
+           "[--pin-cpus] [--no-cluster]" >&2
       exit 2
       ;;
   esac
@@ -83,6 +85,21 @@ assert ledger["serve"]["stats_scrape"]["counters_monotone"], \
 assert 0.0 <= ledger["recall"]["recall_at_10"] <= 1.0, "recall out of range"
 for key in ("p50_us", "p95_us", "p99_us"):
     assert key in ledger["serve"]["client_latency"], f"missing {key}"
+# Tracing section: propagation must be negotiated and exercised over
+# the wire (adopted > 0 means server-side Dapper-style adoption fired),
+# span trees must finish, tail capture must keep slow requests, and the
+# Chrome trace-event export must be well-formed.
+tracing = ledger["tracing"]
+assert tracing["propagation_negotiated"], \
+    "client did not negotiate trace propagation"
+assert tracing["adopted"] > 0, "no trace contexts adopted off the wire"
+assert tracing["sampled"] > 0, "head sampler recorded nothing"
+assert tracing["traces_finished"] > 0, "no span trees finished"
+assert tracing["slow_captured"] > 0, "tail capture kept no requests"
+assert tracing["spans_recorded"] > 0, "no spans recorded"
+assert tracing["spans_per_trace"] >= 1.0, "span trees are empty"
+assert tracing["export"]["valid"], "trace export is not valid trace-event JSON"
+assert tracing["export"]["chrome_bytes"] > 0, "trace export is empty"
 # Transport section: every leg of the wire-bound drill must have run
 # and pipelining must beat the v1 lock-step baseline on the same box.
 # The absolute 3x / 500k-QPS targets are NOT asserted here — a 1-CPU CI
@@ -170,6 +187,11 @@ if "cluster" in ledger:
         "failover answer was not flagged DEGRADED"
     assert cluster["recovery_ms"] >= 0, "victim never recovered"
     assert cluster["post_recovery"]["errors"] == 0, "errors after recovery"
+    stitched = cluster["stitched_trace"]
+    assert stitched["found_on_fallback_shard"], \
+        "kill-9 failover produced no stitched multi-shard trace"
+    assert stitched["failover_hop_recorded"], \
+        "the stitched trace is missing the hop=1 failover marker"
 print(f"ledger OK: {sys.argv[1]}")
 EOF
 else
@@ -180,7 +202,8 @@ else
                '"online_recall_at_10"' '"logloss"' '"transport"' \
                '"shm_v2_pipelined"' '"v2_pipelined_speedup_vs_v1"' \
                '"workload"' '"million_scale"' '"fp16_reduction_ok"' \
-               '"recall_guardrail"'; do
+               '"recall_guardrail"' '"tracing"' '"adopted"' \
+               '"slow_captured"' '"traces_finished"'; do
     if ! grep -q "${field}" "${out}"; then
       echo "bench.sh: ledger ${out} is missing ${field}" >&2
       exit 1

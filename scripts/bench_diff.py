@@ -27,7 +27,11 @@ regressed regardless of hardware. The workload section (PR9+) diffs
 quantized bytes-per-entry (any change warns — packed layout is a format
 fact, not noise), the fp16/int8 recall deltas (same-mode only, like
 recall), stream throughput, peak RSS, and whether the planted
-demographic drift still trips the quality watchdog.
+demographic drift still trips the quality watchdog. The tracing
+section (PR10+) diffs traced QPS and warns if any of the structural
+facts collapse — wire adoption, finished span trees, tail captures, or
+export validity are booleans/counts that a healthy run never zeroes;
+likewise the cluster drill's stitched multi-shard trace.
 """
 
 import json
@@ -107,6 +111,17 @@ def diff_cluster(baseline, fresh, threshold, paths):
             print(f"::warning::cluster {key} regressed more than "
                   f"{threshold:.0%}: {b:.0f}ms -> {f:.0f}ms "
                   f"({paths[0]} vs {paths[1]})")
+    # The stitched multi-shard trace (PR10+) is a boolean contract, not
+    # a timing: the kill-9 failover must surface on the fallback shard's
+    # /traces with the hop marker whenever the drill ran.
+    stitched = fresh_cluster.get("stitched_trace") or {}
+    if stitched:
+        found = stitched.get("found_on_fallback_shard")
+        hop = stitched.get("failover_hop_recorded")
+        print(f"cluster stitched trace: found={found} hop1={hop}")
+        if not found or not hop:
+            print(f"::warning::the kill-9 drill no longer yields a "
+                  f"stitched multi-shard trace with hop=1 ({paths[1]})")
 
 
 def diff_transport(baseline, fresh, threshold, paths):
@@ -148,6 +163,44 @@ def diff_transport(baseline, fresh, threshold, paths):
             print(f"::warning::transport {key} is {f:.2f}x — pipelining "
                   f"no longer beats the v1 lock-step baseline "
                   f"({paths[1]})")
+
+
+def diff_tracing(baseline, fresh, threshold, paths):
+    """Tracing rows (PR10+): traced QPS uses the relative threshold;
+    the structural facts (adoption, finished traces, tail captures,
+    export validity) warn whenever the fresh ledger zeroes one —
+    a healthy run always records them, whatever the hardware."""
+    base_tracing = baseline.get("tracing") or {}
+    fresh_tracing = fresh.get("tracing") or {}
+    if not fresh_tracing:
+        print("bench_diff: tracing section missing from the fresh ledger; "
+              "skipping tracing diff")
+        return
+    b = base_tracing.get("qps_traced")
+    f = fresh_tracing.get("qps_traced")
+    if b and f:
+        print(f"tracing qps: {b:12.1f} -> {f:12.1f} "
+              f"({(f / b - 1) * 100:+.1f}%)")
+        if f < b * (1 - threshold):
+            print(f"::warning::traced QPS regressed more than "
+                  f"{threshold:.0%}: {b:.0f} -> {f:.0f} "
+                  f"({paths[0]} vs {paths[1]})")
+    for key in ("adopted", "traces_finished", "slow_captured",
+                "spans_recorded"):
+        value = fresh_tracing.get(key)
+        if value is None:
+            continue
+        print(f"tracing {key}: {value}")
+        if value <= 0:
+            print(f"::warning::tracing {key} is zero — the tracing "
+                  f"subsystem recorded nothing for it ({paths[1]})")
+    if not fresh_tracing.get("propagation_negotiated", True):
+        print(f"::warning::trace propagation no longer negotiated on "
+              f"connect ({paths[1]})")
+    export = fresh_tracing.get("export") or {}
+    if export and not export.get("valid", True):
+        print(f"::warning::trace export is no longer valid Chrome "
+              f"trace-event JSON ({paths[1]})")
 
 
 def diff_workload(baseline, fresh, threshold, paths):
@@ -283,6 +336,7 @@ def main(argv):
               f"({paths[0]} vs {paths[1]})")
 
     diff_ingest(baseline, fresh, threshold, paths)
+    diff_tracing(baseline, fresh, threshold, paths)
     diff_transport(baseline, fresh, threshold, paths)
     diff_cluster(baseline, fresh, threshold, paths)
     diff_workload(baseline, fresh, threshold, paths)

@@ -27,7 +27,9 @@ def ledger(qps=50000.0, p99=300.0, smoke=True,
            with_transport=True, v1_qps=60000.0, v2_qps=200000.0,
            shm_qps=400000.0, with_workload=True, fp16_bytes=80.0,
            stream_aps=150000.0, rss_peak_mb=2000.0, drift_tripped=True,
-           fp16_delta=0.0, int8_delta=0.02):
+           fp16_delta=0.0, int8_delta=0.02, with_tracing=True,
+           traced_qps=45000.0, adopted=500, slow_captured=300,
+           propagation=True, export_valid=True, stitched=True):
     doc = {
         "schema": schema,
         "smoke": smoke,
@@ -52,6 +54,21 @@ def ledger(qps=50000.0, p99=300.0, smoke=True,
             "steady": {"qps": cluster_qps},
             "failover_latency_ms": failover_ms,
             "recovery_ms": recovery_ms,
+            "stitched_trace": {
+                "found_on_fallback_shard": stitched,
+                "failover_hop_recorded": stitched,
+            },
+        }
+    if with_tracing:
+        doc["tracing"] = {
+            "propagation_negotiated": propagation,
+            "qps_traced": traced_qps,
+            "sampled": 1000,
+            "adopted": adopted,
+            "spans_recorded": 4000,
+            "traces_finished": 1200,
+            "slow_captured": slow_captured,
+            "export": {"chrome_bytes": 65536, "valid": export_valid},
         }
     if with_transport:
         doc["transport"] = {
@@ -335,6 +352,47 @@ def main():
     check("missing workload section still diffs serve",
           "serve qps" in out, out)
     check("missing workload section exits 0", code == 0, out)
+
+    # Traced QPS regression beyond the threshold is annotated.
+    code, out = run(ledger(traced_qps=45000), ledger(traced_qps=20000))
+    check("traced qps regression detected",
+          "::warning::traced QPS regressed" in out, out)
+    check("traced qps regression still exits 0", code == 0, out)
+
+    # Structural tracing facts zeroing out always warns — adoption and
+    # tail capture are counts a healthy run never records as zero.
+    code, out = run(ledger(), ledger(adopted=0))
+    check("zero adoption detected",
+          "::warning::tracing adopted is zero" in out, out)
+    code, out = run(ledger(), ledger(slow_captured=0))
+    check("zero tail capture detected",
+          "::warning::tracing slow_captured is zero" in out, out)
+    code, out = run(ledger(), ledger(propagation=False))
+    check("lost propagation negotiation detected",
+          "no longer negotiated" in out, out)
+    code, out = run(ledger(), ledger(export_valid=False))
+    check("invalid trace export detected",
+          "no longer valid Chrome trace-event JSON" in out, out)
+    check("invalid export still exits 0", code == 0, out)
+
+    # Baseline that predates the tracing phase (pre-PR10 ledger): the
+    # QPS row is skipped but the structural facts still check.
+    code, out = run(ledger(with_tracing=False), ledger())
+    check("missing tracing baseline still prints facts",
+          "tracing adopted" in out, out)
+    check("missing tracing baseline does not warn",
+          "::warning::" not in out, out)
+    code, out = run(ledger(), ledger(with_tracing=False))
+    check("missing fresh tracing section is tolerated",
+          "skipping tracing diff" in out, out)
+    check("missing fresh tracing section exits 0", code == 0, out)
+
+    # The stitched multi-shard trace disappearing from the cluster drill
+    # is always annotated.
+    code, out = run(ledger(), ledger(stitched=False))
+    check("lost stitched trace detected",
+          "no longer yields a stitched multi-shard trace" in out, out)
+    check("lost stitched trace still exits 0", code == 0, out)
 
     # Bad usage (wrong arg count) keeps the warn-only contract.
     code_out = io.StringIO()

@@ -1,9 +1,11 @@
 #include "cluster/cluster_client.h"
 
 #include <chrono>
+#include <optional>
 #include <sstream>
 
 #include "common/string_util.h"
+#include "common/trace.h"
 
 namespace rtrec {
 namespace {
@@ -139,6 +141,7 @@ Status ClusterClient::RouteCall(
       ring_.PreferenceOrder(HashRing::KeyForUser(user),
                             allow_failover ? 0 : 1);
   Status last = Status::Unavailable("cluster has no shards");
+  std::uint8_t attempt = 0;
   for (const ShardId shard_id : order) {
     Shard& shard = *shards_[shard_id];
     if (!Admitted(shard)) {
@@ -147,7 +150,20 @@ Status ClusterClient::RouteCall(
       continue;
     }
     if (shard.requests != nullptr) shard.requests->Increment();
-    Status status = call(*shard.client);
+    // Tag the propagated trace context with the attempt index, so a
+    // stitched cross-shard trace shows which hop was the failover
+    // (hop 0 = owner shard, hop 1 = first fallback, ...). The tagged
+    // context only lives for this attempt; RecClient stamps it onto
+    // the wire when the connection negotiated trace propagation.
+    Status status;
+    {
+      TraceContext hop_trace = CurrentTrace();
+      hop_trace.hop = attempt;
+      std::optional<ScopedTraceContext> hop_scope;
+      if (hop_trace.sampled()) hop_scope.emplace(hop_trace);
+      status = call(*shard.client);
+    }
+    if (attempt < 255) ++attempt;
     if (status.ok()) {
       RecordSuccess(shard);
       if (served_by != nullptr) *served_by = shard_id;

@@ -4,29 +4,44 @@
 
 namespace rtrec {
 
-Counter* MetricsRegistry::GetCounter(const std::string& name) {
+void MetricsRegistry::SetHelpLocked(const std::string& name,
+                                    const std::string& help) {
+  if (help.empty()) return;
+  auto& slot = help_[name];
+  if (slot.empty()) slot = help;  // First non-empty registration wins.
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
   std::lock_guard<std::mutex> lock(mu_);
+  SetHelpLocked(name, help);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
-Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
   std::lock_guard<std::mutex> lock(mu_);
+  SetHelpLocked(name, help);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
-DoubleGauge* MetricsRegistry::GetDoubleGauge(const std::string& name) {
+DoubleGauge* MetricsRegistry::GetDoubleGauge(const std::string& name,
+                                             const std::string& help) {
   std::lock_guard<std::mutex> lock(mu_);
+  SetHelpLocked(name, help);
   auto& slot = double_gauges_[name];
   if (!slot) slot = std::make_unique<DoubleGauge>();
   return slot.get();
 }
 
-Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help) {
   std::lock_guard<std::mutex> lock(mu_);
+  SetHelpLocked(name, help);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return slot.get();
@@ -51,6 +66,7 @@ MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
   for (const auto& [name, hist] : histograms_) {
     snap.histograms.emplace_back(name, hist.get());
   }
+  snap.help = help_;
   return snap;
 }
 
@@ -90,6 +106,37 @@ std::string PrometheusName(const std::string& name) {
   return out;
 }
 
+/// HELP text is a single exposition line: escape backslashes and fold
+/// any newline a caller snuck in (the format forbids raw '\n').
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void AppendHelp(const std::map<std::string, std::string>& help,
+                const std::string& registry_name, const std::string& prom_name,
+                const char* kind, std::ostringstream& out) {
+  const auto it = help.find(registry_name);
+  if (it != help.end()) {
+    out << "# HELP " << prom_name << " " << EscapeHelp(it->second) << "\n";
+  } else {
+    // Generated default. Uses the sanitized name: the raw registry name
+    // may contain characters the exposition format reserves.
+    out << "# HELP " << prom_name << " rtrec " << kind << " "
+        << PrometheusName(registry_name) << "\n";
+  }
+}
+
 void AppendSummary(const std::string& name, const Histogram& hist,
                    std::ostringstream& out) {
   // Each accessor takes the histogram's own lock; a scrape racing a
@@ -104,28 +151,53 @@ void AppendSummary(const std::string& name, const Histogram& hist,
   out << name << "_count " << hist.count() << "\n";
 }
 
+void AppendNativeHistogram(const std::string& name, const Histogram& hist,
+                           std::ostringstream& out) {
+  // CumulativeBuckets() is one consistent cut under the histogram's
+  // lock, so the le="+Inf" line always equals _count within the family.
+  const auto cut = hist.CumulativeBuckets();
+  out << "# TYPE " << name << " histogram\n";
+  for (const auto& [upper, cumulative] : cut.buckets) {
+    out << name << "_bucket{le=\"" << upper << "\"} " << cumulative << "\n";
+  }
+  out << name << "_bucket{le=\"+Inf\"} " << cut.count << "\n";
+  out << name << "_sum " << cut.sum << "\n";
+  out << name << "_count " << cut.count << "\n";
+}
+
 }  // namespace
 
-std::string MetricsRegistry::PrometheusText() const {
+std::string MetricsRegistry::PrometheusText(
+    const ExportOptions& options) const {
   const Snapshot snap = Snap();
   std::ostringstream out;
   for (const auto& [name, counter] : snap.counters) {
     const std::string prom = PrometheusName(name) + "_total";
+    AppendHelp(snap.help, name, prom, "counter", out);
     out << "# TYPE " << prom << " counter\n";
     out << prom << " " << counter->value() << "\n";
   }
   for (const auto& [name, gauge] : snap.gauges) {
     const std::string prom = PrometheusName(name);
+    AppendHelp(snap.help, name, prom, "gauge", out);
     out << "# TYPE " << prom << " gauge\n";
     out << prom << " " << gauge->value() << "\n";
   }
   for (const auto& [name, gauge] : snap.double_gauges) {
     const std::string prom = PrometheusName(name);
+    AppendHelp(snap.help, name, prom, "gauge", out);
     out << "# TYPE " << prom << " gauge\n";
     out << prom << " " << gauge->value() << "\n";
   }
   for (const auto& [name, hist] : snap.histograms) {
-    AppendSummary(PrometheusName(name), *hist, out);
+    const std::string prom = PrometheusName(name);
+    AppendHelp(snap.help, name, prom, "summary", out);
+    AppendSummary(prom, *hist, out);
+    if (options.native_histograms) {
+      const std::string prom_hist = prom + "_hist";
+      AppendHelp(snap.help, name, prom_hist, "histogram", out);
+      AppendNativeHistogram(prom_hist, *hist, out);
+    }
   }
   return out.str();
 }

@@ -60,10 +60,16 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
-  DoubleGauge* GetDoubleGauge(const std::string& name);
-  Histogram* GetHistogram(const std::string& name);
+  /// Lookup-or-create. The optional `help` is a one-line description
+  /// emitted as the Prometheus "# HELP" line; the first non-empty help
+  /// registered for a name wins, and a metric registered without one
+  /// falls back to a generic default at export time.
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  DoubleGauge* GetDoubleGauge(const std::string& name,
+                              const std::string& help = "");
+  Histogram* GetHistogram(const std::string& name,
+                          const std::string& help = "");
 
   /// Snapshot of all metric names and scalar values (histograms render via
   /// Histogram::ToString). Sorted by name. Formatting happens outside the
@@ -72,12 +78,25 @@ class MetricsRegistry {
   /// consistent cut — fine for monitoring output.
   std::string Report() const;
 
+  /// Options for PrometheusText.
+  struct ExportOptions {
+    /// Additionally export every histogram as a native Prometheus
+    /// `histogram` family named "<name>_hist" (cumulative
+    /// _bucket{le="..."} lines from the exponential buckets, plus _sum
+    /// and _count). The summary family keeps its unsuffixed name for
+    /// ledger compatibility — one name cannot carry both types.
+    bool native_histograms = false;
+  };
+
   /// The registry in Prometheus text exposition format (version 0.0.4):
   /// counters as "<name>_total" counters, gauges as gauges, histograms as
-  /// summaries with p50/p95/p99 quantiles plus _sum and _count. Metric
-  /// names are sanitized ('.' and every other character outside
-  /// [a-zA-Z0-9_:] become '_'). Same locking discipline as Report().
-  std::string PrometheusText() const;
+  /// summaries with p50/p95/p99 quantiles plus _sum and _count (and
+  /// optionally as native histogram families; see ExportOptions). Every
+  /// family is preceded by "# HELP" and "# TYPE" lines. Metric names are
+  /// sanitized ('.' and every other character outside [a-zA-Z0-9_:]
+  /// become '_'). Same locking discipline as Report().
+  std::string PrometheusText(const ExportOptions& options) const;
+  std::string PrometheusText() const { return PrometheusText(ExportOptions{}); }
 
   /// Process-wide default registry.
   static MetricsRegistry& Default();
@@ -90,14 +109,18 @@ class MetricsRegistry {
     std::vector<std::pair<std::string, const Gauge*>> gauges;
     std::vector<std::pair<std::string, const DoubleGauge*>> double_gauges;
     std::vector<std::pair<std::string, const Histogram*>> histograms;
+    std::map<std::string, std::string> help;
   };
   Snapshot Snap() const;
+
+  void SetHelpLocked(const std::string& name, const std::string& help);
 
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<DoubleGauge>> double_gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::string> help_;
 };
 
 }  // namespace rtrec

@@ -1,11 +1,23 @@
 #include "common/trace.h"
 
+#include <unistd.h>
+
 #include <chrono>
 
 namespace rtrec {
 namespace {
 
 thread_local TraceContext t_current_trace;
+
+/// splitmix64 finalizer: a cheap bijective mixer. Used to spread the
+/// (seed ^ counter) sequence over the full u64 space so trace ids minted
+/// by different processes are distinct with overwhelming probability.
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
 
 std::string StageMetricName(const char* prefix, std::string_view stage,
                             const char* suffix) {
@@ -24,8 +36,16 @@ Tracer::Tracer(Options options)
     : options_(options),
       metrics_(options.metrics != nullptr ? options.metrics
                                           : &MetricsRegistry::Default()),
-      roots_counter_(metrics_->GetCounter("trace.roots")),
-      sampled_counter_(metrics_->GetCounter("trace.sampled")) {}
+      id_seed_(SplitMix64(static_cast<std::uint64_t>(NowMicros()) ^
+                          (static_cast<std::uint64_t>(::getpid()) << 32) ^
+                          reinterpret_cast<std::uintptr_t>(this))),
+      roots_counter_(metrics_->GetCounter(
+          "trace.roots", "trace roots seen at this process's boundaries")),
+      sampled_counter_(metrics_->GetCounter(
+          "trace.sampled", "trace roots that drew a sampled context")),
+      adopted_counter_(metrics_->GetCounter(
+          "trace.adopted",
+          "sampled contexts adopted from the wire instead of minted")) {}
 
 TraceContext Tracer::StartTrace() {
   roots_counter_->Increment();
@@ -33,9 +53,21 @@ TraceContext Tracer::StartTrace() {
   const std::uint64_t n = roots_.fetch_add(1, std::memory_order_relaxed);
   if (n % options_.sample_every_n != 0) return {};
   TraceContext context;
-  context.id = next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::uint64_t seq = next_id_.fetch_add(1, std::memory_order_relaxed);
+  context.id = SplitMix64(id_seed_ ^ seq);
+  if (context.id == 0) context.id = 1;  // 0 means "not sampled".
   context.start_us = NowMicros();
   sampled_counter_->Increment();
+  return context;
+}
+
+TraceContext Tracer::AdoptTrace(std::uint64_t trace_id, std::uint8_t hop) {
+  if (trace_id == 0) return {};
+  TraceContext context;
+  context.id = trace_id;
+  context.start_us = NowMicros();
+  context.hop = hop;
+  adopted_counter_->Increment();
   return context;
 }
 

@@ -42,10 +42,16 @@ namespace rtrec {
 /// A default-constructed (id == 0) context means "not sampled": every
 /// recording operation on it is a no-op.
 struct TraceContext {
-  /// Unique per sampled trace within one Tracer; 0 = not sampled.
+  /// Unique per sampled trace; 0 = not sampled. Ids are mixed with a
+  /// per-process seed (splitmix64) so traces minted on different shards
+  /// of a cluster never collide and cross-process spans stitch by id.
   std::uint64_t id = 0;
   /// Steady-clock microseconds when the trace was minted at its root.
   std::int64_t start_us = 0;
+  /// Failover hop depth: 0 for the shard that owns the key, +1 per
+  /// ClusterClient failover attempt. Carried on the wire so a shard
+  /// serving out of preference order shows up in the stitched trace.
+  std::uint8_t hop = 0;
 
   bool sampled() const { return id != 0; }
 };
@@ -74,6 +80,14 @@ class Tracer {
   /// atomic increment. Counts "trace.roots" and "trace.sampled".
   TraceContext StartTrace();
 
+  /// Adopts a sampled context that arrived over the wire instead of
+  /// minting a new root (Dapper semantics: the sampling decision is made
+  /// once, at the root; downstream processes honor it regardless of
+  /// their local sample rate). `start_us` is this process's local clock
+  /// — since-root spans stay per-process; cross-process stitching is by
+  /// trace id. Counts "trace.adopted".
+  TraceContext AdoptTrace(std::uint64_t trace_id, std::uint8_t hop);
+
   /// Named histograms a stage records into. Callers on hot paths should
   /// resolve these once (at task/handler setup) and reuse the pointer —
   /// lookup takes the registry lock.
@@ -100,8 +114,10 @@ class Tracer {
   MetricsRegistry* metrics_;
   std::atomic<std::uint64_t> roots_{0};
   std::atomic<std::uint64_t> next_id_{0};
+  std::uint64_t id_seed_;
   Counter* roots_counter_;
   Counter* sampled_counter_;
+  Counter* adopted_counter_;
 };
 
 /// The trace context attached to the calling thread (null context when
@@ -133,10 +149,13 @@ class TraceSpan {
  public:
   explicit TraceSpan(Histogram* hist)
       : hist_(hist != nullptr && CurrentTrace().sampled() ? hist : nullptr),
+        trace_id_(hist_ != nullptr ? CurrentTrace().id : 0),
         start_us_(hist_ != nullptr ? Tracer::NowMicros() : 0) {}
 
   ~TraceSpan() {
-    if (hist_ != nullptr) hist_->Add(Tracer::NowMicros() - start_us_);
+    if (hist_ != nullptr) {
+      hist_->AddWithExemplar(Tracer::NowMicros() - start_us_, trace_id_);
+    }
   }
 
   TraceSpan(const TraceSpan&) = delete;
@@ -144,6 +163,7 @@ class TraceSpan {
 
  private:
   Histogram* hist_;
+  std::uint64_t trace_id_;
   std::int64_t start_us_;
 };
 

@@ -13,6 +13,7 @@
 
 #include "common/random.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 
 namespace rtrec {
 namespace {
@@ -104,6 +105,12 @@ std::uint8_t RecClient::negotiated_version() const {
   return state_ == ConnState::kUp ? negotiated_version_ : 0;
 }
 
+bool RecClient::trace_propagation_negotiated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_ == ConnState::kUp &&
+         (negotiated_features_ & kFeatureTracePropagation) != 0;
+}
+
 bool RecClient::Healthy(int deadline_ms) {
   if (deadline_ms <= 0) deadline_ms = 1;
   // Single attempt, hard budget: a probe's job is a bounded-time
@@ -174,6 +181,7 @@ Status RecClient::OpenTransportLocked(int timeout_ms) {
 
 Status RecClient::HandshakeLocked(std::int64_t deadline_ms) {
   negotiated_version_ = kWireVersion;
+  negotiated_features_ = 0;
   const int offer = std::clamp(options_.max_wire_version, 1,
                                static_cast<int>(kMaxWireVersion));
   if (offer < kWireVersionV2) return Status::OK();  // Pure v1 by choice.
@@ -181,6 +189,7 @@ Status RecClient::HandshakeLocked(std::int64_t deadline_ms) {
   HelloRequest hello;
   hello.min_version = kWireVersion;
   hello.max_version = static_cast<std::uint8_t>(offer);
+  hello.features = kFeatureTracePropagation;
   RTREC_RETURN_IF_ERROR(SendLocked(EncodeHelloRequest(id, hello), deadline_ms));
   StatusOr<Frame> frame = ReadFrameLocked(deadline_ms);
   if (!frame.ok()) return frame.status();
@@ -198,6 +207,9 @@ Status RecClient::HandshakeLocked(std::int64_t deadline_ms) {
                        reply->version, offer));
     }
     negotiated_version_ = reply->version;
+    // Only feature bits we offered AND the server echoed are live; a
+    // server acks trace propagation only on a v2 connection.
+    negotiated_features_ = reply->features & hello.features;
     return Status::OK();
   }
   if (frame->type == MessageType::kErrorResponse) {
@@ -243,6 +255,7 @@ void RecClient::CleanupBrokenLocked(std::unique_lock<std::mutex>& lock) {
     }
     pending_.clear();
     negotiated_version_ = kWireVersion;
+    negotiated_features_ = 0;
     v1_slot_busy_ = false;
     state_ = ConnState::kDown;
     cleanup_in_progress_ = false;
@@ -392,7 +405,16 @@ StatusOr<Frame> RecClient::CallOnce(const EncodeFn& encode,
   }
 
   const std::uint64_t id = next_request_id_++;
-  const std::string encoded = encode(id);
+  std::string encoded = encode(id);
+  // Stamp the calling thread's sampled trace context onto the frame —
+  // only on a connection that negotiated the feature; against anything
+  // else the context is silently dropped (WIRE_PROTOCOL.md §5.5).
+  if ((negotiated_features_ & kFeatureTracePropagation) != 0) {
+    const TraceContext& trace = CurrentTrace();
+    if (trace.sampled()) {
+      StampTraceExtension(&encoded, trace.id, kTraceFlagSampled, trace.hop);
+    }
+  }
   auto waiter = std::make_shared<Waiter>();
   pending_.emplace(id, waiter);
 

@@ -117,6 +117,14 @@ class RecClient {
   /// connected.
   std::uint8_t negotiated_version() const;
 
+  /// Whether the live connection negotiated the trace-propagation
+  /// feature (docs/WIRE_PROTOCOL.md §5.5). When true, calls made while
+  /// the calling thread carries a sampled TraceContext stamp the trace
+  /// extension onto their request frames; when false (v1 peer or a v2
+  /// server without tracing) the context is silently dropped and the
+  /// request is unchanged.
+  bool trace_propagation_negotiated() const;
+
   /// Responses that arrived for requests nobody was waiting on any more
   /// (late answers to timed-out attempts). They are dropped by design.
   std::uint64_t stale_responses_dropped() const {
@@ -226,6 +234,7 @@ class RecClient {
   std::atomic<bool> reader_stop_{false};
   std::uint64_t conn_epoch_ = 0;     // bumped per successful connect
   std::uint8_t negotiated_version_ = kWireVersion;
+  std::uint32_t negotiated_features_ = 0;
   std::unordered_map<std::uint64_t, std::shared_ptr<Waiter>> pending_;
   bool v1_slot_busy_ = false;        // v1 = one request in flight
   std::uint64_t next_request_id_ = 1;

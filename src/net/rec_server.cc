@@ -18,6 +18,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "net/shm_transport.h"
+#include "obs/span_collector.h"
 
 namespace rtrec {
 namespace {
@@ -339,6 +340,16 @@ RecServer::RecServer(RecommendationService* service, Options options)
   if (options_.max_wire_version > kMaxWireVersion) {
     options_.max_wire_version = kMaxWireVersion;
   }
+  if (options_.spans != nullptr) {
+    obs::SpanCollector* spans = options_.spans;
+    span_names_.rpc_recommend = spans->InternName("rpc.recommend");
+    span_names_.rpc_batch = spans->InternName("rpc.batch_recommend");
+    span_names_.rpc_observe = spans->InternName("rpc.observe");
+    span_names_.rpc_register = spans->InternName("rpc.register_profile");
+    span_names_.decode = spans->InternName("decode");
+    span_names_.engine = spans->InternName("engine");
+    span_names_.respond = spans->InternName("respond");
+  }
 }
 
 int RecServer::ServerMaxWireVersion() const {
@@ -377,10 +388,16 @@ void RecServer::DispatchFrame(const Frame& frame, RequestContext* ctx,
 
   // Version gate (docs/WIRE_PROTOCOL.md §5): v1 frames are always
   // legal; v2 frames only on a connection that negotiated v2 via Hello.
+  // A trace extension (decoded into frame.has_trace) counts as part of
+  // the version byte: on a connection that did not negotiate the
+  // feature it is a version violation, which is what a pre-trace server
+  // answers when it sees the marker bit (§5.5).
   const bool version_ok =
-      frame.version == kWireVersion ||
-      (frame.version == kWireVersionV2 &&
-       ctx->negotiated_version >= kWireVersionV2);
+      (frame.version == kWireVersion ||
+       (frame.version == kWireVersionV2 &&
+        ctx->negotiated_version >= kWireVersionV2)) &&
+      (!frame.has_trace ||
+       (ctx->negotiated_features & kFeatureTracePropagation) != 0);
   if (!version_ok) {
     metrics_->GetCounter("net.server.protocol_errors")->Increment();
     send(EncodeErrorResponse(
@@ -476,9 +493,17 @@ void RecServer::HandleHello(const Frame& frame, RequestContext* ctx,
   const std::uint8_t negotiated =
       static_cast<std::uint8_t>(std::min<int>(hello->max_version, server_max));
   ctx->negotiated_version = negotiated;
+  // Feature bits: ack the intersection of what the client offered and
+  // what this server supports. Trace propagation needs v2 framing
+  // semantics, so it is never acked on a v1 negotiation.
+  std::uint32_t features = 0;
+  if (negotiated >= kWireVersionV2) {
+    features = hello->features & kFeatureTracePropagation;
+  }
+  ctx->negotiated_features = features;
   HelloReply reply;
   reply.version = negotiated;
-  reply.features = 0;
+  reply.features = features;
   reply.max_in_flight_hint = static_cast<std::uint32_t>(options_.max_in_flight);
   reply.max_batch = static_cast<std::uint32_t>(kMaxBatchedRequests);
   send(EncodeHelloResponse(frame.request_id, reply));
@@ -496,18 +521,34 @@ void RecServer::HandleServiceRpc(const Frame& frame, RequestContext* ctx,
                      options_.max_in_flight)));
     return;
   }
-  if (options_.handler_delay_for_test_ms > 0) {
-    std::this_thread::sleep_for(
-        std::chrono::milliseconds(options_.handler_delay_for_test_ms));
-  }
-  // Every admitted service RPC is a trace root; a sampled context is
+  // Every admitted service RPC is a trace boundary. A frame carrying a
+  // sampled upstream context ADOPTS it — the root made the sampling
+  // decision (Dapper semantics), so this shard's spans stitch into the
+  // caller's trace by id instead of starting a fresh one. Everything
+  // else mints a root here, head-sampled 1-in-N. The sampled context is
   // installed as the thread-current trace so spans recorded inside the
   // service (and the KV stores under it) nest under this request.
   Tracer* const tracer = options_.tracer;
   TraceContext trace;
-  if (tracer != nullptr) trace = tracer->StartTrace();
+  const bool adopt = frame.has_trace &&
+                     (frame.trace_flags & kTraceFlagSampled) != 0 &&
+                     (ctx->negotiated_features & kFeatureTracePropagation) != 0;
+  if (tracer != nullptr) {
+    trace = adopt ? tracer->AdoptTrace(frame.trace_id, frame.trace_hop)
+                  : tracer->StartTrace();
+  }
   std::optional<ScopedTraceContext> trace_scope;
   if (trace.sampled()) trace_scope.emplace(trace);
+  // Structured spans: staged per-request, committed at Finish when the
+  // trace is sampled or the request turns out slow (tail capture).
+  obs::RequestRecorder recorder(options_.spans, trace, options_.trace_slow_us,
+                                adopt ? obs::kSpanFlagAdopted : 0);
+  if (options_.handler_delay_for_test_ms > 0) {
+    // Inside the recorder window so the injected latency is also visible
+    // to tail capture — admission tests only need the slot held.
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.handler_delay_for_test_ms));
+  }
   const auto send_decode_error = [this, &frame, &send](const Status& status) {
     // Parsed structurally but the body would not decode: the stream is
     // still framed, so answer and keep the connection.
@@ -519,26 +560,37 @@ void RecServer::HandleServiceRpc(const Frame& frame, RequestContext* ctx,
     case MessageType::kRecommendRequest: {
       ScopedLatencyTimer timer(
           metrics_->GetHistogram(RpcMetricName(ctx->rpc_prefix, "recommend")));
-      StatusOr<RecRequest> request = DecodeRecommendRequest(frame);
+      StatusOr<RecRequest> request = [&] {
+        const auto span = recorder.Span(span_names_.decode);
+        return DecodeRecommendRequest(frame);
+      }();
       if (!request.ok()) {
         send_decode_error(request.status());
         break;
       }
-      RecommendOutcome outcome = RecommendWithFallback(*request);
-      if (outcome.ok) {
-        send(EncodeRecommendResponse(frame.request_id, outcome.videos,
-                                     outcome.flags));
-      } else {
-        send(EncodeErrorResponse(frame.request_id, outcome.error,
-                                 outcome.message));
+      RecommendOutcome outcome = [&] {
+        const auto span = recorder.Span(span_names_.engine);
+        return RecommendWithFallback(*request);
+      }();
+      {
+        const auto span = recorder.Span(span_names_.respond);
+        if (outcome.ok) {
+          send(EncodeRecommendResponse(frame.request_id, outcome.videos,
+                                       outcome.flags));
+        } else {
+          send(EncodeErrorResponse(frame.request_id, outcome.error,
+                                   outcome.message));
+        }
       }
       break;
     }
     case MessageType::kBatchRecommendRequest: {
       ScopedLatencyTimer timer(metrics_->GetHistogram(
           RpcMetricName(ctx->rpc_prefix, "batch_recommend")));
-      StatusOr<std::vector<RecRequest>> batch =
-          DecodeBatchRecommendRequest(frame);
+      StatusOr<std::vector<RecRequest>> batch = [&] {
+        const auto span = recorder.Span(span_names_.decode);
+        return DecodeBatchRecommendRequest(frame);
+      }();
       if (!batch.ok()) {
         send_decode_error(batch.status());
         break;
@@ -547,41 +599,59 @@ void RecServer::HandleServiceRpc(const Frame& frame, RequestContext* ctx,
           ->Increment(batch->size());
       std::vector<BatchRecommendItem> items;
       items.reserve(batch->size());
-      for (const RecRequest& request : *batch) {
-        RecommendOutcome outcome = RecommendWithFallback(request);
-        BatchRecommendItem item;
-        if (outcome.ok) {
-          item.reply.flags = outcome.flags;
-          item.reply.videos = std::move(outcome.videos);
-        } else {
-          item.error = static_cast<std::uint8_t>(outcome.error);
+      {
+        const auto span = recorder.Span(span_names_.engine);
+        for (const RecRequest& request : *batch) {
+          RecommendOutcome outcome = RecommendWithFallback(request);
+          BatchRecommendItem item;
+          if (outcome.ok) {
+            item.reply.flags = outcome.flags;
+            item.reply.videos = std::move(outcome.videos);
+          } else {
+            item.error = static_cast<std::uint8_t>(outcome.error);
+          }
+          items.push_back(std::move(item));
         }
-        items.push_back(std::move(item));
       }
-      send(EncodeBatchRecommendResponse(frame.request_id, items));
+      {
+        const auto span = recorder.Span(span_names_.respond);
+        send(EncodeBatchRecommendResponse(frame.request_id, items));
+      }
       break;
     }
     case MessageType::kObserveRequest: {
       ScopedLatencyTimer timer(
           metrics_->GetHistogram(RpcMetricName(ctx->rpc_prefix, "observe")));
-      StatusOr<UserAction> action = DecodeObserveRequest(frame);
+      StatusOr<UserAction> action = [&] {
+        const auto span = recorder.Span(span_names_.decode);
+        return DecodeObserveRequest(frame);
+      }();
       if (!action.ok()) {
         send_decode_error(action.status());
         break;
       }
-      service_->Observe(*action);
+      {
+        const auto span = recorder.Span(span_names_.engine);
+        service_->Observe(*action);
+      }
       send(EncodeAckResponse(frame.request_id));
       break;
     }
     case MessageType::kRegisterProfileRequest: {
       ScopedLatencyTimer timer(metrics_->GetHistogram(
           RpcMetricName(ctx->rpc_prefix, "register_profile")));
-      StatusOr<ProfileUpdate> update = DecodeRegisterProfileRequest(frame);
+      StatusOr<ProfileUpdate> update = [&] {
+        const auto span = recorder.Span(span_names_.decode);
+        return DecodeRegisterProfileRequest(frame);
+      }();
       if (!update.ok()) {
         send_decode_error(update.status());
         break;
       }
-      service_->RegisterProfile(update->user, update->profile);
+      {
+        const auto span = recorder.Span(span_names_.engine);
+        service_->RegisterProfile(update->user, update->profile);
+      }
       send(EncodeAckResponse(frame.request_id));
       break;
     }
@@ -597,6 +667,12 @@ void RecServer::HandleServiceRpc(const Frame& frame, RequestContext* ctx,
                                                      : "wire.register_profile";
     tracer->RecordSinceRoot(trace, stage);
   }
+  recorder.Finish(
+      frame.type == MessageType::kRecommendRequest ? span_names_.rpc_recommend
+      : frame.type == MessageType::kBatchRecommendRequest
+          ? span_names_.rpc_batch
+      : frame.type == MessageType::kObserveRequest ? span_names_.rpc_observe
+                                                   : span_names_.rpc_register);
   ReleaseInFlight();
 }
 
@@ -692,10 +768,12 @@ Status RecServer::Start() {
           // latency histograms.
           RequestContext ctx;
           ctx.negotiated_version = conn->negotiated_version;
+          ctx.negotiated_features = conn->negotiated_features;
           ctx.rpc_prefix = "shm.rpc";
           DispatchFrame(frame, &ctx,
                         [&send](std::string&& bytes) { send(std::move(bytes)); });
           conn->negotiated_version = ctx.negotiated_version;
+          conn->negotiated_features = ctx.negotiated_features;
           if (ctx.close_connection) conn->close = true;
         });
     if (!shm.ok()) {

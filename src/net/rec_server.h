@@ -18,6 +18,10 @@
 
 namespace rtrec {
 
+namespace obs {
+class SpanCollector;
+}  // namespace obs
+
 class ShmServer;
 
 /// The network front of the serving stack: an epoll-based TCP server
@@ -87,6 +91,17 @@ class RecServer {
     /// record "trace.e2e.wire.<rpc>.us" when the handler finishes. Null
     /// disables tracing at zero cost.
     Tracer* tracer = nullptr;
+    /// Structured span recording (obs/span_collector.h): when set, every
+    /// traced request stages per-stage spans and commits them to the
+    /// collector at request end — head-sampled traces always, untraced
+    /// requests when their e2e latency crosses trace_slow_us (tail
+    /// capture). Null disables span recording; histogram tracing via
+    /// `tracer` is unaffected.
+    obs::SpanCollector* spans = nullptr;
+    /// Tail-capture threshold in µs: an untraced request slower than
+    /// this is retroactively kept as a slow-capture trace. <= 0
+    /// disables tail capture (only head-sampled traces record spans).
+    std::int64_t trace_slow_us = 0;
     /// Test hook: sleep this long inside each admitted service RPC, to
     /// make admission-control shedding deterministic. 0 in production.
     int handler_delay_for_test_ms = 0;
@@ -128,6 +143,11 @@ class RecServer {
   /// connection starts at v1 and is upgraded by a successful Hello.
   struct RequestContext {
     std::uint8_t negotiated_version = kWireVersion;
+    /// Feature bits acked in this connection's Hello (net/wire.h
+    /// kFeature*). A frame carrying the trace extension on a connection
+    /// that did not negotiate kFeatureTracePropagation is a version
+    /// violation — exactly what a pre-trace server would answer.
+    std::uint32_t negotiated_features = 0;
     /// Metric prefix for per-RPC latency histograms; distinguishes
     /// transports ("net.server.rpc" for TCP, "shm.rpc" for shm).
     const char* rpc_prefix = "net.server.rpc";
@@ -206,6 +226,19 @@ class RecServer {
 
   RecommendationService* service_;
   Options options_;
+
+  /// Span names interned once at construction (interning takes a lock;
+  /// the handler path must not). All zero when Options::spans is null.
+  struct SpanNames {
+    std::uint16_t rpc_recommend = 0;
+    std::uint16_t rpc_batch = 0;
+    std::uint16_t rpc_observe = 0;
+    std::uint16_t rpc_register = 0;
+    std::uint16_t decode = 0;
+    std::uint16_t engine = 0;
+    std::uint16_t respond = 0;
+  };
+  SpanNames span_names_;
 
   std::unique_ptr<MetricsRegistry> owned_metrics_;  // When options.metrics==0.
   MetricsRegistry* metrics_ = nullptr;

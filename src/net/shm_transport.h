@@ -78,6 +78,8 @@ class ShmServer {
   /// version negotiation persists across frames of one attachment.
   struct ConnState {
     std::uint8_t negotiated_version = kWireVersion;
+    /// Feature bits acked in this slot's Hello (net/wire.h kFeature*).
+    std::uint32_t negotiated_features = 0;
     /// Handler sets this to evict the client (protocol violation).
     bool close = false;
   };

@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/span_collector.h"
 
 namespace rtrec {
 
@@ -103,28 +104,51 @@ std::string FilterQualitySection(const std::string& text) {
 
 void StatsServer::ServeOne(int fd) {
   // Read whatever arrives in the first chunk and parse just the request
-  // path out of it: "/quality" narrows the scrape to the model-quality
-  // section, anything else gets the full registry. A collector that
+  // path out of it; route by path (see class comment). A collector that
   // pipelines or sends a huge request still gets a scrape.
   char buf[4096];
   ssize_t got = 0;
   if (WaitReady(fd, /*for_read=*/true, options_.io_timeout_ms).ok()) {
     got = read(fd, buf, sizeof(buf));
   }
-  const std::string path =
+  std::string path =
       got > 0 ? RequestPath(buf, static_cast<std::size_t>(got)) : "/";
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
   scrapes_->Increment();
-  std::string body = registry_->PrometheusText();
-  if (path == "/quality" || path.rfind("/quality?", 0) == 0) {
-    body = FilterQualitySection(body);
+
+  const char* status_line = "200 OK";
+  const char* content_type = "text/plain; version=0.0.4; charset=utf-8";
+  std::string body;
+  if (path == "/" || path == "/metrics") {
+    MetricsRegistry::ExportOptions export_options;
+    export_options.native_histograms = options_.native_histograms;
+    body = registry_->PrometheusText(export_options);
+  } else if (path == "/quality") {
+    body = FilterQualitySection(registry_->PrometheusText());
+  } else if (path == "/healthz") {
+    content_type = "text/plain; charset=utf-8";
+    body = StringPrintf("ok shard=%d\n", options_.shard_id);
+  } else if (path == "/traces" && options_.spans != nullptr) {
+    content_type = "application/json";
+    options_.spans->Flush();
+    body = options_.spans->ExportChromeJson();
+  } else if (path == "/traces/slow" && options_.spans != nullptr) {
+    content_type = "application/json";
+    options_.spans->Flush();
+    body = options_.spans->ExportSlowJson();
+  } else {
+    status_line = "404 Not Found";
+    content_type = "text/plain; charset=utf-8";
+    body = "not found\n";
   }
   std::string response =
-      StringPrintf("HTTP/1.0 200 OK\r\n"
-                   "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      StringPrintf("HTTP/1.0 %s\r\n"
+                   "Content-Type: %s\r\n"
                    "Content-Length: %zu\r\n"
                    "Connection: close\r\n"
                    "\r\n",
-                   body.size());
+                   status_line, content_type, body.size());
   response += body;
   std::size_t sent = 0;
   while (sent < response.size()) {

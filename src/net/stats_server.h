@@ -12,17 +12,26 @@
 
 namespace rtrec {
 
+namespace obs {
+class SpanCollector;
+}  // namespace obs
+
 /// Minimal HTTP endpoint exposing a MetricsRegistry in Prometheus
 /// text-format (0.0.4) — the `--stats-port` behind `examples/serve.cpp`,
 /// so a stock Prometheus (or curl) can scrape the serving stack without
 /// speaking the rtrec wire protocol.
 ///
 /// Deliberately tiny: one accept-loop thread, one connection at a time,
-/// Connection: close. Only the request path is looked at: "/quality"
-/// narrows the scrape to the model-quality (`quality_*`) section, any
-/// other path gets the full registry. Scrapes arrive every few seconds
-/// from one collector; this is not a web server and does not try to be
-/// one.
+/// Connection: close. Routing is by request path only:
+///   "/" and "/metrics"  → full registry scrape (text-format 0.0.4)
+///   "/quality"          → scrape narrowed to the `quality_*` section
+///   "/healthz"          → 200 "ok shard=<id>" liveness probe
+///   "/traces"           → Chrome trace-event JSON of finished traces
+///                         (Options::spans; 404 when unset)
+///   "/traces/slow"      → slowest-N traces with per-stage breakdown
+///   anything else       → 404
+/// Scrapes arrive every few seconds from one collector; this is not a
+/// web server and does not try to be one.
 class StatsServer {
  public:
   struct Options {
@@ -32,6 +41,15 @@ class StatsServer {
     std::uint16_t port = 0;
     /// Per-connection read/write poll timeout.
     int io_timeout_ms = 2'000;
+    /// Shard id reported by /healthz (and useful to tell multi-shard
+    /// deployments apart when each shard runs its own stats port).
+    int shard_id = 0;
+    /// When set, /traces and /traces/slow serve this collector's export
+    /// JSON (obs/span_collector.h). Null answers those paths with 404.
+    obs::SpanCollector* spans = nullptr;
+    /// Export native Prometheus histogram families (cumulative
+    /// `_bucket{le=...}`) alongside the summary lines on full scrapes.
+    bool native_histograms = false;
   };
 
   /// Serves scrapes of `registry` (not owned; must outlive the server).

@@ -169,12 +169,45 @@ const char* WireErrorToString(WireError error) {
 }
 
 void AppendFrame(const Frame& frame, std::string* out) {
-  PutU32(static_cast<std::uint32_t>(kFrameHeaderBytes + frame.body.size()),
+  const std::size_t extension = frame.has_trace ? kTraceExtensionBytes : 0;
+  PutU32(static_cast<std::uint32_t>(kFrameHeaderBytes + extension +
+                                    frame.body.size()),
          out);
-  PutU8(frame.version, out);
+  PutU8(frame.has_trace
+            ? static_cast<std::uint8_t>(frame.version | kFrameVersionTraceBit)
+            : frame.version,
+        out);
   PutU8(static_cast<std::uint8_t>(frame.type), out);
   PutU64(frame.request_id, out);
+  if (frame.has_trace) {
+    PutU64(frame.trace_id, out);
+    PutU8(frame.trace_flags, out);
+    PutU8(frame.trace_hop, out);
+  }
   out->append(frame.body);
+}
+
+void StampTraceExtension(std::string* encoded_frame, std::uint64_t trace_id,
+                         std::uint8_t flags, std::uint8_t hop) {
+  const std::size_t header = kLengthPrefixBytes + kFrameHeaderBytes;
+  if (encoded_frame->size() < header) return;  // Not a complete frame.
+  std::string extension;
+  extension.reserve(kTraceExtensionBytes);
+  PutU64(trace_id, &extension);
+  PutU8(flags, &extension);
+  PutU8(hop, &extension);
+  encoded_frame->insert(header, extension);
+  std::uint32_t payload_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    payload_len =
+        (payload_len << 8) | static_cast<std::uint8_t>((*encoded_frame)[i]);
+  }
+  payload_len += static_cast<std::uint32_t>(kTraceExtensionBytes);
+  for (int i = 0; i < 4; ++i) {
+    (*encoded_frame)[i] = static_cast<char>(payload_len >> (24 - 8 * i));
+  }
+  (*encoded_frame)[4] = static_cast<char>(
+      static_cast<std::uint8_t>((*encoded_frame)[4]) | kFrameVersionTraceBit);
 }
 
 StatusOr<Frame> FrameDecoder::Next() {
@@ -207,8 +240,27 @@ StatusOr<Frame> FrameDecoder::Next() {
     frame.request_id =
         (frame.request_id << 8) | static_cast<std::uint8_t>(buffer_[i]);
   }
-  frame.body.assign(buffer_, kLengthPrefixBytes + kFrameHeaderBytes,
-                    payload_len - kFrameHeaderBytes);
+  std::size_t body_offset = kLengthPrefixBytes + kFrameHeaderBytes;
+  std::size_t body_len = payload_len - kFrameHeaderBytes;
+  if ((frame.version & kFrameVersionTraceBit) != 0) {
+    if (body_len < kTraceExtensionBytes) {
+      return Status::Corruption(StringPrintf(
+          "frame payload length %u too short for the trace extension",
+          payload_len));
+    }
+    frame.version &= static_cast<std::uint8_t>(~kFrameVersionTraceBit);
+    frame.has_trace = true;
+    frame.trace_id = 0;
+    for (std::size_t i = body_offset; i < body_offset + 8; ++i) {
+      frame.trace_id =
+          (frame.trace_id << 8) | static_cast<std::uint8_t>(buffer_[i]);
+    }
+    frame.trace_flags = static_cast<std::uint8_t>(buffer_[body_offset + 8]);
+    frame.trace_hop = static_cast<std::uint8_t>(buffer_[body_offset + 9]);
+    body_offset += kTraceExtensionBytes;
+    body_len -= kTraceExtensionBytes;
+  }
+  frame.body.assign(buffer_, body_offset, body_len);
   buffer_.erase(0, total);
   return frame;
 }

@@ -67,6 +67,25 @@ inline constexpr std::size_t kFrameHeaderBytes = 10;
 /// Bytes of the leading length prefix.
 inline constexpr std::size_t kLengthPrefixBytes = 4;
 
+// --- Trace propagation (docs/WIRE_PROTOCOL.md §2.1, §5.5) ------------------
+
+/// Hello feature bit: the peer understands the per-frame trace
+/// extension. A connection carries trace contexts only when the client
+/// offered this bit and the server echoed it back.
+inline constexpr std::uint32_t kFeatureTracePropagation = 0x1;
+
+/// Bit set on the frame's version byte when a trace extension sits
+/// between the request id and the body. Stripped (and the version
+/// masked back) by FrameDecoder, so dispatchers and codecs never see it.
+inline constexpr std::uint8_t kFrameVersionTraceBit = 0x80;
+
+/// Bytes of the trace extension: u64 trace id, u8 flags, u8 hop.
+inline constexpr std::size_t kTraceExtensionBytes = 10;
+
+/// Trace-extension flag: the originator sampled this trace; the server
+/// adopts the context instead of minting its own root.
+inline constexpr std::uint8_t kTraceFlagSampled = 0x01;
+
 /// Default cap on the payload length a receiver will accept.
 inline constexpr std::size_t kDefaultMaxFrameBytes = 1 << 20;  // 1 MiB
 
@@ -114,16 +133,34 @@ enum class WireError : std::uint8_t {
 /// Stable name for logs ("OVERLOADED", ...); "UNKNOWN" if invalid.
 const char* WireErrorToString(WireError error);
 
-/// One parsed frame: the fixed header plus the raw body bytes.
+/// One parsed frame: the fixed header plus the raw body bytes. When the
+/// sender attached a trace extension (kFrameVersionTraceBit), the
+/// decoder strips it into the trace_* fields and masks the version
+/// byte, so `version` always holds a plain protocol version.
 struct Frame {
   std::uint8_t version = kWireVersion;
   MessageType type = MessageType::kPingRequest;
   std::uint64_t request_id = 0;
   std::string body;
+
+  bool has_trace = false;
+  std::uint64_t trace_id = 0;
+  std::uint8_t trace_flags = 0;
+  std::uint8_t trace_hop = 0;
 };
 
-/// Serializes `frame` (length prefix included) onto `out`.
+/// Serializes `frame` (length prefix included) onto `out`. If
+/// `frame.has_trace` is set, the trace extension is emitted and the
+/// version byte carries kFrameVersionTraceBit.
 void AppendFrame(const Frame& frame, std::string* out);
+
+/// Splices a trace extension into `encoded_frame` (one already-complete
+/// frame as produced by the Encode* helpers): sets kFrameVersionTraceBit
+/// on the version byte, inserts {trace_id, flags, hop} after the request
+/// id, and patches the length prefix. Lets callers stamp a context onto
+/// pre-encoded bytes without threading trace state through every codec.
+void StampTraceExtension(std::string* encoded_frame, std::uint64_t trace_id,
+                         std::uint8_t flags, std::uint8_t hop);
 
 /// Incremental frame extractor for a byte stream. Feed bytes with
 /// Append, then drain complete frames with Next. One decoder per

@@ -14,8 +14,10 @@
 #include "cluster/hash_ring.h"
 #include "cluster/manifest.h"
 #include "cluster/shard_action_source.h"
+#include "common/trace.h"
 #include "core/topology_factory.h"
 #include "net/rec_server.h"
+#include "obs/span_collector.h"
 #include "service/recommendation_service.h"
 
 namespace rtrec {
@@ -58,10 +60,27 @@ struct Shard {
     options.port = bind_port;
     options.num_workers = 2;
     options.metrics = &metrics;
+    options.tracer = tracer.get();
+    options.spans = spans.get();
     server = std::make_unique<RecServer>(service.get(), options);
     Status started = server->Start();
     ASSERT_TRUE(started.ok()) << started.ToString();
     port = server->port();  // Remembered across Stop (which clears it).
+  }
+
+  /// Restart this shard with span recording attached so tests can
+  /// inspect what the wire delivered (adopted trace ids, hop numbers).
+  void EnableTracing() {
+    Tracer::Options tracer_options;
+    tracer_options.sample_every_n = 0;  // Only adopted contexts record.
+    tracer_options.metrics = &metrics;
+    tracer = std::make_unique<Tracer>(tracer_options);
+    obs::SpanCollector::Options span_options;
+    span_options.drain_interval_ms = 1;
+    span_options.metrics = &metrics;
+    spans = std::make_unique<obs::SpanCollector>(span_options);
+    server->Stop();
+    Start(port);
   }
 
   /// kill -9 equivalent for an in-process shard: connections die, the
@@ -87,6 +106,8 @@ struct Shard {
 
   MetricsRegistry metrics;
   std::unique_ptr<RecommendationService> service;
+  std::unique_ptr<Tracer> tracer;
+  std::unique_ptr<obs::SpanCollector> spans;
   std::unique_ptr<RecServer> server;
   std::uint16_t port = 0;
 };
@@ -196,6 +217,43 @@ TEST(ClusterClientTest, FailoverAnswerIsDegradedAndHealsAfterRestart) {
   auto after = client.RecommendDetailed(request);
   ASSERT_TRUE(after.ok()) << after.status().ToString();
   EXPECT_FALSE(after->degraded());
+}
+
+TEST(ClusterClientTest, FailoverRetryCarriesTheHopNumber) {
+  // A failover answer is the second hop of the same trace: the router
+  // re-stamps the propagated context with hop=1 before retrying, and
+  // the fallback shard records that hop on the spans it commits.
+  Cluster cluster;
+  const UserId user = cluster.UserOwnedBy(0);
+  cluster.shards[1].EnableTracing();  // The fallback for shard-0 users.
+  ClusterClient client(cluster.RouterOptions());
+  cluster.shards[0].Kill();
+
+  TraceContext trace;
+  trace.id = 0xFA170FE2ull;
+  trace.start_us = Tracer::NowMicros();
+  RecRequest request;
+  request.user = user;
+  request.top_n = 3;
+  request.now = 10'000;
+  {
+    ScopedTraceContext scope(trace);
+    auto reply = client.RecommendDetailed(request);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_TRUE(reply->degraded());
+  }
+
+  obs::SpanCollector& spans = *cluster.shards[1].spans;
+  spans.Flush();
+  EXPECT_TRUE(spans.HasTrace(trace.id))
+      << "the fallback shard should have adopted the propagated context";
+  const std::string slow = spans.ExportSlowJson();
+  EXPECT_NE(slow.find("\"trace_id\":\"00000000fa170fe2\""), std::string::npos)
+      << slow;
+  EXPECT_NE(slow.find("\"hop\":1"), std::string::npos)
+      << "failover spans must carry hop=1: " << slow;
+  EXPECT_EQ(
+      cluster.shards[1].metrics.GetCounter("trace.adopted")->value(), 1);
 }
 
 TEST(ClusterClientTest, AllShardsDownSurfacesUnavailable) {

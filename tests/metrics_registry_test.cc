@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -152,6 +153,93 @@ TEST(PrometheusTextTest, HistogramsRenderAsSummaries) {
             std::string::npos);
   EXPECT_NE(text.find("rpc_latency_us_count 100\n"), std::string::npos);
   EXPECT_NE(text.find("rpc_latency_us_sum "), std::string::npos);
+}
+
+TEST(PrometheusTextTest, HelpLinesPrecedeTypeLines) {
+  MetricsRegistry registry;
+  registry.GetCounter("server.requests", "Requests accepted by the server")
+      ->Increment(3);
+  const std::string text = registry.PrometheusText();
+  const std::size_t help = text.find(
+      "# HELP server_requests_total Requests accepted by the server\n");
+  const std::size_t type =
+      text.find("# TYPE server_requests_total counter\n");
+  ASSERT_NE(help, std::string::npos) << text;
+  ASSERT_NE(type, std::string::npos) << text;
+  EXPECT_LT(help, type);
+}
+
+TEST(PrometheusTextTest, MissingHelpGetsGeneratedDefault) {
+  MetricsRegistry registry;
+  registry.GetGauge("queue.depth")->Set(5);
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("# HELP queue_depth rtrec gauge queue_depth\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(PrometheusTextTest, FirstNonEmptyHelpStringWins) {
+  MetricsRegistry registry;
+  registry.GetCounter("x");  // No help yet.
+  registry.GetCounter("x", "the real help");
+  registry.GetCounter("x", "a different help");  // Ignored: already set.
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("# HELP x_total the real help\n"), std::string::npos);
+  EXPECT_EQ(text.find("a different help"), std::string::npos);
+}
+
+TEST(PrometheusTextTest, HelpEscapesBackslashAndNewline) {
+  MetricsRegistry registry;
+  registry.GetCounter("weird", "line1\nline2\\end");
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("# HELP weird_total line1\\nline2\\\\end\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(PrometheusTextTest, NativeHistogramsExportCumulativeBuckets) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("rpc.latency.us");
+  for (int i = 1; i <= 100; ++i) hist->Add(i);
+
+  MetricsRegistry::ExportOptions options;
+  options.native_histograms = true;
+  const std::string text = registry.PrometheusText(options);
+
+  // The summary family is still there...
+  EXPECT_NE(text.find("# TYPE rpc_latency_us summary"), std::string::npos);
+  // ...and a native histogram family rides alongside under _hist.
+  EXPECT_NE(text.find("# TYPE rpc_latency_us_hist histogram"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("rpc_latency_us_hist_bucket{le=\""), std::string::npos);
+  EXPECT_NE(text.find("rpc_latency_us_hist_bucket{le=\"+Inf\"} 100\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("rpc_latency_us_hist_count 100\n"), std::string::npos);
+  EXPECT_NE(text.find("rpc_latency_us_hist_sum 5050\n"), std::string::npos);
+
+  // Bucket counts are cumulative (non-decreasing in le order).
+  std::uint64_t prev = 0;
+  std::size_t pos = 0;
+  const std::string needle = "rpc_latency_us_hist_bucket{le=\"";
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    const std::size_t sp = text.find(' ', pos);
+    ASSERT_NE(sp, std::string::npos);
+    const std::uint64_t cumulative =
+        std::strtoull(text.c_str() + sp + 1, nullptr, 10);
+    EXPECT_GE(cumulative, prev);
+    prev = cumulative;
+    pos = sp;
+  }
+  EXPECT_EQ(prev, 100u);
+}
+
+TEST(PrometheusTextTest, DefaultScrapeOmitsNativeHistograms) {
+  MetricsRegistry registry;
+  registry.GetHistogram("rpc.latency.us")->Add(1);
+  const std::string text = registry.PrometheusText();
+  EXPECT_EQ(text.find("_hist_bucket"), std::string::npos);
 }
 
 TEST(PrometheusTextTest, EmptyRegistryRendersEmpty) {

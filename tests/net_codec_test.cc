@@ -444,5 +444,91 @@ TEST(NetCodecTest, V2FramesRejectTruncationAndTrailingGarbage) {
       DecodeBatchRecommendRequest(batch_padded).status().IsInvalidArgument());
 }
 
+// --- Trace extension (docs/WIRE_PROTOCOL.md §2.1) --------------------------
+
+TEST(NetCodecTest, StampTraceExtensionRoundtrip) {
+  // §2.1: stamping a pre-encoded frame inserts {trace_id, flags, hop}
+  // between the request id and the body; the decoder strips it back out
+  // and the body decodes exactly as if never stamped.
+  RecRequest request;
+  request.user = 0xDEADBEEFu;
+  request.seed_videos = {1, 2, 3};
+  std::string bytes = EncodeRecommendRequest(21, request);
+  const std::string unstamped = bytes;
+  StampTraceExtension(&bytes, 0x0123456789ABCDEFull, kTraceFlagSampled,
+                      /*hop=*/2);
+  EXPECT_EQ(bytes.size(), unstamped.size() + kTraceExtensionBytes);
+
+  Frame frame = DecodeOne(bytes);
+  EXPECT_TRUE(frame.has_trace);
+  EXPECT_EQ(frame.trace_id, 0x0123456789ABCDEFull);
+  EXPECT_EQ(frame.trace_flags, kTraceFlagSampled);
+  EXPECT_EQ(frame.trace_hop, 2);
+  // The version byte is masked back to the plain protocol version.
+  EXPECT_EQ(frame.version, DecodeOne(unstamped).version);
+  EXPECT_EQ(frame.request_id, 21u);
+  auto decoded = DecodeRecommendRequest(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->user, request.user);
+  EXPECT_EQ(decoded->seed_videos, request.seed_videos);
+}
+
+TEST(NetCodecTest, UnstampedFramesCarryNoTrace) {
+  Frame frame = DecodeOne(EncodePingRequest(1));
+  EXPECT_FALSE(frame.has_trace);
+  EXPECT_EQ(frame.trace_id, 0u);
+}
+
+TEST(NetCodecTest, AppendFrameEmitsTraceExtension) {
+  Frame frame;
+  frame.version = kWireVersionV2;
+  frame.type = MessageType::kPingRequest;
+  frame.request_id = 9;
+  frame.has_trace = true;
+  frame.trace_id = 0xFFull;
+  frame.trace_flags = kTraceFlagSampled;
+  frame.trace_hop = 1;
+  std::string bytes;
+  AppendFrame(frame, &bytes);
+  // On the wire the version byte carries the trace bit...
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[4]),
+            kWireVersionV2 | kFrameVersionTraceBit);
+  // ...and the decoder strips it back out.
+  Frame decoded = DecodeOne(bytes);
+  EXPECT_EQ(decoded.version, kWireVersionV2);
+  EXPECT_TRUE(decoded.has_trace);
+  EXPECT_EQ(decoded.trace_id, 0xFFull);
+  EXPECT_EQ(decoded.trace_hop, 1);
+}
+
+TEST(NetCodecTest, TraceBitWithTruncatedExtensionIsCorruption) {
+  // §2.1: a frame announcing the extension must have at least 10 body
+  // bytes to hold it; anything shorter is framing corruption.
+  std::string bytes = EncodePingRequest(1);  // Zero-length body.
+  bytes[4] = static_cast<char>(bytes[4] | kFrameVersionTraceBit);
+  FrameDecoder decoder;
+  decoder.Append(bytes);
+  EXPECT_EQ(decoder.Next().status().code(), StatusCode::kCorruption);
+}
+
+TEST(NetCodecTest, StampedStreamStaysInFraming) {
+  // Back-to-back frames where only the middle one is stamped: the
+  // length-prefix patch must keep the stream parseable.
+  std::string middle = EncodeAckResponse(2);
+  StampTraceExtension(&middle, 0xABCDull, kTraceFlagSampled, 0);
+  std::string bytes = EncodePingRequest(1);
+  bytes += middle;
+  bytes += EncodePongResponse(3);
+  FrameDecoder decoder;
+  decoder.Append(bytes);
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    StatusOr<Frame> frame = decoder.Next();
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_EQ(frame->request_id, id);
+    EXPECT_EQ(frame->has_trace, id == 2);
+  }
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
 }  // namespace
 }  // namespace rtrec

@@ -12,10 +12,12 @@
 #include <vector>
 
 #include "common/fault_injection.h"
+#include "common/trace.h"
 #include "net/rec_client.h"
 #include "net/socket.h"
 #include "net/stats_server.h"
 #include "net/wire.h"
+#include "obs/span_collector.h"
 
 namespace rtrec {
 namespace {
@@ -1091,6 +1093,217 @@ TEST(StatsServerTest, ServesPrometheusTextOverHttp) {
   EXPECT_NE(response.find("some_counter_total 3"), std::string::npos);
   // The scrape itself is counted (visible from the next scrape on).
   EXPECT_EQ(metrics.GetCounter("stats.scrapes")->value(), 1);
+}
+
+TEST(StatsServerTest, UnknownPathsGet404) {
+  MetricsRegistry metrics;
+  metrics.GetCounter("some.counter")->Increment(1);
+  StatsServer stats_server(&metrics, {});
+  ASSERT_TRUE(stats_server.Start().ok());
+  const std::string response = HttpGet(stats_server.port(), "/nope");
+  EXPECT_NE(response.find("HTTP/1.0 404 Not Found"), std::string::npos)
+      << response;
+  EXPECT_EQ(response.find("some_counter"), std::string::npos);
+  // Root still serves the full scrape.
+  const std::string root = HttpGet(stats_server.port(), "/");
+  EXPECT_NE(root.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(root.find("some_counter_total 1"), std::string::npos);
+  stats_server.Stop();
+}
+
+TEST(StatsServerTest, HealthzReportsShardId) {
+  MetricsRegistry metrics;
+  StatsServer::Options options;
+  options.shard_id = 3;
+  StatsServer stats_server(&metrics, options);
+  ASSERT_TRUE(stats_server.Start().ok());
+  const std::string response = HttpGet(stats_server.port(), "/healthz");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("ok shard=3"), std::string::npos) << response;
+  stats_server.Stop();
+}
+
+TEST(StatsServerTest, TracesPathsServeTheSpanCollector) {
+  MetricsRegistry metrics;
+  obs::SpanCollector::Options span_options;
+  span_options.metrics = &metrics;
+  obs::SpanCollector spans(span_options);
+  const std::uint16_t rpc = spans.InternName("rpc.recommend");
+
+  // One synthetic finished trace (root only).
+  obs::SpanRecord root;
+  root.trace_id = 0xBEEF;
+  root.span_id = 1;
+  root.start_us = 100;
+  root.end_us = 600;
+  root.name_id = rpc;
+  root.flags = obs::kSpanFlagRoot;
+  spans.Record(root);
+
+  StatsServer::Options options;
+  options.spans = &spans;
+  StatsServer stats_server(&metrics, options);
+  ASSERT_TRUE(stats_server.Start().ok());
+
+  const std::string traces = HttpGet(stats_server.port(), "/traces");
+  EXPECT_NE(traces.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(traces.find("application/json"), std::string::npos);
+  EXPECT_NE(traces.find("\"traceEvents\""), std::string::npos) << traces;
+  EXPECT_NE(traces.find("000000000000beef"), std::string::npos) << traces;
+
+  const std::string slow = HttpGet(stats_server.port(), "/traces/slow");
+  EXPECT_NE(slow.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(slow.find("\"total_us\":500"), std::string::npos) << slow;
+  stats_server.Stop();
+}
+
+TEST(StatsServerTest, TracesPathIs404WithoutACollector) {
+  MetricsRegistry metrics;
+  StatsServer stats_server(&metrics, {});
+  ASSERT_TRUE(stats_server.Start().ok());
+  const std::string response = HttpGet(stats_server.port(), "/traces");
+  EXPECT_NE(response.find("HTTP/1.0 404 Not Found"), std::string::npos);
+  stats_server.Stop();
+}
+
+TEST(StatsServerTest, NativeHistogramOptionChangesTheScrape) {
+  MetricsRegistry metrics;
+  metrics.GetHistogram("rpc.latency.us")->Add(5);
+  StatsServer::Options options;
+  options.native_histograms = true;
+  StatsServer stats_server(&metrics, options);
+  ASSERT_TRUE(stats_server.Start().ok());
+  const std::string response = HttpGet(stats_server.port(), "/metrics");
+  EXPECT_NE(response.find("rpc_latency_us_hist_bucket{le=\""),
+            std::string::npos)
+      << response;
+  stats_server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Trace propagation over TCP (docs/WIRE_PROTOCOL.md §2.1, §5.5).
+
+TEST(TracePropagationTest, NegotiatedOnV2Connect) {
+  LiveServer live;
+  RecClient client(live.ClientOptions());
+  ASSERT_TRUE(client.Connect().ok());
+  EXPECT_EQ(client.negotiated_version(), kWireVersionV2);
+  EXPECT_TRUE(client.trace_propagation_negotiated());
+}
+
+TEST(TracePropagationTest, SampledContextPropagatesAndServerAdopts) {
+  MetricsRegistry trace_metrics;
+  Tracer::Options tracer_options;
+  tracer_options.sample_every_n = 0;  // Server never self-samples...
+  tracer_options.metrics = &trace_metrics;
+  Tracer tracer(tracer_options);
+  obs::SpanCollector::Options span_options;
+  span_options.metrics = &trace_metrics;
+  obs::SpanCollector spans(span_options);
+
+  RecServer::Options options;
+  options.tracer = &tracer;
+  options.spans = &spans;
+  LiveServer live(options);
+  RecClient client(live.ClientOptions());
+
+  // ...so the only sampled trace it can see is the one we propagate.
+  TraceContext trace;
+  trace.id = 0x1234ABCD;
+  trace.start_us = Tracer::NowMicros();
+  RecRequest request;
+  request.user = 1;
+  request.top_n = 3;
+  {
+    ScopedTraceContext scope(trace);
+    ASSERT_TRUE(client.Recommend(request).ok());
+  }
+  ASSERT_TRUE(client.Recommend(request).ok());  // Untraced control call.
+
+  EXPECT_EQ(trace_metrics.GetCounter("trace.adopted")->value(), 1);
+  spans.Flush();
+  // The server's span tree carries the propagated id — stitchable.
+  EXPECT_TRUE(spans.HasTrace(0x1234ABCD));
+  const std::string json = spans.ExportChromeJson();
+  EXPECT_NE(json.find("\"name\":\"rpc.recommend\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"name\":\"engine\""), std::string::npos);
+}
+
+TEST(TracePropagationTest, V1PeerSilentlyDropsTheContext) {
+  MetricsRegistry trace_metrics;
+  Tracer::Options tracer_options;
+  tracer_options.sample_every_n = 0;
+  tracer_options.metrics = &trace_metrics;
+  Tracer tracer(tracer_options);
+  obs::SpanCollector::Options span_options;
+  span_options.metrics = &trace_metrics;
+  obs::SpanCollector spans(span_options);
+
+  RecServer::Options options;
+  options.max_wire_version = 1;  // Pre-v2 server: no Hello, no feature.
+  options.tracer = &tracer;
+  options.spans = &spans;
+  LiveServer live(options);
+  RecClient client(live.ClientOptions());
+
+  TraceContext trace;
+  trace.id = 0x5678;
+  trace.start_us = Tracer::NowMicros();
+  RecRequest request;
+  request.user = 1;
+  request.top_n = 3;
+  {
+    ScopedTraceContext scope(trace);
+    // The request must be byte-identical v1 traffic: correct answer, no
+    // extension on the wire, nothing adopted server-side.
+    auto recs = client.Recommend(request);
+    ASSERT_TRUE(recs.ok()) << recs.status().ToString();
+  }
+  EXPECT_FALSE(client.trace_propagation_negotiated());
+  EXPECT_EQ(trace_metrics.GetCounter("trace.adopted")->value(), 0);
+  spans.Flush();
+  EXPECT_FALSE(spans.HasTrace(0x5678));
+}
+
+TEST(TracePropagationTest, UnnegotiatedExtensionIsAVersionViolation) {
+  LiveServer live;
+  RawPeer peer(live.server->port());
+  // A trace extension without the Hello feature handshake is exactly
+  // what a pre-trace server would see as a bad version byte.
+  std::string bytes = EncodePingRequest(7);
+  StampTraceExtension(&bytes, 0xAB, kTraceFlagSampled, 0);
+  peer.Send(bytes);
+  StatusOr<Frame> frame = peer.ReadFrame();
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  auto error = DecodeErrorResponse(*frame);
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error->code, WireError::kBadVersion);
+  EXPECT_TRUE(peer.WaitForClose());
+}
+
+TEST(TracePropagationTest, TailCaptureKeepsSlowRequestsServerSide) {
+  MetricsRegistry trace_metrics;
+  obs::SpanCollector::Options span_options;
+  span_options.metrics = &trace_metrics;
+  obs::SpanCollector spans(span_options);
+
+  RecServer::Options options;
+  options.spans = &spans;
+  options.trace_slow_us = 1;  // Everything is "slow": capture all.
+  options.handler_delay_for_test_ms = 2;
+  LiveServer live(options);
+  RecClient client(live.ClientOptions());
+  RecRequest request;
+  request.user = 1;
+  request.top_n = 3;
+  ASSERT_TRUE(client.Recommend(request).ok());
+
+  spans.Flush();
+  const auto stats = spans.GetStats();
+  EXPECT_GE(stats.slow_captured, 1u);
+  const std::string json = spans.ExportSlowJson();
+  EXPECT_NE(json.find("\"slow_capture\":true"), std::string::npos) << json;
 }
 
 }  // namespace

@@ -11,9 +11,11 @@
 #include <vector>
 
 #include "cluster/cluster_client.h"
+#include "common/trace.h"
 #include "net/rec_client.h"
 #include "net/rec_server.h"
 #include "net/wire.h"
+#include "obs/span_collector.h"
 #include "service/recommendation_service.h"
 
 namespace rtrec {
@@ -365,6 +367,58 @@ TEST(ShmRecServerTest, ConcurrentPipelinedCallersOverShm) {
   }
   for (auto& thread : threads) thread.join();
   EXPECT_EQ(ok_count.load(), kThreads * kCallsPerThread);
+}
+
+TEST(ShmRecServerTest, TracePropagationRidesTheShmTransport) {
+  // The shm rings carry ordinary wire frames, so the trace extension
+  // (docs/WIRE_PROTOCOL.md §2.1) must propagate exactly as over TCP.
+  const std::string name = TestShmName("traceshm");
+  MetricsRegistry metrics;
+  Tracer::Options tracer_options;
+  tracer_options.sample_every_n = 0;  // Adoption is the only sampled path.
+  tracer_options.metrics = &metrics;
+  Tracer tracer(tracer_options);
+  obs::SpanCollector::Options span_options;
+  span_options.metrics = &metrics;
+  obs::SpanCollector spans(span_options);
+
+  RecommendationService service(OneType(), FastService());
+  RecServer::Options options;
+  options.port = 0;
+  options.metrics = &metrics;
+  options.shm_name = name;
+  options.tracer = &tracer;
+  options.spans = &spans;
+  RecServer server(&service, options);
+  ASSERT_TRUE(server.Start().ok());
+  Timestamp t = 0;
+  for (UserId user = 1; user <= 5; ++user) {
+    service.Observe(Play(user, 100, t += 1000));
+  }
+
+  RecClient::Options client_options;
+  client_options.host = "shm:" + name.substr(std::string("/rtrec.").size());
+  RecClient client(client_options);
+  ASSERT_TRUE(client.Connect().ok());
+  EXPECT_TRUE(client.trace_propagation_negotiated());
+
+  TraceContext trace;
+  trace.id = 0x51234ull;
+  trace.start_us = Tracer::NowMicros();
+  RecRequest request;
+  request.user = 999;
+  request.top_n = 3;
+  request.now = t;
+  {
+    ScopedTraceContext scope(trace);
+    auto recs = client.Recommend(request);
+    ASSERT_TRUE(recs.ok()) << recs.status().ToString();
+  }
+
+  EXPECT_EQ(metrics.GetCounter("trace.adopted")->value(), 1);
+  spans.Flush();
+  EXPECT_TRUE(spans.HasTrace(trace.id));
+  server.Stop();
 }
 
 TEST(ShmRecServerTest, ClusterClientRoutesOverShmAddresses) {
